@@ -1,0 +1,62 @@
+"""Fig. 8 / Fig. 9 — architecture parameter and implementation-metric tables.
+
+These benchmarks regenerate the two configuration tables of the paper (one
+NeuroCell's parameters/metrics and the CMOS baseline's parameters/metrics)
+and time the construction + derived-metric computation.  The printed rows
+mirror the published tables so they can be compared side by side.
+"""
+
+from __future__ import annotations
+
+from repro.baseline import BaselineConfig
+from repro.core import ArchitectureConfig
+
+
+def _resparc_envelope() -> dict[str, object]:
+    config = ArchitectureConfig()
+    return {
+        "architecture_bits": config.word_bits,
+        "nc_dimension": f"{int(config.mpes_per_neurocell ** 0.5)}x{int(config.mpes_per_neurocell ** 0.5)}",
+        "mpes (switches)": f"{config.mpes_per_neurocell} ({config.switches_per_neurocell})",
+        "mcas_per_mpe": config.mcas_per_mpe,
+        "feature_size_nm": 45,
+        "area_mm2": config.area_mm2,
+        "power_mw": config.power_w * 1e3,
+        "gate_count": config.gate_count,
+        "frequency_mhz": config.frequency_hz / 1e6,
+    }
+
+
+def _cmos_envelope() -> dict[str, object]:
+    config = BaselineConfig()
+    return {
+        "nu_count": config.nu_count,
+        "fifos_input (weight)": f"{config.input_fifo_count} ({config.weight_fifo_count})",
+        "fifo_depth": config.fifo_depth,
+        "width_fifo (nu)": f"{config.fifo_width_bits} ({config.nu_width_bits})",
+        "feature_size_nm": 45,
+        "area_mm2": config.area_mm2,
+        "power_mw": config.power_w * 1e3,
+        "gate_count": config.gate_count,
+        "frequency_ghz": config.frequency_hz / 1e9,
+    }
+
+
+def test_fig08_resparc_envelope(benchmark):
+    """Regenerate the RESPARC parameters/metrics table (Fig. 8)."""
+    table = benchmark(_resparc_envelope)
+    print("\nFig. 8 — RESPARC parameters and metrics (one NeuroCell)")
+    for key, value in table.items():
+        print(f"  {key:<22} {value}")
+    assert table["mpes (switches)"] == "16 (9)"
+    assert table["frequency_mhz"] == 200.0
+
+
+def test_fig09_cmos_envelope(benchmark):
+    """Regenerate the CMOS baseline parameters/metrics table (Fig. 9)."""
+    table = benchmark(_cmos_envelope)
+    print("\nFig. 9 — CMOS baseline parameters and metrics")
+    for key, value in table.items():
+        print(f"  {key:<22} {value}")
+    assert table["nu_count"] == 16
+    assert table["frequency_ghz"] == 1.0

@@ -1,0 +1,46 @@
+"""Fig. 10 — the SNN benchmark table.
+
+Regenerates the six-row benchmark table (application, dataset, connectivity,
+layers, neurons, synapses), printing the reconstructed totals next to the
+published ones, and times the construction of all six networks.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import BENCHMARKS
+
+
+def _build_table() -> list[dict[str, object]]:
+    rows = []
+    for spec in BENCHMARKS.values():
+        network = spec.build()
+        rows.append(
+            {
+                "benchmark": spec.name,
+                "application": spec.application,
+                "connectivity": spec.connectivity,
+                "layers_paper": spec.paper_layers,
+                "neurons": network.neuron_count,
+                "neurons_paper": spec.paper_neurons,
+                "synapses": network.synapse_count,
+                "synapses_paper": spec.paper_synapses,
+            }
+        )
+    return rows
+
+
+def test_fig10_benchmark_table(benchmark):
+    """Regenerate the Fig. 10 benchmark table."""
+    rows = benchmark(_build_table)
+    print("\nFig. 10 — SNN benchmarks (reconstructed vs paper)")
+    print(f"  {'benchmark':<14} {'type':<5} {'neurons':>9} {'paper':>9} {'synapses':>10} {'paper':>10}")
+    for row in rows:
+        print(
+            f"  {row['benchmark']:<14} {row['connectivity']:<5} {row['neurons']:>9} "
+            f"{row['neurons_paper']:>9} {row['synapses']:>10} {row['synapses_paper']:>10}"
+        )
+    assert len(rows) == 6
+    for row in rows:
+        assert row["neurons"] == row["neurons_paper"]
+        deviation = abs(row["synapses"] - row["synapses_paper"]) / row["synapses_paper"]
+        assert deviation < 0.05

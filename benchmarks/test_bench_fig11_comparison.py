@@ -1,0 +1,35 @@
+"""Fig. 11 — RESPARC vs CMOS energy benefit and speedup per classification.
+
+Regenerates both panels of Fig. 11 (MLP and CNN families) on the full-size
+benchmark networks and checks the paper's qualitative claims: RESPARC wins on
+energy and latency for every benchmark, and MLP benefits exceed CNN benefits
+by more than an order of magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig11
+
+
+def test_fig11_energy_and_speedup(benchmark, context):
+    """Regenerate Fig. 11 for all six benchmarks (MCA-64, 4-bit weights)."""
+    result = benchmark.pedantic(lambda: run_fig11(context=context), iterations=1, rounds=1)
+    print("\n" + result.as_table())
+
+    for row in result.rows:
+        assert row.energy_benefit > 1.0, row.benchmark
+        assert row.speedup > 1.0, row.benchmark
+
+    mlp_energy = result.mean_energy_benefit("MLP")
+    cnn_energy = result.mean_energy_benefit("CNN")
+    mlp_speedup = result.mean_speedup("MLP")
+    cnn_speedup = result.mean_speedup("CNN")
+
+    # Shape checks against the published bands (paper: MLP ~513x energy /
+    # ~382x speedup; CNN ~12x energy / ~60x speedup).
+    assert mlp_energy > 10 * cnn_energy
+    assert mlp_speedup > 2 * cnn_speedup
+    assert 100 <= mlp_energy <= 1500
+    assert 5 <= cnn_energy <= 40
+    assert 100 <= mlp_speedup <= 1000
+    assert 10 <= cnn_speedup <= 150

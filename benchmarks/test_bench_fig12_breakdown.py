@@ -1,0 +1,29 @@
+"""Fig. 12 — energy breakdowns for RESPARC-32/64/128 and the CMOS baseline.
+
+Regenerates the four panels of Fig. 12 on the full-size benchmarks and checks
+the paper's qualitative claims: MLP energy falls monotonically with MCA size,
+CNN energy is minimised at MCA-64, CMOS MLPs are memory dominated and CMOS
+CNNs are core dominated.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig12
+from repro.workloads import list_benchmarks
+
+
+def test_fig12_energy_breakdowns(benchmark, context):
+    """Regenerate Fig. 12 for all six benchmarks and MCA sizes 32/64/128."""
+    result = benchmark.pedantic(lambda: run_fig12(context=context), iterations=1, rounds=1)
+    print("\n" + result.as_table())
+
+    for spec in list_benchmarks("MLP"):
+        entries = result.resparc_for(spec.name)
+        assert entries[32].total_j > entries[64].total_j > entries[128].total_j, spec.name
+        assert result.cmos_for(spec.name).memory_fraction > 0.5, spec.name
+
+    for spec in list_benchmarks("CNN"):
+        entries = result.resparc_for(spec.name)
+        assert result.optimal_size(spec.name) == 64, spec.name
+        assert entries[32].total_j > entries[64].total_j, spec.name
+        assert result.cmos_for(spec.name).core_fraction > 0.5, spec.name

@@ -1,0 +1,24 @@
+"""Fig. 13 — energy with/without event-driven optimisations on MNIST.
+
+Regenerates both panels (MLP and CNN) for MCA sizes 128/64/32 and checks that
+event-driven operation always saves energy and that the relative savings grow
+as the MCA (spike packet) gets smaller.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig13
+
+
+def test_fig13_event_driven_savings(benchmark, context):
+    """Regenerate Fig. 13 for the MNIST MLP and CNN."""
+    result = benchmark.pedantic(lambda: run_fig13(context=context), iterations=1, rounds=1)
+    print("\n" + result.as_table())
+
+    for name in ("mnist-mlp", "mnist-cnn"):
+        entries = result.entries_for(name)
+        assert set(entries) == {32, 64, 128}
+        for entry in entries.values():
+            assert entry.energy_with_j < entry.energy_without_j, (name, entry.crossbar_size)
+        # Smaller MCAs (shorter packets) benefit the most from zero-checking.
+        assert entries[32].savings_fraction >= entries[64].savings_fraction >= entries[128].savings_fraction

@@ -1,0 +1,61 @@
+"""Fig. 14 — effect of memristor bit-discretisation on accuracy and energy.
+
+Regenerates both panels: (a) normalised accuracy versus weight precision on
+the three datasets, and (b) normalised energy versus precision for RESPARC
+and the CMOS baseline on the MNIST MLP.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig14_accuracy, run_fig14_energy
+
+
+def test_fig14a_accuracy_vs_precision(benchmark):
+    """Regenerate the accuracy-vs-precision sweep (width-scaled MLPs)."""
+    points = benchmark.pedantic(
+        lambda: run_fig14_accuracy(
+            datasets=("mnist", "svhn", "cifar10"),
+            bits=(1, 2, 4, 8),
+            network_scale=0.2,
+            train_epochs=3,
+            timesteps=16,
+            samples=32,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print("\nFig. 14(a) — normalised accuracy vs bit precision")
+    for point in points:
+        print(f"  {point.dataset:<10} {point.bits:>2} bits  norm accuracy {point.normalised_accuracy:.3f}")
+
+    by_dataset: dict[str, dict[int, float]] = {}
+    for point in points:
+        by_dataset.setdefault(point.dataset, {})[point.bits] = point.normalised_accuracy
+    # The saturation claim is checked strictly on the most separable dataset
+    # (MNIST); the dense synthetic SVHN/CIFAR stand-ins are noisy at this
+    # reduced benchmark fidelity, so they are only checked for sanity.
+    mnist = by_dataset["mnist"]
+    assert mnist[4] >= 0.95 * mnist[8]
+    assert mnist[1] <= mnist[4] + 0.05
+    for dataset, series in by_dataset.items():
+        for value in series.values():
+            assert 0.0 <= value <= 2.0, dataset
+
+
+def test_fig14b_energy_vs_precision(benchmark, context):
+    """Regenerate the energy-vs-precision sweep (MNIST MLP, MCA-64)."""
+    points = benchmark.pedantic(
+        lambda: run_fig14_energy(context=context, benchmark="mnist-mlp", bits=(1, 2, 4, 8)),
+        iterations=1,
+        rounds=1,
+    )
+    print("\nFig. 14(b) — normalised energy vs bit precision (MNIST MLP)")
+    for point in points:
+        print(
+            f"  {point.bits:>2} bits  RESPARC {point.resparc_normalised:.3f}  "
+            f"CMOS {point.cmos_normalised:.3f}"
+        )
+    by_bits = {p.bits: p for p in points}
+    # RESPARC is insensitive to precision; the CMOS baseline grows with it.
+    assert abs(by_bits[8].resparc_normalised - by_bits[1].resparc_normalised) < 0.2
+    assert by_bits[8].cmos_normalised > by_bits[4].cmos_normalised > by_bits[1].cmos_normalised

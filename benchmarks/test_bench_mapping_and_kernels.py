@@ -1,0 +1,50 @@
+"""Micro-benchmarks of the library's computational kernels.
+
+Not a paper figure: these time the mapping compiler, the crossbar evaluation
+kernel and the functional spiking simulator so performance regressions in the
+simulator itself are visible, independent of the architecture results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crossbar import CrossbarArray, CrossbarConfig
+from repro.mapping import map_network
+from repro.snn import SpikingSimulator, convert_to_snn
+from repro.workloads import build_mnist_cnn, build_mnist_mlp
+
+
+def test_bench_map_mnist_mlp(benchmark):
+    """Time mapping the full MNIST MLP onto 64x64 MCAs."""
+    network = build_mnist_mlp()
+    mapped = benchmark(lambda: map_network(network, crossbar_size=64))
+    assert mapped.total_tiles > 0
+
+
+def test_bench_map_mnist_cnn(benchmark):
+    """Time mapping the full MNIST CNN onto 64x64 MCAs."""
+    network = build_mnist_cnn()
+    mapped = benchmark(lambda: map_network(network, crossbar_size=64))
+    assert mapped.utilisation.mean_utilisation < 1.0
+
+
+def test_bench_crossbar_evaluate(benchmark):
+    """Time one 64x64 analog crossbar evaluation."""
+    rng = np.random.default_rng(0)
+    xbar = CrossbarArray(CrossbarConfig(rows=64, columns=64))
+    xbar.program(rng.normal(0, 0.3, size=(64, 64)))
+    spikes = (rng.random(64) < 0.2).astype(float)
+    result = benchmark(lambda: xbar.evaluate(spikes))
+    assert result.weighted_sums.shape == (64,)
+
+
+def test_bench_functional_simulation(benchmark):
+    """Time an 8-timestep functional simulation of a reduced MNIST MLP."""
+    rng = np.random.default_rng(0)
+    network = build_mnist_mlp(scale=0.25)
+    inputs = rng.random((2, 784))
+    snn = convert_to_snn(network, inputs)
+    simulator = SpikingSimulator(timesteps=8, encoder="deterministic")
+    result = benchmark(lambda: simulator.run(snn, inputs))
+    assert result.trace.timesteps == 8

@@ -1,0 +1,70 @@
+"""Design-space exploration: technology-aware MCA size selection.
+
+RESPARC is "technology aware": for a given memristive technology (which
+limits how large a crossbar can reliably be), the mapper picks the MCA size
+that minimises energy for the target network.  This example sweeps MCA sizes
+for one MLP and one CNN benchmark, prints the resource usage and energy at
+each size, and shows how the optimum differs between the two topology
+families (the paper's Fig. 12 argument) and how a reliability limit changes
+the choice.
+
+Run with:  python examples/design_space_mca_size.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import ArchitectureConfig, ResparcModel
+from repro.crossbar import CrossbarNonidealities, NonidealityParameters
+from repro.datasets import make_dataset
+from repro.mapping import map_network, select_crossbar_size
+from repro.snn import SpikingSimulator, convert_to_snn
+from repro.utils.units import format_energy
+from repro.workloads import build_mnist_cnn, build_mnist_mlp
+
+MCA_SIZES = (32, 64, 128)
+
+
+def explore(name: str, network, inputs: np.ndarray) -> None:
+    print(f"\n=== {name} ===")
+    snn = convert_to_snn(network, inputs[:8])
+    trace = SpikingSimulator(timesteps=16, rng=np.random.default_rng(0)).run(snn, inputs[:4]).trace
+
+    print(f"  {'MCA':>5} {'tiles':>8} {'mPEs':>7} {'NCs':>5} {'util':>7} {'energy':>12}")
+    energies = {}
+    for size in MCA_SIZES:
+        mapped = map_network(network, crossbar_size=size)
+        model = ResparcModel(config=ArchitectureConfig().with_crossbar_size(size))
+        evaluation = model.evaluate(mapped, trace)
+        energies[size] = evaluation.energy_per_classification_j
+        print(
+            f"  {size:>5} {mapped.total_tiles:>8} {mapped.total_mpes:>7} "
+            f"{mapped.total_neurocells:>5} {mapped.utilisation.mean_utilisation:>6.1%} "
+            f"{format_energy(energies[size]):>12}"
+        )
+    best = min(energies, key=energies.get)
+    print(f"  -> energy-optimal MCA size: {best}")
+
+    # Structural heuristic + technology reliability limit.
+    unconstrained, _ = select_crossbar_size(network, candidate_sizes=MCA_SIZES)
+    constrained, _ = select_crossbar_size(network, candidate_sizes=MCA_SIZES, max_reliable_size=64)
+    print(f"  -> structural heuristic picks {unconstrained}; with a 64-cell reliability limit: {constrained}")
+
+    # Why the limit exists: first-order analog error vs crossbar size.
+    nonideal = CrossbarNonidealities(
+        NonidealityParameters(wire_resistance_ohm=2.0, sneak_leakage_fraction=0.002)
+    )
+    for size in MCA_SIZES + (256,):
+        error = nonideal.relative_output_error(size, size, 2.0e-5)
+        print(f"     relative analog error at {size:>3}x{size:<3}: {error:.2%}")
+
+
+def main() -> None:
+    mnist = make_dataset("mnist", train_samples=16, test_samples=16, seed=0)
+    explore("MNIST MLP", build_mnist_mlp(), mnist.test_images.reshape(-1, 784))
+    explore("MNIST CNN", build_mnist_cnn(), mnist.test_images)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: map a spiking MLP onto RESPARC and compare it with the CMOS baseline.
+
+This is the five-minute tour of the library:
+
+1. build a synthetic MNIST-like dataset and a small MLP,
+2. train it offline and convert it to a rate-coded spiking network,
+3. run the functional spiking simulator to measure accuracy and activity,
+4. map the network onto RESPARC (64x64 memristive crossbars), and
+5. estimate per-classification energy/latency on RESPARC and on the CMOS
+   baseline, printing the comparison.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baseline import CmosBaselineModel
+from repro.core import ArchitectureConfig, ResparcModel
+from repro.datasets import make_dataset
+from repro.mapping import map_network, mapping_report
+from repro.snn import SpikingSimulator, Trainer, convert_to_snn
+from repro.utils.units import format_energy, format_time
+from repro.workloads import build_mnist_mlp
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # 1. Data and network (a width-scaled MNIST MLP keeps the run fast).
+    dataset = make_dataset("mnist", train_samples=256, test_samples=64, seed=0)
+    network = build_mnist_mlp(scale=0.3, seed=0)
+    train_x = dataset.train_images.reshape(-1, 784)
+    test_x = dataset.test_images.reshape(-1, 784)
+
+    # 2. Offline training followed by ANN -> SNN conversion.
+    trainer = Trainer(learning_rate=0.005, optimizer="adam", batch_size=32, rng=rng)
+    training = trainer.fit(network, train_x, dataset.train_labels, epochs=5)
+    print(f"ANN training accuracy: {training.train_accuracy:.2%}")
+    snn = convert_to_snn(network, train_x[:64])
+
+    # 3. Functional (golden-model) spiking simulation.
+    simulator = SpikingSimulator(timesteps=32, rng=rng)
+    result = simulator.run(snn, test_x[:32], dataset.test_labels[:32])
+    print(f"SNN accuracy over 32 timesteps: {result.accuracy:.2%}")
+    print(f"Mean spike rate across the network: {result.trace.mean_input_rate:.3f}")
+
+    # 4. Map onto RESPARC's reconfigurable hierarchy.
+    mapped = map_network(network, crossbar_size=64)
+    print()
+    print(mapping_report(mapped))
+
+    # 5. Architecture comparison on the measured activity.
+    resparc = ResparcModel(config=ArchitectureConfig()).evaluate(mapped, result.trace)
+    cmos = CmosBaselineModel().evaluate(network, result.trace)
+    print()
+    print(f"RESPARC energy/classification: {format_energy(resparc.energy_per_classification_j)}")
+    print(f"CMOS    energy/classification: {format_energy(cmos.energy_per_classification_j)}")
+    print(f"RESPARC latency/classification: {format_time(resparc.latency_per_classification_s)}")
+    print(f"CMOS    latency/classification: {format_time(cmos.latency_per_classification_s)}")
+    print(
+        f"Energy benefit: {cmos.energy_per_classification_j / resparc.energy_per_classification_j:.0f}x,  "
+        f"speedup: {cmos.latency_per_classification_s / resparc.latency_per_classification_s:.0f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

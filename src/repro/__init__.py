@@ -1,0 +1,43 @@
+"""RESPARC reproduction library.
+
+A Python reproduction of "RESPARC: A Reconfigurable and Energy-Efficient
+Architecture with Memristive Crossbars for Deep Spiking Neural Networks"
+(Ankit, Sengupta, Panda, Roy — DAC 2017).
+
+Subpackages
+-----------
+``repro.crossbar``
+    Memristive crossbar substrate (device model, quantisation, MCA).
+``repro.snn``
+    Spiking neural network substrate (layers, training, conversion,
+    functional simulation).
+``repro.datasets``
+    Synthetic MNIST/SVHN/CIFAR-10 stand-ins and spike statistics.
+``repro.energy``
+    45 nm component energy library, CACTI-like SRAM model, reports.
+``repro.baseline``
+    The optimised CMOS digital baseline accelerator.
+``repro.core``
+    The RESPARC architecture (mPE / NeuroCell / chip) and its models.
+``repro.mapping``
+    The mapping compiler (partitioning, placement, technology-aware sizing).
+``repro.workloads``
+    The six benchmark SNNs of the paper's Fig. 10.
+``repro.experiments``
+    Drivers regenerating every figure of the paper's evaluation.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "baseline",
+    "core",
+    "crossbar",
+    "datasets",
+    "energy",
+    "experiments",
+    "mapping",
+    "snn",
+    "utils",
+    "workloads",
+]

@@ -1,0 +1,21 @@
+"""The optimised CMOS digital baseline accelerator (Section 4.1 of the paper).
+
+* :mod:`repro.baseline.config` — micro-architectural parameters (Fig. 9).
+* :mod:`repro.baseline.memory` — weight/activation SRAM sizing and energies.
+* :mod:`repro.baseline.accelerator` — compute-core activity model.
+* :mod:`repro.baseline.simulator` — per-classification energy/latency model.
+"""
+
+from repro.baseline.accelerator import BaselineActivityModel, LayerActivityCounts
+from repro.baseline.config import BaselineConfig
+from repro.baseline.memory import BaselineMemorySystem
+from repro.baseline.simulator import BaselineEvaluation, CmosBaselineModel
+
+__all__ = [
+    "BaselineActivityModel",
+    "LayerActivityCounts",
+    "BaselineConfig",
+    "BaselineMemorySystem",
+    "BaselineEvaluation",
+    "CmosBaselineModel",
+]

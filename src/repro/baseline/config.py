@@ -1,0 +1,100 @@
+"""CMOS digital baseline configuration.
+
+The paper's baseline (Section 4.1, Fig. 9) is an aggressively optimised
+digital SNN accelerator built around the FALCON dataflow [15]: an array of 16
+Neuron Units (NUs) fed by per-NU input FIFOs and a shared weight FIFO, with
+weights and activations stored in SRAM and with event-driven optimisations
+that skip memory fetches and computations for input neurons that did not
+spike.  The published envelope is 45 nm, 0.19 mm², 35.1 mW at 1 GHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+__all__ = ["BaselineConfig"]
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Micro-architectural parameters of the CMOS baseline (Fig. 9).
+
+    Attributes
+    ----------
+    nu_count:
+        Number of Neuron Units operating in parallel (one MAC per NU per
+        cycle).
+    input_fifo_count / weight_fifo_count:
+        Number of input-activation and weight FIFOs.
+    fifo_depth:
+        Depth of each FIFO in words.
+    fifo_width_bits / nu_width_bits:
+        Datapath width of the FIFOs and NUs (4-bit weights in the paper).
+    frequency_hz:
+        Core clock (1 GHz).
+    event_driven:
+        When true (the paper's setting), memory fetches and MACs whose input
+        spike bit is zero are skipped.
+    weight_bits:
+        Weight precision stored in the weight memory.
+    memory_word_bits:
+        Width of one weight-memory access.
+    area_mm2, power_w, gate_count:
+        Published implementation metrics, kept for reporting/validation.
+    """
+
+    nu_count: int = 16
+    input_fifo_count: int = 16
+    weight_fifo_count: int = 1
+    fifo_depth: int = 32
+    fifo_width_bits: int = 4
+    nu_width_bits: int = 4
+    frequency_hz: float = 1e9
+    event_driven: bool = True
+    weight_bits: int = 4
+    memory_word_bits: int = 64
+    area_mm2: float = 0.19
+    power_w: float = 35.1e-3
+    gate_count: int = 44798
+
+    def __post_init__(self) -> None:
+        check_positive("nu_count", self.nu_count)
+        check_positive("input_fifo_count", self.input_fifo_count)
+        check_positive("weight_fifo_count", self.weight_fifo_count)
+        check_positive("fifo_depth", self.fifo_depth)
+        check_positive("fifo_width_bits", self.fifo_width_bits)
+        check_positive("frequency_hz", self.frequency_hz)
+        check_positive("weight_bits", self.weight_bits)
+        check_positive("memory_word_bits", self.memory_word_bits)
+
+    @property
+    def cycle_s(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / self.frequency_hz
+
+    @property
+    def weights_per_word(self) -> int:
+        """Weights packed into one weight-memory word."""
+        return max(self.memory_word_bits // self.weight_bits, 1)
+
+    def with_weight_bits(self, bits: int) -> "BaselineConfig":
+        """Copy of the configuration with a different weight precision."""
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        return BaselineConfig(
+            nu_count=self.nu_count,
+            input_fifo_count=self.input_fifo_count,
+            weight_fifo_count=self.weight_fifo_count,
+            fifo_depth=self.fifo_depth,
+            fifo_width_bits=bits,
+            nu_width_bits=bits,
+            frequency_hz=self.frequency_hz,
+            event_driven=self.event_driven,
+            weight_bits=bits,
+            memory_word_bits=self.memory_word_bits,
+            area_mm2=self.area_mm2,
+            power_w=self.power_w,
+            gate_count=self.gate_count,
+        )

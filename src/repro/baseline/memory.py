@@ -1,0 +1,125 @@
+"""Memory hierarchy of the CMOS baseline.
+
+The digital baseline keeps every synaptic weight in SRAM and streams weights
+and activations through FIFOs into the Neuron Units.  For MLPs the weight
+memory is large (every synapse is a unique weight) and its access energy and
+leakage dominate the per-classification energy — exactly the breakdown the
+paper shows in Fig. 12(b).  For CNNs weight sharing keeps the memory small
+and the compute core dominates instead (Fig. 12(d)).
+
+:class:`BaselineMemorySystem` sizes the weight and activation memories for a
+given network structure using the CACTI-like SRAM model and exposes the
+access-energy / leakage numbers the baseline simulator charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.config import BaselineConfig
+from repro.energy.cacti import SRAMConfig, SRAMModel
+from repro.snn.topology import LayerConnectivity
+
+__all__ = ["BaselineMemorySystem"]
+
+
+@dataclass
+class BaselineMemorySystem:
+    """Weight and activation SRAMs sized for one network.
+
+    Parameters
+    ----------
+    connectivity:
+        Structural layer descriptors of the network being executed.
+    config:
+        Baseline configuration (weight precision, memory word width).
+    min_weight_capacity_bytes:
+        Lower bound on the weight SRAM capacity (a real macro has a minimum
+        practical size).
+    """
+
+    connectivity: list[LayerConnectivity]
+    config: BaselineConfig
+    min_weight_capacity_bytes: int = 8 * 1024
+
+    def __post_init__(self) -> None:
+        if not self.connectivity:
+            raise ValueError("connectivity must contain at least one layer")
+        weight_bits = self.config.weight_bits
+        total_weight_bits = sum(c.unique_weights for c in self.connectivity) * weight_bits
+        weight_bytes = max(self.min_weight_capacity_bytes, (total_weight_bits + 7) // 8)
+
+        max_layer_neurons = max(max(c.n_inputs, c.n_outputs) for c in self.connectivity)
+        # One bit per neuron per timestep for spike activations, double
+        # buffered between consecutive layers.
+        activation_bytes = max(4 * 1024, (2 * max_layer_neurons + 7) // 8)
+
+        banks = 4 if weight_bytes >= 256 * 1024 else 1
+        # Round the capacity up to a whole number of equal banks.
+        weight_bytes = int(-(-int(weight_bytes) // banks) * banks)
+        self.weight_sram = SRAMModel(
+            SRAMConfig(
+                capacity_bytes=weight_bytes,
+                word_bits=self.config.memory_word_bits,
+                banks=banks,
+            )
+        )
+        self.activation_sram = SRAMModel(
+            SRAMConfig(capacity_bytes=int(activation_bytes), word_bits=self.config.memory_word_bits)
+        )
+
+    # -- capacities -------------------------------------------------------------
+
+    @property
+    def weight_capacity_bytes(self) -> int:
+        """Capacity of the weight SRAM."""
+        return self.weight_sram.config.capacity_bytes
+
+    @property
+    def activation_capacity_bytes(self) -> int:
+        """Capacity of the activation (spike) SRAM."""
+        return self.activation_sram.config.capacity_bytes
+
+    # -- per-event energies -------------------------------------------------------
+
+    def weight_access_energy_j(self) -> float:
+        """Energy of one weight-memory word access."""
+        return self.weight_sram.access_energy_j()
+
+    def activation_access_energy_j(self) -> float:
+        """Energy of one activation-memory word access."""
+        return self.activation_sram.access_energy_j()
+
+    def leakage_power_w(self) -> float:
+        """Total memory leakage power (weight + activation SRAM)."""
+        return self.weight_sram.leakage_power_w() + self.activation_sram.leakage_power_w()
+
+    def weight_words_for_layer(self, layer: LayerConnectivity, input_rate: float) -> float:
+        """Weight-memory words fetched for one timestep of one layer.
+
+        The dataflow streams weights per output neuron, so one memory word
+        packs the weights of ``weights_per_word`` *different* input neurons.
+        The event-driven optimisation can therefore only skip a word when all
+        of the input neurons it covers were silent this timestep — the word
+        survives with probability ``1 - (1 - rate)**weights_per_word``.
+        Convolutions fetch their (small) kernel once per timestep because
+        some window will need it regardless of which individual pixels
+        spiked.  Pooling layers store no weights.
+        """
+        weights_per_word = self.config.weights_per_word
+        if layer.kind == "pool" or layer.unique_weights == 0:
+            return 0.0
+        total_words = layer.unique_weights / weights_per_word
+        if layer.kind == "dense" and self.config.event_driven:
+            keep = 1.0 - (1.0 - input_rate) ** weights_per_word
+            return total_words * keep
+        return total_words
+
+    def activation_words_for_layer(self, layer: LayerConnectivity) -> float:
+        """Activation-memory words moved for one timestep of one layer.
+
+        Input spikes are read once and output spikes written once per
+        timestep, packed one bit per neuron.
+        """
+        bits = layer.n_inputs + layer.n_outputs
+        return bits / self.config.memory_word_bits

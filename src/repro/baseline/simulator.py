@@ -1,0 +1,143 @@
+"""Per-classification energy/latency estimation for the CMOS baseline.
+
+:class:`CmosBaselineModel` combines the compute-core activity model, the
+memory system and the 45 nm component library into the two quantities the
+paper compares against RESPARC: energy per classification (broken down into
+core / memory access / memory leakage, Fig. 12 b/d) and latency per
+classification (Fig. 11 c/d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baseline.accelerator import BaselineActivityModel
+from repro.baseline.config import BaselineConfig
+from repro.baseline.memory import BaselineMemorySystem
+from repro.energy.components import DEFAULT_LIBRARY, ComponentLibrary, scale_for_bits
+from repro.energy.latency import LatencyReport
+from repro.energy.model import CMOS_GROUPS, EnergyReport
+from repro.snn.conversion import SpikingNetwork
+from repro.snn.functional import ActivityTrace
+from repro.snn.network import Network
+from repro.snn.topology import LayerConnectivity, extract_connectivity
+
+__all__ = ["BaselineEvaluation", "CmosBaselineModel"]
+
+
+@dataclass(frozen=True)
+class BaselineEvaluation:
+    """Energy and latency of one classification on the CMOS baseline."""
+
+    energy: EnergyReport
+    latency: LatencyReport
+
+    @property
+    def energy_per_classification_j(self) -> float:
+        """Total energy of one classification (J)."""
+        return self.energy.total_j
+
+    @property
+    def latency_per_classification_s(self) -> float:
+        """Total latency of one classification (s)."""
+        return self.latency.total_s
+
+
+@dataclass
+class CmosBaselineModel:
+    """Analytical model of the event-driven digital SNN accelerator."""
+
+    config: BaselineConfig = field(default_factory=BaselineConfig)
+    library: ComponentLibrary = field(default_factory=lambda: DEFAULT_LIBRARY)
+
+    def __post_init__(self) -> None:
+        # Widen/narrow the digital per-event energies with the datapath width.
+        self._scaled_library = scale_for_bits(self.library, self.config.weight_bits)
+        self._activity_model = BaselineActivityModel(self.config)
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _connectivity_of(network: Network | SpikingNetwork | list[LayerConnectivity]):
+        if isinstance(network, list):
+            return network
+        if isinstance(network, SpikingNetwork):
+            return extract_connectivity(network.network)
+        return extract_connectivity(network)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def evaluate(
+        self,
+        network: Network | SpikingNetwork | list[LayerConnectivity],
+        trace: ActivityTrace,
+        label: str | None = None,
+    ) -> BaselineEvaluation:
+        """Estimate one classification's energy and latency.
+
+        Parameters
+        ----------
+        network:
+            The network (or its connectivity descriptors) being executed.
+        trace:
+            Spike-activity statistics from the functional simulator; the
+            baseline is charged for exactly the same workload activity as
+            RESPARC.
+        label:
+            Report label (defaults to the trace's network name).
+        """
+        connectivity = self._connectivity_of(network)
+        memory = BaselineMemorySystem(connectivity, self.config)
+        lib = self._scaled_library
+        label = label or f"cmos/{trace.network_name}"
+
+        energy = EnergyReport(label=label, group_map=CMOS_GROUPS)
+        latency = LatencyReport(label=label)
+
+        timesteps = trace.timesteps
+        core_counts = self._activity_model.classification_counts(connectivity, trace)
+
+        total_compute_cycles = 0.0
+        total_memory_cycles = 0.0
+        for layer, counts in zip(connectivity, core_counts):
+            activity = trace.layer(layer.index)
+
+            # --- core energy ---------------------------------------------------
+            energy.add("mac", counts.macs * lib.mac_energy_j)
+            energy.add("nu_update", counts.neuron_updates * lib.nu_update_energy_j)
+            energy.add("fifo", counts.fifo_accesses * lib.fifo_access_energy_j)
+
+            # --- memory traffic --------------------------------------------------
+            weight_words = memory.weight_words_for_layer(layer, activity.input_spike_rate)
+            activation_words = memory.activation_words_for_layer(layer)
+            energy.add(
+                "weight_memory_access",
+                weight_words * timesteps * memory.weight_access_energy_j(),
+            )
+            energy.add(
+                "activation_memory_access",
+                activation_words * timesteps * memory.activation_access_energy_j(),
+            )
+
+            # --- cycles ------------------------------------------------------------
+            total_compute_cycles += counts.compute_cycles
+            # One memory port: weight words and activation words are serialised.
+            total_memory_cycles += (weight_words + activation_words) * timesteps
+
+        # The core overlaps compute with memory fetch through its FIFOs; the
+        # classification time is set by whichever is the bottleneck, plus a
+        # small per-layer-per-timestep control overhead.
+        control_cycles = len(connectivity) * timesteps * 4.0
+        busy_cycles = max(total_compute_cycles, total_memory_cycles) + control_cycles
+        classification_time_s = busy_cycles * self.config.cycle_s
+
+        latency.add("compute", total_compute_cycles * self.config.cycle_s)
+        memory_visible_cycles = max(total_memory_cycles - total_compute_cycles, 0.0)
+        latency.add("memory_stall", memory_visible_cycles * self.config.cycle_s)
+        latency.add("control", control_cycles * self.config.cycle_s)
+
+        # --- time-dependent energy -------------------------------------------------
+        energy.add("core_static", lib.baseline_core_static_power_w * classification_time_s)
+        energy.add("memory_leakage", memory.leakage_power_w() * classification_time_s)
+
+        return BaselineEvaluation(energy=energy, latency=latency)

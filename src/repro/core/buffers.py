@@ -1,0 +1,146 @@
+"""Spike-packet buffers of an mPE.
+
+Every MCA inside an mPE owns three small buffers (Fig. 4 of the paper):
+
+* **iBUFF** buffers incoming spike packets until the full input vector the
+  MCA needs is available,
+* **oBUFF** buffers the output spike packets produced by the neurons until
+  they can be sent to their targets,
+* **tBUFF** stores the target address(es) the output packets must reach.
+
+The classes here model that behaviour functionally (FIFO order, capacity
+checking) and count accesses so the structural simulator can charge buffer
+energy through the same component library as the analytical model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["SpikePacket", "SpikeBuffer", "TargetBuffer"]
+
+
+@dataclass(frozen=True)
+class SpikePacket:
+    """A fixed-width packet of spike bits travelling through the architecture.
+
+    Attributes
+    ----------
+    bits:
+        Binary payload (length = architecture packet width; shorter payloads
+        are zero padded by the sender).
+    source / target:
+        Free-form address strings (``"nc0.mpe3.mca1"``) used for routing and
+        debugging.
+    """
+
+    bits: tuple[int, ...]
+    source: str = ""
+    target: str = ""
+
+    @property
+    def is_zero(self) -> bool:
+        """True when every bit is zero (the packet RESPARC's zero-check suppresses)."""
+        return not any(self.bits)
+
+    @property
+    def spike_count(self) -> int:
+        """Number of set bits."""
+        return int(sum(self.bits))
+
+    @staticmethod
+    def from_array(
+        values: np.ndarray, packet_bits: int, source: str = "", target: str = ""
+    ) -> list["SpikePacket"]:
+        """Split a binary vector into packets of ``packet_bits`` bits."""
+        check_positive("packet_bits", packet_bits)
+        flat = np.asarray(values).reshape(-1)
+        packets = []
+        for start in range(0, len(flat), packet_bits):
+            chunk = flat[start : start + packet_bits]
+            padded = np.zeros(packet_bits, dtype=int)
+            padded[: len(chunk)] = (chunk > 0).astype(int)
+            packets.append(SpikePacket(bits=tuple(int(b) for b in padded), source=source, target=target))
+        return packets
+
+
+class SpikeBuffer:
+    """A FIFO of spike packets with access counting (iBUFF / oBUFF)."""
+
+    def __init__(self, name: str, capacity_packets: int = 64):
+        check_positive("capacity_packets", capacity_packets)
+        self.name = name
+        self.capacity_packets = int(capacity_packets)
+        self._queue: deque[SpikePacket] = deque()
+        self.writes = 0
+        self.reads = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no packets are buffered."""
+        return not self._queue
+
+    @property
+    def accesses(self) -> int:
+        """Total buffer accesses (reads + writes)."""
+        return self.reads + self.writes
+
+    def push(self, packet: SpikePacket) -> None:
+        """Append a packet; raises if the buffer would overflow."""
+        if len(self._queue) >= self.capacity_packets:
+            raise OverflowError(f"{self.name}: buffer overflow (capacity {self.capacity_packets})")
+        self._queue.append(packet)
+        self.writes += 1
+        self.high_watermark = max(self.high_watermark, len(self._queue))
+
+    def pop(self) -> SpikePacket:
+        """Remove and return the oldest packet; raises if empty."""
+        if not self._queue:
+            raise IndexError(f"{self.name}: pop from an empty buffer")
+        self.reads += 1
+        return self._queue.popleft()
+
+    def drain(self) -> list[SpikePacket]:
+        """Pop every buffered packet in FIFO order."""
+        packets = []
+        while self._queue:
+            packets.append(self.pop())
+        return packets
+
+    def reset_counters(self) -> None:
+        """Reset access counters (contents are preserved)."""
+        self.writes = 0
+        self.reads = 0
+        self.high_watermark = len(self._queue)
+
+
+class TargetBuffer:
+    """The tBUFF: stores the target addresses of an MCA's output packets."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._targets: list[str] = []
+        self.lookups = 0
+
+    def configure(self, targets: list[str]) -> None:
+        """Program the list of target addresses (done at mapping time)."""
+        self._targets = list(targets)
+
+    @property
+    def targets(self) -> tuple[str, ...]:
+        """Configured target addresses."""
+        return tuple(self._targets)
+
+    def lookup(self) -> tuple[str, ...]:
+        """Return the targets for an outgoing packet (counts one access)."""
+        self.lookups += 1
+        return self.targets

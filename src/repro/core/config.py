@@ -1,0 +1,126 @@
+"""RESPARC architecture configuration.
+
+Captures the micro-architectural parameters of Fig. 8 (one NeuroCell: a 4x4
+array of mPEs with 4 MCAs each, a 3x3 programmable-switch network, 64-bit
+architecture, 200 MHz at 45 nm) together with the crossbar technology choice
+and the event-driven feature switches the experiments toggle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.crossbar.device import DeviceParameters
+from repro.utils.validation import check_positive
+
+__all__ = ["ArchitectureConfig"]
+
+
+@dataclass(frozen=True)
+class ArchitectureConfig:
+    """Static configuration of a RESPARC instance.
+
+    Attributes
+    ----------
+    crossbar_rows / crossbar_columns:
+        MCA geometry (the paper studies square 32/64/128 crossbars).
+    mcas_per_mpe:
+        MCAs inside one macro Processing Engine (4 in Fig. 8).
+    mpes_per_neurocell:
+        mPEs inside one NeuroCell (16, arranged 4x4, in Fig. 8).
+    packet_bits:
+        Spike-packet width used by buffers, switches and the zero-check
+        logic (the paper analyses 32-bit packets in Fig. 13).
+    word_bits:
+        Global architecture word width (64-bit, Fig. 8).
+    frequency_hz:
+        Digital peripheral clock (200 MHz, Fig. 8).
+    event_driven:
+        Master switch for the event-driven optimisations: zero-check gating
+        of switch transfers, bus broadcasts and crossbar evaluations.
+    neurocell_boundary_fraction:
+        Fraction of a spatially-local (conv/pool) layer boundary's traffic
+        that still has to cross NeuroCells over the shared bus because the
+        consumer windows at NeuroCell edges need producer outputs mapped to
+        the neighbouring cell.  0.05 models a 4x4-mPE cell's perimeter share.
+    device:
+        Memristive device technology programmed into the MCAs.
+    input_sram_bytes:
+        Capacity of the global input memory (SRAM on the IO bus).
+    area_mm2 / power_w / gate_count:
+        Published per-NeuroCell implementation metrics (Fig. 8), retained for
+        envelope validation and reporting.
+    """
+
+    crossbar_rows: int = 64
+    crossbar_columns: int = 64
+    mcas_per_mpe: int = 4
+    mpes_per_neurocell: int = 16
+    packet_bits: int = 32
+    word_bits: int = 64
+    frequency_hz: float = 200e6
+    event_driven: bool = True
+    neurocell_boundary_fraction: float = 0.05
+    device: DeviceParameters = field(default_factory=DeviceParameters)
+    input_sram_bytes: int = 128 * 1024
+    area_mm2: float = 0.29
+    power_w: float = 53.2e-3
+    gate_count: int = 67643
+
+    def __post_init__(self) -> None:
+        check_positive("crossbar_rows", self.crossbar_rows)
+        check_positive("crossbar_columns", self.crossbar_columns)
+        check_positive("mcas_per_mpe", self.mcas_per_mpe)
+        check_positive("mpes_per_neurocell", self.mpes_per_neurocell)
+        check_positive("packet_bits", self.packet_bits)
+        check_positive("word_bits", self.word_bits)
+        check_positive("frequency_hz", self.frequency_hz)
+        check_positive("input_sram_bytes", self.input_sram_bytes)
+        if not 0.0 <= self.neurocell_boundary_fraction <= 1.0:
+            raise ValueError(
+                "neurocell_boundary_fraction must be in [0, 1], got "
+                f"{self.neurocell_boundary_fraction}"
+            )
+
+    # -- derived quantities -----------------------------------------------------
+
+    @property
+    def crossbar_size(self) -> int:
+        """Square MCA side length (rows; equals columns in all paper configs)."""
+        return self.crossbar_rows
+
+    @property
+    def mcas_per_neurocell(self) -> int:
+        """MCAs inside one NeuroCell."""
+        return self.mcas_per_mpe * self.mpes_per_neurocell
+
+    @property
+    def switches_per_neurocell(self) -> int:
+        """Programmable switches per NeuroCell ((sqrt(mpes)-1)^2; 9 for a 4x4 array)."""
+        side = int(round(self.mpes_per_neurocell**0.5))
+        return max(side - 1, 1) ** 2
+
+    @property
+    def cycle_s(self) -> float:
+        """Clock period of the digital peripherals."""
+        return 1.0 / self.frequency_hz
+
+    @property
+    def synapses_per_neurocell(self) -> int:
+        """Maximum synapses one NeuroCell can hold (fully utilised MCAs)."""
+        return self.mcas_per_neurocell * self.crossbar_rows * self.crossbar_columns
+
+    # -- variants ------------------------------------------------------------------
+
+    def with_crossbar_size(self, size: int) -> "ArchitectureConfig":
+        """Copy with a different (square) MCA size — RESPARC-32/64/128."""
+        check_positive("size", size)
+        return replace(self, crossbar_rows=int(size), crossbar_columns=int(size))
+
+    def with_event_driven(self, enabled: bool) -> "ArchitectureConfig":
+        """Copy with event-driven optimisations switched on or off."""
+        return replace(self, event_driven=bool(enabled))
+
+    def with_weight_bits(self, bits: int) -> "ArchitectureConfig":
+        """Copy with a different memristor weight precision."""
+        return replace(self, device=self.device.with_bits(bits))

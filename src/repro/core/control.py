@@ -1,0 +1,120 @@
+"""Control units of the RESPARC hierarchy.
+
+Three controllers orchestrate the dataflow (Figs. 3 and 4 of the paper):
+
+* the **Local Control Unit** of each mPE sequences its MCAs — it decides when
+  an MCA has received the inputs it needs, triggers the evaluation, and
+  steers the time-multiplexed integration of MCA currents onto the neurons;
+* the **Current Control Unit (CCU)** manages the analog current transfers
+  between neighbouring mPEs over the gated wires (used when a neuron's fan-in
+  spans mPEs);
+* the **Global Control Unit** tracks per-NeuroCell completion through event
+  flags and sequences the layer-by-layer dataflow over the shared bus.
+
+These classes carry the control state and count control events; the energy
+they imply is charged through the shared component library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LocalControlUnit", "CurrentControlUnit", "GlobalControlUnit"]
+
+
+class LocalControlUnit:
+    """Sequences the MCAs of one mPE."""
+
+    def __init__(self, mpe_id: str, mca_count: int):
+        if mca_count <= 0:
+            raise ValueError(f"mca_count must be positive, got {mca_count}")
+        self.mpe_id = mpe_id
+        self.mca_count = mca_count
+        self.evaluations_issued = 0
+        self.integrations_scheduled = 0
+        self._pending: dict[int, int] = {}
+
+    def schedule_evaluation(self, mca_index: int, multiplex_degree: int = 1) -> None:
+        """Record that an MCA evaluation (with a given time-mux degree) was issued."""
+        if not 0 <= mca_index < self.mca_count:
+            raise IndexError(f"mca_index {mca_index} out of range for {self.mpe_id}")
+        if multiplex_degree <= 0:
+            raise ValueError(f"multiplex_degree must be positive, got {multiplex_degree}")
+        self.evaluations_issued += 1
+        self.integrations_scheduled += multiplex_degree
+        self._pending[mca_index] = self._pending.get(mca_index, 0) + multiplex_degree
+
+    def complete_integration(self, mca_index: int) -> None:
+        """Mark one scheduled integration of an MCA as done."""
+        remaining = self._pending.get(mca_index, 0)
+        if remaining <= 0:
+            raise RuntimeError(f"{self.mpe_id}: no pending integration for MCA {mca_index}")
+        self._pending[mca_index] = remaining - 1
+
+    @property
+    def pending_integrations(self) -> int:
+        """Integrations scheduled but not yet completed."""
+        return sum(self._pending.values())
+
+
+class CurrentControlUnit:
+    """Manages analog current transfers between neighbouring mPEs."""
+
+    def __init__(self, mpe_id: str):
+        self.mpe_id = mpe_id
+        self.transfers_out = 0
+        self.transfers_in = 0
+        self.wait_events = 0
+
+    def request_transfer_out(self) -> None:
+        """Count one partial-sum current sent to a neighbouring mPE."""
+        self.transfers_out += 1
+
+    def accept_transfer_in(self) -> None:
+        """Count one partial-sum current received from a neighbouring mPE."""
+        self.transfers_in += 1
+
+    def wait(self) -> None:
+        """Count one wait handshake (the receiver was not ready)."""
+        self.wait_events += 1
+
+    @property
+    def total_transfers(self) -> int:
+        """All analog transfers through this CCU."""
+        return self.transfers_in + self.transfers_out
+
+
+@dataclass
+class GlobalControlUnit:
+    """Tracks NeuroCell completion with per-NC event flags."""
+
+    neurocell_ids: tuple[int, ...]
+    event_flags: dict[int, bool] = field(init=False)
+    dispatches: int = 0
+    flag_updates: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.neurocell_ids:
+            raise ValueError("GlobalControlUnit needs at least one NeuroCell")
+        self.event_flags = {nc: False for nc in self.neurocell_ids}
+
+    def dispatch(self, neurocell_id: int) -> None:
+        """Start a computation on a NeuroCell (clears its event flag)."""
+        self._check(neurocell_id)
+        self.event_flags[neurocell_id] = False
+        self.dispatches += 1
+
+    def mark_complete(self, neurocell_id: int) -> None:
+        """Set the event flag of a NeuroCell that finished its computation."""
+        self._check(neurocell_id)
+        self.event_flags[neurocell_id] = True
+        self.flag_updates += 1
+
+    def all_complete(self, neurocell_ids: tuple[int, ...] | None = None) -> bool:
+        """True when every (given) NeuroCell has set its event flag."""
+        ids = neurocell_ids if neurocell_ids is not None else tuple(self.event_flags)
+        return all(self.event_flags[nc] for nc in ids)
+
+    def _check(self, neurocell_id: int) -> None:
+        if neurocell_id not in self.event_flags:
+            raise KeyError(f"unknown NeuroCell id {neurocell_id}")

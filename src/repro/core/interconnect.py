@@ -1,0 +1,104 @@
+"""Global interconnect: the shared IO bus and the input memory.
+
+NeuroCells share one global IO bus connected to an SRAM input memory (Fig. 3
+of the paper).  Data transfer between layers mapped to different NeuroCells
+is serialised through this bus and memory, while an input broadcast can reach
+any number of tagged NeuroCells in a single bus cycle.  A zero-check on the
+data read from the SRAM suppresses broadcasts of all-zero words
+(Section 3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.energy.cacti import SRAMConfig, SRAMModel
+from repro.utils.validation import check_positive
+
+__all__ = ["InputMemory", "GlobalIOBus"]
+
+
+class InputMemory:
+    """The SRAM input memory on the global bus."""
+
+    def __init__(self, capacity_bytes: int = 128 * 1024, word_bits: int = 64):
+        self.model = SRAMModel(SRAMConfig(capacity_bytes=capacity_bytes, word_bits=word_bits))
+        self.word_bits = word_bits
+        self.reads = 0
+        self.writes = 0
+        self._store: dict[str, np.ndarray] = {}
+
+    def store_vector(self, key: str, bits: np.ndarray) -> int:
+        """Write a binary vector under ``key``; returns the word count written."""
+        bits = np.asarray(bits).reshape(-1)
+        words = int(np.ceil(bits.size / self.word_bits)) if bits.size else 0
+        self._store[key] = (bits > 0).astype(np.uint8)
+        self.writes += words
+        return words
+
+    def load_vector(self, key: str) -> tuple[np.ndarray, int]:
+        """Read a stored vector; returns ``(bits, words_read)``."""
+        if key not in self._store:
+            raise KeyError(f"no vector stored under {key!r}")
+        bits = self._store[key]
+        words = int(np.ceil(bits.size / self.word_bits)) if bits.size else 0
+        self.reads += words
+        return bits, words
+
+    @property
+    def accesses(self) -> int:
+        """Total word accesses."""
+        return self.reads + self.writes
+
+    def access_energy_j(self) -> float:
+        """Energy per word access."""
+        return self.model.access_energy_j()
+
+    def leakage_power_w(self) -> float:
+        """Standby leakage power."""
+        return self.model.leakage_power_w()
+
+
+class GlobalIOBus:
+    """The shared bus between the input memory and the NeuroCells."""
+
+    def __init__(self, word_bits: int = 64, zero_check_enabled: bool = True):
+        check_positive("word_bits", word_bits)
+        self.word_bits = word_bits
+        self.zero_check_enabled = zero_check_enabled
+        self.words_transferred = 0
+        self.broadcasts = 0
+        self.suppressed_words = 0
+        self.zero_checks = 0
+
+    def broadcast(self, bits: np.ndarray, target_neurocells: int) -> int:
+        """Broadcast a binary vector to ``target_neurocells`` cells.
+
+        Thanks to the NeuroCell tags a word reaches every target cell in one
+        bus cycle, so the bus occupancy is the word count, independent of the
+        number of targets.  Returns the number of words actually driven (zero
+        words are suppressed when zero-check is enabled).
+        """
+        if target_neurocells <= 0:
+            raise ValueError(f"target_neurocells must be positive, got {target_neurocells}")
+        bits = np.asarray(bits).reshape(-1)
+        n_words = int(np.ceil(bits.size / self.word_bits)) if bits.size else 0
+        driven = 0
+        for word_index in range(n_words):
+            chunk = bits[word_index * self.word_bits : (word_index + 1) * self.word_bits]
+            if self.zero_check_enabled:
+                self.zero_checks += 1
+                if not np.any(chunk):
+                    self.suppressed_words += 1
+                    continue
+            driven += 1
+        self.words_transferred += driven
+        self.broadcasts += 1
+        return driven
+
+    def transfer_words(self, n_words: int) -> int:
+        """Drive ``n_words`` point-to-point words (inter-NC traffic)."""
+        if n_words < 0:
+            raise ValueError(f"n_words must be >= 0, got {n_words}")
+        self.words_transferred += int(n_words)
+        return int(n_words)

@@ -1,0 +1,188 @@
+"""The macro Processing Engine (mPE) — RESPARC's reconfigurable compute unit.
+
+An mPE (Fig. 4 of the paper) bundles a small number of MCAs (four in the
+published configuration) with their neurons, per-MCA input/output/target
+buffers, a Local Control Unit that sequences evaluations and time-multiplexed
+integrations, and a Current Control Unit that exchanges analog partial sums
+with neighbouring mPEs when a neuron's fan-in spans crossbars.
+
+The structural simulator programs weight blocks ("tiles") into the mPE's
+MCAs and calls :meth:`MacroProcessingEngine.evaluate_tile` per timestep; all
+buffer/control activity is counted on the way so the energy charged by the
+structural model matches the analytical model's accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.buffers import SpikeBuffer, SpikePacket, TargetBuffer
+from repro.core.control import CurrentControlUnit, LocalControlUnit
+from repro.crossbar.mca import CrossbarArray, CrossbarConfig
+
+__all__ = ["TileAssignment", "MacroProcessingEngine"]
+
+
+@dataclass(frozen=True)
+class TileAssignment:
+    """Describes the weight block a physical MCA holds.
+
+    Attributes
+    ----------
+    layer_index:
+        Index of the network layer this tile belongs to.
+    row_start / row_stop:
+        Input-neuron range (rows of the layer's weight matrix).
+    column_start / column_stop:
+        Output-neuron range (columns of the layer's weight matrix).
+    """
+
+    layer_index: int
+    row_start: int
+    row_stop: int
+    column_start: int
+    column_stop: int
+
+    @property
+    def rows(self) -> int:
+        """Rows occupied by the tile."""
+        return self.row_stop - self.row_start
+
+    @property
+    def columns(self) -> int:
+        """Columns occupied by the tile."""
+        return self.column_stop - self.column_start
+
+
+class MacroProcessingEngine:
+    """One mPE: MCAs + buffers + local control + current control."""
+
+    def __init__(
+        self,
+        mpe_id: str,
+        crossbar_config: CrossbarConfig,
+        mcas_per_mpe: int = 4,
+        packet_bits: int = 32,
+        rng: np.random.Generator | None = None,
+    ):
+        if mcas_per_mpe <= 0:
+            raise ValueError(f"mcas_per_mpe must be positive, got {mcas_per_mpe}")
+        self.mpe_id = mpe_id
+        self.packet_bits = packet_bits
+        self.crossbar_config = crossbar_config
+        self.mcas: list[CrossbarArray] = [
+            CrossbarArray(crossbar_config, rng=rng) for _ in range(mcas_per_mpe)
+        ]
+        self.assignments: list[TileAssignment | None] = [None] * mcas_per_mpe
+        self.ibuffs = [SpikeBuffer(f"{mpe_id}.ibuff{i}") for i in range(mcas_per_mpe)]
+        self.obuffs = [SpikeBuffer(f"{mpe_id}.obuff{i}") for i in range(mcas_per_mpe)]
+        self.tbuffs = [TargetBuffer(f"{mpe_id}.tbuff{i}") for i in range(mcas_per_mpe)]
+        self.control = LocalControlUnit(mpe_id, mcas_per_mpe)
+        self.ccu = CurrentControlUnit(mpe_id)
+        self.neuron_integrations = 0
+
+    # -- configuration ---------------------------------------------------------------
+
+    @property
+    def free_mca_count(self) -> int:
+        """MCAs not yet holding a tile."""
+        return sum(1 for a in self.assignments if a is None)
+
+    def program_tile(
+        self,
+        assignment: TileAssignment,
+        weights: np.ndarray,
+        targets: list[str] | None = None,
+        scale: float | None = None,
+    ) -> int:
+        """Program a weight block into the next free MCA.
+
+        Returns the MCA index used.  Raises when the mPE is full or the block
+        does not fit the crossbar geometry.
+        """
+        if weights.shape != (assignment.rows, assignment.columns):
+            raise ValueError(
+                f"weight block shape {weights.shape} does not match assignment "
+                f"{(assignment.rows, assignment.columns)}"
+            )
+        for index, existing in enumerate(self.assignments):
+            if existing is None:
+                self.mcas[index].program(weights, scale=scale)
+                self.assignments[index] = assignment
+                if targets:
+                    self.tbuffs[index].configure(targets)
+                return index
+        raise RuntimeError(f"{self.mpe_id}: no free MCA for layer {assignment.layer_index}")
+
+    def tiles_for_layer(self, layer_index: int) -> list[int]:
+        """MCA indices holding tiles of a given layer."""
+        return [
+            i
+            for i, a in enumerate(self.assignments)
+            if a is not None and a.layer_index == layer_index
+        ]
+
+    # -- execution -----------------------------------------------------------------------
+
+    def deliver_packets(self, mca_index: int, packets: list[SpikePacket]) -> None:
+        """Push incoming spike packets into an MCA's input buffer."""
+        for packet in packets:
+            self.ibuffs[mca_index].push(packet)
+
+    def evaluate_tile(self, mca_index: int, input_spikes: np.ndarray) -> np.ndarray:
+        """Evaluate one programmed MCA on its slice of the layer input.
+
+        ``input_spikes`` is the full input vector of the layer; the method
+        slices the rows this tile consumes, runs the analog evaluation and
+        returns the weighted sums of the tile's output columns.
+        """
+        assignment = self.assignments[mca_index]
+        if assignment is None:
+            raise RuntimeError(f"{self.mpe_id}: MCA {mca_index} has no programmed tile")
+        block = np.zeros(self.crossbar_config.rows)
+        rows = input_spikes[assignment.row_start : assignment.row_stop]
+        block[: assignment.rows] = rows
+
+        # Consume buffered input packets (functional bookkeeping of iBUFF reads).
+        while not self.ibuffs[mca_index].is_empty:
+            self.ibuffs[mca_index].pop()
+
+        self.control.schedule_evaluation(mca_index, multiplex_degree=1)
+        evaluation = self.mcas[mca_index].evaluate(block)
+        self.control.complete_integration(mca_index)
+        self.neuron_integrations += assignment.columns
+        return evaluation.weighted_sums[: assignment.columns]
+
+    def emit_output(self, mca_index: int, spikes: np.ndarray) -> list[SpikePacket]:
+        """Packetise output spikes through oBUFF/tBUFF and return the packets."""
+        targets = self.tbuffs[mca_index].lookup() or ("",)
+        packets = SpikePacket.from_array(
+            spikes, self.packet_bits, source=f"{self.mpe_id}.mca{mca_index}", target=targets[0]
+        )
+        for packet in packets:
+            self.obuffs[mca_index].push(packet)
+        return [self.obuffs[mca_index].pop() for _ in range(len(packets))]
+
+    # -- statistics ------------------------------------------------------------------------
+
+    @property
+    def buffer_accesses(self) -> int:
+        """Total iBUFF + oBUFF accesses."""
+        return sum(b.accesses for b in self.ibuffs) + sum(b.accesses for b in self.obuffs)
+
+    @property
+    def tbuffer_lookups(self) -> int:
+        """Total tBUFF lookups."""
+        return sum(t.lookups for t in self.tbuffs)
+
+    @property
+    def crossbar_energy_j(self) -> float:
+        """Accumulated analog crossbar read energy."""
+        return sum(m.total_energy_j for m in self.mcas)
+
+    @property
+    def crossbar_evaluations(self) -> int:
+        """Accumulated MCA evaluations."""
+        return sum(m.total_reads for m in self.mcas)

@@ -1,0 +1,142 @@
+"""The NeuroCell — RESPARC's reconfigurable datapath.
+
+A NeuroCell (Fig. 3 of the paper) is a pool of mPEs (4x4 in the published
+configuration) coupled by a grid of programmable switches (3x3) that provide
+dense, one-hop spike-packet transfer inside the cell.  The switch network is
+configured per mapping so each switch serves the mPEs that actually exchange
+packets, and each switch applies zero-check gating to suppress all-zero
+packets.
+
+The structural simulator uses the NeuroCell to (a) place tiles on its mPEs
+and (b) route packets from a source to destination mPEs while counting hops
+and suppressions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.buffers import SpikePacket
+from repro.core.mpe import MacroProcessingEngine
+from repro.core.switch import ProgrammableSwitch, SwitchPort
+from repro.crossbar.mca import CrossbarConfig
+
+__all__ = ["NeuroCell"]
+
+
+class NeuroCell:
+    """A 2-D array of mPEs with a programmable switch network."""
+
+    def __init__(
+        self,
+        cell_id: int,
+        crossbar_config: CrossbarConfig,
+        mpes_per_neurocell: int = 16,
+        mcas_per_mpe: int = 4,
+        packet_bits: int = 32,
+        zero_check_enabled: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        if mpes_per_neurocell <= 0:
+            raise ValueError(f"mpes_per_neurocell must be positive, got {mpes_per_neurocell}")
+        self.cell_id = cell_id
+        self.packet_bits = packet_bits
+        self.side = max(int(round(math.sqrt(mpes_per_neurocell))), 1)
+        self.mpes: list[MacroProcessingEngine] = [
+            MacroProcessingEngine(
+                mpe_id=f"nc{cell_id}.mpe{i}",
+                crossbar_config=crossbar_config,
+                mcas_per_mpe=mcas_per_mpe,
+                packet_bits=packet_bits,
+                rng=rng,
+            )
+            for i in range(mpes_per_neurocell)
+        ]
+        switch_side = max(self.side - 1, 1)
+        self.switches: list[ProgrammableSwitch] = []
+        for index in range(switch_side * switch_side):
+            switch = ProgrammableSwitch(f"nc{cell_id}.sw{index}", zero_check_enabled)
+            # Each switch connects to its four neighbouring mPEs plus the
+            # row/column links to its peer switches.
+            row, col = divmod(index, switch_side)
+            for dr, dc in ((0, 0), (0, 1), (1, 0), (1, 1)):
+                mpe_index = (row + dr) * self.side + (col + dc)
+                if mpe_index < len(self.mpes):
+                    name = self.mpes[mpe_index].mpe_id
+                    switch.attach_port(SwitchPort(name=name, kind="mpe"))
+                    switch.configure_route(name, name)
+            switch.attach_port(SwitchPort(name="row_link", kind="switch"))
+            switch.attach_port(SwitchPort(name="col_link", kind="switch"))
+            switch.configure_route("", "row_link")  # default route towards peers
+            self.switches.append(switch)
+
+    # -- capacity / placement ----------------------------------------------------------
+
+    @property
+    def free_mca_count(self) -> int:
+        """Unprogrammed MCAs remaining in the cell."""
+        return sum(m.free_mca_count for m in self.mpes)
+
+    def next_mpe_with_space(self) -> MacroProcessingEngine | None:
+        """First mPE that still has a free MCA (placement order)."""
+        for mpe in self.mpes:
+            if mpe.free_mca_count > 0:
+                return mpe
+        return None
+
+    def switch_for_mpe(self, mpe_id: str) -> ProgrammableSwitch:
+        """The switch whose ports include the given mPE."""
+        for switch in self.switches:
+            if any(port.name == mpe_id for port in switch.ports):
+                return switch
+        # A 1x1 cell has a single switch serving everything.
+        return self.switches[0]
+
+    # -- datapath ----------------------------------------------------------------------------
+
+    def route_spike_vector(
+        self, spikes: np.ndarray, destination_mpe_ids: list[str], source: str = "io"
+    ) -> dict[str, int]:
+        """Route a spike vector to a set of destination mPEs through the switches.
+
+        Returns per-destination delivered-packet counts.  All-zero packets are
+        suppressed by the zero-check logic of the first switch they traverse.
+        """
+        delivered: dict[str, int] = {}
+        for mpe_id in destination_mpe_ids:
+            packets = SpikePacket.from_array(spikes, self.packet_bits, source=source, target=mpe_id)
+            switch = self.switch_for_mpe(mpe_id)
+            count = 0
+            for packet, _port in switch.forward_many(packets):
+                count += 1
+            delivered[mpe_id] = count
+        return delivered
+
+    # -- statistics -------------------------------------------------------------------------------
+
+    @property
+    def switch_hops(self) -> int:
+        """Packets forwarded by the cell's switches."""
+        return sum(s.forwarded_packets for s in self.switches)
+
+    @property
+    def suppressed_packets(self) -> int:
+        """Packets suppressed by zero-check logic."""
+        return sum(s.suppressed_packets for s in self.switches)
+
+    @property
+    def zero_checks(self) -> int:
+        """Zero-check comparisons performed."""
+        return sum(s.zero_checks for s in self.switches)
+
+    @property
+    def buffer_accesses(self) -> int:
+        """Buffer accesses across the cell's mPEs."""
+        return sum(m.buffer_accesses for m in self.mpes)
+
+    @property
+    def crossbar_energy_j(self) -> float:
+        """Analog crossbar energy accumulated in the cell."""
+        return sum(m.crossbar_energy_j for m in self.mpes)

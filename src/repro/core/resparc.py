@@ -1,0 +1,283 @@
+"""The RESPARC chip: a pool of NeuroCells around a shared bus and input memory.
+
+This is the structural model of the reconfigurable core (the topmost tier of
+the hierarchy, Fig. 3).  :meth:`ResparcChip.from_spiking_network` builds a
+chip instance for a concrete network: it maps the network, instantiates the
+NeuroCells/mPEs/switches the mapping requires, and programs every weight
+block into a physical MCA.  The chip then executes spike vectors layer by
+layer through its components, which is how the structural and analytical
+models are cross-validated.
+
+Scope: the structural execution path supports fully connected (MLP) spiking
+networks — the topology RESPARC maps as dense tiles.  Convolutional networks
+are evaluated through the analytical model (:mod:`repro.core.model`), whose
+event accounting the structural model validates on MLPs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.buffers import SpikePacket
+from repro.core.config import ArchitectureConfig
+from repro.core.control import GlobalControlUnit
+from repro.core.interconnect import GlobalIOBus, InputMemory
+from repro.core.mpe import MacroProcessingEngine, TileAssignment
+from repro.core.neurocell import NeuroCell
+from repro.crossbar.mca import CrossbarConfig
+from repro.snn.conversion import SpikingNetwork
+from repro.snn.layers import Dense
+from repro.snn.neuron import IFNeuronParameters, IFNeuronPool
+
+__all__ = ["ProgrammedTile", "ResparcChip"]
+
+
+@dataclass(frozen=True)
+class ProgrammedTile:
+    """Bookkeeping record linking a logical tile to its physical MCA."""
+
+    layer_index: int
+    neurocell_index: int
+    mpe_index: int
+    mca_index: int
+    assignment: TileAssignment
+
+
+class ResparcChip:
+    """A structurally instantiated RESPARC core."""
+
+    def __init__(self, config: ArchitectureConfig, rng: np.random.Generator | None = None):
+        self.config = config
+        self.rng = rng
+        self.neurocells: list[NeuroCell] = []
+        self.bus = GlobalIOBus(word_bits=config.word_bits, zero_check_enabled=config.event_driven)
+        self.input_memory = InputMemory(
+            capacity_bytes=config.input_sram_bytes, word_bits=config.word_bits
+        )
+        self.global_control: GlobalControlUnit | None = None
+        self.tiles: list[ProgrammedTile] = []
+        self.layer_order: list[int] = []
+        self._layer_dims: dict[int, tuple[int, int]] = {}
+        self._thresholds: dict[int, float] = {}
+        self.neuron_pools: dict[int, IFNeuronPool] = {}
+
+    # -- construction ------------------------------------------------------------------
+
+    def _crossbar_config(self) -> CrossbarConfig:
+        return CrossbarConfig(
+            rows=self.config.crossbar_rows,
+            columns=self.config.crossbar_columns,
+            device=self.config.device,
+        )
+
+    def _new_neurocell(self) -> NeuroCell:
+        cell = NeuroCell(
+            cell_id=len(self.neurocells),
+            crossbar_config=self._crossbar_config(),
+            mpes_per_neurocell=self.config.mpes_per_neurocell,
+            mcas_per_mpe=self.config.mcas_per_mpe,
+            packet_bits=self.config.packet_bits,
+            zero_check_enabled=self.config.event_driven,
+            rng=self.rng,
+        )
+        self.neurocells.append(cell)
+        return cell
+
+    @classmethod
+    def from_spiking_network(
+        cls,
+        snn: SpikingNetwork,
+        config: ArchitectureConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> "ResparcChip":
+        """Build and program a chip for a fully connected spiking network."""
+        config = config or ArchitectureConfig()
+        chip = cls(config, rng=rng)
+        network = snn.network
+
+        dense_layers = [
+            (index, layer)
+            for index, layer in enumerate(network.layers)
+            if isinstance(layer, Dense)
+        ]
+        if len(dense_layers) != len(network.layers):
+            raise ValueError(
+                "the structural chip executes fully connected (Dense-only) networks; "
+                "use the analytical model for convolutional topologies"
+            )
+
+        rows = config.crossbar_rows
+        columns = config.crossbar_columns
+        current_cell = chip._new_neurocell()
+        for layer_index, layer in dense_layers:
+            chip.layer_order.append(layer_index)
+            chip._layer_dims[layer_index] = (layer.n_in, layer.n_out)
+            chip._thresholds[layer_index] = snn.threshold_for(layer_index)
+            weights = layer.weights
+            scale = float(np.max(np.abs(weights))) or 1.0
+            for row_start in range(0, layer.n_in, rows):
+                row_stop = min(row_start + rows, layer.n_in)
+                for col_start in range(0, layer.n_out, columns):
+                    col_stop = min(col_start + columns, layer.n_out)
+                    assignment = TileAssignment(
+                        layer_index=layer_index,
+                        row_start=row_start,
+                        row_stop=row_stop,
+                        column_start=col_start,
+                        column_stop=col_stop,
+                    )
+                    mpe = current_cell.next_mpe_with_space()
+                    if mpe is None:
+                        current_cell = chip._new_neurocell()
+                        mpe = current_cell.next_mpe_with_space()
+                    mca_index = mpe.program_tile(
+                        assignment,
+                        weights[row_start:row_stop, col_start:col_stop],
+                        targets=[f"layer{layer_index}"],
+                        scale=scale,
+                    )
+                    chip.tiles.append(
+                        ProgrammedTile(
+                            layer_index=layer_index,
+                            neurocell_index=current_cell.cell_id,
+                            mpe_index=current_cell.mpes.index(mpe),
+                            mca_index=mca_index,
+                            assignment=assignment,
+                        )
+                    )
+        chip.global_control = GlobalControlUnit(tuple(range(len(chip.neurocells))))
+        return chip
+
+    # -- execution ----------------------------------------------------------------------
+
+    def reset_state(self) -> None:
+        """Reset neuron membranes/spike counts (weights stay programmed)."""
+        self.neuron_pools = {
+            layer_index: IFNeuronPool(
+                (1, self._layer_dims[layer_index][1]),
+                IFNeuronParameters(threshold=self._thresholds[layer_index]),
+            )
+            for layer_index in self.layer_order
+        }
+
+    def tiles_for_layer(self, layer_index: int) -> list[ProgrammedTile]:
+        """Programmed tiles of one layer."""
+        return [tile for tile in self.tiles if tile.layer_index == layer_index]
+
+    def step(self, input_spikes: np.ndarray) -> np.ndarray:
+        """Advance the chip by one timestep for one sample.
+
+        ``input_spikes`` is the binary input vector of the first layer; the
+        return value is the output layer's spike vector for this timestep.
+        """
+        if not self.neuron_pools:
+            self.reset_state()
+        current = np.asarray(input_spikes, dtype=float).reshape(-1)
+
+        # Stage the input vector in the input memory and broadcast it.
+        first_layer_cells = {t.neurocell_index for t in self.tiles_for_layer(self.layer_order[0])}
+        self.input_memory.store_vector("input", current)
+        bits, _ = self.input_memory.load_vector("input")
+        self.bus.broadcast(bits, target_neurocells=max(len(first_layer_cells), 1))
+
+        for position, layer_index in enumerate(self.layer_order):
+            n_in, n_out = self._layer_dims[layer_index]
+            if current.shape[0] != n_in:
+                raise ValueError(
+                    f"layer {layer_index} expects {n_in} inputs, got {current.shape[0]}"
+                )
+            drive = np.zeros(n_out)
+            tiles = self.tiles_for_layer(layer_index)
+            # Deliver the spike vector to every mPE holding tiles of the layer.
+            destinations: dict[tuple[int, int], list[ProgrammedTile]] = {}
+            for tile in tiles:
+                destinations.setdefault((tile.neurocell_index, tile.mpe_index), []).append(tile)
+            for (cell_index, mpe_index), mpe_tiles in destinations.items():
+                cell = self.neurocells[cell_index]
+                mpe = cell.mpes[mpe_index]
+                cell.route_spike_vector(current, [mpe.mpe_id], source=f"layer{layer_index}.in")
+                for tile in mpe_tiles:
+                    a = tile.assignment
+                    rows = current[a.row_start : a.row_stop]
+                    mpe.deliver_packets(
+                        tile.mca_index,
+                        SpikePacket.from_array(rows, self.config.packet_bits, target=mpe.mpe_id),
+                    )
+                    partial = mpe.evaluate_tile(tile.mca_index, current)
+                    drive[a.column_start : a.column_stop] += partial
+                    if a.row_start > 0:
+                        mpe.ccu.accept_transfer_in()
+
+            pool = self.neuron_pools[layer_index]
+            spikes = pool.step(drive.reshape(1, -1)).reshape(-1)
+
+            # Emit output packets from one representative mPE per destination.
+            for (cell_index, mpe_index), mpe_tiles in destinations.items():
+                mpe = self.neurocells[cell_index].mpes[mpe_index]
+                for tile in mpe_tiles:
+                    a = tile.assignment
+                    mpe.emit_output(tile.mca_index, spikes[a.column_start : a.column_stop])
+
+            # Inter-layer transfer through bus/SRAM when the next layer lives
+            # in a different NeuroCell.
+            if position + 1 < len(self.layer_order):
+                next_cells = {
+                    t.neurocell_index for t in self.tiles_for_layer(self.layer_order[position + 1])
+                }
+                if not next_cells.issubset({t.neurocell_index for t in tiles}):
+                    self.input_memory.store_vector(f"layer{layer_index}.out", spikes)
+                    bits, _ = self.input_memory.load_vector(f"layer{layer_index}.out")
+                    self.bus.broadcast(bits, target_neurocells=max(len(next_cells), 1))
+            current = spikes
+
+        if self.global_control is not None:
+            for cell in self.neurocells:
+                self.global_control.mark_complete(cell.cell_id)
+        return current
+
+    # -- aggregate statistics -----------------------------------------------------------------
+
+    @property
+    def total_mpes_used(self) -> int:
+        """mPEs holding at least one programmed tile."""
+        return len({(t.neurocell_index, t.mpe_index) for t in self.tiles})
+
+    @property
+    def crossbar_energy_j(self) -> float:
+        """Analog crossbar energy accumulated so far."""
+        return sum(cell.crossbar_energy_j for cell in self.neurocells)
+
+    @property
+    def switch_hops(self) -> int:
+        """Switch-network packet hops so far."""
+        return sum(cell.switch_hops for cell in self.neurocells)
+
+    @property
+    def suppressed_packets(self) -> int:
+        """Zero packets suppressed so far."""
+        return sum(cell.suppressed_packets for cell in self.neurocells)
+
+    @property
+    def mca_count(self) -> int:
+        """Programmed MCAs."""
+        return len(self.tiles)
+
+    def required_neurocells(self) -> int:
+        """NeuroCells instantiated for the mapping."""
+        return len(self.neurocells)
+
+    def effective_layer_weights(self, layer_index: int) -> np.ndarray:
+        """Reassemble the signed weights realised by the programmed devices."""
+        n_in, n_out = self._layer_dims[layer_index]
+        weights = np.zeros((n_in, n_out))
+        for tile in self.tiles_for_layer(layer_index):
+            a = tile.assignment
+            mpe = self.neurocells[tile.neurocell_index].mpes[tile.mpe_index]
+            block = mpe.mcas[tile.mca_index].effective_weights()
+            weights[a.row_start : a.row_stop, a.column_start : a.column_stop] = block[
+                : a.rows, : a.columns
+            ]
+        return weights

@@ -1,0 +1,139 @@
+"""Architectural event counters and their translation into energy.
+
+Both the analytical RESPARC model and the structural chip simulator count the
+same architectural events (crossbar reads, neuron integrations, buffer
+accesses, switch hops, bus words, ...).  :class:`EventCounters` is the shared
+container; :func:`counters_to_energy` converts a counter set into an
+:class:`~repro.energy.model.EnergyReport` using the component library, which
+guarantees the two models charge identical per-event energies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.crossbar.energy import CrossbarEnergyModel
+from repro.energy.components import ComponentLibrary
+from repro.energy.model import RESPARC_GROUPS, EnergyReport
+
+__all__ = ["EventCounters", "counters_to_energy"]
+
+
+@dataclass
+class EventCounters:
+    """Dynamic event counts accumulated during one classification."""
+
+    #: MCA evaluations, and the row-activations/column-senses they involved.
+    crossbar_evaluations: float = 0.0
+    crossbar_active_row_reads: float = 0.0
+    crossbar_column_senses: float = 0.0
+    #: Raw crossbar device energy (computed where geometry/utilisation is known).
+    crossbar_device_energy_j: float = 0.0
+    #: Neuron events.
+    neuron_integrations: float = 0.0
+    neuron_spikes: float = 0.0
+    #: mPE peripheral events.
+    ibuff_accesses: float = 0.0
+    obuff_accesses: float = 0.0
+    tbuff_accesses: float = 0.0
+    local_control_events: float = 0.0
+    ccu_transfers: float = 0.0
+    #: NeuroCell switch network events.
+    switch_hops: float = 0.0
+    zero_checks: float = 0.0
+    suppressed_packets: float = 0.0
+    #: Global interconnect events.
+    io_bus_words: float = 0.0
+    global_control_events: float = 0.0
+    input_sram_reads: float = 0.0
+    input_sram_writes: float = 0.0
+
+    def merge(self, other: "EventCounters") -> "EventCounters":
+        """Return element-wise sum of two counter sets."""
+        merged = EventCounters()
+        for f in fields(EventCounters):
+            setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return merged
+
+    def as_dict(self) -> dict[str, float]:
+        """Counter values keyed by name."""
+        return {f.name: getattr(self, f.name) for f in fields(EventCounters)}
+
+    @property
+    def total_events(self) -> float:
+        """Sum of all counters (sanity-check aid)."""
+        return float(sum(self.as_dict().values()))
+
+
+@dataclass(frozen=True)
+class _StaticContext:
+    """Static-power context needed to close the energy accounting."""
+
+    active_mpes: int = 0
+    active_switches: int = 0
+    duration_s: float = 0.0
+    sram_access_energy_j: float = 0.0
+    sram_leakage_power_w: float = 0.0
+
+
+def counters_to_energy(
+    counters: EventCounters,
+    library: ComponentLibrary,
+    crossbar_energy: CrossbarEnergyModel,
+    label: str,
+    active_mpes: int = 0,
+    active_switches: int = 0,
+    duration_s: float = 0.0,
+    sram_access_energy_j: float | None = None,
+    sram_leakage_power_w: float = 0.0,
+) -> EnergyReport:
+    """Convert event counters into an energy report.
+
+    Parameters
+    ----------
+    counters:
+        Dynamic event counts for one classification.
+    library:
+        Per-event energy constants.
+    crossbar_energy:
+        Crossbar energy model (used for driver/sense energy of the counted
+        row activations / column senses; the device energy itself is carried
+        in ``counters.crossbar_device_energy_j``).
+    label:
+        Report label.
+    active_mpes, active_switches, duration_s:
+        Static-power context: how much hardware is powered and for how long.
+    sram_access_energy_j:
+        Energy per input-SRAM word access (defaults to the IO-bus word energy
+        when not provided).
+    sram_leakage_power_w:
+        Leakage power of the input SRAM.
+    """
+    report = EnergyReport(label=label, group_map=RESPARC_GROUPS)
+    report.add("crossbar_read", counters.crossbar_device_energy_j)
+    report.add(
+        "crossbar_read",
+        counters.crossbar_active_row_reads * crossbar_energy.driver_energy_per_row_j
+        + counters.crossbar_column_senses * crossbar_energy.sense_energy_per_column_j,
+    )
+    report.add("neuron_integration", counters.neuron_integrations * library.neuron_integration_energy_j)
+    report.add("neuron_spiking", counters.neuron_spikes * library.neuron_spike_energy_j)
+    report.add("buffer", (counters.ibuff_accesses + counters.obuff_accesses) * library.buffer_access_energy_j)
+    report.add("target_buffer", counters.tbuff_accesses * library.tbuffer_access_energy_j)
+    report.add("local_control", counters.local_control_events * library.local_control_energy_j)
+    report.add("ccu_transfer", counters.ccu_transfers * library.ccu_transfer_energy_j)
+    report.add("switch", counters.switch_hops * library.switch_hop_energy_j)
+    report.add("zero_check", counters.zero_checks * library.zero_check_energy_j)
+    report.add("io_bus", counters.io_bus_words * library.io_bus_energy_per_word_j)
+    report.add("global_control", counters.global_control_events * library.global_control_energy_j)
+    sram_energy = sram_access_energy_j if sram_access_energy_j is not None else library.io_bus_energy_per_word_j
+    report.add(
+        "input_sram_access",
+        (counters.input_sram_reads + counters.input_sram_writes) * sram_energy,
+    )
+    report.add("input_sram_leakage", sram_leakage_power_w * duration_s)
+    static_power = (
+        active_mpes * library.mpe_static_power_w + active_switches * library.switch_static_power_w
+    )
+    report.add("static", static_power * duration_s)
+    return report

@@ -1,0 +1,133 @@
+"""The programmable switch of a NeuroCell's local interconnect.
+
+A NeuroCell couples its mPEs with a grid of programmable switches (Fig. 6 of
+the paper).  Each switch connects to its four neighbouring mPEs and has
+dedicated links to the switches in its own row and column, so any two mPEs in
+a NeuroCell communicate in one hop through at most two switches.  Each
+input/output line carries data + address buffers, and the switch arbitrates
+between senders according to its (static) configuration.
+
+For energy efficiency every switch carries *zero-check logic*: an incoming
+spike packet whose bits are all zero is dropped instead of forwarded
+(Section 3.2), which is the architectural hook for SNN event-drivenness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.buffers import SpikePacket
+
+__all__ = ["SwitchPort", "ProgrammableSwitch"]
+
+
+@dataclass(frozen=True)
+class SwitchPort:
+    """One input/output line of a switch (connected to an mPE or a peer switch)."""
+
+    name: str
+    kind: str  # "mpe" or "switch"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("mpe", "switch"):
+            raise ValueError(f"port kind must be 'mpe' or 'switch', got {self.kind!r}")
+
+
+class ProgrammableSwitch:
+    """A configurable packet switch with zero-check gating.
+
+    Parameters
+    ----------
+    switch_id:
+        Identifier within the NeuroCell (row-major index of the switch grid).
+    zero_check_enabled:
+        When true (the architecture's event-driven mode) all-zero packets are
+        suppressed instead of forwarded.
+    """
+
+    def __init__(self, switch_id: str, zero_check_enabled: bool = True):
+        self.switch_id = switch_id
+        self.zero_check_enabled = zero_check_enabled
+        self._ports: dict[str, SwitchPort] = {}
+        self._routes: dict[str, str] = {}
+        self.forwarded_packets = 0
+        self.suppressed_packets = 0
+        self.zero_checks = 0
+        self.arbitration_conflicts = 0
+
+    # -- configuration -------------------------------------------------------------
+
+    def attach_port(self, port: SwitchPort) -> None:
+        """Register an input/output line."""
+        if port.name in self._ports:
+            raise ValueError(f"port {port.name!r} already attached to switch {self.switch_id}")
+        self._ports[port.name] = port
+
+    def configure_route(self, destination_prefix: str, port_name: str) -> None:
+        """Route packets whose target starts with ``destination_prefix`` to a port."""
+        if port_name not in self._ports:
+            raise KeyError(f"switch {self.switch_id} has no port {port_name!r}")
+        self._routes[destination_prefix] = port_name
+
+    @property
+    def ports(self) -> tuple[SwitchPort, ...]:
+        """Attached ports."""
+        return tuple(self._ports.values())
+
+    # -- datapath -----------------------------------------------------------------------
+
+    def route_port_for(self, target: str) -> str | None:
+        """Resolve the output port for a target address (longest-prefix match)."""
+        best: str | None = None
+        best_len = -1
+        for prefix, port in self._routes.items():
+            if target.startswith(prefix) and len(prefix) > best_len:
+                best, best_len = port, len(prefix)
+        return best
+
+    def forward(self, packet: SpikePacket) -> tuple[str | None, bool]:
+        """Forward one packet.
+
+        Returns ``(output_port, delivered)``.  A suppressed (all-zero) packet
+        returns ``(None, False)``; an unroutable packet raises ``KeyError``.
+        """
+        if self.zero_check_enabled:
+            self.zero_checks += 1
+            if packet.is_zero:
+                self.suppressed_packets += 1
+                return None, False
+        port = self.route_port_for(packet.target)
+        if port is None:
+            raise KeyError(
+                f"switch {self.switch_id}: no route for target {packet.target!r} "
+                f"(routes: {sorted(self._routes)})"
+            )
+        self.forwarded_packets += 1
+        return port, True
+
+    def forward_many(self, packets: list[SpikePacket]) -> list[tuple[SpikePacket, str]]:
+        """Forward a burst of packets, recording arbitration conflicts.
+
+        Packets competing for the same output port in one burst are all
+        delivered (they serialise over multiple cycles) but each extra packet
+        on a port counts as an arbitration conflict, which the latency model
+        can convert into stall cycles.
+        """
+        delivered: list[tuple[SpikePacket, str]] = []
+        port_usage: dict[str, int] = {}
+        for packet in packets:
+            port, ok = self.forward(packet)
+            if not ok or port is None:
+                continue
+            port_usage[port] = port_usage.get(port, 0) + 1
+            if port_usage[port] > 1:
+                self.arbitration_conflicts += 1
+            delivered.append((packet, port))
+        return delivered
+
+    def reset_counters(self) -> None:
+        """Reset all event counters."""
+        self.forwarded_packets = 0
+        self.suppressed_packets = 0
+        self.zero_checks = 0
+        self.arbitration_conflicts = 0

@@ -1,0 +1,46 @@
+"""Memristive crossbar substrate.
+
+This package models the analog compute fabric RESPARC is built on:
+
+* :mod:`repro.crossbar.device` — behavioural memristor model (resistance
+  range, discrete levels, programming non-idealities, read energy).
+* :mod:`repro.crossbar.quantization` — weight bit-discretisation used by the
+  precision study (Fig. 14).
+* :mod:`repro.crossbar.mapping` — signed-weight to differential-conductance
+  mapping and the current→weighted-sum inverse.
+* :mod:`repro.crossbar.nonidealities` — first-order IR-drop / sneak-path /
+  variation models motivating small MCAs.
+* :mod:`repro.crossbar.energy` — per-read energy and latency of an MCA.
+* :mod:`repro.crossbar.mca` — the programmed crossbar array combining all of
+  the above.
+"""
+
+from repro.crossbar.device import DeviceParameters, MemristorModel
+from repro.crossbar.energy import CrossbarEnergyModel, CrossbarReadCost
+from repro.crossbar.mapping import CrossbarMapper, ProgrammedWeights
+from repro.crossbar.mca import CrossbarArray, CrossbarConfig, CrossbarEvaluation
+from repro.crossbar.nonidealities import CrossbarNonidealities, NonidealityParameters
+from repro.crossbar.quantization import (
+    QuantizationSpec,
+    quantization_error,
+    quantize_network_weights,
+    quantize_uniform,
+)
+
+__all__ = [
+    "DeviceParameters",
+    "MemristorModel",
+    "CrossbarEnergyModel",
+    "CrossbarReadCost",
+    "CrossbarMapper",
+    "ProgrammedWeights",
+    "CrossbarArray",
+    "CrossbarConfig",
+    "CrossbarEvaluation",
+    "CrossbarNonidealities",
+    "NonidealityParameters",
+    "QuantizationSpec",
+    "quantization_error",
+    "quantize_network_weights",
+    "quantize_uniform",
+]

@@ -1,0 +1,196 @@
+"""Behavioural memristor device model.
+
+RESPARC's crossbars are built from two-terminal memristive devices (PCM or
+Ag-Si in the paper) whose conductance encodes a synaptic weight.  The paper's
+device assumptions (Section 4.2) are:
+
+* resistance range 20 kOhm - 200 kOhm,
+* 16 discrete conductance levels (4-bit weight discretisation),
+* crossbar operating voltage of Vdd/2 when interfaced with CMOS neurons.
+
+:class:`MemristorModel` captures exactly those properties plus the
+programming non-idealities (write variation, stuck devices) used by the
+non-ideality studies.  The model is behavioural: it maps between normalised
+weights, discrete levels and conductances, and exposes the per-read energy of
+a single device which the crossbar energy model aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["DeviceParameters", "MemristorModel"]
+
+
+@dataclass(frozen=True)
+class DeviceParameters:
+    """Physical parameters of a memristive device.
+
+    Attributes
+    ----------
+    r_on_ohm:
+        Lowest programmable resistance (highest conductance state).
+    r_off_ohm:
+        Highest programmable resistance (lowest conductance state).
+    levels:
+        Number of discrete programmable conductance levels.  ``levels = 2**bits``.
+    read_voltage_v:
+        Voltage applied across a device during a crossbar read.  The paper
+        operates the MCA at Vdd/2 = 0.5 V for a 1 V CMOS supply.
+    read_pulse_s:
+        Duration of one read pulse (one crossbar evaluation).
+    write_variation_sigma:
+        Relative (lognormal sigma) conductance variation after programming.
+    stuck_at_off_probability / stuck_at_on_probability:
+        Probability of a device being stuck at its extreme states.
+    """
+
+    r_on_ohm: float = 20e3
+    r_off_ohm: float = 200e3
+    levels: int = 16
+    read_voltage_v: float = 0.5
+    read_pulse_s: float = 5e-9
+    write_variation_sigma: float = 0.0
+    stuck_at_off_probability: float = 0.0
+    stuck_at_on_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("r_on_ohm", self.r_on_ohm)
+        check_positive("r_off_ohm", self.r_off_ohm)
+        if self.r_off_ohm <= self.r_on_ohm:
+            raise ValueError(
+                f"r_off_ohm ({self.r_off_ohm}) must exceed r_on_ohm ({self.r_on_ohm})"
+            )
+        if self.levels < 2:
+            raise ValueError(f"levels must be >= 2, got {self.levels}")
+        check_positive("read_voltage_v", self.read_voltage_v)
+        check_positive("read_pulse_s", self.read_pulse_s)
+        check_positive("write_variation_sigma", self.write_variation_sigma, allow_zero=True)
+        check_probability("stuck_at_off_probability", self.stuck_at_off_probability)
+        check_probability("stuck_at_on_probability", self.stuck_at_on_probability)
+
+    @property
+    def bits(self) -> int:
+        """Weight precision in bits implied by the number of levels."""
+        return int(np.ceil(np.log2(self.levels)))
+
+    @property
+    def g_on_s(self) -> float:
+        """Maximum device conductance in siemens."""
+        return 1.0 / self.r_on_ohm
+
+    @property
+    def g_off_s(self) -> float:
+        """Minimum device conductance in siemens."""
+        return 1.0 / self.r_off_ohm
+
+    @property
+    def g_range_s(self) -> float:
+        """Programmable conductance span in siemens."""
+        return self.g_on_s - self.g_off_s
+
+    def with_bits(self, bits: int) -> "DeviceParameters":
+        """Return a copy of the parameters with a different weight precision."""
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        return DeviceParameters(
+            r_on_ohm=self.r_on_ohm,
+            r_off_ohm=self.r_off_ohm,
+            levels=2**bits,
+            read_voltage_v=self.read_voltage_v,
+            read_pulse_s=self.read_pulse_s,
+            write_variation_sigma=self.write_variation_sigma,
+            stuck_at_off_probability=self.stuck_at_off_probability,
+            stuck_at_on_probability=self.stuck_at_on_probability,
+        )
+
+
+@dataclass
+class MemristorModel:
+    """Maps normalised weights to device conductances and back.
+
+    The model works on *normalised* weight magnitudes in ``[0, 1]``: a weight
+    of 0 maps to the lowest conductance state (``g_off``) and 1 maps to the
+    highest (``g_on``).  Sign handling (differential column pairs) is done one
+    level up by :mod:`repro.crossbar.mapping`.
+    """
+
+    params: DeviceParameters = field(default_factory=DeviceParameters)
+
+    # -- level / conductance conversion ------------------------------------
+
+    def level_conductances(self) -> np.ndarray:
+        """Conductance of every programmable level, lowest to highest (S)."""
+        p = self.params
+        return np.linspace(p.g_off_s, p.g_on_s, p.levels)
+
+    def weight_to_level(self, weight: np.ndarray | float) -> np.ndarray:
+        """Quantise normalised weight magnitude(s) in [0, 1] to level indices."""
+        w = np.clip(np.asarray(weight, dtype=float), 0.0, 1.0)
+        return np.rint(w * (self.params.levels - 1)).astype(int)
+
+    def level_to_conductance(self, level: np.ndarray | int) -> np.ndarray:
+        """Conductance (S) of integer level indices."""
+        lvl = np.clip(np.asarray(level, dtype=int), 0, self.params.levels - 1)
+        p = self.params
+        return p.g_off_s + (p.g_on_s - p.g_off_s) * lvl / (p.levels - 1)
+
+    def weight_to_conductance(self, weight: np.ndarray | float) -> np.ndarray:
+        """Quantise and convert normalised weights directly to conductance (S)."""
+        return self.level_to_conductance(self.weight_to_level(weight))
+
+    def conductance_to_weight(self, conductance: np.ndarray | float) -> np.ndarray:
+        """Invert :meth:`weight_to_conductance` (continuous, un-quantised)."""
+        g = np.asarray(conductance, dtype=float)
+        p = self.params
+        return np.clip((g - p.g_off_s) / (p.g_on_s - p.g_off_s), 0.0, 1.0)
+
+    # -- programming non-idealities ----------------------------------------
+
+    def program(
+        self, weight: np.ndarray, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Program normalised weights into devices, returning conductances (S).
+
+        Applies quantisation always, and write variation / stuck-at faults
+        when the device parameters request them (``rng`` must then be given).
+        """
+        g = self.weight_to_conductance(weight).astype(float)
+        p = self.params
+        needs_rng = (
+            p.write_variation_sigma > 0
+            or p.stuck_at_off_probability > 0
+            or p.stuck_at_on_probability > 0
+        )
+        if not needs_rng:
+            return g
+        if rng is None:
+            raise ValueError("rng is required when programming non-idealities are enabled")
+        if p.write_variation_sigma > 0:
+            g = g * rng.lognormal(mean=0.0, sigma=p.write_variation_sigma, size=g.shape)
+        if p.stuck_at_off_probability > 0:
+            stuck = rng.random(g.shape) < p.stuck_at_off_probability
+            g = np.where(stuck, p.g_off_s, g)
+        if p.stuck_at_on_probability > 0:
+            stuck = rng.random(g.shape) < p.stuck_at_on_probability
+            g = np.where(stuck, p.g_on_s, g)
+        return np.clip(g, 0.0, None)
+
+    # -- energy -------------------------------------------------------------
+
+    def read_energy_per_device_j(self, conductance_s: float | np.ndarray) -> np.ndarray:
+        """Energy dissipated in one device during one read pulse (J).
+
+        ``E = V^2 * G * t`` for the read voltage and pulse width of the
+        device parameters.
+        """
+        p = self.params
+        return np.asarray(conductance_s, dtype=float) * p.read_voltage_v**2 * p.read_pulse_s
+
+    def mean_read_energy_per_device_j(self) -> float:
+        """Average per-device read energy assuming uniformly distributed levels."""
+        return float(np.mean(self.read_energy_per_device_j(self.level_conductances())))

@@ -1,0 +1,143 @@
+"""Crossbar energy and latency model.
+
+The crossbar itself is the cheapest part of the system: each read dissipates
+``V^2 * G * t`` in every device along the active rows.  What makes or breaks
+the architecture is how often crossbars fire and how much peripheral energy
+each firing drags along — which is accounted elsewhere
+(:mod:`repro.energy.components`).  This module provides the per-read energy
+and latency of one MCA evaluation given the programmed conductances and the
+input activity, which both the detailed :class:`repro.crossbar.mca.CrossbarArray`
+and the analytical architecture model use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crossbar.device import DeviceParameters
+
+__all__ = ["CrossbarEnergyModel", "CrossbarReadCost"]
+
+
+@dataclass(frozen=True)
+class CrossbarReadCost:
+    """Energy and latency of one crossbar evaluation."""
+
+    energy_j: float
+    latency_s: float
+    active_rows: int
+    active_columns: int
+
+
+@dataclass
+class CrossbarEnergyModel:
+    """Computes the energy/latency of crossbar read operations.
+
+    Parameters
+    ----------
+    device:
+        The device parameters (voltage, pulse width, conductance range).
+    driver_energy_per_row_j:
+        Energy of driving one active row (word-line driver + DAC-free spike
+        driver).  RESPARC avoids full DACs because SNN inputs are binary
+        spikes; the driver is a simple pulse driver.
+    sense_energy_per_column_j:
+        Energy of the per-column current integration into the neuron sample
+        capacitor.  RESPARC avoids explicit ADCs — integration happens in the
+        analog neuron — so this is small compared to ISAAC/PRIME-style ADCs.
+    unselected_bias_fraction:
+        Fraction of the read voltage seen by devices on unselected (silent)
+        rows in the half-select biasing scheme.  Those devices dissipate
+        ``(fraction * V)^2 * G * t`` per read, which is the physical cost of
+        allocating crossbar area that is not utilised — the effect behind the
+        paper's observation that very large MCAs hurt sparsely connected
+        (CNN) layers.
+    """
+
+    device: DeviceParameters = field(default_factory=DeviceParameters)
+    driver_energy_per_row_j: float = 15e-15
+    sense_energy_per_column_j: float = 30e-15
+    unselected_bias_fraction: float = 0.45
+
+    def mean_device_conductance_s(self, utilisation: float = 1.0) -> float:
+        """Mean device conductance assuming uniformly distributed weights.
+
+        Unused (unprogrammed) devices sit at ``g_off``; ``utilisation`` is
+        the fraction of cross-points holding real synapses.
+        """
+        g_mid = 0.5 * (self.device.g_on_s + self.device.g_off_s)
+        return utilisation * g_mid + (1.0 - utilisation) * self.device.g_off_s
+
+    def read_cost(
+        self,
+        rows: int,
+        columns: int,
+        active_rows: int | None = None,
+        utilisation: float = 1.0,
+        differential: bool = True,
+    ) -> CrossbarReadCost:
+        """Energy/latency of one evaluation of an ``rows x columns`` crossbar.
+
+        Parameters
+        ----------
+        rows, columns:
+            Physical crossbar geometry.
+        active_rows:
+            Number of rows receiving a spike this evaluation (defaults to all
+            rows).  Event-driven operation means inactive rows draw no read
+            energy.
+        utilisation:
+            Fraction of cross-points that hold mapped synapses; the rest sit
+            at ``g_off`` but still dissipate leakage when their row fires.
+        differential:
+            When true, each logical column is a positive/negative device pair
+            and device energy doubles.
+        """
+        if rows <= 0 or columns <= 0:
+            raise ValueError("rows and columns must be positive")
+        if active_rows is None:
+            active_rows = rows
+        active_rows = int(np.clip(active_rows, 0, rows))
+        if not 0.0 <= utilisation <= 1.0:
+            raise ValueError(f"utilisation must be in [0, 1], got {utilisation}")
+
+        pair_factor = 2.0 if differential else 1.0
+        g_mean = self.mean_device_conductance_s(utilisation)
+        device_energy = (
+            active_rows
+            * columns
+            * pair_factor
+            * g_mean
+            * self.device.read_voltage_v**2
+            * self.device.read_pulse_s
+        )
+        # Half-select disturbance: devices on silent rows still see a fraction
+        # of the read voltage and leak during the pulse.
+        unselected_energy = (
+            (rows - active_rows)
+            * columns
+            * pair_factor
+            * g_mean
+            * (self.unselected_bias_fraction * self.device.read_voltage_v) ** 2
+            * self.device.read_pulse_s
+        )
+        driver_energy = active_rows * self.driver_energy_per_row_j
+        sense_energy = columns * self.sense_energy_per_column_j
+        energy = device_energy + unselected_energy + driver_energy + sense_energy
+        return CrossbarReadCost(
+            energy_j=float(energy),
+            latency_s=self.device.read_pulse_s,
+            active_rows=active_rows,
+            active_columns=columns,
+        )
+
+    def idle_leakage_w(self, rows: int, columns: int) -> float:
+        """Standby leakage of an idle crossbar (W).
+
+        Memristive crossbars are non-volatile and draw essentially no standby
+        power; a tiny per-device figure is kept so the number is not exactly
+        zero in reports.
+        """
+        return rows * columns * 1e-12

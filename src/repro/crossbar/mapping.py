@@ -1,0 +1,137 @@
+"""Weight-matrix to crossbar-conductance mapping.
+
+A memristive device can only realise a positive conductance, while SNN
+weights are signed.  The standard scheme (used by the paper's references
+[7, 13, 14] and assumed here) is a *differential pair*: each logical synapse
+occupies a device on a "positive" column and a device on a "negative" column,
+and the neuron integrates the difference of the two column currents.
+
+:class:`CrossbarMapper` converts a signed weight matrix into the conductance
+matrices programmed on the positive/negative device planes and provides the
+inverse transform used to interpret crossbar output currents as weighted
+sums.  It is intentionally independent of crossbar geometry — tiling a large
+weight matrix across fixed-size MCAs is the job of
+:mod:`repro.mapping.partitioner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crossbar.device import MemristorModel
+
+__all__ = ["ProgrammedWeights", "CrossbarMapper"]
+
+
+@dataclass(frozen=True)
+class ProgrammedWeights:
+    """Result of programming a signed weight matrix onto device pairs.
+
+    Attributes
+    ----------
+    g_positive / g_negative:
+        Conductance matrices (S) of the positive and negative device planes,
+        shape ``(rows, columns)`` — rows are inputs, columns are neurons.
+    scale:
+        Weight magnitude that maps to full-scale conductance; used to convert
+        differential currents back into weighted sums.
+    """
+
+    g_positive: np.ndarray
+    g_negative: np.ndarray
+    scale: float
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(rows, columns)`` of the programmed matrix."""
+        return self.g_positive.shape
+
+    def effective_weights(self, model: MemristorModel) -> np.ndarray:
+        """Recover the signed weights realised by the programmed devices."""
+        w_pos = model.conductance_to_weight(self.g_positive)
+        w_neg = model.conductance_to_weight(self.g_negative)
+        return (w_pos - w_neg) * self.scale
+
+
+@dataclass
+class CrossbarMapper:
+    """Programs signed weight matrices onto differential device pairs."""
+
+    model: MemristorModel = field(default_factory=MemristorModel)
+
+    def program(
+        self,
+        weights: np.ndarray,
+        rng: np.random.Generator | None = None,
+        scale: float | None = None,
+    ) -> ProgrammedWeights:
+        """Program a signed weight matrix.
+
+        Parameters
+        ----------
+        weights:
+            Signed weight matrix of shape ``(rows, columns)``, rows indexing
+            inputs and columns indexing output neurons.
+        rng:
+            Generator used for programming non-idealities (required only when
+            the device model enables them).
+        scale:
+            Weight magnitude corresponding to full-scale conductance.  When
+            omitted, the matrix absolute maximum is used (a zero matrix maps
+            to scale 1.0).
+
+        Returns
+        -------
+        ProgrammedWeights
+        """
+        w = np.asarray(weights, dtype=float)
+        if w.ndim != 2:
+            raise ValueError(f"weights must be 2-D (rows, columns); got shape {w.shape}")
+        if scale is None:
+            scale = float(np.max(np.abs(w))) or 1.0
+        elif scale <= 0:
+            raise ValueError(f"scale must be > 0, got {scale}")
+        normalised = np.clip(np.abs(w) / scale, 0.0, 1.0)
+        pos = np.where(w > 0, normalised, 0.0)
+        neg = np.where(w < 0, normalised, 0.0)
+        return ProgrammedWeights(
+            g_positive=self.model.program(pos, rng),
+            g_negative=self.model.program(neg, rng),
+            scale=scale,
+        )
+
+    def column_currents(
+        self, programmed: ProgrammedWeights, inputs: np.ndarray
+    ) -> np.ndarray:
+        """Differential column currents (A) for a batch of input vectors.
+
+        ``inputs`` has shape ``(rows,)`` or ``(batch, rows)`` and holds the
+        spike values (0/1) or analog activations applied to the crossbar rows.
+        The value returned has shape ``(columns,)`` or ``(batch, columns)``.
+        """
+        x = np.asarray(inputs, dtype=float)
+        squeeze = x.ndim == 1
+        x = np.atleast_2d(x)
+        rows = programmed.shape[0]
+        if x.shape[1] != rows:
+            raise ValueError(
+                f"inputs have {x.shape[1]} elements but the crossbar has {rows} rows"
+            )
+        v = x * self.model.params.read_voltage_v
+        currents = v @ (programmed.g_positive - programmed.g_negative)
+        return currents[0] if squeeze else currents
+
+    def currents_to_weighted_sum(
+        self, programmed: ProgrammedWeights, currents: np.ndarray
+    ) -> np.ndarray:
+        """Convert differential column currents back to weighted sums.
+
+        The conversion factor is ``scale / (V_read * g_range)``: a full-scale
+        weight on one device contributes ``V_read * g_range`` amps (relative
+        to the zero-weight baseline) per active input.
+        """
+        params = self.model.params
+        lsb = params.read_voltage_v * (params.g_on_s - params.g_off_s)
+        return np.asarray(currents, dtype=float) * programmed.scale / lsb

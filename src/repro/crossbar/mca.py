@@ -1,0 +1,228 @@
+"""The Memristive Crossbar Array (MCA) — RESPARC's analog inner-product engine.
+
+An MCA is a fixed-size crossbar of memristive devices (Section 2.2 of the
+paper).  Voltages applied to the rows produce, on every column, a current
+equal to the inner product of the row inputs with the conductances stored in
+that column — Kirchhoff's current law does the multiply-accumulate for free.
+In RESPARC the column currents are integrated directly by analog IF neurons,
+so no ADC is required.
+
+:class:`CrossbarArray` is the functional + energetic model of one MCA:
+
+* it holds programmed differential conductance pairs for a signed weight
+  block (up to ``rows x columns`` synapses),
+* :meth:`evaluate` computes the column currents for a binary spike vector
+  (optionally through the non-ideality models) and returns the equivalent
+  weighted sums together with the energy spent,
+* utilisation bookkeeping records how many cross-points actually hold
+  synapses, which drives the CNN-vs-MLP efficiency difference that the paper
+  analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.crossbar.device import DeviceParameters, MemristorModel
+from repro.crossbar.energy import CrossbarEnergyModel, CrossbarReadCost
+from repro.crossbar.mapping import CrossbarMapper, ProgrammedWeights
+from repro.crossbar.nonidealities import CrossbarNonidealities, NonidealityParameters
+
+__all__ = ["CrossbarConfig", "CrossbarEvaluation", "CrossbarArray"]
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """Static configuration of an MCA.
+
+    Attributes
+    ----------
+    rows, columns:
+        Physical crossbar geometry.  The paper evaluates square MCAs of size
+        32, 64 and 128; the model accepts any rectangular geometry.
+    device:
+        Memristive device parameters.
+    nonidealities:
+        Analog non-ideality parameters (all disabled by default — matching
+        the paper's functional assumption that a properly sized MCA computes
+        correctly).
+    """
+
+    rows: int = 64
+    columns: int = 64
+    device: DeviceParameters = field(default_factory=DeviceParameters)
+    nonidealities: NonidealityParameters = field(default_factory=NonidealityParameters)
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.columns <= 0:
+            raise ValueError(
+                f"crossbar geometry must be positive, got {self.rows}x{self.columns}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of cross-points (logical synapse slots)."""
+        return self.rows * self.columns
+
+    def with_size(self, size: int) -> "CrossbarConfig":
+        """Return a square configuration of the given side length."""
+        return CrossbarConfig(
+            rows=size,
+            columns=size,
+            device=self.device,
+            nonidealities=self.nonidealities,
+        )
+
+
+@dataclass(frozen=True)
+class CrossbarEvaluation:
+    """Result of one MCA evaluation."""
+
+    weighted_sums: np.ndarray
+    currents_a: np.ndarray
+    cost: CrossbarReadCost
+
+
+class CrossbarArray:
+    """One programmed memristive crossbar array.
+
+    Parameters
+    ----------
+    config:
+        Crossbar geometry and device technology.
+    rng:
+        Generator for stochastic non-idealities; only needed when the device
+        or non-ideality parameters enable them.
+    """
+
+    def __init__(self, config: CrossbarConfig, rng: np.random.Generator | None = None):
+        self.config = config
+        self._rng = rng
+        self.model = MemristorModel(config.device)
+        self.mapper = CrossbarMapper(self.model)
+        self.energy_model = CrossbarEnergyModel(device=config.device)
+        self.nonidealities = CrossbarNonidealities(config.nonidealities)
+        self._programmed: ProgrammedWeights | None = None
+        self._synapse_mask = np.zeros((config.rows, config.columns), dtype=bool)
+        self.total_reads = 0
+        self.total_energy_j = 0.0
+
+    # -- programming ---------------------------------------------------------
+
+    def program(self, weights: np.ndarray, scale: float | None = None) -> None:
+        """Program a signed weight block into the crossbar.
+
+        ``weights`` may be smaller than the physical geometry; the remaining
+        cross-points are left unprogrammed (at ``g_off``) and counted as
+        unused for utilisation purposes.
+        """
+        w = np.asarray(weights, dtype=float)
+        if w.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got shape {w.shape}")
+        rows, cols = w.shape
+        if rows > self.config.rows or cols > self.config.columns:
+            raise ValueError(
+                f"weight block {w.shape} does not fit in a "
+                f"{self.config.rows}x{self.config.columns} crossbar"
+            )
+        padded = np.zeros((self.config.rows, self.config.columns))
+        padded[:rows, :cols] = w
+        programmed = self.mapper.program(padded, rng=self._rng, scale=scale)
+        if not self.config.nonidealities.ideal and self._rng is not None:
+            programmed = ProgrammedWeights(
+                g_positive=self.nonidealities.apply_variation(programmed.g_positive, self._rng),
+                g_negative=self.nonidealities.apply_variation(programmed.g_negative, self._rng),
+                scale=programmed.scale,
+            )
+        self._programmed = programmed
+        self._synapse_mask[:] = False
+        self._synapse_mask[:rows, :cols] = w != 0
+
+    @property
+    def is_programmed(self) -> bool:
+        """True once :meth:`program` has been called."""
+        return self._programmed is not None
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of cross-points holding non-zero synapses."""
+        return float(self._synapse_mask.mean())
+
+    @property
+    def used_rows(self) -> int:
+        """Number of rows with at least one mapped synapse."""
+        return int(self._synapse_mask.any(axis=1).sum())
+
+    @property
+    def used_columns(self) -> int:
+        """Number of columns with at least one mapped synapse."""
+        return int(self._synapse_mask.any(axis=0).sum())
+
+    def effective_weights(self) -> np.ndarray:
+        """Signed weights actually realised by the programmed devices."""
+        if self._programmed is None:
+            raise RuntimeError("crossbar has not been programmed")
+        return self._programmed.effective_weights(self.model)
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, spikes: np.ndarray) -> CrossbarEvaluation:
+        """Evaluate the crossbar for one binary spike vector.
+
+        Parameters
+        ----------
+        spikes:
+            Vector of length ``rows`` (values are 0/1 spike indicators, but
+            analog inputs are accepted for testing).
+
+        Returns
+        -------
+        CrossbarEvaluation
+            Weighted sums per column, raw differential currents and the
+            energy/latency cost of the read.
+        """
+        if self._programmed is None:
+            raise RuntimeError("crossbar has not been programmed")
+        x = np.asarray(spikes, dtype=float).reshape(-1)
+        if x.shape[0] != self.config.rows:
+            raise ValueError(
+                f"spike vector has {x.shape[0]} entries, expected {self.config.rows}"
+            )
+
+        currents = self.mapper.column_currents(self._programmed, x)
+
+        params = self.config.nonidealities
+        if params.wire_resistance_ohm > 0:
+            g_mean = self.energy_model.mean_device_conductance_s(self.utilisation)
+            currents = currents * self.nonidealities.ir_drop_attenuation(
+                self.config.rows, self.config.columns, g_mean
+            )
+        if params.sneak_leakage_fraction > 0:
+            inactive = float((x == 0).sum())
+            g_mean = self.energy_model.mean_device_conductance_s(self.utilisation)
+            currents = currents + self.nonidealities.sneak_current_a(
+                inactive * g_mean * self.config.columns / max(self.config.rows, 1),
+                self.model.params.read_voltage_v,
+            )
+        if params.read_noise_sigma > 0:
+            if self._rng is None:
+                raise RuntimeError("read noise enabled but no rng was provided")
+            currents = self.nonidealities.apply_read_noise(currents, self._rng)
+
+        weighted = self.mapper.currents_to_weighted_sum(self._programmed, currents)
+        cost = self.energy_model.read_cost(
+            rows=self.config.rows,
+            columns=self.config.columns,
+            active_rows=int(np.count_nonzero(x)),
+            utilisation=self.utilisation,
+        )
+        self.total_reads += 1
+        self.total_energy_j += cost.energy_j
+        return CrossbarEvaluation(weighted_sums=weighted, currents_a=currents, cost=cost)
+
+    def reset_counters(self) -> None:
+        """Reset the accumulated read/energy counters."""
+        self.total_reads = 0
+        self.total_energy_j = 0.0

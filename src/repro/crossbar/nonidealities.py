@@ -1,0 +1,133 @@
+"""Crossbar non-ideality models.
+
+Large crossbars are infeasible exactly because of the effects modelled here
+(Section 1 of the paper): parasitic wire resistance causes IR drop along rows
+and columns, unselected cells leak through sneak paths, and devices exhibit
+conductance variation.  RESPARC's answer is to keep individual MCAs small and
+recover scale architecturally; these models let the repository quantify *why*
+small crossbars are preferred, supporting the technology-aware MCA-size
+study.
+
+The models are deliberately first-order analytical approximations — adequate
+for relative comparisons across crossbar sizes, which is how the paper uses
+the argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_probability
+
+__all__ = ["NonidealityParameters", "CrossbarNonidealities"]
+
+
+@dataclass(frozen=True)
+class NonidealityParameters:
+    """Parameters of the first-order non-ideality models.
+
+    Attributes
+    ----------
+    wire_resistance_ohm:
+        Parasitic resistance of one crossbar wire segment (between adjacent
+        cross-points).  Zero disables the IR-drop model.
+    sneak_leakage_fraction:
+        Fraction of an unselected device's conductance that leaks into the
+        column during a read (selector imperfection).  Zero disables it.
+    read_noise_sigma:
+        Relative Gaussian noise applied to column currents per read.
+    variation_sigma:
+        Relative device-to-device conductance variation (lognormal sigma)
+        applied on top of programming.
+    """
+
+    wire_resistance_ohm: float = 0.0
+    sneak_leakage_fraction: float = 0.0
+    read_noise_sigma: float = 0.0
+    variation_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("wire_resistance_ohm", self.wire_resistance_ohm)
+        check_probability("sneak_leakage_fraction", self.sneak_leakage_fraction)
+        check_non_negative("read_noise_sigma", self.read_noise_sigma)
+        check_non_negative("variation_sigma", self.variation_sigma)
+
+    @property
+    def ideal(self) -> bool:
+        """True when every non-ideality is disabled."""
+        return (
+            self.wire_resistance_ohm == 0
+            and self.sneak_leakage_fraction == 0
+            and self.read_noise_sigma == 0
+            and self.variation_sigma == 0
+        )
+
+
+@dataclass
+class CrossbarNonidealities:
+    """Applies non-ideality corrections to crossbar conductances and currents."""
+
+    params: NonidealityParameters = NonidealityParameters()
+
+    def apply_variation(
+        self, conductance: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Apply device-to-device conductance variation."""
+        if self.params.variation_sigma == 0:
+            return conductance
+        factors = rng.lognormal(0.0, self.params.variation_sigma, size=conductance.shape)
+        return conductance * factors
+
+    def ir_drop_attenuation(self, rows: int, columns: int, mean_conductance_s: float) -> float:
+        """Mean multiplicative attenuation of column currents due to IR drop.
+
+        A first-order model: the voltage seen by the device at position
+        ``(i, j)`` is reduced by the cumulative wire drop along its row and
+        column.  Averaging over positions gives an attenuation factor
+
+        ``1 / (1 + R_wire * G_cell * (rows + columns) / 2)``
+
+        which decreases (worse) as the crossbar grows — the qualitative
+        behaviour that motivates small MCAs.
+        """
+        r_wire = self.params.wire_resistance_ohm
+        if r_wire == 0:
+            return 1.0
+        loading = r_wire * mean_conductance_s * (rows + columns) / 2.0
+        return 1.0 / (1.0 + loading)
+
+    def sneak_current_a(
+        self,
+        g_unselected_sum_s: float,
+        read_voltage_v: float,
+    ) -> float:
+        """Aggregate sneak-path current contributed by unselected devices (A)."""
+        frac = self.params.sneak_leakage_fraction
+        if frac == 0:
+            return 0.0
+        return frac * g_unselected_sum_s * read_voltage_v
+
+    def apply_read_noise(
+        self, currents: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Apply relative Gaussian read noise to column currents."""
+        sigma = self.params.read_noise_sigma
+        if sigma == 0:
+            return currents
+        scale = sigma * np.maximum(np.abs(currents), np.finfo(float).tiny)
+        return currents + rng.normal(0.0, scale)
+
+    def relative_output_error(
+        self, rows: int, columns: int, mean_conductance_s: float
+    ) -> float:
+        """Estimate of the relative computation error for a crossbar size.
+
+        Combines the IR-drop attenuation error and the sneak-leakage floor
+        into a single scalar used by the technology-aware MCA-size selection
+        (larger crossbars → larger error).
+        """
+        attenuation_error = 1.0 - self.ir_drop_attenuation(rows, columns, mean_conductance_s)
+        sneak_error = self.params.sneak_leakage_fraction * (rows - 1) / max(rows, 1)
+        return float(attenuation_error + sneak_error)

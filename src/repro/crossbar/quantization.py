@@ -1,0 +1,112 @@
+"""Weight discretisation (bit-precision) utilities.
+
+The bit-discretisation study (Fig. 14 of the paper) sweeps the memristor
+precision from 1 to 8 bits and measures both the classification accuracy and
+the energy impact.  This module implements the quantisers used by that study
+and by the weight-to-crossbar mapping:
+
+* :func:`quantize_uniform` — symmetric uniform quantisation of a signed
+  weight tensor to ``2**bits`` levels per polarity, matching the behaviour of
+  programming each weight magnitude onto a discrete-level memristor.
+* :func:`quantize_network_weights` — convenience wrapper that quantises every
+  weighted layer of an :class:`repro.snn.network.Network`.
+* :func:`quantization_error` — RMS error metric used in tests and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "QuantizationSpec",
+    "quantize_uniform",
+    "quantization_error",
+    "quantize_network_weights",
+]
+
+
+@dataclass(frozen=True)
+class QuantizationSpec:
+    """Describes a uniform quantisation of signed weights.
+
+    Attributes
+    ----------
+    bits:
+        Precision per weight magnitude; the number of representable magnitude
+        levels is ``2**bits`` (including zero).
+    per_column:
+        When true, the quantisation scale is computed per output column
+        (per neuron) rather than per tensor.  Per-column scaling mirrors how
+        a crossbar column can be driven with an independent reference.
+    """
+
+    bits: int = 4
+    per_column: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bits < 1 or self.bits > 16:
+            raise ValueError(f"bits must be in [1, 16], got {self.bits}")
+
+    @property
+    def levels(self) -> int:
+        """Number of representable magnitude levels (including zero)."""
+        return 2**self.bits
+
+
+def _scales(weights: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Return the magnitude scale used for quantisation (per tensor or column)."""
+    if spec.per_column and weights.ndim == 2:
+        scale = np.max(np.abs(weights), axis=0, keepdims=True)
+    else:
+        scale = np.asarray(np.max(np.abs(weights)))
+    return np.where(scale == 0, 1.0, scale)
+
+
+def quantize_uniform(weights: np.ndarray, spec: QuantizationSpec) -> np.ndarray:
+    """Quantise a signed weight tensor to the precision of ``spec``.
+
+    The magnitude is quantised to ``levels - 1`` uniform steps between zero
+    and the tensor (or column) maximum, and the sign is preserved — exactly
+    what programming ``|w|`` on a positive/negative crossbar column pair does.
+
+    Returns the de-quantised weights (same shape and dtype ``float64``).
+    """
+    w = np.asarray(weights, dtype=float)
+    scale = _scales(w, spec)
+    steps = spec.levels - 1
+    normalised = np.clip(np.abs(w) / scale, 0.0, 1.0)
+    quantised = np.rint(normalised * steps) / steps
+    return np.sign(w) * quantised * scale
+
+
+def quantization_error(weights: np.ndarray, spec: QuantizationSpec) -> float:
+    """Root-mean-square quantisation error relative to the weight RMS.
+
+    Returns 0 for an all-zero tensor.
+    """
+    w = np.asarray(weights, dtype=float)
+    rms = float(np.sqrt(np.mean(w**2)))
+    if rms == 0:
+        return 0.0
+    err = float(np.sqrt(np.mean((quantize_uniform(w, spec) - w) ** 2)))
+    return err / rms
+
+
+def quantize_network_weights(network, spec: QuantizationSpec):
+    """Return a copy of ``network`` with every weighted layer quantised.
+
+    ``network`` is an :class:`repro.snn.network.Network`; the import is done
+    lazily to keep this module free of circular imports.
+    """
+    from repro.snn.network import Network  # local import to avoid a cycle
+
+    if not isinstance(network, Network):
+        raise TypeError(f"expected a Network, got {type(network).__name__}")
+    clone = network.copy()
+    for layer in clone.layers:
+        weights = getattr(layer, "weights", None)
+        if weights is not None:
+            layer.weights = quantize_uniform(weights, spec)
+    return clone

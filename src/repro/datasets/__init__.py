@@ -1,0 +1,29 @@
+"""Synthetic datasets and spike-statistics utilities.
+
+Real MNIST/SVHN/CIFAR-10 are unavailable offline; the synthetic stand-ins in
+:mod:`repro.datasets.synthetic` preserve the properties the architecture
+study depends on (input geometry, class count, foreground/background
+sparsity).  See DESIGN.md for the substitution rationale.
+"""
+
+from repro.datasets.spikes import (
+    PacketStatistics,
+    dataset_spike_statistics,
+    zero_run_length_histogram,
+)
+from repro.datasets.synthetic import (
+    DATASET_SPECS,
+    DatasetSpec,
+    SyntheticDataset,
+    make_dataset,
+)
+
+__all__ = [
+    "DATASET_SPECS",
+    "DatasetSpec",
+    "SyntheticDataset",
+    "make_dataset",
+    "PacketStatistics",
+    "dataset_spike_statistics",
+    "zero_run_length_histogram",
+]

@@ -1,0 +1,26 @@
+"""Energy and latency modeling substrate.
+
+* :mod:`repro.energy.components` — the 45 nm per-event energy library that
+  replaces the paper's Synopsys synthesis results.
+* :mod:`repro.energy.cacti` — analytical CACTI-like SRAM model.
+* :mod:`repro.energy.model` — per-classification energy reports/breakdowns.
+* :mod:`repro.energy.latency` — per-classification latency reports.
+"""
+
+from repro.energy.cacti import SRAMConfig, SRAMModel
+from repro.energy.components import DEFAULT_LIBRARY, ComponentLibrary, scale_for_bits
+from repro.energy.latency import LatencyReport
+from repro.energy.model import CMOS_GROUPS, RESPARC_GROUPS, EnergyReport, merge_reports
+
+__all__ = [
+    "SRAMConfig",
+    "SRAMModel",
+    "DEFAULT_LIBRARY",
+    "ComponentLibrary",
+    "scale_for_bits",
+    "LatencyReport",
+    "CMOS_GROUPS",
+    "RESPARC_GROUPS",
+    "EnergyReport",
+    "merge_reports",
+]

@@ -1,0 +1,109 @@
+"""Analytical CACTI-like SRAM model.
+
+The paper models its input memory (and the CMOS baseline's weight/activation
+memory) with CACTI 6.0.  CACTI is a large C++ tool; what the architecture
+study actually consumes from it is just three numbers per memory
+configuration: dynamic energy per access, leakage power, and access latency.
+:class:`SRAMModel` provides those three numbers from an analytical model with
+the same first-order scaling behaviour as CACTI:
+
+* dynamic access energy grows roughly with ``sqrt(capacity)`` (bit-line and
+  word-line length) and linearly with the word width,
+* leakage power grows linearly with capacity,
+* access latency grows with ``sqrt(capacity)``.
+
+The coefficients are anchored to published 45 nm CACTI data points (a 64 kB
+SRAM macro: ≈40 pJ/32-bit access, ≈20 mW/MB leakage, ≈1 ns access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+__all__ = ["SRAMConfig", "SRAMModel"]
+
+#: Anchor point: a 64 kB, 32-bit wide SRAM macro at 45 nm.
+_ANCHOR_CAPACITY_BYTES = 64 * 1024
+_ANCHOR_WORD_BITS = 32
+_ANCHOR_ACCESS_ENERGY_J = 40e-12
+_ANCHOR_LEAKAGE_W_PER_BYTE = 20e-3 / (1024 * 1024)
+_ANCHOR_ACCESS_LATENCY_S = 1.0e-9
+
+
+@dataclass(frozen=True)
+class SRAMConfig:
+    """Configuration of one SRAM macro.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Total capacity.
+    word_bits:
+        Width of one access.
+    banks:
+        Number of equal banks; banking reduces the per-access energy and
+        latency (each access touches one bank) at a small leakage overhead.
+    """
+
+    capacity_bytes: int = 64 * 1024
+    word_bits: int = 32
+    banks: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("capacity_bytes", self.capacity_bytes)
+        check_positive("word_bits", self.word_bits)
+        check_positive("banks", self.banks)
+        if self.capacity_bytes % self.banks:
+            raise ValueError(
+                f"capacity_bytes ({self.capacity_bytes}) must be divisible by banks ({self.banks})"
+            )
+
+    @property
+    def bank_capacity_bytes(self) -> int:
+        """Capacity of one bank."""
+        return self.capacity_bytes // self.banks
+
+
+@dataclass
+class SRAMModel:
+    """Analytical access-energy / leakage / latency model of an SRAM macro."""
+
+    config: SRAMConfig = SRAMConfig()
+
+    def access_energy_j(self) -> float:
+        """Dynamic energy of one read or write access (J)."""
+        cfg = self.config
+        size_factor = (cfg.bank_capacity_bytes / _ANCHOR_CAPACITY_BYTES) ** 0.5
+        width_factor = cfg.word_bits / _ANCHOR_WORD_BITS
+        return _ANCHOR_ACCESS_ENERGY_J * size_factor * width_factor
+
+    def leakage_power_w(self) -> float:
+        """Standby leakage power of the whole macro (W).
+
+        Banking adds a 5% overhead per extra bank for duplicated periphery.
+        """
+        cfg = self.config
+        banking_overhead = 1.0 + 0.05 * (cfg.banks - 1)
+        return _ANCHOR_LEAKAGE_W_PER_BYTE * cfg.capacity_bytes * banking_overhead
+
+    def access_latency_s(self) -> float:
+        """Latency of one access (s)."""
+        cfg = self.config
+        size_factor = (cfg.bank_capacity_bytes / _ANCHOR_CAPACITY_BYTES) ** 0.5
+        return _ANCHOR_ACCESS_LATENCY_S * max(size_factor, 0.25)
+
+    def energy_for_bytes(self, n_bytes: float) -> float:
+        """Dynamic energy of transferring ``n_bytes`` through the port (J)."""
+        if n_bytes < 0:
+            raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+        bytes_per_access = self.config.word_bits / 8.0
+        accesses = n_bytes / bytes_per_access
+        return accesses * self.access_energy_j()
+
+    def leakage_energy_j(self, duration_s: float) -> float:
+        """Leakage energy over ``duration_s`` seconds (J)."""
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {duration_s}")
+        return self.leakage_power_w() * duration_s

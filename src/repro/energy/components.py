@@ -1,0 +1,133 @@
+"""45 nm component energy/latency library.
+
+The paper obtains its per-component energies by synthesising the peripheral
+RTL to IBM 45 nm (Synopsys Design Compiler / Power Compiler) and modelling
+the SRAM with CACTI.  Those tools are not available here, so this module
+plays the same role: it is the single place where every per-event energy and
+per-component latency constant lives, expressed in base SI units.
+
+The default values are assembled from public 45 nm figures (register-file
+and SRAM access energies, MAC energies, flip-flop switching energies, wire
+energies) and then lightly calibrated so that
+
+* one NeuroCell's busy power matches the published envelope of Fig. 8
+  (53.2 mW at 200 MHz, 0.29 mm², 16 mPEs with 4 MCAs each), and
+* the CMOS baseline envelope matches Fig. 9 (35.1 mW at 1 GHz, 0.19 mm²).
+
+Every architectural result in the repository is derived from these constants
+through the activity models; nothing downstream is tuned per benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+from repro.utils.validation import check_positive
+
+__all__ = ["ComponentLibrary", "scale_for_bits", "DEFAULT_LIBRARY"]
+
+
+@dataclass(frozen=True)
+class ComponentLibrary:
+    """Per-event energies (J), latencies (s) and static powers (W) at 45 nm.
+
+    The constants are grouped by the hardware they describe.  "Per event"
+    always means one architectural event: one buffer word access, one packet
+    hop through a switch, one neuron membrane update, one MAC, and so on.
+    """
+
+    # --- technology -----------------------------------------------------------
+    feature_size_nm: float = 45.0
+    supply_voltage_v: float = 1.0
+
+    # --- RESPARC: neurons -----------------------------------------------------
+    #: One analog IF membrane integration of one crossbar-column current
+    #: (charging the membrane capacitance directly from the column — no ADC).
+    neuron_integration_energy_j: float = 0.10e-12
+    #: One spike generation (threshold crossing + output driver).
+    neuron_spike_energy_j: float = 0.25e-12
+    #: Latency of integrating one time-multiplexed crossbar output set.
+    neuron_integration_latency_s: float = 2.5e-9
+
+    # --- RESPARC: mPE peripherals ----------------------------------------------
+    #: Energy per spike-packet word read from / written to iBUFF/oBUFF.
+    buffer_access_energy_j: float = 0.4e-12
+    #: Energy per target-address lookup in tBUFF.
+    tbuffer_access_energy_j: float = 0.3e-12
+    #: Local control unit energy per MCA evaluation it orchestrates.
+    local_control_energy_j: float = 0.8e-12
+    #: Current-control-unit energy per analog current transfer between mPEs.
+    ccu_transfer_energy_j: float = 0.8e-12
+    #: Static (leakage + clock) power of one mPE's peripheral logic.  Idle
+    #: mPEs are power gated, so this is the residual always-on fraction.
+    mpe_static_power_w: float = 0.01e-3
+
+    # --- RESPARC: NeuroCell switch network --------------------------------------
+    #: Energy of moving one spike packet through one programmable switch hop.
+    switch_hop_energy_j: float = 1.2e-12
+    #: Energy of the zero-check comparison on one packet.
+    zero_check_energy_j: float = 0.05e-12
+    #: Static power of one programmable switch (idle switches are power gated).
+    switch_static_power_w: float = 0.01e-3
+    #: Latency of one switch hop (one 200 MHz cycle).
+    switch_hop_latency_s: float = 5e-9
+
+    # --- RESPARC: global interconnect and input memory ---------------------------
+    #: Energy per word broadcast on the shared global IO bus.
+    io_bus_energy_per_word_j: float = 6.0e-12
+    #: Latency of one bus transaction (one cycle at 200 MHz).
+    io_bus_latency_s: float = 5e-9
+    #: Energy per global-control-unit event (event-flag update, NC dispatch).
+    global_control_energy_j: float = 1.5e-12
+
+    # --- CMOS baseline ------------------------------------------------------------
+    #: One 4-bit multiply-accumulate in a baseline Neuron Unit (NU).
+    mac_energy_j: float = 0.7e-12
+    #: One membrane update (accumulate + threshold compare) in an NU.
+    nu_update_energy_j: float = 0.5e-12
+    #: One word pushed/popped through an input or weight FIFO.
+    fifo_access_energy_j: float = 0.6e-12
+    #: Static power of the baseline compute core (NUs + FIFOs + control).
+    baseline_core_static_power_w: float = 9.0e-3
+    #: Per-cycle latency of the baseline (1 GHz clock).
+    baseline_cycle_s: float = 1e-9
+
+    # --- clocking -------------------------------------------------------------------
+    #: RESPARC clock period (200 MHz).
+    resparc_cycle_s: float = 5e-9
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, (int, float)):
+                check_positive(f.name, float(value))
+
+    def replace(self, **overrides: float) -> "ComponentLibrary":
+        """Return a copy with the given constants replaced."""
+        return replace(self, **overrides)
+
+
+def scale_for_bits(library: ComponentLibrary, bits: int, reference_bits: int = 4) -> ComponentLibrary:
+    """Scale the digital (CMOS) energies of a library with datapath precision.
+
+    The paper observes (Fig. 14b) that the CMOS baseline energy grows with
+    weight precision because memories, buffers and compute units widen, while
+    RESPARC's crossbar energy is essentially precision independent (a device
+    stores more levels in the same cell).  This helper applies that scaling:
+    digital per-event energies grow linearly with the datapath width ratio,
+    analog crossbar/neuron energies stay untouched.
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    ratio = bits / float(reference_bits)
+    return library.replace(
+        mac_energy_j=library.mac_energy_j * ratio,
+        nu_update_energy_j=library.nu_update_energy_j * ratio,
+        fifo_access_energy_j=library.fifo_access_energy_j * ratio,
+        baseline_core_static_power_w=library.baseline_core_static_power_w * ratio,
+        buffer_access_energy_j=library.buffer_access_energy_j,
+    )
+
+
+#: Library instance used throughout the repository unless a study overrides it.
+DEFAULT_LIBRARY = ComponentLibrary()

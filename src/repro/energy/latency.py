@@ -1,0 +1,59 @@
+"""Latency and throughput accounting.
+
+The paper reports performance as speedup per classification (Fig. 11 c/d).
+Both hardware models produce a :class:`LatencyReport` describing how long one
+classification takes and where the time goes (compute vs. communication vs.
+memory), from which throughput and speedups are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.units import format_time
+
+__all__ = ["LatencyReport"]
+
+
+@dataclass
+class LatencyReport:
+    """Per-classification latency broken down by named phase."""
+
+    label: str
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into ``phase``."""
+        if seconds < 0:
+            raise ValueError(f"latency must be >= 0, got {seconds} for {phase!r}")
+        self.phases[phase] = self.phases.get(phase, 0.0) + float(seconds)
+
+    @property
+    def total_s(self) -> float:
+        """Total latency of one classification (s)."""
+        return float(sum(self.phases.values()))
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Classifications per second (0 if the latency is 0)."""
+        total = self.total_s
+        return 1.0 / total if total > 0 else 0.0
+
+    def speedup_over(self, other: "LatencyReport") -> float:
+        """How many times faster this design is than ``other``."""
+        if self.total_s == 0:
+            raise ZeroDivisionError("cannot compute speedup for a zero-latency report")
+        return other.total_s / self.total_s
+
+    def fraction(self, phase: str) -> float:
+        """Fraction of the total latency spent in ``phase``."""
+        total = self.total_s
+        return self.phases.get(phase, 0.0) / total if total else 0.0
+
+    def summary(self) -> str:
+        """Multi-line human readable breakdown."""
+        lines = [f"LatencyReport {self.label!r}: total {format_time(self.total_s)}"]
+        for phase, value in sorted(self.phases.items(), key=lambda kv: -kv[1]):
+            share = f"({100 * value / self.total_s:5.1f}%)" if self.total_s else ""
+            lines.append(f"  {phase:<16} {format_time(value):>12}  {share}")
+        return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Energy accounting containers.
+
+Both hardware models (RESPARC and the CMOS baseline) report their results as
+an :class:`EnergyReport`: a breakdown of the per-classification energy into
+named components.  The container knows how to
+
+* aggregate and normalise breakdowns (the paper's figures are all normalised),
+* group raw components into the coarse categories used by Fig. 12
+  (neuron / crossbar / peripherals for RESPARC, core / memory access /
+  memory leakage for the CMOS baseline), and
+* combine with a latency to produce energy-delay products for ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.utils.units import format_energy
+
+__all__ = ["EnergyReport", "RESPARC_GROUPS", "CMOS_GROUPS"]
+
+
+#: Component → group mapping for RESPARC breakdowns (Fig. 12 a/c).
+RESPARC_GROUPS: dict[str, str] = {
+    "neuron_integration": "neuron",
+    "neuron_spiking": "neuron",
+    "crossbar_read": "crossbar",
+    "buffer": "peripherals",
+    "target_buffer": "peripherals",
+    "local_control": "peripherals",
+    "ccu_transfer": "peripherals",
+    "switch": "peripherals",
+    "zero_check": "peripherals",
+    "io_bus": "peripherals",
+    "global_control": "peripherals",
+    "input_sram_access": "peripherals",
+    "input_sram_leakage": "peripherals",
+    "static": "peripherals",
+}
+
+#: Component → group mapping for CMOS baseline breakdowns (Fig. 12 b/d).
+CMOS_GROUPS: dict[str, str] = {
+    "mac": "core",
+    "nu_update": "core",
+    "fifo": "core",
+    "core_static": "core",
+    "weight_memory_access": "memory_access",
+    "activation_memory_access": "memory_access",
+    "memory_leakage": "memory_leakage",
+}
+
+
+@dataclass
+class EnergyReport:
+    """Per-classification energy broken down by named component.
+
+    Attributes
+    ----------
+    label:
+        Identifier of the design point (e.g. ``"resparc-64/mnist-mlp"``).
+    components:
+        Energy per component in joules.
+    group_map:
+        Mapping from component names to coarse group names used by
+        :meth:`grouped`.
+    """
+
+    label: str
+    components: dict[str, float] = field(default_factory=dict)
+    group_map: Mapping[str, str] = field(default_factory=dict)
+
+    def add(self, component: str, energy_j: float) -> None:
+        """Accumulate ``energy_j`` joules into ``component``."""
+        if energy_j < 0:
+            raise ValueError(f"energy must be >= 0, got {energy_j} for {component!r}")
+        self.components[component] = self.components.get(component, 0.0) + float(energy_j)
+
+    @property
+    def total_j(self) -> float:
+        """Total energy across every component (J)."""
+        return float(sum(self.components.values()))
+
+    def grouped(self) -> dict[str, float]:
+        """Energy aggregated into coarse groups (unknown components → ``"other"``)."""
+        groups: dict[str, float] = {}
+        for name, value in self.components.items():
+            group = self.group_map.get(name, "other")
+            groups[group] = groups.get(group, 0.0) + value
+        return groups
+
+    def fraction(self, component_or_group: str) -> float:
+        """Fraction of the total energy in a component or group (0 when total is 0)."""
+        total = self.total_j
+        if total == 0:
+            return 0.0
+        if component_or_group in self.components:
+            return self.components[component_or_group] / total
+        return self.grouped().get(component_or_group, 0.0) / total
+
+    def normalised(self, reference_j: float) -> dict[str, float]:
+        """Component energies divided by a reference energy (paper-style plots)."""
+        if reference_j <= 0:
+            raise ValueError(f"reference_j must be > 0, got {reference_j}")
+        return {name: value / reference_j for name, value in self.components.items()}
+
+    def scaled(self, factor: float) -> "EnergyReport":
+        """Return a copy with every component multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError(f"factor must be >= 0, got {factor}")
+        return EnergyReport(
+            label=self.label,
+            components={k: v * factor for k, v in self.components.items()},
+            group_map=dict(self.group_map),
+        )
+
+    def merged_with(self, other: "EnergyReport", label: str | None = None) -> "EnergyReport":
+        """Component-wise sum of two reports."""
+        merged = EnergyReport(
+            label=label or self.label,
+            components=dict(self.components),
+            group_map=dict(self.group_map),
+        )
+        for name, value in other.components.items():
+            merged.add(name, value)
+        return merged
+
+    def summary(self) -> str:
+        """Multi-line human readable breakdown."""
+        lines = [f"EnergyReport {self.label!r}: total {format_energy(self.total_j)}"]
+        for group, value in sorted(self.grouped().items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {group:<16} {format_energy(value):>12}  ({100 * value / self.total_j:5.1f}%)"
+                         if self.total_j else f"  {group:<16} {format_energy(value):>12}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def ratio(numerator: "EnergyReport", denominator: "EnergyReport") -> float:
+        """Energy ratio ``numerator.total / denominator.total``."""
+        if denominator.total_j == 0:
+            raise ZeroDivisionError("denominator report has zero total energy")
+        return numerator.total_j / denominator.total_j
+
+
+def merge_reports(reports: Iterable[EnergyReport], label: str) -> EnergyReport:
+    """Sum an iterable of reports into one."""
+    merged = EnergyReport(label=label)
+    for report in reports:
+        merged = merged.merged_with(report, label=label)
+        merged.group_map = dict(report.group_map)
+    return merged

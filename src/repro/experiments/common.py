@@ -1,0 +1,191 @@
+"""Shared infrastructure for the figure-reproduction experiments.
+
+Every experiment needs the same pipeline: build a benchmark network,
+generate its synthetic dataset, (optionally) train it, convert it to a
+spiking network, run the functional simulator to obtain the activity trace,
+and then evaluate RESPARC and the CMOS baseline on that trace.
+:class:`WorkloadContext` performs and caches that pipeline so the per-figure
+drivers stay small, and :class:`ExperimentSettings` centralises the knobs
+that trade fidelity for runtime (timesteps, samples, training epochs,
+network scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baseline import BaselineConfig, BaselineEvaluation, CmosBaselineModel
+from repro.core import ArchitectureConfig, ResparcEvaluation, ResparcModel
+from repro.datasets import SyntheticDataset, make_dataset
+from repro.mapping import MappedNetwork, map_network
+from repro.snn import (
+    ActivityTrace,
+    ConversionSpec,
+    Network,
+    SpikingNetwork,
+    SpikingSimulator,
+    Trainer,
+    convert_to_snn,
+)
+from repro.utils.rng import derive_rng
+from repro.workloads import BenchmarkSpec, get_benchmark
+
+__all__ = ["ExperimentSettings", "WorkloadContext", "PreparedWorkload"]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Runtime/fidelity knobs shared by all experiments.
+
+    The defaults are sized so the full figure suite runs in minutes on a
+    laptop; ``quick()`` returns a reduced configuration used by the pytest
+    benchmarks and smoke tests.
+    """
+
+    timesteps: int = 16
+    eval_samples: int = 4
+    train_samples: int = 128
+    test_samples: int = 32
+    train_epochs: int = 0
+    network_scale: float = 1.0
+    seed: int = 7
+
+    @staticmethod
+    def quick() -> "ExperimentSettings":
+        """A fast configuration for benchmarks and smoke tests."""
+        return ExperimentSettings(
+            timesteps=8,
+            eval_samples=2,
+            train_samples=32,
+            test_samples=16,
+            train_epochs=0,
+            network_scale=1.0,
+            seed=7,
+        )
+
+
+@dataclass
+class PreparedWorkload:
+    """A benchmark network prepared for architecture evaluation."""
+
+    spec: BenchmarkSpec
+    network: Network
+    snn: SpikingNetwork
+    dataset: SyntheticDataset
+    trace: ActivityTrace
+    accuracy: float | None
+
+    @property
+    def name(self) -> str:
+        """Benchmark name."""
+        return self.spec.name
+
+
+@dataclass
+class WorkloadContext:
+    """Builds and caches prepared workloads and architecture evaluations."""
+
+    settings: ExperimentSettings = field(default_factory=ExperimentSettings)
+    _workloads: dict[tuple[str, int], PreparedWorkload] = field(default_factory=dict, repr=False)
+
+    # -- workload preparation -----------------------------------------------------
+
+    def _inputs_for(self, spec: BenchmarkSpec, dataset: SyntheticDataset, split: str) -> np.ndarray:
+        images = dataset.train_images if split == "train" else dataset.test_images
+        if spec.is_mlp:
+            return images.reshape(images.shape[0], -1)
+        return images
+
+    def prepare(
+        self,
+        benchmark: str,
+        train_epochs: int | None = None,
+        weight_bits: int | None = None,
+    ) -> PreparedWorkload:
+        """Prepare one benchmark: build, (train), convert and trace it.
+
+        Results are cached per (benchmark, epochs); quantisation is applied
+        downstream by the precision study rather than here.
+        """
+        s = self.settings
+        epochs = s.train_epochs if train_epochs is None else train_epochs
+        cache_key = (benchmark, epochs)
+        if cache_key in self._workloads:
+            return self._workloads[cache_key]
+
+        spec = get_benchmark(benchmark)
+        network = spec.build(scale=s.network_scale, seed=s.seed)
+        dataset = make_dataset(
+            spec.dataset,
+            train_samples=s.train_samples,
+            test_samples=s.test_samples,
+            seed=s.seed,
+        )
+        train_inputs = self._inputs_for(spec, dataset, "train")
+        test_inputs = self._inputs_for(spec, dataset, "test")
+
+        if epochs > 0:
+            trainer = Trainer(
+                learning_rate=0.003,
+                optimizer="adam",
+                batch_size=32,
+                rng=derive_rng(s.seed, "trainer", benchmark),
+            )
+            trainer.fit(network, train_inputs, dataset.train_labels, epochs=epochs)
+
+        snn = convert_to_snn(network, train_inputs[: min(32, len(train_inputs))], ConversionSpec())
+        simulator = SpikingSimulator(
+            timesteps=s.timesteps,
+            encoder="poisson",
+            rng=derive_rng(s.seed, "sim", benchmark),
+        )
+        result = simulator.run(
+            snn,
+            test_inputs[: s.eval_samples],
+            dataset.test_labels[: s.eval_samples],
+        )
+        prepared = PreparedWorkload(
+            spec=spec,
+            network=network,
+            snn=snn,
+            dataset=dataset,
+            trace=result.trace,
+            accuracy=result.accuracy,
+        )
+        self._workloads[cache_key] = prepared
+        return prepared
+
+    # -- architecture evaluations -----------------------------------------------------
+
+    def map(self, workload: PreparedWorkload, crossbar_size: int) -> MappedNetwork:
+        """Map a prepared workload at the given MCA size."""
+        return map_network(workload.network, crossbar_size=crossbar_size)
+
+    def evaluate_resparc(
+        self,
+        workload: PreparedWorkload,
+        crossbar_size: int = 64,
+        event_driven: bool = True,
+        weight_bits: int = 4,
+    ) -> ResparcEvaluation:
+        """Evaluate one classification of a workload on RESPARC."""
+        config = (
+            ArchitectureConfig()
+            .with_crossbar_size(crossbar_size)
+            .with_event_driven(event_driven)
+            .with_weight_bits(weight_bits)
+        )
+        model = ResparcModel(config=config)
+        return model.evaluate(model.map(workload.network), workload.trace)
+
+    def evaluate_cmos(
+        self,
+        workload: PreparedWorkload,
+        weight_bits: int = 4,
+        event_driven: bool = True,
+    ) -> BaselineEvaluation:
+        """Evaluate one classification of a workload on the CMOS baseline."""
+        config = BaselineConfig(event_driven=event_driven).with_weight_bits(weight_bits)
+        return CmosBaselineModel(config=config).evaluate(workload.network, workload.trace)

@@ -1,0 +1,156 @@
+"""Fig. 12 — energy breakdowns across crossbar sizes.
+
+The paper breaks the per-classification energy of RESPARC into neuron /
+crossbar / peripherals and of the CMOS baseline into core / memory-access /
+memory-leakage, for every benchmark and for MCA sizes 32, 64 and 128
+(RESPARC-32/-64/-128).  The qualitative claims this experiment must
+reproduce:
+
+* MLPs on RESPARC get monotonically cheaper as the MCA grows,
+* CNNs on RESPARC are cheapest at MCA-64 (non-monotonic),
+* the CMOS baseline is memory dominated for MLPs and core dominated for CNNs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import ExperimentSettings, WorkloadContext
+from repro.workloads import list_benchmarks
+
+__all__ = ["Fig12Entry", "Fig12Result", "run_fig12"]
+
+#: MCA sizes studied by the paper.
+MCA_SIZES = (32, 64, 128)
+
+
+@dataclass(frozen=True)
+class Fig12Entry:
+    """RESPARC breakdown for one benchmark at one MCA size."""
+
+    benchmark: str
+    connectivity: str
+    crossbar_size: int
+    neuron_j: float
+    crossbar_j: float
+    peripherals_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total RESPARC energy per classification."""
+        return self.neuron_j + self.crossbar_j + self.peripherals_j
+
+
+@dataclass(frozen=True)
+class CmosBreakdownEntry:
+    """CMOS baseline breakdown for one benchmark."""
+
+    benchmark: str
+    connectivity: str
+    core_j: float
+    memory_access_j: float
+    memory_leakage_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total CMOS energy per classification."""
+        return self.core_j + self.memory_access_j + self.memory_leakage_j
+
+    @property
+    def memory_fraction(self) -> float:
+        """Fraction of the energy spent in the memory system."""
+        return (self.memory_access_j + self.memory_leakage_j) / self.total_j
+
+    @property
+    def core_fraction(self) -> float:
+        """Fraction of the energy spent in the compute core."""
+        return self.core_j / self.total_j
+
+
+@dataclass
+class Fig12Result:
+    """All breakdown entries of the Fig. 12 reproduction."""
+
+    resparc_entries: list[Fig12Entry] = field(default_factory=list)
+    cmos_entries: list[CmosBreakdownEntry] = field(default_factory=list)
+
+    def resparc_for(self, benchmark: str) -> dict[int, Fig12Entry]:
+        """RESPARC entries of one benchmark keyed by MCA size."""
+        return {
+            e.crossbar_size: e for e in self.resparc_entries if e.benchmark == benchmark
+        }
+
+    def cmos_for(self, benchmark: str) -> CmosBreakdownEntry:
+        """CMOS entry of one benchmark."""
+        for entry in self.cmos_entries:
+            if entry.benchmark == benchmark:
+                return entry
+        raise KeyError(f"no CMOS breakdown for {benchmark!r}")
+
+    def optimal_size(self, benchmark: str) -> int:
+        """MCA size minimising the RESPARC energy for a benchmark."""
+        entries = self.resparc_for(benchmark)
+        return min(entries, key=lambda size: entries[size].total_j)
+
+    def as_table(self) -> str:
+        """Render the breakdowns as fixed-width tables."""
+        lines = ["Fig. 12 reproduction — RESPARC energy breakdown (J/classification)"]
+        lines.append(
+            f"  {'benchmark':<14} {'size':>5} {'neuron':>11} {'crossbar':>11} "
+            f"{'peripherals':>12} {'total':>11}"
+        )
+        for entry in self.resparc_entries:
+            lines.append(
+                f"  {entry.benchmark:<14} {entry.crossbar_size:>5} {entry.neuron_j:>11.3e} "
+                f"{entry.crossbar_j:>11.3e} {entry.peripherals_j:>12.3e} {entry.total_j:>11.3e}"
+            )
+        lines.append("  CMOS baseline breakdown (J/classification)")
+        lines.append(
+            f"  {'benchmark':<14} {'core':>11} {'mem access':>11} {'mem leakage':>12} "
+            f"{'memory share':>13}"
+        )
+        for entry in self.cmos_entries:
+            lines.append(
+                f"  {entry.benchmark:<14} {entry.core_j:>11.3e} {entry.memory_access_j:>11.3e} "
+                f"{entry.memory_leakage_j:>12.3e} {entry.memory_fraction:>12.1%}"
+            )
+        return "\n".join(lines)
+
+
+def run_fig12(
+    settings: ExperimentSettings | None = None,
+    context: WorkloadContext | None = None,
+    benchmarks: list[str] | None = None,
+    sizes: tuple[int, ...] = MCA_SIZES,
+) -> Fig12Result:
+    """Reproduce Fig. 12 for the requested benchmarks (default: all six)."""
+    context = context or WorkloadContext(settings or ExperimentSettings())
+    names = benchmarks or [spec.name for spec in list_benchmarks()]
+    result = Fig12Result()
+    for name in names:
+        workload = context.prepare(name)
+        for size in sizes:
+            evaluation = context.evaluate_resparc(workload, crossbar_size=size)
+            groups = evaluation.energy.grouped()
+            result.resparc_entries.append(
+                Fig12Entry(
+                    benchmark=name,
+                    connectivity=workload.spec.connectivity,
+                    crossbar_size=size,
+                    neuron_j=groups.get("neuron", 0.0),
+                    crossbar_j=groups.get("crossbar", 0.0),
+                    peripherals_j=groups.get("peripherals", 0.0) + groups.get("other", 0.0),
+                )
+            )
+        cmos = context.evaluate_cmos(workload)
+        cmos_groups = cmos.energy.grouped()
+        result.cmos_entries.append(
+            CmosBreakdownEntry(
+                benchmark=name,
+                connectivity=workload.spec.connectivity,
+                core_j=cmos_groups.get("core", 0.0),
+                memory_access_j=cmos_groups.get("memory_access", 0.0),
+                memory_leakage_j=cmos_groups.get("memory_leakage", 0.0),
+            )
+        )
+    return result

@@ -1,0 +1,110 @@
+"""Fig. 13 — effect of SNN event-drivenness on RESPARC energy.
+
+The paper compares the per-classification energy of RESPARC with and without
+its event-driven optimisations (zero-check gating of packet transfers, bus
+broadcasts and crossbar evaluations) on the MNIST benchmarks, for MCA sizes
+128/64/32.  The claims to reproduce:
+
+* event-driven operation always saves energy,
+* the relative savings are largest for the smallest MCA size (short spike
+  packets are much more likely to be all zero than long ones),
+* MLPs benefit more than CNNs (sparse background pixels give MLPs long zero
+  run lengths, while CNNs observe dense foreground windows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import ExperimentSettings, WorkloadContext
+
+__all__ = ["Fig13Entry", "Fig13Result", "run_fig13"]
+
+#: MCA sizes of the paper's Fig. 13 panels (left to right).
+MCA_SIZES = (128, 64, 32)
+
+
+@dataclass(frozen=True)
+class Fig13Entry:
+    """Energy with/without event-drivenness at one MCA size."""
+
+    benchmark: str
+    connectivity: str
+    crossbar_size: int
+    energy_with_j: float
+    energy_without_j: float
+    neuron_with_j: float
+    crossbar_with_j: float
+    peripherals_with_j: float
+    peripherals_without_j: float
+
+    @property
+    def savings_fraction(self) -> float:
+        """Relative energy saved by event-driven operation."""
+        if self.energy_without_j == 0:
+            return 0.0
+        return 1.0 - self.energy_with_j / self.energy_without_j
+
+    @property
+    def peripheral_savings_fraction(self) -> float:
+        """Relative peripheral energy saved (the component the paper highlights)."""
+        if self.peripherals_without_j == 0:
+            return 0.0
+        return 1.0 - self.peripherals_with_j / self.peripherals_without_j
+
+
+@dataclass
+class Fig13Result:
+    """All entries of the Fig. 13 reproduction."""
+
+    entries: list[Fig13Entry] = field(default_factory=list)
+
+    def entries_for(self, benchmark: str) -> dict[int, Fig13Entry]:
+        """Entries of one benchmark keyed by MCA size."""
+        return {e.crossbar_size: e for e in self.entries if e.benchmark == benchmark}
+
+    def as_table(self) -> str:
+        """Render with/without energies and savings as a table."""
+        lines = [
+            "Fig. 13 reproduction — event-driven energy savings",
+            f"  {'benchmark':<14} {'size':>5} {'with ED (J)':>12} {'w/o ED (J)':>12} "
+            f"{'savings':>9}",
+        ]
+        for entry in self.entries:
+            lines.append(
+                f"  {entry.benchmark:<14} {entry.crossbar_size:>5} {entry.energy_with_j:>12.3e} "
+                f"{entry.energy_without_j:>12.3e} {entry.savings_fraction:>8.1%}"
+            )
+        return "\n".join(lines)
+
+
+def run_fig13(
+    settings: ExperimentSettings | None = None,
+    context: WorkloadContext | None = None,
+    benchmarks: tuple[str, ...] = ("mnist-mlp", "mnist-cnn"),
+    sizes: tuple[int, ...] = MCA_SIZES,
+) -> Fig13Result:
+    """Reproduce Fig. 13 (MNIST MLP and CNN by default, like the paper)."""
+    context = context or WorkloadContext(settings or ExperimentSettings())
+    result = Fig13Result()
+    for name in benchmarks:
+        workload = context.prepare(name)
+        for size in sizes:
+            with_ed = context.evaluate_resparc(workload, crossbar_size=size, event_driven=True)
+            without_ed = context.evaluate_resparc(workload, crossbar_size=size, event_driven=False)
+            with_groups = with_ed.energy.grouped()
+            without_groups = without_ed.energy.grouped()
+            result.entries.append(
+                Fig13Entry(
+                    benchmark=name,
+                    connectivity=workload.spec.connectivity,
+                    crossbar_size=size,
+                    energy_with_j=with_ed.energy_per_classification_j,
+                    energy_without_j=without_ed.energy_per_classification_j,
+                    neuron_with_j=with_groups.get("neuron", 0.0),
+                    crossbar_with_j=with_groups.get("crossbar", 0.0),
+                    peripherals_with_j=with_groups.get("peripherals", 0.0),
+                    peripherals_without_j=without_groups.get("peripherals", 0.0),
+                )
+            )
+    return result

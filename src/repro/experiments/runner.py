@@ -1,0 +1,98 @@
+"""Experiment runner: regenerate every figure of the paper's evaluation.
+
+``python -m repro.experiments.runner`` runs the Fig. 11-14 reproductions with
+the default settings and prints the same rows/series the paper reports,
+together with the published values for side-by-side comparison.  The
+structured results are also returned programmatically for tests and for
+EXPERIMENTS.md generation.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.experiments.common import ExperimentSettings, WorkloadContext
+from repro.experiments.fig11_comparison import Fig11Result, run_fig11
+from repro.experiments.fig12_breakdown import Fig12Result, run_fig12
+from repro.experiments.fig13_eventdriven import Fig13Result, run_fig13
+from repro.experiments.fig14_precision import Fig14Result, run_fig14
+from repro.utils.logging import RunLogger
+
+__all__ = ["ExperimentSuiteResult", "run_all", "main"]
+
+
+@dataclass
+class ExperimentSuiteResult:
+    """Structured results of the whole figure suite."""
+
+    fig11: Fig11Result
+    fig12: Fig12Result
+    fig13: Fig13Result
+    fig14: Fig14Result
+
+    def render(self) -> str:
+        """Render every figure's table."""
+        return "\n\n".join(
+            [
+                self.fig11.as_table(),
+                self.fig12.as_table(),
+                self.fig13.as_table(),
+                self.fig14.as_table(),
+            ]
+        )
+
+
+def run_all(
+    settings: ExperimentSettings | None = None,
+    include_accuracy: bool = True,
+    logger: RunLogger | None = None,
+) -> ExperimentSuiteResult:
+    """Run the full figure suite with a shared workload cache."""
+    logger = logger or RunLogger(name="experiments", echo=False)
+    settings = settings or ExperimentSettings()
+    context = WorkloadContext(settings)
+
+    logger.info("running Fig. 11 (energy/speedup comparison)")
+    fig11 = run_fig11(context=context)
+    logger.info("running Fig. 12 (energy breakdowns vs MCA size)")
+    fig12 = run_fig12(context=context)
+    logger.info("running Fig. 13 (event-driven savings)")
+    fig13 = run_fig13(context=context)
+    logger.info("running Fig. 14 (bit-discretisation)")
+    fig14 = run_fig14(context=context, include_accuracy=include_accuracy)
+
+    result = ExperimentSuiteResult(fig11=fig11, fig12=fig12, fig13=fig13, fig14=fig14)
+    for line in result.render().splitlines():
+        logger.result(line)
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description="Run the RESPARC figure reproductions")
+    parser.add_argument("--quick", action="store_true", help="use the fast settings")
+    parser.add_argument(
+        "--no-accuracy", action="store_true", help="skip the Fig. 14(a) accuracy sweep"
+    )
+    parser.add_argument("--timesteps", type=int, default=None, help="override rate-coding window")
+    args = parser.parse_args(argv)
+
+    settings = ExperimentSettings.quick() if args.quick else ExperimentSettings()
+    if args.timesteps is not None:
+        settings = ExperimentSettings(
+            timesteps=args.timesteps,
+            eval_samples=settings.eval_samples,
+            train_samples=settings.train_samples,
+            test_samples=settings.test_samples,
+            train_epochs=settings.train_epochs,
+            network_scale=settings.network_scale,
+            seed=settings.seed,
+        )
+    result = run_all(settings=settings, include_accuracy=not args.no_accuracy)
+    print(result.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

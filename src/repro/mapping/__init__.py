@@ -1,0 +1,46 @@
+"""The RESPARC mapping compiler.
+
+Turns an SNN's structure into an explicit allocation of crossbar tiles, mPEs
+and NeuroCells:
+
+* :mod:`repro.mapping.partitioner` — connectivity-matrix partitioning onto
+  fixed-size MCAs (with the CNN input-sharing optimisation).
+* :mod:`repro.mapping.placer` — tile → mPE → NeuroCell placement.
+* :mod:`repro.mapping.utilization` — utilisation aggregates.
+* :mod:`repro.mapping.mapper` — the high-level :func:`map_network` /
+  :func:`select_crossbar_size` API.
+* :mod:`repro.mapping.report` — textual reports.
+"""
+
+from repro.mapping.mapper import MappedNetwork, map_network, select_crossbar_size
+from repro.mapping.partitioner import (
+    LayerPartition,
+    TileGroup,
+    partition_layer,
+    partition_network_layers,
+)
+from repro.mapping.placer import LayerPlacement, Placement, place_partitions
+from repro.mapping.report import compare_crossbar_sizes, mapping_report
+from repro.mapping.utilization import (
+    UtilisationSummary,
+    summarise_utilisation,
+    utilisation_by_layer,
+)
+
+__all__ = [
+    "MappedNetwork",
+    "map_network",
+    "select_crossbar_size",
+    "LayerPartition",
+    "TileGroup",
+    "partition_layer",
+    "partition_network_layers",
+    "LayerPlacement",
+    "Placement",
+    "place_partitions",
+    "compare_crossbar_sizes",
+    "mapping_report",
+    "UtilisationSummary",
+    "summarise_utilisation",
+    "utilisation_by_layer",
+]

@@ -1,0 +1,179 @@
+"""High-level mapping API: SNN topology → RESPARC resources.
+
+:func:`map_network` is the entry point used throughout the repository: it
+extracts the structural connectivity of a network, partitions every layer
+over crossbars of the requested size, places the tiles onto mPEs and
+NeuroCells and returns a :class:`MappedNetwork` bundling all of it.
+
+:func:`select_crossbar_size` implements the structural half of the paper's
+"technology-aware" mapping claim: given the candidate MCA sizes a memristive
+technology permits, it picks the size that minimises a peripheral-versus-
+crossbar cost estimate (the experiments refine this choice with the full
+energy model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapping.partitioner import LayerPartition, partition_network_layers
+from repro.mapping.placer import Placement, place_partitions
+from repro.mapping.utilization import UtilisationSummary, summarise_utilisation
+from repro.snn.conversion import SpikingNetwork
+from repro.snn.network import Network
+from repro.snn.topology import LayerConnectivity, extract_connectivity
+
+__all__ = ["MappedNetwork", "map_network", "select_crossbar_size"]
+
+
+@dataclass
+class MappedNetwork:
+    """A network mapped onto RESPARC's reconfigurable hierarchy."""
+
+    network_name: str
+    crossbar_rows: int
+    crossbar_columns: int
+    connectivity: list[LayerConnectivity]
+    partitions: list[LayerPartition]
+    placement: Placement
+    utilisation: UtilisationSummary = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.utilisation = summarise_utilisation(self.partitions)
+
+    # -- aggregates ---------------------------------------------------------------
+
+    @property
+    def total_tiles(self) -> int:
+        """Total MCAs used."""
+        return self.utilisation.total_tiles
+
+    @property
+    def total_mpes(self) -> int:
+        """Total mPEs used."""
+        return self.placement.total_mpes
+
+    @property
+    def total_neurocells(self) -> int:
+        """Total NeuroCells used."""
+        return self.placement.total_neurocells
+
+    @property
+    def total_neurons(self) -> int:
+        """Total mapped neurons."""
+        return sum(c.n_outputs for c in self.connectivity)
+
+    @property
+    def total_synapses(self) -> int:
+        """Total mapped synapses."""
+        return sum(c.synapses for c in self.connectivity)
+
+    def partition_for(self, layer_index: int) -> LayerPartition:
+        """Partition of the layer at ``layer_index``."""
+        for partition in self.partitions:
+            if partition.layer.index == layer_index:
+                return partition
+        raise KeyError(f"no partition for layer index {layer_index}")
+
+    def summary(self) -> str:
+        """Human readable mapping summary."""
+        lines = [
+            f"MappedNetwork {self.network_name!r} on "
+            f"{self.crossbar_rows}x{self.crossbar_columns} MCAs",
+            f"  tiles={self.total_tiles} mPEs={self.total_mpes} "
+            f"NeuroCells={self.total_neurocells}",
+            f"  synapses={self.total_synapses} utilisation={self.utilisation.mean_utilisation:.3f}",
+        ]
+        for partition in self.partitions:
+            lines.append(
+                f"    layer {partition.layer.index} {partition.layer.name:<28} "
+                f"tiles={partition.tile_count:<6} tmux={partition.time_multiplex_degree:<3} "
+                f"util={partition.utilisation:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def _resolve_network(network: Network | SpikingNetwork) -> Network:
+    """Accept either an ANN or a converted SNN."""
+    if isinstance(network, SpikingNetwork):
+        return network.network
+    if isinstance(network, Network):
+        return network
+    raise TypeError(f"expected a Network or SpikingNetwork, got {type(network).__name__}")
+
+
+def map_network(
+    network: Network | SpikingNetwork,
+    crossbar_size: int = 64,
+    crossbar_columns: int | None = None,
+    mcas_per_mpe: int = 4,
+    mpes_per_neurocell: int = 16,
+) -> MappedNetwork:
+    """Map a network onto RESPARC crossbars, mPEs and NeuroCells.
+
+    Parameters
+    ----------
+    network:
+        The (spiking) network to map; only its structure is used.
+    crossbar_size:
+        MCA rows (and columns, unless ``crossbar_columns`` is given).  The
+        paper studies 32, 64 and 128.
+    crossbar_columns:
+        Optional distinct column count for rectangular MCAs.
+    mcas_per_mpe, mpes_per_neurocell:
+        Hierarchy parameters (4 and 16 in the paper's Fig. 8).
+    """
+    resolved = _resolve_network(network)
+    connectivity = extract_connectivity(resolved)
+    rows = int(crossbar_size)
+    columns = int(crossbar_columns) if crossbar_columns is not None else rows
+    partitions = partition_network_layers(connectivity, rows, columns)
+    placement = place_partitions(
+        partitions, mcas_per_mpe=mcas_per_mpe, mpes_per_neurocell=mpes_per_neurocell
+    )
+    return MappedNetwork(
+        network_name=resolved.name,
+        crossbar_rows=rows,
+        crossbar_columns=columns,
+        connectivity=connectivity,
+        partitions=partitions,
+        placement=placement,
+    )
+
+
+def select_crossbar_size(
+    network: Network | SpikingNetwork,
+    candidate_sizes: tuple[int, ...] = (32, 64, 128),
+    max_reliable_size: int | None = None,
+    peripheral_cost_per_tile: float = 1.0,
+    crossbar_cost_per_crosspoint: float = 0.004,
+) -> tuple[int, dict[int, float]]:
+    """Pick the most efficient MCA size a technology allows (structural heuristic).
+
+    The cost of a candidate size combines a per-tile peripheral term (more,
+    smaller tiles mean more buffers/control/communication — the reason large
+    MCAs help MLPs) and a per-allocated-crosspoint term (unused cross-points
+    in sparsely utilised tiles still cost area/energy — the reason very large
+    MCAs hurt CNNs).  Sizes above ``max_reliable_size`` (the technology
+    reliability limit motivated in Section 1 of the paper) are excluded.
+
+    Returns the selected size and the full cost table.
+    """
+    if not candidate_sizes:
+        raise ValueError("candidate_sizes must not be empty")
+    costs: dict[int, float] = {}
+    for size in candidate_sizes:
+        if max_reliable_size is not None and size > max_reliable_size:
+            continue
+        mapped = map_network(network, crossbar_size=size)
+        costs[size] = (
+            peripheral_cost_per_tile * mapped.total_tiles
+            + crossbar_cost_per_crosspoint * mapped.utilisation.total_crosspoints
+        )
+    if not costs:
+        raise ValueError(
+            "no candidate size satisfies the reliability limit "
+            f"(max_reliable_size={max_reliable_size})"
+        )
+    best = min(costs, key=costs.get)
+    return best, costs

@@ -1,0 +1,162 @@
+"""Placement of crossbar tiles onto mPEs and NeuroCells.
+
+After partitioning, every layer owns a number of crossbar tiles.  The placer
+assigns those tiles to macro Processing Engines (four MCAs per mPE in the
+paper's configuration) and packs mPEs into NeuroCells (a 4x4 array of mPEs per
+NC), producing the placement facts the architectural models need:
+
+* how many mPEs / NeuroCells the design occupies,
+* which layers share a NeuroCell with their successor (intra-NC spike
+  transfers ride the switch network) and which do not (inter-NC transfers are
+  serialised over the shared IO bus through the input SRAM, Fig. 7 of the
+  paper),
+* how many programmable switches are active.
+
+The placement is greedy and layer-ordered, mirroring the paper's logical
+dataflow: consecutive layers are placed in the same NeuroCell whenever they
+fit, because that converts expensive bus transfers into one-hop switch
+transfers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.mapping.partitioner import LayerPartition
+
+__all__ = ["LayerPlacement", "Placement", "place_partitions"]
+
+
+@dataclass(frozen=True)
+class LayerPlacement:
+    """Placement facts for one layer."""
+
+    layer_index: int
+    layer_name: str
+    tile_count: int
+    mpe_count: int
+    neurocell_ids: tuple[int, ...]
+    #: True when the *next* layer starts in the same NeuroCell this layer ends
+    #: in, so its output spikes travel over the switch network only.
+    output_stays_in_neurocell: bool
+
+    @property
+    def neurocell_count(self) -> int:
+        """NeuroCells spanned by this layer."""
+        return len(self.neurocell_ids)
+
+
+@dataclass
+class Placement:
+    """Complete placement of a partitioned network onto RESPARC."""
+
+    mcas_per_mpe: int
+    mpes_per_neurocell: int
+    layers: list[LayerPlacement] = field(default_factory=list)
+
+    @property
+    def total_mpes(self) -> int:
+        """mPEs used by the whole design."""
+        return sum(layer.mpe_count for layer in self.layers)
+
+    @property
+    def total_neurocells(self) -> int:
+        """NeuroCells used by the whole design."""
+        used: set[int] = set()
+        for layer in self.layers:
+            used.update(layer.neurocell_ids)
+        return len(used)
+
+    @property
+    def total_switches(self) -> int:
+        """Programmable switches active across the used NeuroCells.
+
+        A 4x4 mPE NeuroCell has a 3x3 switch array (Fig. 8 of the paper); the
+        general formula is ``(sqrt(mpes) - 1)^2`` per NeuroCell.
+        """
+        side = int(round(math.sqrt(self.mpes_per_neurocell)))
+        switches_per_nc = max(side - 1, 1) ** 2
+        return self.total_neurocells * switches_per_nc
+
+    def layer(self, layer_index: int) -> LayerPlacement:
+        """Placement record of the layer at ``layer_index``."""
+        for placement in self.layers:
+            if placement.layer_index == layer_index:
+                return placement
+        raise KeyError(f"no placement for layer index {layer_index}")
+
+    @property
+    def inter_neurocell_boundaries(self) -> int:
+        """Number of layer boundaries whose traffic must cross NeuroCells."""
+        return sum(1 for layer in self.layers[:-1] if not layer.output_stays_in_neurocell)
+
+
+def place_partitions(
+    partitions: list[LayerPartition],
+    mcas_per_mpe: int = 4,
+    mpes_per_neurocell: int = 16,
+) -> Placement:
+    """Greedily place partitioned layers onto mPEs and NeuroCells.
+
+    Layers are processed in network order.  Each layer receives whole mPEs
+    (tiles of different layers never share an mPE, keeping control simple);
+    mPEs are packed into the current NeuroCell until it is full, then a new
+    NeuroCell is opened.
+    """
+    if mcas_per_mpe <= 0 or mpes_per_neurocell <= 0:
+        raise ValueError("mcas_per_mpe and mpes_per_neurocell must be positive")
+    placement = Placement(mcas_per_mpe=mcas_per_mpe, mpes_per_neurocell=mpes_per_neurocell)
+
+    current_nc = 0
+    free_mpes_in_current_nc = mpes_per_neurocell
+    layer_records: list[dict] = []
+
+    for partition in partitions:
+        mpe_count = max(1, math.ceil(partition.tile_count / mcas_per_mpe))
+        neurocell_ids: list[int] = []
+        remaining = mpe_count
+        while remaining > 0:
+            if free_mpes_in_current_nc == 0:
+                current_nc += 1
+                free_mpes_in_current_nc = mpes_per_neurocell
+            take = min(remaining, free_mpes_in_current_nc)
+            neurocell_ids.append(current_nc)
+            free_mpes_in_current_nc -= take
+            remaining -= take
+        layer_records.append(
+            {
+                "layer_index": partition.layer.index,
+                "layer_name": partition.layer.name,
+                "tile_count": partition.tile_count,
+                "mpe_count": mpe_count,
+                "neurocell_ids": tuple(sorted(set(neurocell_ids))),
+                "last_nc": neurocell_ids[-1],
+            }
+        )
+
+    for position, record in enumerate(layer_records):
+        if position + 1 < len(layer_records):
+            next_partition = partitions[position + 1]
+            next_first_nc = layer_records[position + 1]["neurocell_ids"][0]
+            if next_partition.layer.kind in ("conv", "pool"):
+                # Spatially local consumers: the mapper co-locates each
+                # consumer tile with the producer tiles of its input window,
+                # so the traffic stays on the switch network even when the
+                # pair of layers spans several NeuroCells.
+                stays = True
+            else:
+                stays = record["last_nc"] == next_first_nc
+        else:
+            stays = True  # the final layer's outputs leave through the bus regardless
+        placement.layers.append(
+            LayerPlacement(
+                layer_index=record["layer_index"],
+                layer_name=record["layer_name"],
+                tile_count=record["tile_count"],
+                mpe_count=record["mpe_count"],
+                neurocell_ids=record["neurocell_ids"],
+                output_stays_in_neurocell=stays,
+            )
+        )
+    return placement

@@ -1,0 +1,59 @@
+"""Textual mapping reports.
+
+The mapping compiler's results are easiest to review as small tables: one row
+per layer with tile counts, time-multiplexing degrees and utilisation, plus a
+design-level header.  :func:`mapping_report` renders that table;
+:func:`compare_crossbar_sizes` renders the size-exploration table used when
+discussing the technology-aware mapping claim.
+"""
+
+from __future__ import annotations
+
+from repro.mapping.mapper import MappedNetwork, map_network
+from repro.snn.conversion import SpikingNetwork
+from repro.snn.network import Network
+
+__all__ = ["mapping_report", "compare_crossbar_sizes"]
+
+
+def mapping_report(mapped: MappedNetwork) -> str:
+    """Render a per-layer mapping table for one mapped network."""
+    header = (
+        f"Mapping of {mapped.network_name!r} onto {mapped.crossbar_rows}x"
+        f"{mapped.crossbar_columns} MCAs\n"
+        f"  MCAs: {mapped.total_tiles}   mPEs: {mapped.total_mpes}   "
+        f"NeuroCells: {mapped.total_neurocells}   "
+        f"mean utilisation: {mapped.utilisation.mean_utilisation:.1%}\n"
+    )
+    lines = [
+        header,
+        f"  {'layer':<30} {'kind':<6} {'neurons':>9} {'fan-in':>7} "
+        f"{'tiles':>7} {'tmux':>5} {'util':>7}",
+    ]
+    for partition in mapped.partitions:
+        layer = partition.layer
+        lines.append(
+            f"  {layer.name:<30} {layer.kind:<6} {layer.n_outputs:>9} {layer.fan_in:>7} "
+            f"{partition.tile_count:>7} {partition.time_multiplex_degree:>5} "
+            f"{partition.utilisation:>7.1%}"
+        )
+    return "\n".join(lines)
+
+
+def compare_crossbar_sizes(
+    network: Network | SpikingNetwork,
+    sizes: tuple[int, ...] = (32, 64, 128),
+) -> str:
+    """Render a table comparing resource usage across MCA sizes."""
+    lines = [
+        f"  {'MCA size':>9} {'tiles':>8} {'mPEs':>7} {'NCs':>5} "
+        f"{'utilisation':>12} {'crosspoints':>12}"
+    ]
+    for size in sizes:
+        mapped = map_network(network, crossbar_size=size)
+        lines.append(
+            f"  {size:>9} {mapped.total_tiles:>8} {mapped.total_mpes:>7} "
+            f"{mapped.total_neurocells:>5} {mapped.utilisation.mean_utilisation:>12.1%} "
+            f"{mapped.utilisation.total_crosspoints:>12}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Utilisation analysis of a partitioned / mapped design.
+
+The paper's central efficiency argument is about MCA utilisation: MLPs fill
+their crossbars completely while CNNs leave cross-points unused, and the
+unused fraction grows with crossbar size (Section 5.1/5.2).  These helpers
+compute the utilisation aggregates that the experiments and reports quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.mapping.partitioner import LayerPartition
+
+__all__ = ["UtilisationSummary", "summarise_utilisation", "utilisation_by_layer"]
+
+
+@dataclass(frozen=True)
+class UtilisationSummary:
+    """Design-level crossbar utilisation aggregates."""
+
+    crossbar_rows: int
+    crossbar_columns: int
+    total_tiles: int
+    total_synapses: int
+    total_crosspoints: int
+    mean_utilisation: float
+    mean_row_utilisation: float
+    mean_column_utilisation: float
+
+    @property
+    def wasted_crosspoints(self) -> int:
+        """Cross-points allocated but not holding synapses."""
+        return self.total_crosspoints - self.total_synapses
+
+
+def summarise_utilisation(partitions: list[LayerPartition]) -> UtilisationSummary:
+    """Aggregate utilisation statistics over all layers of a design."""
+    if not partitions:
+        raise ValueError("cannot summarise an empty partition list")
+    rows = partitions[0].crossbar_rows
+    columns = partitions[0].crossbar_columns
+    total_tiles = sum(p.tile_count for p in partitions)
+    total_synapses = sum(p.mapped_synapses for p in partitions)
+    total_crosspoints = sum(p.crosspoints for p in partitions)
+    tile_weighted = lambda attr: (
+        sum(getattr(p, attr) * p.tile_count for p in partitions) / total_tiles
+        if total_tiles
+        else 0.0
+    )
+    return UtilisationSummary(
+        crossbar_rows=rows,
+        crossbar_columns=columns,
+        total_tiles=total_tiles,
+        total_synapses=total_synapses,
+        total_crosspoints=total_crosspoints,
+        mean_utilisation=(total_synapses / total_crosspoints) if total_crosspoints else 0.0,
+        mean_row_utilisation=tile_weighted("row_utilisation"),
+        mean_column_utilisation=tile_weighted("column_utilisation"),
+    )
+
+
+def utilisation_by_layer(partitions: list[LayerPartition]) -> dict[str, float]:
+    """Per-layer crossbar utilisation keyed by layer name."""
+    return {p.layer.name: p.utilisation for p in partitions}

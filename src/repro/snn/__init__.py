@@ -1,0 +1,63 @@
+"""Spiking neural network substrate.
+
+Provides everything needed to build, train (offline), convert and
+functionally simulate the deep SNNs that RESPARC accelerates:
+
+* :mod:`repro.snn.neuron` — IF neuron dynamics.
+* :mod:`repro.snn.encoding` — rate-coded input spike encoders.
+* :mod:`repro.snn.layers` — dense/conv/pool/flatten layers with NumPy
+  training support.
+* :mod:`repro.snn.network` — the network container.
+* :mod:`repro.snn.topology` — structural connectivity extraction for the
+  mapping compiler.
+* :mod:`repro.snn.training` — offline ANN training (SGD/Adam).
+* :mod:`repro.snn.conversion` — ANN→SNN conversion with threshold balancing.
+* :mod:`repro.snn.functional` — the golden-model spiking simulator and the
+  activity traces consumed by the hardware models.
+"""
+
+from repro.snn.conversion import ConversionSpec, SpikingNetwork, convert_to_snn
+from repro.snn.encoding import (
+    DeterministicRateEncoder,
+    PoissonEncoder,
+    spike_train_statistics,
+)
+from repro.snn.functional import (
+    ActivityTrace,
+    LayerActivity,
+    SimulationResult,
+    SpikingSimulator,
+)
+from repro.snn.layers import AvgPool2D, Conv2D, Dense, Flatten, Layer
+from repro.snn.network import LayerInfo, Network
+from repro.snn.neuron import IFNeuronParameters, IFNeuronPool
+from repro.snn.topology import LayerConnectivity, extract_connectivity
+from repro.snn.training import Trainer, TrainingResult, cross_entropy_loss, softmax
+
+__all__ = [
+    "ConversionSpec",
+    "SpikingNetwork",
+    "convert_to_snn",
+    "DeterministicRateEncoder",
+    "PoissonEncoder",
+    "spike_train_statistics",
+    "ActivityTrace",
+    "LayerActivity",
+    "SimulationResult",
+    "SpikingSimulator",
+    "AvgPool2D",
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "Layer",
+    "LayerInfo",
+    "Network",
+    "IFNeuronParameters",
+    "IFNeuronPool",
+    "LayerConnectivity",
+    "extract_connectivity",
+    "Trainer",
+    "TrainingResult",
+    "cross_entropy_loss",
+    "softmax",
+]

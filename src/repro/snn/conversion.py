@@ -1,0 +1,138 @@
+"""ANN to SNN conversion with weight/threshold balancing.
+
+The paper's SNNs are obtained with the conversion flow of Diehl et al.
+(IJCNN'15, reference [4]): train a ReLU ANN offline, then run it as a
+rate-coded spiking network of IF neurons whose thresholds (equivalently,
+whose weight scales) are balanced so that no layer saturates or starves.
+
+:func:`convert_to_snn` implements data-based threshold balancing:
+
+1. run the trained ANN on a calibration batch,
+2. record, per weighted layer, the ``percentile``-th percentile of the
+   positive pre-activation values,
+3. use that value as the IF threshold of the layer (equivalently, normalise
+   the layer so its threshold is 1).
+
+Biases are dropped during conversion (the standard simplification, and what
+a bias-free crossbar mapping requires); training the benchmark networks with
+``use_bias=False`` avoids any accuracy impact from that simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.snn.layers import AvgPool2D, Conv2D, Dense, Flatten
+from repro.snn.network import Network
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["ConversionSpec", "SpikingNetwork", "convert_to_snn"]
+
+
+@dataclass(frozen=True)
+class ConversionSpec:
+    """Options controlling the ANN→SNN conversion.
+
+    Attributes
+    ----------
+    percentile:
+        Percentile of positive pre-activations used as the layer threshold
+        (99.0 in Diehl et al.; lower values trade accuracy for spike rate).
+    minimum_threshold:
+        Floor applied to the balanced thresholds so a dead layer cannot end
+        up with a zero threshold.
+    """
+
+    percentile: float = 99.0
+    minimum_threshold: float = 1e-3
+
+    def __post_init__(self) -> None:
+        check_probability("percentile/100", self.percentile / 100.0)
+        check_positive("minimum_threshold", self.minimum_threshold)
+
+
+@dataclass
+class SpikingNetwork:
+    """A converted rate-coded spiking network.
+
+    The spiking network shares the ANN's weight tensors (dropping biases) and
+    adds one IF threshold per computational layer.  It is consumed by the
+    functional simulator (:mod:`repro.snn.functional`) and by the mapping
+    compiler (structure only).
+    """
+
+    network: Network
+    thresholds: dict[int, float] = field(default_factory=dict)
+    spec: ConversionSpec = field(default_factory=ConversionSpec)
+
+    @property
+    def name(self) -> str:
+        """Name of the underlying network."""
+        return self.network.name
+
+    def threshold_for(self, layer_index: int) -> float:
+        """IF threshold of the layer at ``layer_index`` (1.0 for un-weighted layers)."""
+        return self.thresholds.get(layer_index, 1.0)
+
+    def layer_count(self) -> int:
+        """Number of layers in the underlying network."""
+        return len(self.network.layers)
+
+
+def _positive_percentile(values: np.ndarray, percentile: float) -> float:
+    """Percentile of the positive entries of ``values`` (0 if none are positive)."""
+    positives = values[values > 0]
+    if positives.size == 0:
+        return 0.0
+    return float(np.percentile(positives, percentile))
+
+
+def convert_to_snn(
+    network: Network,
+    calibration_inputs: np.ndarray,
+    spec: ConversionSpec | None = None,
+) -> SpikingNetwork:
+    """Convert a trained ReLU ANN into a threshold-balanced spiking network.
+
+    Parameters
+    ----------
+    network:
+        The trained ANN.  It is deep-copied; the original is not modified.
+    calibration_inputs:
+        A batch of representative inputs used to measure activation
+        percentiles (a few dozen samples suffice).
+    spec:
+        Conversion options.
+
+    Returns
+    -------
+    SpikingNetwork
+        The converted network with per-layer IF thresholds.
+    """
+    spec = spec or ConversionSpec()
+    snn = network.copy()
+
+    # Drop biases: crossbar columns integrate weighted spikes only.
+    for layer in snn.layers:
+        if isinstance(layer, (Dense, Conv2D)) and layer.bias is not None:
+            layer.bias = np.zeros_like(layer.bias)
+
+    thresholds: dict[int, float] = {}
+    activations = np.asarray(calibration_inputs, dtype=float)
+    if activations.ndim == len(snn.input_shape):  # single sample given
+        activations = activations[np.newaxis]
+    current = activations
+    for index, layer in enumerate(snn.layers):
+        if isinstance(layer, (Dense, Conv2D)):
+            pre_activation = layer.linear(current)
+            threshold = _positive_percentile(pre_activation, spec.percentile)
+            thresholds[index] = max(threshold, spec.minimum_threshold)
+        elif isinstance(layer, (AvgPool2D, Flatten)):
+            # Pooling and reshape layers pass rates through unchanged; their
+            # "threshold" stays at 1 so average pooling of rates is preserved.
+            pass
+        current = layer.forward(current)
+
+    return SpikingNetwork(network=snn, thresholds=thresholds, spec=spec)

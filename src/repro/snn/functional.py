@@ -1,0 +1,284 @@
+"""Functional (algorithm-level) spiking simulator.
+
+This is the golden model of the repository: it executes a converted
+:class:`repro.snn.conversion.SpikingNetwork` timestep by timestep with IF
+neuron dynamics, producing
+
+* classification results (spike-count voting on the output layer), and
+* an :class:`ActivityTrace` — the per-layer spike-activity statistics that
+  both hardware models (RESPARC and the CMOS baseline) consume, so the two
+  architectures are always evaluated on identical workload activity.
+
+The activity trace also records, per layer, the fraction of all-zero spike
+packets at several packet widths; that statistic drives the event-driven
+energy optimisation study (Fig. 13 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.snn.conversion import SpikingNetwork
+from repro.snn.encoding import DeterministicRateEncoder, PoissonEncoder
+from repro.snn.layers import AvgPool2D, Conv2D, Dense, Flatten
+from repro.snn.neuron import IFNeuronParameters, IFNeuronPool
+from repro.utils.validation import check_positive
+
+__all__ = ["LayerActivity", "ActivityTrace", "SimulationResult", "SpikingSimulator"]
+
+#: Packet widths for which zero-packet statistics are collected.  They match
+#: the crossbar sizes studied in the paper (32, 64, 128).
+PACKET_WIDTHS = (32, 64, 128)
+
+
+@dataclass
+class LayerActivity:
+    """Spiking activity statistics of one computational layer.
+
+    All ``*_rate`` quantities are averages per neuron per timestep; the
+    ``total_*`` quantities are averages per classified sample.
+    """
+
+    layer_index: int
+    name: str
+    kind: str
+    n_inputs: int
+    n_outputs: int
+    timesteps: int
+    samples: int
+    input_spike_rate: float
+    output_spike_rate: float
+    total_input_spikes: float
+    total_output_spikes: float
+    zero_packet_fraction: dict[int, float] = field(default_factory=dict)
+
+    def zero_packet_fraction_for(self, packet_bits: int) -> float:
+        """Zero-packet fraction for ``packet_bits``, interpolating if needed.
+
+        Exact widths in :data:`PACKET_WIDTHS` are returned directly; other
+        widths fall back to the analytical estimate ``(1 - rate)**bits`` which
+        matches the measured statistics for independent spikes.
+        """
+        if packet_bits in self.zero_packet_fraction:
+            return self.zero_packet_fraction[packet_bits]
+        return float((1.0 - self.input_spike_rate) ** packet_bits)
+
+
+@dataclass
+class ActivityTrace:
+    """Per-layer activity statistics for one simulated batch."""
+
+    network_name: str
+    timesteps: int
+    samples: int
+    layers: list[LayerActivity]
+
+    def layer(self, layer_index: int) -> LayerActivity:
+        """Activity record of the layer at ``layer_index``."""
+        for activity in self.layers:
+            if activity.layer_index == layer_index:
+                return activity
+        raise KeyError(f"no activity recorded for layer index {layer_index}")
+
+    @property
+    def mean_input_rate(self) -> float:
+        """Spike rate averaged over every layer input in the network."""
+        total_inputs = sum(a.n_inputs for a in self.layers)
+        if total_inputs == 0:
+            return 0.0
+        return sum(a.input_spike_rate * a.n_inputs for a in self.layers) / total_inputs
+
+    @property
+    def total_spikes_per_sample(self) -> float:
+        """Total spikes communicated between layers per classified sample."""
+        return sum(a.total_input_spikes for a in self.layers)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating a batch of inputs."""
+
+    predictions: np.ndarray
+    spike_counts: np.ndarray
+    accuracy: float | None
+    trace: ActivityTrace
+
+
+class SpikingSimulator:
+    """Runs a converted spiking network with IF dynamics.
+
+    Parameters
+    ----------
+    timesteps:
+        Number of rate-coding timesteps per classification.
+    encoder:
+        ``"poisson"`` (stochastic, the paper's setting) or ``"deterministic"``
+        (error-diffusion rate coding, useful for exact tests).
+    max_rate:
+        Input spike probability for a full-intensity pixel.
+    rng:
+        Generator for the Poisson encoder.
+    """
+
+    def __init__(
+        self,
+        timesteps: int = 32,
+        encoder: str = "poisson",
+        max_rate: float = 1.0,
+        rng: np.random.Generator | None = None,
+    ):
+        check_positive("timesteps", timesteps)
+        if encoder not in ("poisson", "deterministic"):
+            raise ValueError(f"encoder must be 'poisson' or 'deterministic', got {encoder!r}")
+        self.timesteps = int(timesteps)
+        self.encoder_kind = encoder
+        self.max_rate = max_rate
+        self.rng = rng or np.random.default_rng(0)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _encode(self, inputs: np.ndarray) -> np.ndarray:
+        if self.encoder_kind == "poisson":
+            encoder = PoissonEncoder(rng=self.rng, max_rate=self.max_rate)
+        else:
+            encoder = DeterministicRateEncoder(max_rate=self.max_rate)
+        return encoder.encode(inputs, self.timesteps)
+
+    @staticmethod
+    def _zero_packet_counts(spikes: np.ndarray, widths=PACKET_WIDTHS) -> dict[int, tuple[int, int]]:
+        """Count (zero_packets, total_packets) per width for a (batch, n) spike array."""
+        flat = spikes.reshape(spikes.shape[0], -1)
+        batch, n = flat.shape
+        counts: dict[int, tuple[int, int]] = {}
+        for width in widths:
+            n_packets = int(np.ceil(n / width))
+            padded = np.zeros((batch, n_packets * width))
+            padded[:, :n] = flat
+            packet_sums = padded.reshape(batch, n_packets, width).sum(axis=2)
+            counts[width] = (int((packet_sums == 0).sum()), batch * n_packets)
+        return counts
+
+    # -- main entry point ---------------------------------------------------------
+
+    def run(
+        self,
+        snn: SpikingNetwork,
+        inputs: np.ndarray,
+        labels: np.ndarray | None = None,
+    ) -> SimulationResult:
+        """Simulate a batch of inputs through the spiking network.
+
+        Parameters
+        ----------
+        snn:
+            The converted spiking network.
+        inputs:
+            Batch of analog inputs in ``[0, 1]`` with shape
+            ``(batch,) + network.input_shape``.
+        labels:
+            Optional integer labels; when given, accuracy is computed.
+
+        Returns
+        -------
+        SimulationResult
+        """
+        network = snn.network
+        x = np.asarray(inputs, dtype=float)
+        expected = (x.shape[0],) + network.input_shape
+        if x.shape != expected:
+            raise ValueError(f"inputs have shape {x.shape}, expected {expected}")
+        batch = x.shape[0]
+        spike_train = self._encode(x)
+
+        shapes = network.layer_shapes()
+        pools: dict[int, IFNeuronPool] = {}
+        for index, (layer, (_, out_shape)) in enumerate(zip(network.layers, shapes)):
+            if isinstance(layer, (Dense, Conv2D, AvgPool2D)):
+                pools[index] = IFNeuronPool(
+                    (batch,) + out_shape,
+                    IFNeuronParameters(threshold=snn.threshold_for(index)),
+                )
+
+        # Per-layer accumulators.
+        input_spike_totals: dict[int, float] = {i: 0.0 for i in pools}
+        output_spike_totals: dict[int, float] = {i: 0.0 for i in pools}
+        zero_counts: dict[int, dict[int, list[int]]] = {
+            i: {w: [0, 0] for w in PACKET_WIDTHS} for i in pools
+        }
+
+        output_index = len(network.layers) - 1
+        output_spike_count = np.zeros((batch,) + shapes[-1][1])
+
+        for t in range(self.timesteps):
+            current_spikes = spike_train[t]
+            for index, layer in enumerate(network.layers):
+                if isinstance(layer, Flatten):
+                    current_spikes = layer.forward(current_spikes)
+                    continue
+                pool = pools[index]
+                input_spike_totals[index] += float(current_spikes.sum())
+                for width, (zeros, total) in self._zero_packet_counts(current_spikes).items():
+                    zero_counts[index][width][0] += zeros
+                    zero_counts[index][width][1] += total
+                if isinstance(layer, (Dense, Conv2D)):
+                    drive = layer.linear(current_spikes)
+                else:  # AvgPool2D
+                    drive = layer.forward(current_spikes)
+                current_spikes = pool.step(drive)
+                output_spike_totals[index] += float(current_spikes.sum())
+            output_spike_count += current_spikes if current_spikes.shape == output_spike_count.shape else 0.0
+
+        # Prediction: spike-count vote with residual membrane as tie breaker.
+        final_pool = pools[output_index]
+        score = final_pool.spike_count + 1e-3 * final_pool.membrane
+        predictions = np.argmax(score.reshape(batch, -1), axis=1)
+        accuracy = None
+        if labels is not None:
+            accuracy = float(np.mean(predictions == np.asarray(labels, dtype=int)))
+
+        activities: list[LayerActivity] = []
+        for index, layer in enumerate(network.layers):
+            if index not in pools:
+                continue
+            in_shape, out_shape = shapes[index]
+            n_in = int(np.prod(in_shape))
+            n_out = int(np.prod(out_shape))
+            denom = batch * self.timesteps
+            zero_fracs = {
+                w: (zero_counts[index][w][0] / zero_counts[index][w][1])
+                if zero_counts[index][w][1]
+                else 1.0
+                for w in PACKET_WIDTHS
+            }
+            kind = "dense" if isinstance(layer, Dense) else "conv" if isinstance(layer, Conv2D) else "pool"
+            activities.append(
+                LayerActivity(
+                    layer_index=index,
+                    name=layer.name,
+                    kind=kind,
+                    n_inputs=n_in,
+                    n_outputs=n_out,
+                    timesteps=self.timesteps,
+                    samples=batch,
+                    input_spike_rate=input_spike_totals[index] / (denom * n_in),
+                    output_spike_rate=output_spike_totals[index] / (denom * n_out),
+                    total_input_spikes=input_spike_totals[index] / batch,
+                    total_output_spikes=output_spike_totals[index] / batch,
+                    zero_packet_fraction=zero_fracs,
+                )
+            )
+
+        trace = ActivityTrace(
+            network_name=network.name,
+            timesteps=self.timesteps,
+            samples=batch,
+            layers=activities,
+        )
+        return SimulationResult(
+            predictions=predictions,
+            spike_counts=final_pool.spike_count.reshape(batch, -1),
+            accuracy=accuracy,
+            trace=trace,
+        )

@@ -1,0 +1,496 @@
+"""Neural-network layers.
+
+The layer classes double as (a) a small NumPy deep-learning framework used to
+train the benchmark networks offline (the paper trains its SNNs offline with
+a supervised algorithm and only evaluates inference), and (b) the structural
+description that the RESPARC mapping compiler consumes (fan-in, connectivity
+kind, weight tensors).
+
+Layout conventions
+------------------
+* Dense activations: ``(batch, features)``; weights ``(n_in, n_out)``.
+* Convolutional activations: ``(batch, height, width, channels)`` (NHWC);
+  weights ``(kh, kw, c_in, c_out)``, stride 1, padding ``"valid"`` or
+  ``"same"``.
+* All layers implement ``forward`` and ``backward`` (for training) and
+  ``linear`` (the weighted-sum-only transform used by the spiking
+  simulator, i.e. the forward pass without the nonlinearity).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "AvgPool2D",
+    "Flatten",
+    "im2col",
+    "col2im",
+]
+
+
+# ---------------------------------------------------------------------------
+# im2col helpers (stride-1 convolutions)
+# ---------------------------------------------------------------------------
+
+
+def _pad_amounts(kernel: int, padding: str) -> tuple[int, int]:
+    """Return (before, after) zero-padding for one spatial axis."""
+    if padding == "valid":
+        return 0, 0
+    if padding == "same":
+        total = kernel - 1
+        return total // 2, total - total // 2
+    raise ValueError(f"padding must be 'valid' or 'same', got {padding!r}")
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, padding: str) -> tuple[np.ndarray, tuple[int, int]]:
+    """Rearrange image patches into rows for matrix-multiply convolution.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(batch, height, width, channels)``.
+    kh, kw:
+        Kernel height and width.
+    padding:
+        ``"valid"`` or ``"same"`` (stride is always 1).
+
+    Returns
+    -------
+    (cols, (out_h, out_w))
+        ``cols`` has shape ``(batch * out_h * out_w, kh * kw * channels)``.
+    """
+    batch, height, width, channels = x.shape
+    ph = _pad_amounts(kh, padding)
+    pw = _pad_amounts(kw, padding)
+    padded = np.pad(x, ((0, 0), ph, pw, (0, 0)))
+    out_h = padded.shape[1] - kh + 1
+    out_w = padded.shape[2] - kw + 1
+    strides = padded.strides
+    view = np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(batch, out_h, out_w, kh, kw, channels),
+        strides=(strides[0], strides[1], strides[2], strides[1], strides[2], strides[3]),
+        writeable=False,
+    )
+    cols = view.reshape(batch * out_h * out_w, kh * kw * channels)
+    return cols, (out_h, out_w)
+
+
+def col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    padding: str,
+) -> np.ndarray:
+    """Inverse of :func:`im2col` for gradient propagation (scatter-add)."""
+    batch, height, width, channels = input_shape
+    ph = _pad_amounts(kh, padding)
+    pw = _pad_amounts(kw, padding)
+    padded_h = height + ph[0] + ph[1]
+    padded_w = width + pw[0] + pw[1]
+    out_h = padded_h - kh + 1
+    out_w = padded_w - kw + 1
+    grad_padded = np.zeros((batch, padded_h, padded_w, channels))
+    cols = cols.reshape(batch, out_h, out_w, kh, kw, channels)
+    for i in range(kh):
+        for j in range(kw):
+            grad_padded[:, i : i + out_h, j : j + out_w, :] += cols[:, :, :, i, j, :]
+    return grad_padded[:, ph[0] : ph[0] + height, pw[0] : pw[0] + width, :]
+
+
+# ---------------------------------------------------------------------------
+# Layer base class
+# ---------------------------------------------------------------------------
+
+
+def _apply_activation(z: np.ndarray, activation: str | None) -> np.ndarray:
+    if activation is None or activation == "linear":
+        return z
+    if activation == "relu":
+        return np.maximum(z, 0.0)
+    raise ValueError(f"unsupported activation {activation!r}")
+
+
+def _activation_gradient(z: np.ndarray, activation: str | None) -> np.ndarray:
+    if activation is None or activation == "linear":
+        return np.ones_like(z)
+    if activation == "relu":
+        return (z > 0).astype(float)
+    raise ValueError(f"unsupported activation {activation!r}")
+
+
+class Layer(ABC):
+    """Base class for all layers."""
+
+    name: str
+
+    @abstractmethod
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        """Shape of the per-sample output given the per-sample input shape."""
+
+    @abstractmethod
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Full forward pass (weighted sum + activation where applicable)."""
+
+    @abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output`` and cache parameter gradients."""
+
+    def linear(self, x: np.ndarray) -> np.ndarray:
+        """Weighted-sum-only transform (defaults to :meth:`forward`)."""
+        return self.forward(x)
+
+    # Parameter access — layers without parameters return empty dicts.
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        """Trainable parameters by name."""
+        return {}
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        """Gradients of the trainable parameters (after ``backward``)."""
+        return {}
+
+    @property
+    def parameter_count(self) -> int:
+        """Total number of trainable scalars."""
+        return int(sum(p.size for p in self.parameters().values()))
+
+
+# ---------------------------------------------------------------------------
+# Dense
+# ---------------------------------------------------------------------------
+
+
+class Dense(Layer):
+    """Fully connected layer: ``y = activation(x W + b)``.
+
+    Parameters
+    ----------
+    n_in, n_out:
+        Input and output feature counts.
+    activation:
+        ``"relu"`` (default, the activation used for ANN→SNN conversion) or
+        ``None`` for a linear output layer.
+    use_bias:
+        Biases are supported for training but are typically folded away (or
+        disabled) before mapping onto crossbars.
+    rng:
+        Generator used for He-uniform weight initialisation.
+    """
+
+    def __init__(
+        self,
+        n_in: int,
+        n_out: int,
+        activation: str | None = "relu",
+        use_bias: bool = True,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ):
+        if n_in <= 0 or n_out <= 0:
+            raise ValueError(f"n_in and n_out must be positive, got {n_in}, {n_out}")
+        rng = rng or np.random.default_rng(0)
+        limit = float(np.sqrt(6.0 / n_in))
+        self.n_in = n_in
+        self.n_out = n_out
+        self.activation = activation
+        self.use_bias = use_bias
+        self.weights = rng.uniform(-limit, limit, size=(n_in, n_out))
+        self.bias = np.zeros(n_out) if use_bias else None
+        self.name = name or f"dense_{n_in}x{n_out}"
+        self._cache: dict[str, np.ndarray] = {}
+        self._grads: dict[str, np.ndarray] = {}
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        flat = int(np.prod(input_shape))
+        if flat != self.n_in:
+            raise ValueError(
+                f"{self.name}: input shape {input_shape} has {flat} features, expected {self.n_in}"
+            )
+        return (self.n_out,)
+
+    def _preactivation(self, x: np.ndarray) -> np.ndarray:
+        x2d = x.reshape(x.shape[0], -1)
+        z = x2d @ self.weights
+        if self.bias is not None:
+            z = z + self.bias
+        return z
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        z = self._preactivation(x)
+        if training:
+            self._cache = {"x": x.reshape(x.shape[0], -1), "z": z}
+        return _apply_activation(z, self.activation)
+
+    def linear(self, x: np.ndarray) -> np.ndarray:
+        """Weighted sums without bias or activation (crossbar semantics)."""
+        return x.reshape(x.shape[0], -1) @ self.weights
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError(f"{self.name}: backward called before a training forward pass")
+        x, z = self._cache["x"], self._cache["z"]
+        grad_z = grad_output * _activation_gradient(z, self.activation)
+        self._grads = {"weights": x.T @ grad_z}
+        if self.bias is not None:
+            self._grads["bias"] = grad_z.sum(axis=0)
+        return grad_z @ self.weights.T
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        params = {"weights": self.weights}
+        if self.bias is not None:
+            params["bias"] = self.bias
+        return params
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        return self._grads
+
+
+# ---------------------------------------------------------------------------
+# Conv2D
+# ---------------------------------------------------------------------------
+
+
+class Conv2D(Layer):
+    """2-D convolution (stride 1) with NHWC layout.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Square kernel side length.
+    padding:
+        ``"valid"`` (default) or ``"same"``.
+    in_channel_limit:
+        When set, each output channel connects to only this many input
+        channels (a LeNet-style sparse connection table, assigned round
+        robin).  This is how the paper-scale CNN benchmarks keep their
+        per-neuron fan-in and synapse counts at the published values.
+        ``None`` (default) connects every output channel to every input
+        channel.
+    activation, use_bias, rng, name:
+        As for :class:`Dense`.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 5,
+        padding: str = "valid",
+        in_channel_limit: int | None = None,
+        activation: str | None = "relu",
+        use_bias: bool = True,
+        rng: np.random.Generator | None = None,
+        name: str | None = None,
+    ):
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ValueError("in_channels, out_channels and kernel_size must be positive")
+        _pad_amounts(kernel_size, padding)  # validates padding
+        if in_channel_limit is not None and not 1 <= in_channel_limit <= in_channels:
+            raise ValueError(
+                f"in_channel_limit must be in [1, {in_channels}], got {in_channel_limit}"
+            )
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.padding = padding
+        self.in_channel_limit = in_channel_limit
+        self.activation = activation
+        self.use_bias = use_bias
+        self.connection_mask = self._build_connection_mask()
+        limit = float(np.sqrt(6.0 / self.fan_in))
+        self.weights = rng.uniform(
+            -limit, limit, size=(kernel_size, kernel_size, in_channels, out_channels)
+        )
+        self.weights *= self.connection_mask
+        self.bias = np.zeros(out_channels) if use_bias else None
+        self.name = name or f"conv_{kernel_size}x{kernel_size}x{in_channels}to{out_channels}"
+        self._cache: dict[str, object] = {}
+        self._grads: dict[str, np.ndarray] = {}
+
+    def _build_connection_mask(self) -> np.ndarray:
+        """Boolean (as float) mask selecting which input channels feed each output."""
+        mask = np.ones((self.kernel_size, self.kernel_size, self.in_channels, self.out_channels))
+        if self.in_channel_limit is None or self.in_channel_limit == self.in_channels:
+            return mask
+        mask[:] = 0.0
+        for out_ch in range(self.out_channels):
+            selected = [
+                (out_ch + offset) % self.in_channels for offset in range(self.in_channel_limit)
+            ]
+            mask[:, :, selected, out_ch] = 1.0
+        return mask
+
+    @property
+    def connected_in_channels(self) -> int:
+        """Input channels each output channel actually connects to."""
+        return self.in_channel_limit or self.in_channels
+
+    @property
+    def fan_in(self) -> int:
+        """Inputs per output neuron."""
+        return self.kernel_size * self.kernel_size * self.connected_in_channels
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ValueError(
+                f"{self.name}: expects (height, width, channels) input, got {input_shape}"
+            )
+        height, width, channels = input_shape
+        if channels != self.in_channels:
+            raise ValueError(
+                f"{self.name}: input has {channels} channels, expected {self.in_channels}"
+            )
+        ph = sum(_pad_amounts(self.kernel_size, self.padding))
+        out_h = height + ph - self.kernel_size + 1
+        out_w = width + ph - self.kernel_size + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(f"{self.name}: input {input_shape} too small for the kernel")
+        return (out_h, out_w, self.out_channels)
+
+    def _forward_impl(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray, tuple[int, int]]:
+        cols, (out_h, out_w) = im2col(x, self.kernel_size, self.kernel_size, self.padding)
+        w_flat = self.weights.reshape(-1, self.out_channels)
+        z = cols @ w_flat
+        if self.bias is not None:
+            z = z + self.bias
+        z = z.reshape(x.shape[0], out_h, out_w, self.out_channels)
+        return z, cols, (out_h, out_w)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        z, cols, _ = self._forward_impl(x)
+        if training:
+            self._cache = {"cols": cols, "z": z, "x_shape": x.shape}
+        return _apply_activation(z, self.activation)
+
+    def linear(self, x: np.ndarray) -> np.ndarray:
+        """Weighted sums without bias or activation (crossbar semantics)."""
+        cols, (out_h, out_w) = im2col(x, self.kernel_size, self.kernel_size, self.padding)
+        z = cols @ self.weights.reshape(-1, self.out_channels)
+        return z.reshape(x.shape[0], out_h, out_w, self.out_channels)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError(f"{self.name}: backward called before a training forward pass")
+        cols: np.ndarray = self._cache["cols"]  # type: ignore[assignment]
+        z: np.ndarray = self._cache["z"]  # type: ignore[assignment]
+        x_shape: tuple[int, int, int, int] = self._cache["x_shape"]  # type: ignore[assignment]
+        grad_z = grad_output * _activation_gradient(z, self.activation)
+        grad_z_flat = grad_z.reshape(-1, self.out_channels)
+        self._grads = {
+            # Masked connections stay at exactly zero throughout training.
+            "weights": (cols.T @ grad_z_flat).reshape(self.weights.shape) * self.connection_mask,
+        }
+        if self.bias is not None:
+            self._grads["bias"] = grad_z_flat.sum(axis=0)
+        grad_cols = grad_z_flat @ self.weights.reshape(-1, self.out_channels).T
+        return col2im(grad_cols, x_shape, self.kernel_size, self.kernel_size, self.padding)
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        params = {"weights": self.weights}
+        if self.bias is not None:
+            params["bias"] = self.bias
+        return params
+
+    def gradients(self) -> dict[str, np.ndarray]:
+        return self._grads
+
+    @property
+    def parameter_count(self) -> int:
+        """Trainable scalars, excluding masked-out connections."""
+        count = int(self.connection_mask.sum())
+        if self.bias is not None:
+            count += self.bias.size
+        return count
+
+
+# ---------------------------------------------------------------------------
+# AvgPool2D
+# ---------------------------------------------------------------------------
+
+
+class AvgPool2D(Layer):
+    """Non-overlapping average pooling (the sub-sampling layer of the paper's CNNs).
+
+    Average pooling is the standard choice for converted SNNs because the
+    averaging can be realised with fixed positive weights (``1/k^2``) on a
+    crossbar, unlike max pooling.
+    """
+
+    def __init__(self, pool_size: int = 2, name: str | None = None):
+        if pool_size <= 0:
+            raise ValueError(f"pool_size must be positive, got {pool_size}")
+        self.pool_size = pool_size
+        self.name = name or f"avgpool_{pool_size}"
+        self._cache: dict[str, object] = {}
+
+    @property
+    def fan_in(self) -> int:
+        """Inputs per output neuron."""
+        return self.pool_size * self.pool_size
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ValueError(f"{self.name}: expects (height, width, channels), got {input_shape}")
+        height, width, channels = input_shape
+        if height % self.pool_size or width % self.pool_size:
+            raise ValueError(
+                f"{self.name}: spatial dims {height}x{width} not divisible by {self.pool_size}"
+            )
+        return (height // self.pool_size, width // self.pool_size, channels)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        batch, height, width, channels = x.shape
+        k = self.pool_size
+        out = x.reshape(batch, height // k, k, width // k, k, channels).mean(axis=(2, 4))
+        if training:
+            self._cache = {"x_shape": x.shape}
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError(f"{self.name}: backward called before a training forward pass")
+        x_shape: tuple[int, int, int, int] = self._cache["x_shape"]  # type: ignore[assignment]
+        k = self.pool_size
+        grad = grad_output / (k * k)
+        grad = np.repeat(np.repeat(grad, k, axis=1), k, axis=2)
+        return grad.reshape(x_shape)
+
+
+# ---------------------------------------------------------------------------
+# Flatten
+# ---------------------------------------------------------------------------
+
+
+class Flatten(Layer):
+    """Flattens spatial activations into a feature vector (no parameters)."""
+
+    def __init__(self, name: str | None = None):
+        self.name = name or "flatten"
+        self._cache: dict[str, object] = {}
+
+    def output_shape(self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            self._cache = {"x_shape": x.shape}
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if not self._cache:
+            raise RuntimeError(f"{self.name}: backward called before a training forward pass")
+        x_shape: tuple[int, ...] = self._cache["x_shape"]  # type: ignore[assignment]
+        return grad_output.reshape(x_shape)

@@ -1,0 +1,178 @@
+"""Network container.
+
+A :class:`Network` is an ordered sequence of layers with a fixed input shape.
+It provides the ANN forward pass used during training and conversion, shape
+inference, parameter/synapse counting (reported against Fig. 10 of the
+paper), and deep copies used by the quantisation and conversion passes.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.snn.layers import AvgPool2D, Conv2D, Dense, Flatten, Layer
+
+__all__ = ["LayerInfo", "Network"]
+
+
+@dataclass(frozen=True)
+class LayerInfo:
+    """Summary of one layer within a network."""
+
+    index: int
+    name: str
+    kind: str
+    input_shape: tuple[int, ...]
+    output_shape: tuple[int, ...]
+    neurons: int
+    fan_in: int
+    synapses: int
+    parameters: int
+
+
+class Network:
+    """An ordered feed-forward stack of layers.
+
+    Parameters
+    ----------
+    input_shape:
+        Per-sample input shape, e.g. ``(784,)`` for MNIST MLPs or
+        ``(28, 28, 1)`` for MNIST CNNs.
+    layers:
+        Layer instances applied in order.
+    name:
+        Optional identifier used in reports.
+    """
+
+    def __init__(self, input_shape: tuple[int, ...], layers: list[Layer], name: str = "network"):
+        if not layers:
+            raise ValueError("a network needs at least one layer")
+        self.input_shape = tuple(int(d) for d in input_shape)
+        self.layers = list(layers)
+        self.name = name
+        # Validate shapes eagerly so construction errors point at the layer.
+        self.layer_shapes()
+
+    # -- structure -----------------------------------------------------------
+
+    def layer_shapes(self) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+        """Per-layer (input_shape, output_shape) pairs."""
+        shapes = []
+        current = self.input_shape
+        for layer in self.layers:
+            out = layer.output_shape(current)
+            shapes.append((current, out))
+            current = out
+        return shapes
+
+    @property
+    def output_shape(self) -> tuple[int, ...]:
+        """Per-sample output shape of the final layer."""
+        return self.layer_shapes()[-1][1]
+
+    def layer_info(self) -> list[LayerInfo]:
+        """Structural summary of every layer (neurons, fan-in, synapses)."""
+        infos = []
+        for index, (layer, (in_shape, out_shape)) in enumerate(zip(self.layers, self.layer_shapes())):
+            neurons = int(np.prod(out_shape))
+            if isinstance(layer, Dense):
+                kind, fan_in = "dense", layer.n_in
+                synapses = layer.n_in * layer.n_out
+            elif isinstance(layer, Conv2D):
+                kind, fan_in = "conv", layer.fan_in
+                synapses = neurons * layer.fan_in
+            elif isinstance(layer, AvgPool2D):
+                kind, fan_in = "pool", layer.fan_in
+                synapses = neurons * layer.fan_in
+            elif isinstance(layer, Flatten):
+                kind, fan_in, synapses = "reshape", 0, 0
+            else:
+                kind, fan_in, synapses = "other", 0, 0
+            infos.append(
+                LayerInfo(
+                    index=index,
+                    name=layer.name,
+                    kind=kind,
+                    input_shape=in_shape,
+                    output_shape=out_shape,
+                    neurons=neurons,
+                    fan_in=fan_in,
+                    synapses=synapses,
+                    parameters=layer.parameter_count,
+                )
+            )
+        return infos
+
+    @property
+    def neuron_count(self) -> int:
+        """Total neurons excluding the input layer (the paper's convention).
+
+        Reshape-only layers contribute no neurons.
+        """
+        return sum(info.neurons for info in self.layer_info() if info.kind != "reshape")
+
+    @property
+    def synapse_count(self) -> int:
+        """Total unique connections across weighted and pooling layers."""
+        return sum(info.synapses for info in self.layer_info())
+
+    @property
+    def parameter_count(self) -> int:
+        """Total trainable parameters."""
+        return sum(layer.parameter_count for layer in self.layers)
+
+    @property
+    def weighted_layers(self) -> list[Layer]:
+        """Layers carrying trainable weights (dense and conv)."""
+        return [l for l in self.layers if isinstance(l, (Dense, Conv2D))]
+
+    # -- execution -------------------------------------------------------------
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """ANN forward pass over a batch."""
+        out = np.asarray(x, dtype=float)
+        expected = (out.shape[0],) + self.input_shape
+        if out.shape != expected:
+            raise ValueError(
+                f"{self.name}: input batch has shape {out.shape}, expected {expected}"
+            )
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax of the final layer)."""
+        return np.argmax(self.forward(x), axis=1)
+
+    def accuracy(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on a labelled batch."""
+        return float(np.mean(self.predict(x) == np.asarray(labels)))
+
+    # -- copies ---------------------------------------------------------------
+
+    def copy(self) -> "Network":
+        """Deep copy (weights included)."""
+        return copy.deepcopy(self)
+
+    # -- reporting --------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human readable multi-line structural summary."""
+        lines = [f"Network {self.name!r}  input {self.input_shape}"]
+        for info in self.layer_info():
+            lines.append(
+                f"  [{info.index}] {info.name:<28} {info.kind:<8} "
+                f"out={info.output_shape!s:<16} neurons={info.neurons:<8} "
+                f"fan_in={info.fan_in:<6} synapses={info.synapses}"
+            )
+        lines.append(
+            f"  total neurons={self.neuron_count} synapses={self.synapse_count} "
+            f"parameters={self.parameter_count}"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Network(name={self.name!r}, layers={len(self.layers)}, neurons={self.neuron_count})"

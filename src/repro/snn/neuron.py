@@ -1,0 +1,132 @@
+"""Spiking neuron models.
+
+RESPARC interfaces every crossbar column with an analog Integrate-and-Fire
+(IF) neuron (Section 2 of the paper): the column current accumulates on the
+neuron's membrane capacitance and a spike is emitted when the membrane
+potential crosses a threshold.  The same IF dynamics are used by the
+functional (software) SNN simulator, so the algorithmic reference and the
+hardware model agree by construction.
+
+The module provides a vectorised neuron pool — one state vector covers all
+neurons of a layer — plus a leaky variant used in robustness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["IFNeuronParameters", "IFNeuronPool"]
+
+
+@dataclass(frozen=True)
+class IFNeuronParameters:
+    """Parameters of an (optionally leaky) Integrate-and-Fire neuron.
+
+    Attributes
+    ----------
+    threshold:
+        Membrane potential at which the neuron fires.
+    reset_mode:
+        ``"subtract"`` subtracts the threshold on a spike (the standard
+        choice for converted rate-coded SNNs because it conserves the input
+        integral); ``"zero"`` resets the membrane to the reset potential.
+    reset_potential:
+        Value the membrane returns to in ``"zero"`` mode.
+    leak:
+        Multiplicative leak factor applied per timestep (1.0 = pure IF).
+    refractory_steps:
+        Number of timesteps a neuron stays silent after spiking.
+    """
+
+    threshold: float = 1.0
+    reset_mode: str = "subtract"
+    reset_potential: float = 0.0
+    leak: float = 1.0
+    refractory_steps: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("threshold", self.threshold)
+        if self.reset_mode not in ("subtract", "zero"):
+            raise ValueError(
+                f"reset_mode must be 'subtract' or 'zero', got {self.reset_mode!r}"
+            )
+        if not 0.0 < self.leak <= 1.0:
+            raise ValueError(f"leak must be in (0, 1], got {self.leak}")
+        check_non_negative("refractory_steps", self.refractory_steps)
+
+
+class IFNeuronPool:
+    """A vectorised pool of IF neurons covering one layer (and a batch).
+
+    Parameters
+    ----------
+    shape:
+        Shape of the neuron population; typically ``(batch, n_neurons)`` or
+        ``(batch, height, width, channels)``.
+    params:
+        Neuron parameters shared by the pool.
+    """
+
+    def __init__(self, shape: tuple[int, ...], params: IFNeuronParameters | None = None):
+        if any(dim <= 0 for dim in shape):
+            raise ValueError(f"all pool dimensions must be positive, got {shape}")
+        self.shape = tuple(shape)
+        self.params = params or IFNeuronParameters()
+        self.membrane = np.zeros(self.shape, dtype=float)
+        self.refractory = np.zeros(self.shape, dtype=int)
+        self.spike_count = np.zeros(self.shape, dtype=int)
+
+    def reset(self) -> None:
+        """Reset membranes, refractory counters and spike counts."""
+        self.membrane[:] = 0.0
+        self.refractory[:] = 0
+        self.spike_count[:] = 0
+
+    def step(self, input_current: np.ndarray) -> np.ndarray:
+        """Advance the pool by one timestep.
+
+        Parameters
+        ----------
+        input_current:
+            Charge delivered to each neuron this timestep (same shape as the
+            pool).
+
+        Returns
+        -------
+        numpy.ndarray
+            Binary spike array (float 0/1) with the pool's shape.
+        """
+        current = np.asarray(input_current, dtype=float)
+        if current.shape != self.shape:
+            raise ValueError(
+                f"input current shape {current.shape} does not match pool shape {self.shape}"
+            )
+        p = self.params
+
+        active = self.refractory == 0
+        if p.leak < 1.0:
+            self.membrane *= p.leak
+        self.membrane += np.where(active, current, 0.0)
+
+        spikes = (self.membrane >= p.threshold) & active
+        if p.reset_mode == "subtract":
+            self.membrane = np.where(spikes, self.membrane - p.threshold, self.membrane)
+        else:
+            self.membrane = np.where(spikes, p.reset_potential, self.membrane)
+
+        if p.refractory_steps > 0:
+            self.refractory = np.where(
+                spikes, p.refractory_steps, np.maximum(self.refractory - 1, 0)
+            )
+        self.spike_count += spikes.astype(int)
+        return spikes.astype(float)
+
+    def firing_rate(self, timesteps: int) -> np.ndarray:
+        """Average firing rate (spikes per timestep) over a run of ``timesteps``."""
+        if timesteps <= 0:
+            raise ValueError(f"timesteps must be positive, got {timesteps}")
+        return self.spike_count / float(timesteps)

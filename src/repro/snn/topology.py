@@ -1,0 +1,187 @@
+"""Connectivity extraction for the mapping compiler.
+
+The RESPARC mapping compiler does not need the weight *values* of a network —
+it needs the *structure*: how many output neurons each layer has, what their
+fan-in is, whether connectivity is dense (MLP) or sparse-with-sharing (CNN),
+and how adjacent output neurons share inputs.  This module extracts exactly
+that structure from a :class:`repro.snn.network.Network` as a list of
+:class:`LayerConnectivity` descriptors, which :mod:`repro.mapping` then
+partitions across crossbars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.snn.layers import AvgPool2D, Conv2D, Dense, Flatten
+from repro.snn.network import Network
+
+__all__ = ["LayerConnectivity", "extract_connectivity", "network_connectivity_summary"]
+
+
+@dataclass(frozen=True)
+class LayerConnectivity:
+    """Structural description of one computational layer.
+
+    Attributes
+    ----------
+    index, name, kind:
+        Identity of the layer (``kind`` is ``"dense"``, ``"conv"`` or
+        ``"pool"``; reshape layers are skipped entirely).
+    n_inputs:
+        Neurons in the previous layer (the layer's total input count).
+    n_outputs:
+        Neurons produced by the layer.
+    fan_in:
+        Inputs per output neuron.
+    synapses:
+        Total unique connections (``n_outputs * fan_in`` for sparse layers,
+        ``n_inputs * n_outputs`` for dense ones — identical in both cases).
+    output_groups:
+        Number of output neurons that share an identical input window.  For a
+        convolution this is the number of output channels (all channels at
+        one spatial position read the same window); for dense layers it is
+        ``n_outputs`` (every output reads the whole input); for pooling it
+        is 1 (every output has a private window).
+    window_positions:
+        Number of distinct input windows (spatial positions) in the layer —
+        ``1`` for dense layers.
+    shared_inputs_per_step:
+        When adjacent windows are packed onto one crossbar, the number of
+        *new* rows each additional window contributes (used to model the
+        input-sharing optimisation of Section 3.1.1).  ``0`` for dense
+        layers.
+    unique_weights:
+        Distinct stored weight values (``synapses`` for dense layers, the
+        kernel parameter count for convolutions, 0 for fixed-function pooling).
+        This is what a digital accelerator must keep in its weight memory.
+    """
+
+    index: int
+    name: str
+    kind: str
+    n_inputs: int
+    n_outputs: int
+    fan_in: int
+    synapses: int
+    output_groups: int
+    window_positions: int
+    shared_inputs_per_step: int
+    unique_weights: int = 0
+
+    @property
+    def is_dense(self) -> bool:
+        """True for fully connected layers."""
+        return self.kind == "dense"
+
+    @property
+    def outputs_per_window(self) -> int:
+        """Output neurons sharing each distinct input window."""
+        return self.output_groups
+
+
+def extract_connectivity(network: Network) -> list[LayerConnectivity]:
+    """Extract mapping descriptors for every computational layer of ``network``.
+
+    Reshape-only layers (:class:`Flatten`) are skipped because they involve
+    no synapses or neurons.
+    """
+    descriptors: list[LayerConnectivity] = []
+    shapes = network.layer_shapes()
+    for index, (layer, (in_shape, out_shape)) in enumerate(zip(network.layers, shapes)):
+        n_inputs = int(np.prod(in_shape))
+        n_outputs = int(np.prod(out_shape))
+        if isinstance(layer, Flatten):
+            continue
+        if isinstance(layer, Dense):
+            descriptors.append(
+                LayerConnectivity(
+                    index=index,
+                    name=layer.name,
+                    kind="dense",
+                    n_inputs=n_inputs,
+                    n_outputs=n_outputs,
+                    fan_in=layer.n_in,
+                    synapses=layer.n_in * layer.n_out,
+                    output_groups=layer.n_out,
+                    window_positions=1,
+                    shared_inputs_per_step=0,
+                    unique_weights=layer.n_in * layer.n_out,
+                )
+            )
+        elif isinstance(layer, Conv2D):
+            out_h, out_w, out_c = out_shape
+            full_sharing = layer.connected_in_channels == layer.in_channels
+            if full_sharing:
+                # Every output channel at one spatial position reads the same
+                # k*k*c_in window, so all of them can share one crossbar's rows.
+                output_groups = out_c
+                window_positions = out_h * out_w
+            elif (
+                layer.connected_in_channels == 1
+                and out_c >= layer.in_channels
+                and out_c % layer.in_channels == 0
+            ):
+                # Single-channel connection table assigned round robin: output
+                # channels reading the same input channel share their window,
+                # giving c_in distinct windows per spatial position, each
+                # shared by out_c / c_in output channels.
+                output_groups = out_c // layer.in_channels
+                window_positions = out_h * out_w * layer.in_channels
+            else:
+                # General sparse connection table: different output channels
+                # read different channel subsets; only spatial adjacency is
+                # shared.
+                output_groups = 1
+                window_positions = n_outputs
+            descriptors.append(
+                LayerConnectivity(
+                    index=index,
+                    name=layer.name,
+                    kind="conv",
+                    n_inputs=n_inputs,
+                    n_outputs=n_outputs,
+                    fan_in=layer.fan_in,
+                    synapses=n_outputs * layer.fan_in,
+                    output_groups=output_groups,
+                    window_positions=window_positions,
+                    # Sliding one position (stride 1) brings in one new kernel
+                    # column worth of inputs per connected channel.
+                    shared_inputs_per_step=layer.kernel_size * layer.connected_in_channels,
+                    unique_weights=layer.fan_in * layer.out_channels,
+                )
+            )
+        elif isinstance(layer, AvgPool2D):
+            out_h, out_w, out_c = out_shape
+            descriptors.append(
+                LayerConnectivity(
+                    index=index,
+                    name=layer.name,
+                    kind="pool",
+                    n_inputs=n_inputs,
+                    n_outputs=n_outputs,
+                    fan_in=layer.fan_in,
+                    synapses=n_outputs * layer.fan_in,
+                    output_groups=1,
+                    window_positions=out_h * out_w * out_c,
+                    # Non-overlapping pooling windows share nothing.
+                    shared_inputs_per_step=layer.fan_in,
+                    unique_weights=0,
+                )
+            )
+        else:
+            raise TypeError(f"unsupported layer type for mapping: {type(layer).__name__}")
+    return descriptors
+
+
+def network_connectivity_summary(network: Network) -> dict[str, int]:
+    """Aggregate neuron/synapse counts over the mapping descriptors."""
+    descriptors = extract_connectivity(network)
+    return {
+        "layers": len(descriptors),
+        "neurons": sum(d.n_outputs for d in descriptors),
+        "synapses": sum(d.synapses for d in descriptors),
+        "max_fan_in": max(d.fan_in for d in descriptors),
+    }

@@ -1,0 +1,162 @@
+"""Offline ANN training.
+
+The paper evaluates inference only: its SNNs were "trained offline using
+supervised training algorithms" (Diehl et al.'s conversion flow).  This
+module provides the offline half — a small NumPy training loop with SGD and
+Adam optimisers and a softmax cross-entropy loss — sufficient to train the
+benchmark MLPs and CNNs on the synthetic datasets so that converted SNNs
+exhibit realistic, input-dependent spiking activity and so the
+bit-discretisation accuracy study (Fig. 14a) has a real accuracy signal to
+measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.snn.network import Network
+from repro.utils.validation import check_positive
+
+__all__ = ["softmax", "cross_entropy_loss", "TrainingResult", "Trainer"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def cross_entropy_loss(logits: np.ndarray, labels: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy loss and its gradient w.r.t. the logits."""
+    labels = np.asarray(labels, dtype=int)
+    probs = softmax(logits)
+    batch = logits.shape[0]
+    eps = 1e-12
+    loss = float(-np.mean(np.log(probs[np.arange(batch), labels] + eps)))
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    return loss, grad / batch
+
+
+@dataclass(frozen=True)
+class TrainingResult:
+    """Outcome of a training run."""
+
+    losses: tuple[float, ...]
+    train_accuracy: float
+    epochs: int
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last optimisation step."""
+        return self.losses[-1] if self.losses else float("nan")
+
+
+@dataclass
+class Trainer:
+    """Mini-batch trainer for :class:`repro.snn.network.Network`.
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size.
+    optimizer:
+        ``"sgd"`` (with optional momentum) or ``"adam"``.
+    momentum:
+        Momentum coefficient for SGD.
+    batch_size:
+        Mini-batch size.
+    rng:
+        Generator used to shuffle the training set each epoch.
+    """
+
+    learning_rate: float = 0.05
+    optimizer: str = "adam"
+    momentum: float = 0.9
+    batch_size: int = 32
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
+
+    def __post_init__(self) -> None:
+        check_positive("learning_rate", self.learning_rate)
+        check_positive("batch_size", self.batch_size)
+        if self.optimizer not in ("sgd", "adam"):
+            raise ValueError(f"optimizer must be 'sgd' or 'adam', got {self.optimizer!r}")
+        if not 0.0 <= self.momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {self.momentum}")
+        self._state: dict[tuple[int, str], dict[str, np.ndarray]] = {}
+        self._adam_step = 0
+
+    # -- optimiser updates -----------------------------------------------------
+
+    def _update(self, key: tuple[int, str], param: np.ndarray, grad: np.ndarray) -> None:
+        state = self._state.setdefault(key, {})
+        if self.optimizer == "sgd":
+            velocity = state.get("velocity")
+            if velocity is None:
+                velocity = np.zeros_like(param)
+            velocity = self.momentum * velocity - self.learning_rate * grad
+            state["velocity"] = velocity
+            param += velocity
+        else:  # adam
+            beta1, beta2, eps = 0.9, 0.999, 1e-8
+            m = state.get("m", np.zeros_like(param))
+            v = state.get("v", np.zeros_like(param))
+            m = beta1 * m + (1 - beta1) * grad
+            v = beta2 * v + (1 - beta2) * grad**2
+            state["m"], state["v"] = m, v
+            t = self._adam_step
+            m_hat = m / (1 - beta1**t)
+            v_hat = v / (1 - beta2**t)
+            param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+    # -- training loop -----------------------------------------------------------
+
+    def train_step(self, network: Network, x: np.ndarray, labels: np.ndarray) -> float:
+        """One forward/backward/update pass over a mini-batch; returns the loss."""
+        logits = network.forward(x, training=True)
+        loss, grad = cross_entropy_loss(logits, labels)
+        self._adam_step += 1
+        for layer in reversed(network.layers):
+            grad = layer.backward(grad)
+        for index, layer in enumerate(network.layers):
+            params = layer.parameters()
+            grads = layer.gradients()
+            for name, param in params.items():
+                if name in grads:
+                    self._update((index, name), param, grads[name])
+        return loss
+
+    def fit(
+        self,
+        network: Network,
+        x: np.ndarray,
+        labels: np.ndarray,
+        epochs: int = 1,
+    ) -> TrainingResult:
+        """Train ``network`` in place on a labelled dataset.
+
+        Returns
+        -------
+        TrainingResult
+            Per-step losses and the final training accuracy.
+        """
+        check_positive("epochs", epochs)
+        x = np.asarray(x, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if x.shape[0] != labels.shape[0]:
+            raise ValueError("x and labels must have the same number of samples")
+        n = x.shape[0]
+        losses: list[float] = []
+        for _ in range(int(epochs)):
+            order = self.rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch_idx = order[start : start + self.batch_size]
+                losses.append(self.train_step(network, x[batch_idx], labels[batch_idx]))
+        return TrainingResult(
+            losses=tuple(losses),
+            train_accuracy=network.accuracy(x, labels),
+            epochs=int(epochs),
+        )

@@ -1,0 +1,45 @@
+"""Utility layer shared by every RESPARC subsystem.
+
+The helpers here are deliberately small and dependency free:
+
+* :mod:`repro.utils.units` — engineering-unit formatting and conversion.
+* :mod:`repro.utils.validation` — argument validation helpers used by the
+  public constructors so user errors fail early with precise messages.
+* :mod:`repro.utils.rng` — deterministic random-number management so every
+  experiment in the repository is reproducible bit-for-bit.
+* :mod:`repro.utils.logging` — a tiny structured run logger used by the
+  experiment drivers.
+"""
+
+from repro.utils.rng import derive_rng, seeded_rng
+from repro.utils.units import (
+    Prefix,
+    format_energy,
+    format_power,
+    format_time,
+    from_engineering,
+    to_engineering,
+)
+from repro.utils.validation import (
+    check_in_choices,
+    check_positive,
+    check_probability,
+    check_shape,
+    check_type,
+)
+
+__all__ = [
+    "Prefix",
+    "format_energy",
+    "format_power",
+    "format_time",
+    "from_engineering",
+    "to_engineering",
+    "check_in_choices",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+    "check_type",
+    "derive_rng",
+    "seeded_rng",
+]

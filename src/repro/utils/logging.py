@@ -1,0 +1,84 @@
+"""A small structured run logger for experiment drivers.
+
+The experiment drivers in :mod:`repro.experiments` record their progress and
+key result rows through :class:`RunLogger`, which keeps an in-memory record
+(useful in tests) and optionally echoes to stdout or a file.  It intentionally
+avoids the standard :mod:`logging` module's global state so parallel test runs
+never interleave configuration.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import IO, Iterable
+
+__all__ = ["LogRecord", "RunLogger"]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One logged event."""
+
+    elapsed_s: float
+    level: str
+    message: str
+
+
+@dataclass
+class RunLogger:
+    """Collects timestamped log records for an experiment run.
+
+    Parameters
+    ----------
+    name:
+        Identifier included in echoed lines.
+    echo:
+        When true, records are also written to ``stream``.
+    stream:
+        Output stream used when echoing (defaults to stdout).
+    """
+
+    name: str = "run"
+    echo: bool = False
+    stream: IO[str] | None = None
+    records: list[LogRecord] = field(default_factory=list)
+    _start: float = field(default_factory=time.perf_counter, repr=False)
+
+    def _log(self, level: str, message: str) -> LogRecord:
+        record = LogRecord(time.perf_counter() - self._start, level, message)
+        self.records.append(record)
+        if self.echo:
+            out = self.stream or sys.stdout
+            out.write(f"[{self.name} +{record.elapsed_s:8.3f}s] {level:<5} {message}\n")
+        return record
+
+    def info(self, message: str) -> LogRecord:
+        """Record an informational message."""
+        return self._log("INFO", message)
+
+    def warning(self, message: str) -> LogRecord:
+        """Record a warning."""
+        return self._log("WARN", message)
+
+    def result(self, message: str) -> LogRecord:
+        """Record a headline result row."""
+        return self._log("RESULT", message)
+
+    def table(self, header: Iterable[str], rows: Iterable[Iterable[object]]) -> None:
+        """Record a small fixed-width table as RESULT records."""
+        header = list(header)
+        rows = [list(map(str, row)) for row in rows]
+        widths = [len(h) for h in header]
+        for row in rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+        self.result(fmt.format(*header))
+        for row in rows:
+            self.result(fmt.format(*row))
+
+    def messages(self, level: str | None = None) -> list[str]:
+        """Return logged messages, optionally filtered by level."""
+        return [r.message for r in self.records if level is None or r.level == level]

@@ -1,0 +1,143 @@
+"""Engineering-unit helpers.
+
+Energy, power and time quantities inside the simulator are always stored in
+base SI units (joules, watts, seconds).  These helpers exist so reports and
+logs can present quantities with sensible engineering prefixes (``nJ``,
+``mW``, ``us``) and so user-facing configuration can be written in natural
+units (``"200 MHz"``, ``"20 kOhm"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Prefix",
+    "to_engineering",
+    "from_engineering",
+    "format_energy",
+    "format_power",
+    "format_time",
+    "format_frequency",
+]
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """An SI prefix with its symbol and multiplier."""
+
+    symbol: str
+    multiplier: float
+
+
+#: SI prefixes ordered from largest to smallest multiplier.
+_PREFIXES = (
+    Prefix("T", 1e12),
+    Prefix("G", 1e9),
+    Prefix("M", 1e6),
+    Prefix("k", 1e3),
+    Prefix("", 1.0),
+    Prefix("m", 1e-3),
+    Prefix("u", 1e-6),
+    Prefix("n", 1e-9),
+    Prefix("p", 1e-12),
+    Prefix("f", 1e-15),
+    Prefix("a", 1e-18),
+)
+
+_PREFIX_BY_SYMBOL = {p.symbol: p for p in _PREFIXES}
+# Accept the unicode micro sign as an alias for "u".
+_PREFIX_BY_SYMBOL["µ"] = _PREFIX_BY_SYMBOL["u"]
+
+
+def to_engineering(value: float, unit: str = "", precision: int = 3) -> str:
+    """Format ``value`` with an engineering prefix.
+
+    Parameters
+    ----------
+    value:
+        Quantity in base SI units.
+    unit:
+        Unit symbol appended after the prefix (``"J"``, ``"W"``, ``"s"``).
+    precision:
+        Number of significant decimal digits to keep.
+
+    Returns
+    -------
+    str
+        Human readable string such as ``"12.3 nJ"``.
+    """
+    if value == 0:
+        return f"0 {unit}".strip()
+    magnitude = abs(value)
+    for prefix in _PREFIXES:
+        if magnitude >= prefix.multiplier:
+            scaled = value / prefix.multiplier
+            return f"{scaled:.{precision}g} {prefix.symbol}{unit}".strip()
+    smallest = _PREFIXES[-1]
+    scaled = value / smallest.multiplier
+    return f"{scaled:.{precision}g} {smallest.symbol}{unit}".strip()
+
+
+def from_engineering(text: str) -> float:
+    """Parse an engineering-notation string into base SI units.
+
+    Accepts forms like ``"200 MHz"``, ``"20kOhm"``, ``"1.2 nJ"`` or plain
+    numbers.  The unit name itself is ignored; only the prefix scales the
+    value.
+
+    Raises
+    ------
+    ValueError
+        If the string cannot be parsed.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise ValueError("cannot parse an empty string as a quantity")
+
+    # Split the leading numeric part from the trailing unit part.
+    idx = 0
+    seen_digit = False
+    while idx < len(stripped):
+        char = stripped[idx]
+        if char.isdigit():
+            seen_digit = True
+            idx += 1
+        elif char in "+-.eE" and (idx == 0 or char in ".eE" or stripped[idx - 1] in "eE"):
+            idx += 1
+        else:
+            break
+    if not seen_digit:
+        raise ValueError(f"no numeric value found in {text!r}")
+
+    number = float(stripped[:idx])
+    unit_part = stripped[idx:].strip()
+    if not unit_part:
+        return number
+
+    first = unit_part[0]
+    if first in _PREFIX_BY_SYMBOL and len(unit_part) > 1:
+        # A bare "m" could be metres rather than the milli prefix; we treat a
+        # single-character unit as a unit, not a prefix.
+        return number * _PREFIX_BY_SYMBOL[first].multiplier
+    return number
+
+
+def format_energy(joules: float, precision: int = 3) -> str:
+    """Format an energy value (J) with an engineering prefix."""
+    return to_engineering(joules, "J", precision)
+
+
+def format_power(watts: float, precision: int = 3) -> str:
+    """Format a power value (W) with an engineering prefix."""
+    return to_engineering(watts, "W", precision)
+
+
+def format_time(seconds: float, precision: int = 3) -> str:
+    """Format a time value (s) with an engineering prefix."""
+    return to_engineering(seconds, "s", precision)
+
+
+def format_frequency(hertz: float, precision: int = 3) -> str:
+    """Format a frequency value (Hz) with an engineering prefix."""
+    return to_engineering(hertz, "Hz", precision)

@@ -1,0 +1,94 @@
+"""Argument validation helpers.
+
+Public constructors across the package validate their arguments with these
+helpers so configuration errors fail immediately with messages that name the
+offending parameter, instead of surfacing later as shape errors deep inside
+NumPy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_choices",
+    "check_type",
+    "check_shape",
+    "check_power_of_two",
+]
+
+
+def check_positive(name: str, value: float, *, allow_zero: bool = False) -> float:
+    """Ensure ``value`` is a positive (or non-negative) finite number."""
+    if not np.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Ensure ``value`` is a non-negative finite number."""
+    return check_positive(name, value, allow_zero=True)
+
+
+def check_probability(name: str, value: float) -> float:
+    """Ensure ``value`` lies in the closed interval [0, 1]."""
+    if not np.isfinite(value) or value < 0 or value > 1:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_choices(name: str, value: Any, choices: Iterable[Any]) -> Any:
+    """Ensure ``value`` is one of ``choices``."""
+    options = tuple(choices)
+    if value not in options:
+        raise ValueError(f"{name} must be one of {options!r}, got {value!r}")
+    return value
+
+
+def check_type(name: str, value: Any, expected: type | tuple[type, ...]) -> Any:
+    """Ensure ``value`` is an instance of ``expected``."""
+    if not isinstance(value, expected):
+        expected_names = (
+            expected.__name__
+            if isinstance(expected, type)
+            else ", ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(
+            f"{name} must be an instance of {expected_names}, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int | None]) -> np.ndarray:
+    """Ensure ``array`` has the expected shape.
+
+    ``None`` entries in ``shape`` act as wildcards for that dimension.
+    """
+    arr = np.asarray(array)
+    if arr.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got {arr.ndim} (shape {arr.shape})"
+        )
+    for axis, (actual, expected) in enumerate(zip(arr.shape, shape)):
+        if expected is not None and actual != expected:
+            raise ValueError(
+                f"{name} has shape {arr.shape}, expected {tuple(shape)} (mismatch on axis {axis})"
+            )
+    return arr
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Ensure ``value`` is a positive power of two."""
+    if not isinstance(value, (int, np.integer)) or value <= 0 or value & (value - 1):
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+    return int(value)

@@ -1,0 +1,31 @@
+"""Benchmark workloads: the six SNNs of the paper's Fig. 10."""
+
+from repro.workloads.networks import (
+    build_cifar10_cnn,
+    build_cifar10_mlp,
+    build_mnist_cnn,
+    build_mnist_mlp,
+    build_svhn_cnn,
+    build_svhn_mlp,
+)
+from repro.workloads.registry import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    build_benchmark,
+    get_benchmark,
+    list_benchmarks,
+)
+
+__all__ = [
+    "build_cifar10_cnn",
+    "build_cifar10_mlp",
+    "build_mnist_cnn",
+    "build_mnist_mlp",
+    "build_svhn_cnn",
+    "build_svhn_mlp",
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "build_benchmark",
+    "get_benchmark",
+    "list_benchmarks",
+]

@@ -1,0 +1,134 @@
+"""Benchmark registry: the paper's Fig. 10 table as data.
+
+Maps benchmark names to their dataset, topology family, builder function and
+the neuron/synapse/layer totals published in the paper, so experiments and
+tests can iterate over "all MLP benchmarks", compare reconstructed totals to
+the published ones, and build reduced-scale variants for quick runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.snn.network import Network
+from repro.workloads.networks import (
+    build_cifar10_cnn,
+    build_cifar10_mlp,
+    build_mnist_cnn,
+    build_mnist_mlp,
+    build_svhn_cnn,
+    build_svhn_mlp,
+)
+
+__all__ = ["BenchmarkSpec", "BENCHMARKS", "get_benchmark", "list_benchmarks", "build_benchmark"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One row of the paper's benchmark table (Fig. 10)."""
+
+    name: str
+    application: str
+    dataset: str
+    connectivity: str  # "MLP" or "CNN"
+    paper_layers: int
+    paper_neurons: int
+    paper_synapses: int
+    builder: Callable[..., Network]
+
+    def build(self, scale: float = 1.0, seed: int = 0) -> Network:
+        """Construct the benchmark network (optionally width-scaled)."""
+        return self.builder(scale=scale, seed=seed)
+
+    @property
+    def is_mlp(self) -> bool:
+        """True for the fully connected benchmarks."""
+        return self.connectivity == "MLP"
+
+
+#: All six benchmarks of Fig. 10, keyed by canonical name.
+BENCHMARKS: dict[str, BenchmarkSpec] = {
+    "mnist-mlp": BenchmarkSpec(
+        name="mnist-mlp",
+        application="Digit Recognition",
+        dataset="mnist",
+        connectivity="MLP",
+        paper_layers=4,
+        paper_neurons=2378,
+        paper_synapses=1_902_400,
+        builder=build_mnist_mlp,
+    ),
+    "mnist-cnn": BenchmarkSpec(
+        name="mnist-cnn",
+        application="Digit Recognition",
+        dataset="mnist",
+        connectivity="CNN",
+        paper_layers=6,
+        paper_neurons=66_778,
+        paper_synapses=1_484_288,
+        builder=build_mnist_cnn,
+    ),
+    "svhn-mlp": BenchmarkSpec(
+        name="svhn-mlp",
+        application="House Number Recognition",
+        dataset="svhn",
+        connectivity="MLP",
+        paper_layers=4,
+        paper_neurons=2778,
+        paper_synapses=2_778_000,
+        builder=build_svhn_mlp,
+    ),
+    "svhn-cnn": BenchmarkSpec(
+        name="svhn-cnn",
+        application="House Number Recognition",
+        dataset="svhn",
+        connectivity="CNN",
+        paper_layers=6,
+        paper_neurons=124_570,
+        paper_synapses=2_941_952,
+        builder=build_svhn_cnn,
+    ),
+    "cifar10-mlp": BenchmarkSpec(
+        name="cifar10-mlp",
+        application="Object Classification",
+        dataset="cifar10",
+        connectivity="MLP",
+        paper_layers=5,
+        paper_neurons=3778,
+        paper_synapses=3_778_000,
+        builder=build_cifar10_mlp,
+    ),
+    "cifar10-cnn": BenchmarkSpec(
+        name="cifar10-cnn",
+        application="Object Classification",
+        dataset="cifar10",
+        connectivity="CNN",
+        paper_layers=6,
+        paper_neurons=231_066,
+        paper_synapses=5_524_480,
+        builder=build_cifar10_cnn,
+    ),
+}
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up one benchmark by name."""
+    if name not in BENCHMARKS:
+        raise KeyError(f"unknown benchmark {name!r}; choose from {sorted(BENCHMARKS)}")
+    return BENCHMARKS[name]
+
+
+def list_benchmarks(connectivity: str | None = None, dataset: str | None = None) -> list[BenchmarkSpec]:
+    """List benchmarks, optionally filtered by connectivity ("MLP"/"CNN") or dataset."""
+    specs = list(BENCHMARKS.values())
+    if connectivity is not None:
+        specs = [s for s in specs if s.connectivity == connectivity.upper()]
+    if dataset is not None:
+        specs = [s for s in specs if s.dataset == dataset.lower()]
+    return specs
+
+
+def build_benchmark(name: str, scale: float = 1.0, seed: int = 0) -> Network:
+    """Build a benchmark network by name."""
+    return get_benchmark(name).build(scale=scale, seed=seed)

@@ -1,0 +1,167 @@
+"""Tests for the CMOS digital baseline model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baseline import (
+    BaselineActivityModel,
+    BaselineConfig,
+    BaselineMemorySystem,
+    CmosBaselineModel,
+)
+from repro.snn import SpikingSimulator, convert_to_snn, extract_connectivity
+from repro.workloads import build_mnist_cnn, build_mnist_mlp
+
+
+class TestBaselineConfig:
+    def test_defaults_match_fig9(self):
+        config = BaselineConfig()
+        assert config.nu_count == 16
+        assert config.fifo_depth == 32
+        assert config.frequency_hz == pytest.approx(1e9)
+        assert config.weight_bits == 4
+        assert config.area_mm2 == pytest.approx(0.19)
+        assert config.power_w == pytest.approx(35.1e-3)
+
+    def test_weights_per_word(self):
+        assert BaselineConfig().weights_per_word == 16
+        assert BaselineConfig(weight_bits=8).weights_per_word == 8
+
+    def test_with_weight_bits(self):
+        config = BaselineConfig().with_weight_bits(8)
+        assert config.weight_bits == 8
+        assert config.nu_width_bits == 8
+        with pytest.raises(ValueError):
+            BaselineConfig().with_weight_bits(0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BaselineConfig(nu_count=0)
+
+
+class TestBaselineMemory:
+    def test_mlp_memory_larger_than_cnn(self):
+        mlp_memory = BaselineMemorySystem(extract_connectivity(build_mnist_mlp()), BaselineConfig())
+        cnn_memory = BaselineMemorySystem(extract_connectivity(build_mnist_cnn()), BaselineConfig())
+        assert mlp_memory.weight_capacity_bytes > 5 * cnn_memory.weight_capacity_bytes
+        assert mlp_memory.leakage_power_w() > cnn_memory.leakage_power_w()
+
+    def test_weight_capacity_scales_with_bits(self):
+        conns = extract_connectivity(build_mnist_mlp(scale=0.3))
+        four = BaselineMemorySystem(conns, BaselineConfig())
+        eight = BaselineMemorySystem(conns, BaselineConfig().with_weight_bits(8))
+        assert eight.weight_capacity_bytes >= 2 * four.weight_capacity_bytes - 8192
+
+    def test_dense_fetches_gated_by_word_level_probability(self):
+        conns = extract_connectivity(build_mnist_mlp(scale=0.3))
+        memory = BaselineMemorySystem(conns, BaselineConfig())
+        dense = conns[0]
+        silent = memory.weight_words_for_layer(dense, input_rate=0.0)
+        sparse = memory.weight_words_for_layer(dense, input_rate=0.1)
+        busy = memory.weight_words_for_layer(dense, input_rate=1.0)
+        assert silent == 0.0
+        assert 0 < sparse < busy
+        assert busy == pytest.approx(dense.unique_weights / 16)
+
+    def test_dense_fetches_ungated_without_event_driven(self):
+        conns = extract_connectivity(build_mnist_mlp(scale=0.3))
+        memory = BaselineMemorySystem(conns, BaselineConfig(event_driven=False))
+        dense = conns[0]
+        assert memory.weight_words_for_layer(dense, 0.05) == pytest.approx(
+            dense.unique_weights / 16
+        )
+
+    def test_conv_fetches_independent_of_rate(self):
+        conns = extract_connectivity(build_mnist_cnn(scale=0.3))
+        memory = BaselineMemorySystem(conns, BaselineConfig())
+        conv = conns[0]
+        assert memory.weight_words_for_layer(conv, 0.0) == memory.weight_words_for_layer(conv, 0.9)
+
+    def test_pool_layers_fetch_nothing(self):
+        conns = extract_connectivity(build_mnist_cnn(scale=0.3))
+        memory = BaselineMemorySystem(conns, BaselineConfig())
+        pool = next(c for c in conns if c.kind == "pool")
+        assert memory.weight_words_for_layer(pool, 0.5) == 0.0
+
+    def test_activation_words(self):
+        conns = extract_connectivity(build_mnist_mlp(scale=0.3))
+        memory = BaselineMemorySystem(conns, BaselineConfig())
+        layer = conns[0]
+        assert memory.activation_words_for_layer(layer) == pytest.approx(
+            (layer.n_inputs + layer.n_outputs) / 64
+        )
+
+    def test_empty_connectivity_rejected(self):
+        with pytest.raises(ValueError):
+            BaselineMemorySystem([], BaselineConfig())
+
+
+class TestBaselineActivity:
+    def test_event_driven_reduces_macs(self):
+        conns = extract_connectivity(build_mnist_mlp(scale=0.3))
+        dense = conns[0]
+        on = BaselineActivityModel(BaselineConfig(event_driven=True))
+        off = BaselineActivityModel(BaselineConfig(event_driven=False))
+        assert on.layer_counts(dense, 0.1, 16).macs < off.layer_counts(dense, 0.1, 16).macs
+
+    def test_counts_scale_with_timesteps(self):
+        conns = extract_connectivity(build_mnist_mlp(scale=0.3))
+        model = BaselineActivityModel(BaselineConfig())
+        short = model.layer_counts(conns[0], 0.2, 8)
+        long = model.layer_counts(conns[0], 0.2, 16)
+        assert long.macs == pytest.approx(2 * short.macs)
+        assert long.compute_cycles == pytest.approx(2 * short.compute_cycles)
+
+    def test_validation(self):
+        conns = extract_connectivity(build_mnist_mlp(scale=0.3))
+        model = BaselineActivityModel(BaselineConfig())
+        with pytest.raises(ValueError):
+            model.layer_counts(conns[0], 1.5, 16)
+        with pytest.raises(ValueError):
+            model.layer_counts(conns[0], 0.5, 0)
+
+
+class TestCmosBaselineModel:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        network = build_mnist_mlp(scale=0.2)
+        import numpy as np
+
+        from repro.datasets import make_dataset
+
+        dataset = make_dataset("mnist", train_samples=8, test_samples=8, seed=0)
+        inputs = dataset.test_images.reshape(8, -1)
+        snn = convert_to_snn(network, inputs[:4])
+        trace = SpikingSimulator(timesteps=8, rng=np.random.default_rng(0)).run(snn, inputs[:2]).trace
+        return network, trace
+
+    def test_energy_and_latency_positive(self, workload):
+        network, trace = workload
+        evaluation = CmosBaselineModel().evaluate(network, trace)
+        assert evaluation.energy_per_classification_j > 0
+        assert evaluation.latency_per_classification_s > 0
+
+    def test_breakdown_groups_present(self, workload):
+        network, trace = workload
+        groups = CmosBaselineModel().evaluate(network, trace).energy.grouped()
+        assert set(groups) >= {"core", "memory_access", "memory_leakage"}
+
+    def test_event_driven_saves_energy(self, workload):
+        network, trace = workload
+        on = CmosBaselineModel(config=BaselineConfig(event_driven=True)).evaluate(network, trace)
+        off = CmosBaselineModel(config=BaselineConfig(event_driven=False)).evaluate(network, trace)
+        assert on.energy_per_classification_j < off.energy_per_classification_j
+        assert on.latency_per_classification_s <= off.latency_per_classification_s
+
+    def test_higher_precision_costs_more(self, workload):
+        network, trace = workload
+        four = CmosBaselineModel(config=BaselineConfig()).evaluate(network, trace)
+        eight = CmosBaselineModel(config=BaselineConfig().with_weight_bits(8)).evaluate(network, trace)
+        assert eight.energy_per_classification_j > four.energy_per_classification_j
+
+    def test_accepts_connectivity_list(self, workload):
+        network, trace = workload
+        conns = extract_connectivity(network)
+        evaluation = CmosBaselineModel().evaluate(conns, trace)
+        assert evaluation.energy_per_classification_j > 0

@@ -1,0 +1,226 @@
+"""Tests for the crossbar array, weight mapping, energy and non-idealities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crossbar import (
+    CrossbarArray,
+    CrossbarConfig,
+    CrossbarEnergyModel,
+    CrossbarMapper,
+    CrossbarNonidealities,
+    DeviceParameters,
+    MemristorModel,
+    NonidealityParameters,
+)
+
+
+class TestCrossbarMapper:
+    def test_differential_mapping_recovers_signed_weights(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(0, 0.4, size=(16, 8))
+        mapper = CrossbarMapper(MemristorModel(DeviceParameters(levels=256)))
+        programmed = mapper.program(weights)
+        recovered = programmed.effective_weights(mapper.model)
+        np.testing.assert_allclose(recovered, weights, atol=np.max(np.abs(weights)) / 128)
+
+    def test_column_currents_match_matrix_product(self):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(0, 0.3, size=(12, 6))
+        mapper = CrossbarMapper(MemristorModel(DeviceParameters(levels=256)))
+        programmed = mapper.program(weights)
+        spikes = (rng.random(12) < 0.5).astype(float)
+        currents = mapper.column_currents(programmed, spikes)
+        weighted = mapper.currents_to_weighted_sum(programmed, currents)
+        np.testing.assert_allclose(
+            weighted, spikes @ programmed.effective_weights(mapper.model), atol=1e-9
+        )
+
+    def test_batched_inputs(self):
+        weights = np.eye(4)
+        mapper = CrossbarMapper()
+        programmed = mapper.program(weights)
+        batch = np.eye(4)
+        currents = mapper.column_currents(programmed, batch)
+        assert currents.shape == (4, 4)
+
+    def test_rejects_wrong_input_length(self):
+        mapper = CrossbarMapper()
+        programmed = mapper.program(np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            mapper.column_currents(programmed, np.ones(5))
+
+    def test_rejects_non_2d_weights(self):
+        with pytest.raises(ValueError):
+            CrossbarMapper().program(np.ones(5))
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            CrossbarMapper().program(np.ones((2, 2)), scale=0.0)
+
+
+class TestCrossbarArray:
+    def test_program_and_evaluate_identity(self):
+        config = CrossbarConfig(rows=8, columns=8, device=DeviceParameters(levels=256))
+        xbar = CrossbarArray(config)
+        xbar.program(np.eye(8))
+        out = xbar.evaluate(np.ones(8))
+        np.testing.assert_allclose(out.weighted_sums, np.ones(8), atol=0.02)
+
+    def test_smaller_block_is_padded(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=16, columns=16))
+        xbar.program(np.ones((4, 4)))
+        assert xbar.used_rows == 4
+        assert xbar.used_columns == 4
+        assert xbar.utilisation == pytest.approx(16 / 256)
+
+    def test_oversized_block_rejected(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=4, columns=4))
+        with pytest.raises(ValueError):
+            xbar.program(np.ones((5, 4)))
+
+    def test_evaluate_before_program_raises(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=4, columns=4))
+        with pytest.raises(RuntimeError):
+            xbar.evaluate(np.ones(4))
+
+    def test_wrong_spike_length_rejected(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=4, columns=4))
+        xbar.program(np.ones((4, 4)))
+        with pytest.raises(ValueError):
+            xbar.evaluate(np.ones(3))
+
+    def test_energy_counters_accumulate(self):
+        xbar = CrossbarArray(CrossbarConfig(rows=8, columns=8))
+        xbar.program(np.ones((8, 8)))
+        xbar.evaluate(np.ones(8))
+        xbar.evaluate(np.zeros(8))
+        assert xbar.total_reads == 2
+        assert xbar.total_energy_j > 0
+        xbar.reset_counters()
+        assert xbar.total_reads == 0
+        assert xbar.total_energy_j == 0.0
+
+    def test_quantisation_visible_at_low_precision(self):
+        config = CrossbarConfig(rows=4, columns=4, device=DeviceParameters(levels=2))
+        xbar = CrossbarArray(config)
+        xbar.program(np.array([[0.1, 0.9], [0.5, 0.4]]))
+        effective = xbar.effective_weights()[:2, :2]
+        # With one bit per weight only full-scale or zero magnitudes survive.
+        assert set(np.round(np.unique(np.abs(effective)) / 0.9, 2)).issubset({0.0, 1.0})
+
+    def test_config_with_size(self):
+        config = CrossbarConfig().with_size(128)
+        assert config.rows == 128 and config.columns == 128
+        with pytest.raises(ValueError):
+            CrossbarConfig(rows=0, columns=8)
+
+    @given(st.integers(min_value=2, max_value=24), st.integers(min_value=2, max_value=24))
+    @settings(max_examples=10, deadline=None)
+    def test_evaluation_matches_effective_weights(self, rows, cols):
+        rng = np.random.default_rng(rows * 31 + cols)
+        config = CrossbarConfig(rows=rows, columns=cols)
+        xbar = CrossbarArray(config)
+        weights = rng.normal(0, 0.5, size=(rows, cols))
+        xbar.program(weights)
+        spikes = (rng.random(rows) < 0.4).astype(float)
+        out = xbar.evaluate(spikes)
+        np.testing.assert_allclose(
+            out.weighted_sums, spikes @ xbar.effective_weights(), atol=1e-9
+        )
+
+
+class TestCrossbarEnergy:
+    def test_read_cost_scales_with_active_rows(self):
+        model = CrossbarEnergyModel()
+        low = model.read_cost(64, 64, active_rows=8)
+        high = model.read_cost(64, 64, active_rows=64)
+        assert high.energy_j > low.energy_j
+
+    def test_unused_crosspoints_cost_more_on_larger_arrays(self):
+        # Same mapped synapses (25x64), growing physical array: the half-select
+        # leakage of unused cross-points makes the larger array more expensive.
+        model = CrossbarEnergyModel()
+        small = model.read_cost(64, 64, active_rows=4, utilisation=25 * 64 / (64 * 64))
+        large = model.read_cost(128, 128, active_rows=4, utilisation=25 * 64 / (128 * 128))
+        assert large.energy_j > small.energy_j
+
+    def test_zero_active_rows_still_charges_sense(self):
+        model = CrossbarEnergyModel()
+        cost = model.read_cost(32, 32, active_rows=0)
+        assert cost.energy_j > 0
+        assert cost.active_rows == 0
+
+    def test_invalid_utilisation_rejected(self):
+        with pytest.raises(ValueError):
+            CrossbarEnergyModel().read_cost(8, 8, utilisation=1.5)
+        with pytest.raises(ValueError):
+            CrossbarEnergyModel().read_cost(0, 8)
+
+    def test_mean_conductance_interpolates(self):
+        model = CrossbarEnergyModel()
+        empty = model.mean_device_conductance_s(0.0)
+        full = model.mean_device_conductance_s(1.0)
+        half = model.mean_device_conductance_s(0.5)
+        assert empty == pytest.approx(model.device.g_off_s)
+        assert empty < half < full
+
+    def test_idle_leakage_small(self):
+        assert CrossbarEnergyModel().idle_leakage_w(64, 64) < 1e-6
+
+
+class TestNonidealities:
+    def test_ideal_flag(self):
+        assert NonidealityParameters().ideal
+        assert not NonidealityParameters(read_noise_sigma=0.1).ideal
+
+    def test_ir_drop_attenuation_decreases_with_size(self):
+        model = CrossbarNonidealities(NonidealityParameters(wire_resistance_ohm=2.0))
+        small = model.ir_drop_attenuation(32, 32, 2e-5)
+        large = model.ir_drop_attenuation(256, 256, 2e-5)
+        assert 0 < large < small <= 1.0
+
+    def test_no_wire_resistance_means_no_attenuation(self):
+        model = CrossbarNonidealities(NonidealityParameters())
+        assert model.ir_drop_attenuation(128, 128, 2e-5) == 1.0
+
+    def test_relative_error_grows_with_size(self):
+        model = CrossbarNonidealities(
+            NonidealityParameters(wire_resistance_ohm=2.0, sneak_leakage_fraction=0.01)
+        )
+        assert model.relative_output_error(128, 128, 2e-5) > model.relative_output_error(
+            32, 32, 2e-5
+        )
+
+    def test_read_noise_changes_currents(self):
+        rng = np.random.default_rng(0)
+        model = CrossbarNonidealities(NonidealityParameters(read_noise_sigma=0.05))
+        currents = np.ones(16) * 1e-6
+        noisy = model.apply_read_noise(currents, rng)
+        assert not np.allclose(noisy, currents)
+
+    def test_variation_requires_positive_sigma(self):
+        rng = np.random.default_rng(0)
+        model = CrossbarNonidealities(NonidealityParameters())
+        g = np.ones((4, 4)) * 1e-5
+        np.testing.assert_allclose(model.apply_variation(g, rng), g)
+
+    def test_noisy_crossbar_still_close_to_ideal(self):
+        rng = np.random.default_rng(2)
+        config = CrossbarConfig(
+            rows=16,
+            columns=16,
+            device=DeviceParameters(levels=256),
+            nonidealities=NonidealityParameters(read_noise_sigma=0.02),
+        )
+        xbar = CrossbarArray(config, rng=rng)
+        weights = rng.normal(0, 0.4, size=(16, 16))
+        xbar.program(weights)
+        spikes = np.ones(16)
+        out = xbar.evaluate(spikes)
+        ideal = spikes @ xbar.effective_weights()
+        correlation = np.corrcoef(out.weighted_sums, ideal)[0, 1]
+        assert correlation > 0.98

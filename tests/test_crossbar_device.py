@@ -1,0 +1,179 @@
+"""Tests for the memristor device model and weight quantisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crossbar.device import DeviceParameters, MemristorModel
+from repro.crossbar.quantization import (
+    QuantizationSpec,
+    quantization_error,
+    quantize_network_weights,
+    quantize_uniform,
+)
+from repro.snn import Dense, Network
+
+
+class TestDeviceParameters:
+    def test_defaults_match_paper(self):
+        params = DeviceParameters()
+        assert params.r_on_ohm == pytest.approx(20e3)
+        assert params.r_off_ohm == pytest.approx(200e3)
+        assert params.levels == 16
+        assert params.bits == 4
+        assert params.read_voltage_v == pytest.approx(0.5)
+
+    def test_conductance_range(self):
+        params = DeviceParameters()
+        assert params.g_on_s == pytest.approx(1 / 20e3)
+        assert params.g_off_s == pytest.approx(1 / 200e3)
+        assert params.g_range_s > 0
+
+    def test_rejects_inverted_resistance_range(self):
+        with pytest.raises(ValueError):
+            DeviceParameters(r_on_ohm=200e3, r_off_ohm=20e3)
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError):
+            DeviceParameters(levels=1)
+
+    def test_with_bits(self):
+        params = DeviceParameters().with_bits(8)
+        assert params.levels == 256
+        assert params.bits == 8
+        with pytest.raises(ValueError):
+            DeviceParameters().with_bits(0)
+
+
+class TestMemristorModel:
+    def test_level_conductances_monotone(self):
+        model = MemristorModel()
+        levels = model.level_conductances()
+        assert len(levels) == 16
+        assert np.all(np.diff(levels) > 0)
+
+    def test_weight_zero_maps_to_g_off(self):
+        model = MemristorModel()
+        assert model.weight_to_conductance(0.0) == pytest.approx(model.params.g_off_s)
+
+    def test_weight_one_maps_to_g_on(self):
+        model = MemristorModel()
+        assert model.weight_to_conductance(1.0) == pytest.approx(model.params.g_on_s)
+
+    def test_weight_clipping(self):
+        model = MemristorModel()
+        assert model.weight_to_level(2.0) == model.params.levels - 1
+        assert model.weight_to_level(-1.0) == 0
+
+    def test_conductance_roundtrip(self):
+        model = MemristorModel()
+        weights = np.linspace(0, 1, 16)
+        g = model.weight_to_conductance(weights)
+        recovered = model.conductance_to_weight(g)
+        np.testing.assert_allclose(recovered, weights, atol=1e-12)
+
+    def test_quantisation_error_bounded_by_half_lsb(self):
+        model = MemristorModel()
+        weights = np.random.default_rng(0).random(1000)
+        recovered = model.conductance_to_weight(model.weight_to_conductance(weights))
+        lsb = 1.0 / (model.params.levels - 1)
+        assert np.max(np.abs(recovered - weights)) <= lsb / 2 + 1e-12
+
+    def test_program_requires_rng_with_variation(self):
+        model = MemristorModel(DeviceParameters(write_variation_sigma=0.1))
+        with pytest.raises(ValueError):
+            model.program(np.ones((2, 2)))
+
+    def test_program_with_variation_changes_values(self):
+        rng = np.random.default_rng(0)
+        model = MemristorModel(DeviceParameters(write_variation_sigma=0.2))
+        ideal = MemristorModel().program(np.full((8, 8), 0.5))
+        noisy = model.program(np.full((8, 8), 0.5), rng)
+        assert not np.allclose(ideal, noisy)
+
+    def test_stuck_at_off_pins_devices(self):
+        rng = np.random.default_rng(0)
+        model = MemristorModel(DeviceParameters(stuck_at_off_probability=1.0))
+        g = model.program(np.ones((4, 4)), rng)
+        np.testing.assert_allclose(g, model.params.g_off_s)
+
+    def test_read_energy_scales_with_conductance(self):
+        model = MemristorModel()
+        low = model.read_energy_per_device_j(model.params.g_off_s)
+        high = model.read_energy_per_device_j(model.params.g_on_s)
+        assert high > low > 0
+
+    def test_mean_read_energy_between_extremes(self):
+        model = MemristorModel()
+        mean = model.mean_read_energy_per_device_j()
+        assert model.read_energy_per_device_j(model.params.g_off_s) < mean
+        assert mean < model.read_energy_per_device_j(model.params.g_on_s)
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_levels_follow_bits(self, bits):
+        model = MemristorModel(DeviceParameters().with_bits(bits))
+        assert len(model.level_conductances()) == 2**bits
+
+
+class TestQuantization:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            QuantizationSpec(bits=0)
+        assert QuantizationSpec(bits=4).levels == 16
+
+    def test_quantize_preserves_sign_and_zero(self):
+        weights = np.array([-0.5, 0.0, 0.75])
+        q = quantize_uniform(weights, QuantizationSpec(bits=4))
+        assert q[1] == 0.0
+        assert q[0] < 0 < q[2]
+
+    def test_quantize_idempotent(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(size=(20, 10))
+        spec = QuantizationSpec(bits=3)
+        once = quantize_uniform(weights, spec)
+        twice = quantize_uniform(once, spec)
+        np.testing.assert_allclose(once, twice)
+
+    def test_error_decreases_with_bits(self):
+        rng = np.random.default_rng(1)
+        weights = rng.normal(size=(50, 50))
+        errors = [quantization_error(weights, QuantizationSpec(bits=b)) for b in (1, 2, 4, 8)]
+        assert errors == sorted(errors, reverse=True)
+        assert errors[-1] < 0.01
+
+    def test_error_zero_for_zero_tensor(self):
+        assert quantization_error(np.zeros((3, 3)), QuantizationSpec(bits=2)) == 0.0
+
+    def test_per_column_scaling(self):
+        weights = np.array([[0.1, 10.0], [0.2, 20.0]])
+        q = quantize_uniform(weights, QuantizationSpec(bits=2, per_column=True))
+        # The small column keeps resolution rather than collapsing to zero.
+        assert q[0, 0] != 0.0
+
+    def test_quantize_network_returns_copy(self, rng):
+        network = Network(
+            (8,), [Dense(8, 4, use_bias=False, rng=rng)], name="q"
+        )
+        original = network.layers[0].weights.copy()
+        quantised = quantize_network_weights(network, QuantizationSpec(bits=2))
+        np.testing.assert_allclose(network.layers[0].weights, original)
+        assert not np.allclose(quantised.layers[0].weights, original)
+
+    def test_quantize_network_rejects_non_network(self):
+        with pytest.raises(TypeError):
+            quantize_network_weights("not a network", QuantizationSpec(bits=2))
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_quantized_values_on_grid(self, bits):
+        rng = np.random.default_rng(bits)
+        weights = rng.normal(size=200)
+        spec = QuantizationSpec(bits=bits)
+        q = quantize_uniform(weights, spec)
+        scale = np.max(np.abs(weights))
+        steps = np.abs(q) / scale * (spec.levels - 1)
+        np.testing.assert_allclose(steps, np.rint(steps), atol=1e-9)

@@ -1,0 +1,93 @@
+"""Tests for the synthetic datasets and spike statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_SPECS,
+    dataset_spike_statistics,
+    make_dataset,
+    zero_run_length_histogram,
+)
+from repro.snn import Dense, Network, Trainer
+
+
+class TestSyntheticDatasets:
+    def test_shapes_and_ranges(self):
+        for name, spec in DATASET_SPECS.items():
+            data = make_dataset(name, train_samples=20, test_samples=10, seed=0)
+            assert data.train_images.shape == (20,) + spec.image_shape
+            assert data.test_images.shape == (10,) + spec.image_shape
+            assert data.train_images.min() >= 0.0 and data.train_images.max() <= 1.0
+            assert set(np.unique(data.train_labels)).issubset(set(range(spec.classes)))
+
+    def test_deterministic_given_seed(self):
+        a = make_dataset("mnist", train_samples=12, test_samples=6, seed=5)
+        b = make_dataset("mnist", train_samples=12, test_samples=6, seed=5)
+        np.testing.assert_allclose(a.train_images, b.train_images)
+        np.testing.assert_array_equal(a.train_labels, b.train_labels)
+
+    def test_different_seeds_differ(self):
+        a = make_dataset("mnist", train_samples=12, test_samples=6, seed=1)
+        b = make_dataset("mnist", train_samples=12, test_samples=6, seed=2)
+        assert not np.allclose(a.train_images, b.train_images)
+
+    def test_mnist_sparser_than_cifar(self):
+        mnist = make_dataset("mnist", train_samples=16, test_samples=16, seed=0)
+        cifar = make_dataset("cifar10", train_samples=16, test_samples=16, seed=0)
+        assert mnist.sparsity() > 0.5
+        assert cifar.sparsity() < 0.3
+        assert mnist.sparsity() > cifar.sparsity() + 0.3
+
+    def test_flattened_view(self):
+        data = make_dataset("svhn", train_samples=8, test_samples=4, seed=0)
+        flat = data.flattened()
+        assert flat.train_images.shape == (8, 3072)
+        assert flat.flat_input_size == 3072
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            make_dataset("imagenet")
+
+    def test_classes_are_separable(self):
+        # A linear classifier must beat chance comfortably on the synthetic data.
+        data = make_dataset("mnist", train_samples=200, test_samples=60, seed=0)
+        rng = np.random.default_rng(0)
+        net = Network((784,), [Dense(784, 10, activation=None, use_bias=False, rng=rng)], name="lin")
+        x = data.train_images.reshape(200, -1)
+        Trainer(learning_rate=0.01, batch_size=32, rng=rng).fit(net, x, data.train_labels, epochs=6)
+        test_accuracy = net.accuracy(data.test_images.reshape(60, -1), data.test_labels)
+        assert test_accuracy > 0.4  # chance is 0.1
+
+
+class TestSpikeStatistics:
+    def test_zero_packet_fraction_higher_for_sparse_dataset(self):
+        mnist = make_dataset("mnist", train_samples=8, test_samples=8, seed=0)
+        cifar = make_dataset("cifar10", train_samples=8, test_samples=8, seed=0)
+        mnist_stats = dataset_spike_statistics(mnist, timesteps=8, samples=8)
+        cifar_stats = dataset_spike_statistics(cifar, timesteps=8, samples=8)
+        assert mnist_stats[0].zero_packet_fraction > cifar_stats[0].zero_packet_fraction
+
+    def test_zero_packet_fraction_decreases_with_width(self):
+        data = make_dataset("mnist", train_samples=8, test_samples=8, seed=0)
+        stats = {s.packet_bits: s.zero_packet_fraction for s in dataset_spike_statistics(data)}
+        assert stats[32] >= stats[64] >= stats[128]
+
+    def test_run_length_histogram_counts_runs(self):
+        histogram = zero_run_length_histogram(np.array([0, 0, 1, 0, 1, 0, 0, 0]), max_length=8)
+        assert histogram[2] == 1
+        assert histogram[1] == 1
+        assert histogram[3] == 1
+
+    def test_run_length_histogram_clamps_long_runs(self):
+        histogram = zero_run_length_histogram(np.zeros(50), max_length=16)
+        assert histogram[16] == 1
+
+    def test_validation(self):
+        data = make_dataset("mnist", train_samples=4, test_samples=4, seed=0)
+        with pytest.raises(ValueError):
+            dataset_spike_statistics(data, timesteps=0)
+        with pytest.raises(ValueError):
+            zero_run_length_histogram(np.zeros(4), max_length=0)

@@ -1,0 +1,189 @@
+"""Tests for the component library, CACTI-like SRAM model and report containers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.energy import (
+    CMOS_GROUPS,
+    RESPARC_GROUPS,
+    ComponentLibrary,
+    EnergyReport,
+    LatencyReport,
+    SRAMConfig,
+    SRAMModel,
+    merge_reports,
+    scale_for_bits,
+)
+
+
+class TestComponentLibrary:
+    def test_all_constants_positive(self):
+        library = ComponentLibrary()
+        assert library.neuron_integration_energy_j > 0
+        assert library.mac_energy_j > 0
+        assert library.resparc_cycle_s == pytest.approx(5e-9)
+
+    def test_replace_returns_new_instance(self):
+        library = ComponentLibrary()
+        other = library.replace(mac_energy_j=2e-12)
+        assert other.mac_energy_j == pytest.approx(2e-12)
+        assert library.mac_energy_j != other.mac_energy_j
+
+    def test_rejects_non_positive_constant(self):
+        with pytest.raises(ValueError):
+            ComponentLibrary(mac_energy_j=0.0)
+
+    def test_scale_for_bits_scales_digital_only(self):
+        library = ComponentLibrary()
+        scaled = scale_for_bits(library, bits=8)
+        assert scaled.mac_energy_j == pytest.approx(2 * library.mac_energy_j)
+        assert scaled.fifo_access_energy_j == pytest.approx(2 * library.fifo_access_energy_j)
+        assert scaled.neuron_integration_energy_j == library.neuron_integration_energy_j
+
+    def test_scale_for_bits_validation(self):
+        with pytest.raises(ValueError):
+            scale_for_bits(ComponentLibrary(), bits=0)
+
+
+class TestSRAMModel:
+    def test_access_energy_grows_with_capacity(self):
+        small = SRAMModel(SRAMConfig(capacity_bytes=32 * 1024))
+        large = SRAMModel(SRAMConfig(capacity_bytes=1024 * 1024))
+        assert large.access_energy_j() > small.access_energy_j()
+
+    def test_access_energy_grows_with_word_width(self):
+        narrow = SRAMModel(SRAMConfig(word_bits=32))
+        wide = SRAMModel(SRAMConfig(word_bits=64))
+        assert wide.access_energy_j() == pytest.approx(2 * narrow.access_energy_j())
+
+    def test_banking_reduces_access_energy_but_adds_leakage(self):
+        flat = SRAMModel(SRAMConfig(capacity_bytes=512 * 1024, banks=1))
+        banked = SRAMModel(SRAMConfig(capacity_bytes=512 * 1024, banks=4))
+        assert banked.access_energy_j() < flat.access_energy_j()
+        assert banked.leakage_power_w() > flat.leakage_power_w()
+
+    def test_leakage_proportional_to_capacity(self):
+        one = SRAMModel(SRAMConfig(capacity_bytes=128 * 1024))
+        two = SRAMModel(SRAMConfig(capacity_bytes=256 * 1024))
+        assert two.leakage_power_w() == pytest.approx(2 * one.leakage_power_w())
+
+    def test_energy_for_bytes(self):
+        model = SRAMModel(SRAMConfig(word_bits=64))
+        assert model.energy_for_bytes(64) == pytest.approx(8 * model.access_energy_j())
+        with pytest.raises(ValueError):
+            model.energy_for_bytes(-1)
+
+    def test_leakage_energy(self):
+        model = SRAMModel()
+        assert model.leakage_energy_j(1.0) == pytest.approx(model.leakage_power_w())
+        with pytest.raises(ValueError):
+            model.leakage_energy_j(-1.0)
+
+    def test_capacity_bank_divisibility(self):
+        with pytest.raises(ValueError):
+            SRAMConfig(capacity_bytes=1000, banks=3)
+
+
+class TestEnergyReport:
+    def test_add_and_total(self):
+        report = EnergyReport(label="x", group_map=RESPARC_GROUPS)
+        report.add("crossbar_read", 1e-9)
+        report.add("buffer", 2e-9)
+        report.add("buffer", 3e-9)
+        assert report.total_j == pytest.approx(6e-9)
+        assert report.components["buffer"] == pytest.approx(5e-9)
+
+    def test_grouping(self):
+        report = EnergyReport(label="x", group_map=RESPARC_GROUPS)
+        report.add("crossbar_read", 1e-9)
+        report.add("switch", 1e-9)
+        report.add("unknown_thing", 1e-9)
+        groups = report.grouped()
+        assert groups["crossbar"] == pytest.approx(1e-9)
+        assert groups["peripherals"] == pytest.approx(1e-9)
+        assert groups["other"] == pytest.approx(1e-9)
+
+    def test_fraction_and_normalised(self):
+        report = EnergyReport(label="x", group_map=CMOS_GROUPS)
+        report.add("mac", 3e-9)
+        report.add("memory_leakage", 1e-9)
+        assert report.fraction("mac") == pytest.approx(0.75)
+        assert report.fraction("core") == pytest.approx(0.75)
+        assert report.normalised(1e-9)["mac"] == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            report.normalised(0.0)
+
+    def test_negative_energy_rejected(self):
+        report = EnergyReport(label="x")
+        with pytest.raises(ValueError):
+            report.add("mac", -1.0)
+
+    def test_scaled_and_merged(self):
+        a = EnergyReport(label="a")
+        a.add("mac", 1e-9)
+        b = EnergyReport(label="b")
+        b.add("mac", 2e-9)
+        b.add("fifo", 1e-9)
+        merged = a.merged_with(b)
+        assert merged.total_j == pytest.approx(4e-9)
+        assert a.scaled(2.0).total_j == pytest.approx(2e-9)
+
+    def test_ratio(self):
+        a = EnergyReport(label="a"); a.add("x", 4e-9)
+        b = EnergyReport(label="b"); b.add("x", 2e-9)
+        assert EnergyReport.ratio(a, b) == pytest.approx(2.0)
+        empty = EnergyReport(label="e")
+        with pytest.raises(ZeroDivisionError):
+            EnergyReport.ratio(a, empty)
+
+    def test_merge_reports_helper(self):
+        reports = []
+        for i in range(3):
+            r = EnergyReport(label=f"r{i}", group_map=RESPARC_GROUPS)
+            r.add("switch", 1e-9)
+            reports.append(r)
+        merged = merge_reports(reports, label="sum")
+        assert merged.total_j == pytest.approx(3e-9)
+
+    def test_summary_mentions_groups(self):
+        report = EnergyReport(label="x", group_map=RESPARC_GROUPS)
+        report.add("crossbar_read", 1e-9)
+        assert "crossbar" in report.summary()
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e-6), min_size=1, max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_total_is_sum_of_components(self, values):
+        report = EnergyReport(label="p")
+        for index, value in enumerate(values):
+            report.add(f"component_{index}", value)
+        assert report.total_j == pytest.approx(sum(values))
+
+
+class TestLatencyReport:
+    def test_total_and_throughput(self):
+        report = LatencyReport(label="l")
+        report.add("compute", 2e-6)
+        report.add("communication", 2e-6)
+        assert report.total_s == pytest.approx(4e-6)
+        assert report.throughput_per_s == pytest.approx(250_000)
+
+    def test_speedup(self):
+        fast = LatencyReport(label="f"); fast.add("compute", 1e-6)
+        slow = LatencyReport(label="s"); slow.add("compute", 10e-6)
+        assert fast.speedup_over(slow) == pytest.approx(10.0)
+
+    def test_fraction_and_summary(self):
+        report = LatencyReport(label="l")
+        report.add("compute", 3e-6)
+        report.add("memory_stall", 1e-6)
+        assert report.fraction("compute") == pytest.approx(0.75)
+        assert "compute" in report.summary()
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyReport(label="l").add("compute", -1.0)
+
+    def test_empty_report_throughput_zero(self):
+        assert LatencyReport(label="l").throughput_per_s == 0.0

@@ -1,0 +1,70 @@
+"""End-to-end integration tests across the whole stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baseline import CmosBaselineModel
+from repro.core import ArchitectureConfig, ResparcModel
+from repro.datasets import make_dataset
+from repro.mapping import map_network, mapping_report
+from repro.snn import SpikingSimulator, Trainer, convert_to_snn
+from repro.workloads import build_mnist_mlp
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        """Train a reduced MNIST MLP, convert it, and evaluate both architectures."""
+        rng_seed = 11
+        network = build_mnist_mlp(scale=0.2, seed=rng_seed)
+        dataset = make_dataset("mnist", train_samples=160, test_samples=40, seed=rng_seed)
+        train_x = dataset.train_images.reshape(160, -1)
+        test_x = dataset.test_images.reshape(40, -1)
+        trainer = Trainer(learning_rate=0.005, batch_size=32, rng=np.random.default_rng(rng_seed))
+        trainer.fit(network, train_x, dataset.train_labels, epochs=4)
+        snn = convert_to_snn(network, train_x[:32])
+        simulator = SpikingSimulator(timesteps=24, rng=np.random.default_rng(rng_seed))
+        result = simulator.run(snn, test_x[:16], dataset.test_labels[:16])
+        return network, snn, result
+
+    def test_trained_snn_beats_chance(self, pipeline):
+        _, _, result = pipeline
+        assert result.accuracy is not None
+        assert result.accuracy > 0.3  # chance is 0.1 on ten classes
+
+    def test_full_stack_energy_comparison(self, pipeline):
+        network, _, result = pipeline
+        resparc = ResparcModel().evaluate(network, result.trace)
+        cmos = CmosBaselineModel().evaluate(network, result.trace)
+        benefit = cmos.energy_per_classification_j / resparc.energy_per_classification_j
+        speedup = cmos.latency_per_classification_s / resparc.latency_per_classification_s
+        assert benefit > 10
+        assert speedup > 10
+
+    def test_mapping_report_is_consistent_with_model(self, pipeline):
+        network, _, result = pipeline
+        mapped = map_network(network, crossbar_size=64)
+        report = mapping_report(mapped)
+        assert str(mapped.total_tiles) in report
+        evaluation = ResparcModel().evaluate(mapped, result.trace)
+        # Every tile fires at most once per timestep per sample.
+        max_evals = mapped.total_tiles * result.trace.timesteps
+        assert evaluation.counters.crossbar_evaluations <= max_evals + 1e-9
+
+    def test_event_driven_consistency_across_models(self, pipeline):
+        network, _, result = pipeline
+        for event_driven in (True, False):
+            config = ArchitectureConfig(event_driven=event_driven)
+            evaluation = ResparcModel(config=config).evaluate(network, result.trace)
+            assert evaluation.energy_per_classification_j > 0
+
+    def test_technology_aware_size_selection_runs(self, pipeline):
+        network, _, result = pipeline
+        energies = {}
+        for size in (32, 64, 128):
+            config = ArchitectureConfig().with_crossbar_size(size)
+            energies[size] = ResparcModel(config=config).evaluate(network, result.trace).energy_per_classification_j
+        # For an MLP the largest permissible crossbar is the most efficient.
+        assert energies[128] < energies[32]

@@ -1,0 +1,227 @@
+"""Tests for the mapping compiler: partitioning, placement, utilisation, API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping import (
+    compare_crossbar_sizes,
+    map_network,
+    mapping_report,
+    partition_layer,
+    place_partitions,
+    select_crossbar_size,
+    summarise_utilisation,
+    utilisation_by_layer,
+)
+from repro.snn import AvgPool2D, Conv2D, Dense, Flatten, Network, extract_connectivity
+from repro.snn.topology import LayerConnectivity
+from repro.workloads import build_mnist_cnn, build_mnist_mlp
+
+
+def _dense_conn(n_in: int, n_out: int) -> LayerConnectivity:
+    return LayerConnectivity(
+        index=0, name="d", kind="dense", n_inputs=n_in, n_outputs=n_out,
+        fan_in=n_in, synapses=n_in * n_out, output_groups=n_out,
+        window_positions=1, shared_inputs_per_step=0, unique_weights=n_in * n_out,
+    )
+
+
+class TestPartitioner:
+    def test_dense_layer_fits_one_tile(self):
+        partition = partition_layer(_dense_conn(32, 32), 64, 64)
+        assert partition.tile_count == 1
+        assert partition.time_multiplex_degree == 1
+        assert partition.mapped_synapses == 32 * 32
+        assert partition.utilisation == pytest.approx(1024 / 4096)
+
+    def test_dense_layer_splits_rows_and_columns(self):
+        partition = partition_layer(_dense_conn(150, 100), 64, 64)
+        assert partition.tile_count == 3 * 2
+        assert partition.time_multiplex_degree == 3
+        assert partition.mapped_synapses == 150 * 100
+
+    def test_dense_utilisation_near_one_for_exact_fit(self):
+        partition = partition_layer(_dense_conn(128, 128), 64, 64)
+        assert partition.utilisation == pytest.approx(1.0)
+        assert partition.tile_count == 4
+
+    def test_external_transfers_follow_time_multiplexing(self):
+        partition = partition_layer(_dense_conn(200, 10), 64, 64)
+        assert partition.time_multiplex_degree == 4
+        assert partition.external_current_transfers_per_timestep == 10 * 3
+
+    def test_conv_windows_pack_with_input_sharing(self, rng):
+        network = Network(
+            (10, 10, 1),
+            [Conv2D(1, 4, kernel_size=3, padding="valid", rng=rng)],
+            name="conv-pack",
+        )
+        conn = extract_connectivity(network)[0]
+        partition = partition_layer(conn, 32, 32)
+        # fan-in 9, step 3: windows per tile limited by columns (32 // 4 = 8).
+        first_group = partition.tile_groups[0]
+        assert first_group.windows_per_tile == 8
+        assert first_group.rows_used == 9 + 7 * 3
+        assert first_group.columns_used == 32
+        assert partition.mapped_synapses == conn.synapses
+
+    def test_pool_layer_packing(self, rng):
+        network = Network((8, 8, 4), [AvgPool2D(2)], name="pool")
+        conn = extract_connectivity(network)[0]
+        partition = partition_layer(conn, 64, 64)
+        # 64 outputs with fan-in 4: 16 windows per tile (row limited).
+        assert partition.tile_groups[0].windows_per_tile == 16
+        assert partition.tile_count == 4
+        assert partition.mapped_synapses == conn.synapses
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            partition_layer(_dense_conn(8, 8), 0, 64)
+
+    def test_crossbar_evaluations_equal_tiles(self):
+        partition = partition_layer(_dense_conn(100, 100), 32, 32)
+        assert partition.crossbar_evaluations_per_timestep == partition.tile_count
+        assert partition.neuron_integrations_per_timestep == 100 * partition.time_multiplex_degree
+
+    @given(
+        st.integers(min_value=1, max_value=400),
+        st.integers(min_value=1, max_value=400),
+        st.sampled_from([32, 64, 128]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_dense_partition_conserves_synapses(self, n_in, n_out, size):
+        partition = partition_layer(_dense_conn(n_in, n_out), size, size)
+        assert partition.mapped_synapses == n_in * n_out
+        assert partition.tile_count >= 1
+        assert 0 < partition.utilisation <= 1.0
+        assert partition.mean_rows_used <= size
+        assert partition.mean_columns_used <= size
+
+    @given(st.sampled_from([32, 64, 128]))
+    @settings(max_examples=3, deadline=None)
+    def test_cnn_partition_conserves_synapses(self, size):
+        network = build_mnist_cnn(scale=0.2)
+        for conn in extract_connectivity(network):
+            partition = partition_layer(conn, size, size)
+            assert partition.mapped_synapses == conn.synapses
+
+
+class TestPlacement:
+    def test_mlp_placement_counts(self):
+        network = build_mnist_mlp()
+        mapped = map_network(network, crossbar_size=64)
+        placement = mapped.placement
+        assert placement.total_mpes == sum(l.mpe_count for l in placement.layers)
+        assert placement.total_neurocells >= 1
+        assert placement.total_switches == placement.total_neurocells * 9
+
+    def test_layers_do_not_share_mpes(self):
+        network = build_mnist_mlp()
+        mapped = map_network(network, crossbar_size=64)
+        for layer, partition in zip(mapped.placement.layers, mapped.partitions):
+            assert layer.mpe_count >= int(np.ceil(partition.tile_count / 4))
+
+    def test_conv_consumer_stays_in_neurocell(self):
+        network = build_mnist_cnn(scale=0.5)
+        mapped = map_network(network, crossbar_size=64)
+        layers = mapped.placement.layers
+        kinds = [p.layer.kind for p in mapped.partitions]
+        for position, layer in enumerate(layers[:-1]):
+            if kinds[position + 1] in ("conv", "pool"):
+                assert layer.output_stays_in_neurocell
+
+    def test_invalid_hierarchy_rejected(self):
+        network = build_mnist_mlp(scale=0.1)
+        conns = extract_connectivity(network)
+        from repro.mapping import partition_network_layers
+
+        partitions = partition_network_layers(conns, 64, 64)
+        with pytest.raises(ValueError):
+            place_partitions(partitions, mcas_per_mpe=0)
+
+    def test_placement_lookup(self):
+        mapped = map_network(build_mnist_mlp(scale=0.2), crossbar_size=64)
+        first = mapped.placement.layers[0]
+        assert mapped.placement.layer(first.layer_index) is first
+        with pytest.raises(KeyError):
+            mapped.placement.layer(999)
+
+
+class TestMapperApi:
+    def test_mapped_network_aggregates(self):
+        network = build_mnist_mlp()
+        mapped = map_network(network, crossbar_size=64)
+        assert mapped.total_synapses == network.synapse_count
+        assert mapped.total_neurons == network.neuron_count
+        assert mapped.total_tiles == sum(p.tile_count for p in mapped.partitions)
+        assert 0 < mapped.utilisation.mean_utilisation <= 1.0
+
+    def test_larger_crossbars_need_fewer_tiles_for_mlp(self):
+        network = build_mnist_mlp()
+        tiles = [map_network(network, crossbar_size=s).total_tiles for s in (32, 64, 128)]
+        assert tiles[0] > tiles[1] > tiles[2]
+
+    def test_cnn_utilisation_below_mlp(self):
+        mlp = map_network(build_mnist_mlp(), crossbar_size=64)
+        cnn = map_network(build_mnist_cnn(), crossbar_size=64)
+        assert cnn.utilisation.mean_utilisation < mlp.utilisation.mean_utilisation
+
+    def test_cnn_utilisation_drops_with_size(self):
+        cnn = build_mnist_cnn()
+        utils = [
+            map_network(cnn, crossbar_size=s).utilisation.mean_utilisation for s in (32, 64, 128)
+        ]
+        assert utils[0] > utils[1] > utils[2]
+
+    def test_partition_for_lookup(self):
+        mapped = map_network(build_mnist_mlp(scale=0.2), crossbar_size=64)
+        index = mapped.partitions[0].layer.index
+        assert mapped.partition_for(index).layer.index == index
+        with pytest.raises(KeyError):
+            mapped.partition_for(1234)
+
+    def test_accepts_spiking_network(self, small_mlp, rng):
+        from repro.snn import convert_to_snn
+
+        snn = convert_to_snn(small_mlp, rng.random((4, 36)))
+        mapped = map_network(snn, crossbar_size=32)
+        assert mapped.network_name == small_mlp.name
+
+    def test_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            map_network("not-a-network")
+
+    def test_select_crossbar_size_respects_reliability_limit(self):
+        network = build_mnist_mlp(scale=0.25)
+        best, costs = select_crossbar_size(network, candidate_sizes=(32, 64, 128), max_reliable_size=64)
+        assert 128 not in costs
+        assert best in (32, 64)
+
+    def test_select_crossbar_size_prefers_large_for_mlp(self):
+        best, costs = select_crossbar_size(build_mnist_mlp(), candidate_sizes=(32, 64, 128))
+        assert best in (64, 128)
+        assert costs[32] > costs[best]
+
+    def test_select_crossbar_size_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            select_crossbar_size(build_mnist_mlp(scale=0.1), candidate_sizes=())
+
+    def test_reports_render(self):
+        mapped = map_network(build_mnist_mlp(scale=0.2), crossbar_size=64)
+        text = mapping_report(mapped)
+        assert "mnist-mlp" in text and "tiles" in text
+        table = compare_crossbar_sizes(build_mnist_mlp(scale=0.2), sizes=(32, 64))
+        assert "32" in table and "64" in table
+
+    def test_utilisation_helpers(self):
+        mapped = map_network(build_mnist_mlp(scale=0.3), crossbar_size=64)
+        summary = summarise_utilisation(mapped.partitions)
+        assert summary.total_synapses == mapped.total_synapses
+        assert summary.wasted_crosspoints == summary.total_crosspoints - summary.total_synapses
+        per_layer = utilisation_by_layer(mapped.partitions)
+        assert len(per_layer) == len(mapped.partitions)
+        with pytest.raises(ValueError):
+            summarise_utilisation([])

@@ -1,0 +1,198 @@
+"""Tests for ANN→SNN conversion, the functional simulator and topology extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.snn import (
+    AvgPool2D,
+    Conv2D,
+    ConversionSpec,
+    Dense,
+    Flatten,
+    Network,
+    SpikingSimulator,
+    Trainer,
+    convert_to_snn,
+    extract_connectivity,
+)
+from repro.snn.topology import network_connectivity_summary
+
+
+class TestConversion:
+    def test_thresholds_for_weighted_layers_only(self, small_cnn, rng):
+        snn = convert_to_snn(small_cnn, rng.random((8, 12, 12, 1)))
+        assert set(snn.thresholds) == {0, 3}
+        assert all(t > 0 for t in snn.thresholds.values())
+
+    def test_biases_dropped(self, rng):
+        network = Network((6,), [Dense(6, 4, use_bias=True, rng=rng)], name="b")
+        network.layers[0].bias[:] = 5.0
+        snn = convert_to_snn(network, rng.random((4, 6)))
+        np.testing.assert_allclose(snn.network.layers[0].bias, 0.0)
+        # The original is untouched.
+        np.testing.assert_allclose(network.layers[0].bias, 5.0)
+
+    def test_threshold_floor_applies_to_dead_layer(self, rng):
+        network = Network((6,), [Dense(6, 4, use_bias=False, rng=rng)], name="dead")
+        network.layers[0].weights[:] = -1.0  # never a positive pre-activation
+        snn = convert_to_snn(network, rng.random((4, 6)))
+        assert snn.threshold_for(0) == ConversionSpec().minimum_threshold
+
+    def test_single_sample_calibration_accepted(self, small_mlp, rng):
+        snn = convert_to_snn(small_mlp, rng.random(36))
+        assert snn.threshold_for(0) > 0
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ConversionSpec(percentile=150.0)
+        with pytest.raises(ValueError):
+            ConversionSpec(minimum_threshold=0.0)
+
+    def test_default_threshold_for_unlisted_layer(self, small_mlp, rng):
+        snn = convert_to_snn(small_mlp, rng.random((4, 36)))
+        assert snn.threshold_for(99) == 1.0
+
+
+class TestSpikingSimulator:
+    def test_snn_matches_ann_predictions_on_trained_mlp(self, rng):
+        # Train a small MLP on separable data; the converted SNN must agree
+        # with the ANN on most samples — the core soundness check of the
+        # conversion flow (Diehl et al.).
+        network = Network(
+            (12,),
+            [Dense(12, 24, use_bias=False, rng=rng), Dense(24, 3, activation=None, use_bias=False, rng=rng)],
+            name="convert",
+        )
+        x = rng.random((120, 12))
+        labels = (x[:, :4].mean(axis=1) * 3).astype(int).clip(0, 2)
+        Trainer(learning_rate=0.01, batch_size=24, rng=rng).fit(network, x, labels, epochs=20)
+        snn = convert_to_snn(network, x[:40])
+        simulator = SpikingSimulator(timesteps=60, encoder="deterministic")
+        result = simulator.run(snn, x[100:], labels[100:])
+        ann_predictions = network.predict(x[100:])
+        agreement = np.mean(result.predictions == ann_predictions)
+        assert agreement >= 0.7
+
+    def test_trace_contains_all_computational_layers(self, traced_small_mlp):
+        _, trace = traced_small_mlp
+        assert [a.layer_index for a in trace.layers] == [0, 1]
+        assert trace.timesteps == 12
+        assert trace.samples == 4
+
+    def test_trace_rates_in_unit_interval(self, traced_small_mlp):
+        _, trace = traced_small_mlp
+        for activity in trace.layers:
+            assert 0.0 <= activity.input_spike_rate <= 1.0
+            assert 0.0 <= activity.output_spike_rate <= 1.0
+            for fraction in activity.zero_packet_fraction.values():
+                assert 0.0 <= fraction <= 1.0
+
+    def test_zero_packet_fraction_decreases_with_width(self, traced_small_mlp):
+        _, trace = traced_small_mlp
+        activity = trace.layers[0]
+        assert (
+            activity.zero_packet_fraction_for(32)
+            >= activity.zero_packet_fraction_for(64)
+            >= activity.zero_packet_fraction_for(128)
+        )
+
+    def test_zero_packet_fraction_interpolation(self, traced_small_mlp):
+        _, trace = traced_small_mlp
+        activity = trace.layers[0]
+        estimate = activity.zero_packet_fraction_for(20)
+        assert 0.0 <= estimate <= 1.0
+
+    def test_total_spikes_consistency(self, traced_small_mlp):
+        _, trace = traced_small_mlp
+        layer0 = trace.layers[0]
+        expected_rate = layer0.total_input_spikes / (layer0.n_inputs * trace.timesteps)
+        assert layer0.input_spike_rate == pytest.approx(expected_rate)
+
+    def test_cnn_simulation_runs(self, small_cnn, mnist_like_batch, rng):
+        images, labels = mnist_like_batch
+        images = images[:, 8:20, 8:20, :]  # crop to the 12x12 input
+        snn = convert_to_snn(small_cnn, images[:4])
+        simulator = SpikingSimulator(timesteps=10, rng=rng)
+        result = simulator.run(snn, images[:4], labels[:4])
+        assert result.predictions.shape == (4,)
+        assert len(result.trace.layers) == 3  # conv, pool, dense
+
+    def test_input_shape_validation(self, traced_small_mlp, rng):
+        snn, _ = traced_small_mlp
+        simulator = SpikingSimulator(timesteps=5)
+        with pytest.raises(ValueError):
+            simulator.run(snn, rng.random((2, 35)))
+
+    def test_simulator_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SpikingSimulator(timesteps=0)
+        with pytest.raises(ValueError):
+            SpikingSimulator(encoder="burst")
+
+    def test_higher_intensity_means_more_spikes(self, small_mlp, rng):
+        snn = convert_to_snn(small_mlp, rng.random((6, 36)))
+        simulator = SpikingSimulator(timesteps=20, encoder="deterministic")
+        dim = simulator.run(snn, np.full((1, 36), 0.05))
+        bright = simulator.run(snn, np.full((1, 36), 0.9))
+        assert bright.trace.total_spikes_per_sample > dim.trace.total_spikes_per_sample
+
+
+class TestTopology:
+    def test_dense_descriptor(self, small_mlp):
+        descriptors = extract_connectivity(small_mlp)
+        first = descriptors[0]
+        assert first.kind == "dense"
+        assert first.fan_in == 36
+        assert first.synapses == 36 * 20
+        assert first.unique_weights == 36 * 20
+        assert first.output_groups == 20
+        assert first.window_positions == 1
+
+    def test_conv_descriptor_full_sharing(self, small_cnn):
+        descriptors = extract_connectivity(small_cnn)
+        conv = descriptors[0]
+        assert conv.kind == "conv"
+        assert conv.fan_in == 9
+        assert conv.output_groups == 6
+        assert conv.window_positions == 144
+        assert conv.synapses == conv.n_outputs * 9
+
+    def test_conv_descriptor_channel_limited(self, rng):
+        network = Network(
+            (8, 8, 4),
+            [Conv2D(4, 8, kernel_size=3, padding="same", in_channel_limit=1, rng=rng)],
+            name="limited",
+        )
+        conv = extract_connectivity(network)[0]
+        # 8 output channels over 4 input channels: pairs of channels share.
+        assert conv.output_groups == 2
+        assert conv.window_positions == 8 * 8 * 4
+        assert conv.output_groups * conv.window_positions == conv.n_outputs
+
+    def test_conv_descriptor_channel_limited_without_divisibility(self, rng):
+        network = Network(
+            (8, 8, 4),
+            [Conv2D(4, 3, kernel_size=3, padding="same", in_channel_limit=1, rng=rng)],
+            name="nodiv",
+        )
+        conv = extract_connectivity(network)[0]
+        assert conv.output_groups == 1
+        assert conv.window_positions == conv.n_outputs
+
+    def test_pool_descriptor(self, small_cnn):
+        pool = extract_connectivity(small_cnn)[1]
+        assert pool.kind == "pool"
+        assert pool.fan_in == 4
+        assert pool.unique_weights == 0
+        assert pool.output_groups == 1
+
+    def test_flatten_skipped(self, small_cnn):
+        descriptors = extract_connectivity(small_cnn)
+        assert len(descriptors) == 3
+
+    def test_summary_matches_network(self, small_cnn):
+        summary = network_connectivity_summary(small_cnn)
+        assert summary["neurons"] == small_cnn.neuron_count
+        assert summary["synapses"] == small_cnn.synapse_count

@@ -1,0 +1,235 @@
+"""Tests for the neural-network layers and training machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.snn.layers import AvgPool2D, Conv2D, Dense, Flatten, col2im, im2col
+from repro.snn.network import Network
+from repro.snn.training import Trainer, cross_entropy_loss, softmax
+
+
+class TestDense:
+    def test_forward_shape_and_relu(self, rng):
+        layer = Dense(6, 4, rng=rng)
+        out = layer.forward(rng.normal(size=(3, 6)))
+        assert out.shape == (3, 4)
+        assert np.all(out >= 0)
+
+    def test_linear_excludes_bias_and_activation(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        layer.bias[:] = 10.0
+        x = rng.normal(size=(2, 5))
+        np.testing.assert_allclose(layer.linear(x), x @ layer.weights)
+
+    def test_output_shape_validation(self, rng):
+        layer = Dense(6, 4, rng=rng)
+        assert layer.output_shape((6,)) == (4,)
+        with pytest.raises(ValueError):
+            layer.output_shape((5,))
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_gradient_matches_numerical(self, rng):
+        layer = Dense(5, 3, activation="relu", rng=rng)
+        x = rng.normal(size=(4, 5))
+        grad_out = rng.normal(size=(4, 3))
+        layer.forward(x, training=True)
+        layer.backward(grad_out)
+        analytic = layer.gradients()["weights"]
+        eps = 1e-6
+        i, j = 2, 1
+        layer.weights[i, j] += eps
+        plus = float(np.sum(layer.forward(x) * grad_out))
+        layer.weights[i, j] -= 2 * eps
+        minus = float(np.sum(layer.forward(x) * grad_out))
+        layer.weights[i, j] += eps
+        numerical = (plus - minus) / (2 * eps)
+        assert analytic[i, j] == pytest.approx(numerical, rel=1e-4, abs=1e-6)
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            Dense(0, 4)
+
+    def test_parameter_count(self, rng):
+        assert Dense(5, 3, use_bias=True, rng=rng).parameter_count == 18
+        assert Dense(5, 3, use_bias=False, rng=rng).parameter_count == 15
+
+
+class TestConv2D:
+    def test_forward_shapes_valid_and_same(self, rng):
+        x = rng.random((2, 8, 8, 3))
+        valid = Conv2D(3, 4, kernel_size=3, padding="valid", rng=rng)
+        same = Conv2D(3, 4, kernel_size=3, padding="same", rng=rng)
+        assert valid.forward(x).shape == (2, 6, 6, 4)
+        assert same.forward(x).shape == (2, 8, 8, 4)
+
+    def test_matches_explicit_convolution(self, rng):
+        layer = Conv2D(1, 1, kernel_size=3, padding="valid", activation=None, use_bias=False, rng=rng)
+        x = rng.random((1, 5, 5, 1))
+        out = layer.forward(x)
+        kernel = layer.weights[:, :, 0, 0]
+        expected = np.zeros((3, 3))
+        for i in range(3):
+            for j in range(3):
+                expected[i, j] = np.sum(x[0, i : i + 3, j : j + 3, 0] * kernel)
+        np.testing.assert_allclose(out[0, :, :, 0], expected, atol=1e-12)
+
+    def test_gradient_matches_numerical(self, rng):
+        layer = Conv2D(2, 3, kernel_size=3, padding="same", rng=rng)
+        x = rng.normal(size=(2, 6, 6, 2))
+        grad_out = rng.normal(size=(2, 6, 6, 3))
+        layer.forward(x, training=True)
+        layer.backward(grad_out)
+        analytic = layer.gradients()["weights"]
+        eps = 1e-6
+        idx = (1, 2, 0, 1)
+        layer.weights[idx] += eps
+        plus = float(np.sum(layer.forward(x) * grad_out))
+        layer.weights[idx] -= 2 * eps
+        minus = float(np.sum(layer.forward(x) * grad_out))
+        layer.weights[idx] += eps
+        assert analytic[idx] == pytest.approx((plus - minus) / (2 * eps), rel=1e-4, abs=1e-6)
+
+    def test_channel_limit_masks_weights(self, rng):
+        layer = Conv2D(8, 4, kernel_size=3, in_channel_limit=1, rng=rng)
+        assert layer.fan_in == 9
+        assert layer.connected_in_channels == 1
+        # Each output channel connects to exactly one input channel.
+        per_output = layer.connection_mask[0, 0].sum(axis=0)
+        np.testing.assert_allclose(per_output, 1.0)
+        assert np.count_nonzero(layer.weights) <= 9 * 4
+
+    def test_channel_limit_survives_training_step(self, rng):
+        layer = Conv2D(4, 2, kernel_size=3, in_channel_limit=1, rng=rng, activation=None)
+        x = rng.random((2, 6, 6, 4))
+        layer.forward(x, training=True)
+        layer.backward(rng.normal(size=(2, 4, 4, 2)))
+        masked = layer.gradients()["weights"][layer.connection_mask == 0]
+        np.testing.assert_allclose(masked, 0.0)
+
+    def test_channel_limit_validation(self, rng):
+        with pytest.raises(ValueError):
+            Conv2D(4, 2, in_channel_limit=5, rng=rng)
+
+    def test_parameter_count_reflects_mask(self, rng):
+        layer = Conv2D(8, 4, kernel_size=3, in_channel_limit=2, use_bias=False, rng=rng)
+        assert layer.parameter_count == 3 * 3 * 2 * 4
+
+    def test_output_shape_validation(self, rng):
+        layer = Conv2D(3, 2, kernel_size=5, padding="valid", rng=rng)
+        with pytest.raises(ValueError):
+            layer.output_shape((4, 4, 3))
+        with pytest.raises(ValueError):
+            layer.output_shape((8, 8, 2))
+
+
+class TestPoolFlatten:
+    def test_avgpool_values(self):
+        x = np.arange(16, dtype=float).reshape(1, 4, 4, 1)
+        pooled = AvgPool2D(2).forward(x)
+        np.testing.assert_allclose(pooled[0, :, :, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_avgpool_shape_validation(self):
+        with pytest.raises(ValueError):
+            AvgPool2D(2).output_shape((5, 4, 3))
+        with pytest.raises(ValueError):
+            AvgPool2D(0)
+
+    def test_avgpool_backward_distributes_gradient(self):
+        pool = AvgPool2D(2)
+        x = np.random.default_rng(0).random((1, 4, 4, 1))
+        pool.forward(x, training=True)
+        grad = pool.backward(np.ones((1, 2, 2, 1)))
+        np.testing.assert_allclose(grad, 0.25)
+
+    def test_flatten_roundtrip(self):
+        layer = Flatten()
+        x = np.random.default_rng(0).random((2, 3, 3, 2))
+        flat = layer.forward(x, training=True)
+        assert flat.shape == (2, 18)
+        back = layer.backward(flat)
+        assert back.shape == x.shape
+
+    def test_im2col_col2im_adjoint(self):
+        # col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>.
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(2, 6, 6, 3))
+        cols, _ = im2col(x, 3, 3, "same")
+        y = rng.normal(size=cols.shape)
+        lhs = float(np.sum(cols * y))
+        rhs = float(np.sum(x * col2im(y, x.shape, 3, 3, "same")))
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestTraining:
+    def test_softmax_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(5, 10)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_cross_entropy_gradient_direction(self):
+        logits = np.zeros((1, 3))
+        loss, grad = cross_entropy_loss(logits, np.array([1]))
+        assert loss == pytest.approx(np.log(3))
+        assert grad[0, 1] < 0 < grad[0, 0]
+
+    def test_trainer_validation(self):
+        with pytest.raises(ValueError):
+            Trainer(optimizer="rmsprop")
+        with pytest.raises(ValueError):
+            Trainer(learning_rate=0.0)
+
+    def test_training_reduces_loss_mlp(self, rng):
+        network = Network(
+            (10,),
+            [Dense(10, 16, rng=rng), Dense(16, 3, activation=None, rng=rng)],
+            name="train-test",
+        )
+        x = rng.normal(size=(60, 10))
+        labels = (x[:, 0] > 0).astype(int) + (x[:, 1] > 0).astype(int)
+        trainer = Trainer(learning_rate=0.01, batch_size=16, rng=rng)
+        result = trainer.fit(network, x, labels, epochs=12)
+        assert result.losses[-1] < result.losses[0]
+        assert result.train_accuracy > 0.6
+
+    def test_training_sgd_momentum(self, rng):
+        network = Network((6,), [Dense(6, 3, activation=None, rng=rng)], name="sgd")
+        x = rng.normal(size=(40, 6))
+        labels = (x[:, 0] > 0).astype(int)
+        trainer = Trainer(optimizer="sgd", learning_rate=0.05, batch_size=8, rng=rng)
+        result = trainer.fit(network, x, labels, epochs=10)
+        assert result.final_loss < result.losses[0]
+
+    def test_mismatched_labels_rejected(self, rng):
+        network = Network((4,), [Dense(4, 2, rng=rng)], name="bad")
+        with pytest.raises(ValueError):
+            Trainer(rng=rng).fit(network, np.ones((3, 4)), np.array([0, 1]))
+
+    def test_training_small_cnn(self, rng):
+        network = Network(
+            (6, 6, 1),
+            [
+                Conv2D(1, 4, kernel_size=3, padding="same", rng=rng),
+                Flatten(),
+                Dense(6 * 6 * 4, 2, activation=None, rng=rng),
+            ],
+            name="cnn-train",
+        )
+        x = rng.random((30, 6, 6, 1))
+        labels = (x.mean(axis=(1, 2, 3)) > 0.5).astype(int)
+        result = Trainer(learning_rate=0.01, batch_size=10, rng=rng).fit(network, x, labels, epochs=8)
+        assert result.final_loss < result.losses[0]
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=5, deadline=None)
+    def test_loss_non_negative(self, classes):
+        rng = np.random.default_rng(classes)
+        logits = rng.normal(size=(8, classes))
+        labels = rng.integers(0, classes, size=8)
+        loss, _ = cross_entropy_loss(logits, labels)
+        assert loss >= 0

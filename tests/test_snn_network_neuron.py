@@ -1,0 +1,163 @@
+"""Tests for the network container, IF neurons and spike encoders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.snn import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    DeterministicRateEncoder,
+    Flatten,
+    IFNeuronParameters,
+    IFNeuronPool,
+    Network,
+    PoissonEncoder,
+    spike_train_statistics,
+)
+
+
+class TestNetwork:
+    def test_layer_info_counts(self, small_cnn):
+        info = small_cnn.layer_info()
+        kinds = [i.kind for i in info]
+        assert kinds == ["conv", "pool", "reshape", "dense"]
+        assert small_cnn.neuron_count == 12 * 12 * 6 + 6 * 6 * 6 + 10
+        assert small_cnn.synapse_count == 12 * 12 * 6 * 9 + 6 * 6 * 6 * 4 + 216 * 10
+
+    def test_forward_shape_checks(self, small_mlp, rng):
+        with pytest.raises(ValueError):
+            small_mlp.forward(rng.random((2, 35)))
+        out = small_mlp.forward(rng.random((2, 36)))
+        assert out.shape == (2, 10)
+
+    def test_accuracy_and_predict(self, small_mlp, rng):
+        x = rng.random((6, 36))
+        predictions = small_mlp.predict(x)
+        assert predictions.shape == (6,)
+        accuracy = small_mlp.accuracy(x, predictions)
+        assert accuracy == 1.0
+
+    def test_copy_is_deep(self, small_mlp):
+        clone = small_mlp.copy()
+        clone.layers[0].weights[:] = 0.0
+        assert not np.allclose(small_mlp.layers[0].weights, 0.0)
+
+    def test_summary_contains_all_layers(self, small_cnn):
+        text = small_cnn.summary()
+        for layer in small_cnn.layers:
+            assert layer.name in text
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            Network((4,), [])
+
+    def test_weighted_layers(self, small_cnn):
+        assert len(small_cnn.weighted_layers) == 2
+
+
+class TestIFNeuron:
+    def test_threshold_and_subtract_reset(self):
+        pool = IFNeuronPool((1, 2), IFNeuronParameters(threshold=1.0))
+        spikes = pool.step(np.array([[0.6, 1.4]]))
+        np.testing.assert_allclose(spikes, [[0.0, 1.0]])
+        # Subtract reset keeps the residual 0.4 on the second neuron.
+        np.testing.assert_allclose(pool.membrane, [[0.6, 0.4]])
+
+    def test_zero_reset_mode(self):
+        pool = IFNeuronPool((1, 1), IFNeuronParameters(threshold=1.0, reset_mode="zero"))
+        pool.step(np.array([[2.5]]))
+        assert pool.membrane[0, 0] == 0.0
+
+    def test_rate_proportional_to_input(self):
+        pool = IFNeuronPool((1, 3), IFNeuronParameters(threshold=1.0))
+        drive = np.array([[0.1, 0.5, 0.9]])
+        for _ in range(100):
+            pool.step(drive)
+        rates = pool.firing_rate(100)[0]
+        np.testing.assert_allclose(rates, [0.1, 0.5, 0.9], atol=0.02)
+
+    def test_leak_reduces_rate(self):
+        ideal = IFNeuronPool((1, 1), IFNeuronParameters(threshold=1.0))
+        leaky = IFNeuronPool((1, 1), IFNeuronParameters(threshold=1.0, leak=0.8))
+        for _ in range(50):
+            ideal.step(np.array([[0.3]]))
+            leaky.step(np.array([[0.3]]))
+        assert leaky.spike_count.sum() < ideal.spike_count.sum()
+
+    def test_refractory_blocks_spikes(self):
+        pool = IFNeuronPool((1, 1), IFNeuronParameters(threshold=0.5, refractory_steps=3))
+        total = sum(pool.step(np.array([[1.0]]))[0, 0] for _ in range(8))
+        assert total <= 2
+
+    def test_shape_validation(self):
+        pool = IFNeuronPool((2, 3))
+        with pytest.raises(ValueError):
+            pool.step(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            IFNeuronPool((0, 3))
+
+    def test_reset_clears_state(self):
+        pool = IFNeuronPool((1, 2))
+        pool.step(np.array([[2.0, 2.0]]))
+        pool.reset()
+        assert pool.spike_count.sum() == 0
+        assert pool.membrane.sum() == 0.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            IFNeuronParameters(threshold=0.0)
+        with pytest.raises(ValueError):
+            IFNeuronParameters(reset_mode="clip")
+        with pytest.raises(ValueError):
+            IFNeuronParameters(leak=0.0)
+
+
+class TestEncoders:
+    def test_poisson_rate_matches_intensity(self, rng):
+        encoder = PoissonEncoder(rng=rng)
+        values = np.full((4, 100), 0.3)
+        train = encoder.encode(values, timesteps=200)
+        assert train.shape == (200, 4, 100)
+        assert train.mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_poisson_max_rate_validation(self, rng):
+        with pytest.raises(ValueError):
+            PoissonEncoder(rng=rng, max_rate=1.5)
+
+    def test_deterministic_rate_exact(self):
+        encoder = DeterministicRateEncoder()
+        train = encoder.encode(np.array([[0.25, 0.5, 1.0]]), timesteps=16)
+        np.testing.assert_allclose(train.sum(axis=0)[0], [4, 8, 16])
+
+    def test_deterministic_zero_input_never_spikes(self):
+        train = DeterministicRateEncoder().encode(np.zeros((2, 5)), timesteps=10)
+        assert train.sum() == 0
+
+    def test_timestep_validation(self, rng):
+        with pytest.raises(ValueError):
+            PoissonEncoder(rng=rng).encode(np.zeros((1, 2)), timesteps=0)
+
+    def test_statistics_zero_packets(self):
+        train = np.zeros((4, 64))
+        train[:, 0] = 1.0  # only the first packet ever carries spikes
+        stats = spike_train_statistics(train, packet_bits=32)
+        assert stats["zero_packet_fraction"] == pytest.approx(0.5)
+        assert stats["mean_rate"] == pytest.approx(1 / 64)
+
+    def test_statistics_validation(self):
+        with pytest.raises(ValueError):
+            spike_train_statistics(np.zeros(10), packet_bits=32)
+        with pytest.raises(ValueError):
+            spike_train_statistics(np.zeros((2, 4)), packet_bits=0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_encoder_rate_property(self, intensity):
+        timesteps = 40
+        train = DeterministicRateEncoder().encode(np.array([[intensity]]), timesteps)
+        expected = intensity * timesteps
+        assert abs(train.sum() - expected) <= 1.0

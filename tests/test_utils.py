@@ -1,0 +1,165 @@
+"""Tests for repro.utils (units, validation, rng, logging)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.logging import RunLogger
+from repro.utils.rng import derive_rng, seeded_rng, stable_seed
+from repro.utils.units import (
+    format_energy,
+    format_frequency,
+    format_power,
+    format_time,
+    from_engineering,
+    to_engineering,
+)
+from repro.utils.validation import (
+    check_in_choices,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+    check_shape,
+    check_type,
+)
+
+
+class TestUnits:
+    def test_format_energy_nanojoule(self):
+        assert format_energy(12.3e-9) == "12.3 nJ"
+
+    def test_format_power_milliwatt(self):
+        assert format_power(53.2e-3) == "53.2 mW"
+
+    def test_format_time_microsecond(self):
+        assert format_time(2.5e-6) == "2.5 us"
+
+    def test_format_frequency_megahertz(self):
+        assert format_frequency(200e6) == "200 MHz"
+
+    def test_format_zero(self):
+        assert format_energy(0.0) == "0 J"
+
+    def test_to_engineering_negative_value(self):
+        assert to_engineering(-1.5e-3, "J").startswith("-1.5")
+
+    def test_from_engineering_mhz(self):
+        assert from_engineering("200 MHz") == pytest.approx(200e6)
+
+    def test_from_engineering_kohm(self):
+        assert from_engineering("20kOhm") == pytest.approx(20e3)
+
+    def test_from_engineering_plain_number(self):
+        assert from_engineering("42") == pytest.approx(42.0)
+
+    def test_from_engineering_single_char_unit_is_not_prefix(self):
+        # "5 V" should parse as 5 volts, not 5e-3 of anything.
+        assert from_engineering("5 V") == pytest.approx(5.0)
+
+    def test_from_engineering_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            from_engineering("not a number")
+
+    def test_from_engineering_rejects_empty(self):
+        with pytest.raises(ValueError):
+            from_engineering("   ")
+
+    @given(st.floats(min_value=1e-18, max_value=1e12, allow_nan=False))
+    def test_roundtrip_within_prefix_precision(self, value):
+        text = to_engineering(value, "J", precision=9)
+        parsed = from_engineering(text)
+        assert parsed == pytest.approx(value, rel=1e-6)
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 3.0) == 3.0
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_check_positive_allows_zero_when_asked(self):
+        assert check_positive("x", 0.0, allow_zero=True) == 0.0
+
+    def test_check_positive_rejects_nan(self):
+        with pytest.raises(ValueError):
+            check_positive("x", float("nan"))
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_check_probability_bounds(self):
+        assert check_probability("p", 0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_in_choices(self):
+        assert check_in_choices("mode", "a", ("a", "b")) == "a"
+        with pytest.raises(ValueError):
+            check_in_choices("mode", "c", ("a", "b"))
+
+    def test_check_type(self):
+        assert check_type("x", 3, int) == 3
+        with pytest.raises(TypeError):
+            check_type("x", "3", int)
+
+    def test_check_shape_wildcards(self):
+        arr = np.zeros((3, 4))
+        assert check_shape("arr", arr, (None, 4)).shape == (3, 4)
+        with pytest.raises(ValueError):
+            check_shape("arr", arr, (3, 5))
+        with pytest.raises(ValueError):
+            check_shape("arr", arr, (3, 4, 1))
+
+    def test_check_power_of_two(self):
+        assert check_power_of_two("n", 64) == 64
+        with pytest.raises(ValueError):
+            check_power_of_two("n", 48)
+
+
+class TestRng:
+    def test_seeded_rng_reproducible(self):
+        assert seeded_rng(7).random() == seeded_rng(7).random()
+
+    def test_stable_seed_is_stable(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+
+    def test_derive_rng_independent_streams(self):
+        a = derive_rng(0, "dataset", "mnist").random(5)
+        b = derive_rng(0, "dataset", "svhn").random(5)
+        assert not np.allclose(a, b)
+
+    def test_derive_rng_reproducible(self):
+        a = derive_rng(3, "x").random(4)
+        b = derive_rng(3, "x").random(4)
+        np.testing.assert_allclose(a, b)
+
+
+class TestRunLogger:
+    def test_records_levels_and_messages(self):
+        logger = RunLogger(name="t")
+        logger.info("hello")
+        logger.warning("careful")
+        logger.result("42")
+        assert logger.messages() == ["hello", "careful", "42"]
+        assert logger.messages("RESULT") == ["42"]
+
+    def test_table_renders_every_row(self):
+        logger = RunLogger(name="t")
+        logger.table(["a", "bb"], [[1, 2], [3, 4]])
+        results = logger.messages("RESULT")
+        assert len(results) == 3
+        assert "bb" in results[0]
+
+    def test_echo_writes_to_stream(self):
+        import io
+
+        stream = io.StringIO()
+        logger = RunLogger(name="t", echo=True, stream=stream)
+        logger.info("visible")
+        assert "visible" in stream.getvalue()
