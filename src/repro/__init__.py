@@ -19,6 +19,8 @@ Subpackages
     The optimised CMOS digital baseline accelerator.
 ``repro.core``
     The RESPARC architecture (mPE / NeuroCell / chip) and its models.
+``repro.fastpath``
+    Vectorized batch backend of the structural chip (compiled execution).
 ``repro.mapping``
     The mapping compiler (partitioning, placement, technology-aware sizing).
 ``repro.workloads``
@@ -36,6 +38,7 @@ __all__ = [
     "datasets",
     "energy",
     "experiments",
+    "fastpath",
     "mapping",
     "snn",
     "utils",

@@ -20,7 +20,7 @@ from repro.core.model import ResparcEvaluation, ResparcModel
 from repro.core.mpe import MacroProcessingEngine, TileAssignment
 from repro.core.neurocell import NeuroCell
 from repro.core.resparc import ProgrammedTile, ResparcChip
-from repro.core.simulator import ChipRunResult, ChipSimulator
+from repro.core.simulator import CHIP_BACKENDS, ChipRunResult, ChipSimulator, simulate
 from repro.core.stats import EventCounters, counters_to_energy
 from repro.core.switch import ProgrammableSwitch, SwitchPort
 
@@ -41,8 +41,10 @@ __all__ = [
     "NeuroCell",
     "ProgrammedTile",
     "ResparcChip",
+    "CHIP_BACKENDS",
     "ChipRunResult",
     "ChipSimulator",
+    "simulate",
     "EventCounters",
     "counters_to_energy",
     "ProgrammableSwitch",

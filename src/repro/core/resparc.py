@@ -151,6 +151,39 @@ class ResparcChip:
         chip.global_control = GlobalControlUnit(tuple(range(len(chip.neurocells))))
         return chip
 
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def layer_dims(self) -> dict[int, tuple[int, int]]:
+        """``(n_in, n_out)`` of every mapped layer, keyed by layer index."""
+        return dict(self._layer_dims)
+
+    def dims_for(self, layer_index: int) -> tuple[int, int]:
+        """``(n_in, n_out)`` of one mapped layer."""
+        if layer_index not in self._layer_dims:
+            raise KeyError(f"layer {layer_index} is not mapped on this chip")
+        return self._layer_dims[layer_index]
+
+    def threshold_for(self, layer_index: int) -> float:
+        """IF threshold programmed for one mapped layer."""
+        if layer_index not in self._thresholds:
+            raise KeyError(f"layer {layer_index} is not mapped on this chip")
+        return self._thresholds[layer_index]
+
+    @property
+    def input_dim(self) -> int:
+        """Width of the first mapped layer's input vector."""
+        if not self.layer_order:
+            raise RuntimeError("chip has no mapped layers")
+        return self._layer_dims[self.layer_order[0]][0]
+
+    @property
+    def output_dim(self) -> int:
+        """Width of the last mapped layer's output vector."""
+        if not self.layer_order:
+            raise RuntimeError("chip has no mapped layers")
+        return self._layer_dims[self.layer_order[-1]][1]
+
     # -- execution ----------------------------------------------------------------------
 
     def reset_state(self) -> None:

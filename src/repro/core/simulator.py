@@ -5,6 +5,16 @@ full rate-coding window, collects the chip's component-level event counters
 and converts them into the same :class:`~repro.energy.model.EnergyReport`
 the analytical model produces, so the two models can be compared directly
 on MLP workloads.
+
+Two execution backends are available behind the same interface:
+
+* ``backend="structural"`` — the reference path: one sample at a time
+  through the instantiated component hierarchy (packets, buffers, switches).
+* ``backend="vectorized"`` — the fast path: the chip is compiled once
+  (:mod:`repro.fastpath`) and the whole batch advances through NumPy array
+  ops.  Predictions and event counts are identical to the structural path;
+  energy totals agree to floating-point accumulation order.  The
+  cross-backend contract is enforced by ``tests/test_backend_parity.py``.
 """
 
 from __future__ import annotations
@@ -23,7 +33,10 @@ from repro.snn.conversion import SpikingNetwork
 from repro.snn.encoding import DeterministicRateEncoder, PoissonEncoder
 from repro.utils.validation import check_positive
 
-__all__ = ["ChipRunResult", "ChipSimulator"]
+__all__ = ["ChipRunResult", "ChipSimulator", "CHIP_BACKENDS", "simulate"]
+
+#: Execution backends accepted by :class:`ChipSimulator` and :func:`simulate`.
+CHIP_BACKENDS = ("structural", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -36,6 +49,7 @@ class ChipRunResult:
     counters: EventCounters
     energy: EnergyReport
     timesteps: int
+    backend: str = "structural"
 
 
 @dataclass
@@ -46,12 +60,17 @@ class ChipSimulator:
     library: ComponentLibrary = field(default_factory=lambda: DEFAULT_LIBRARY)
     timesteps: int = 32
     encoder: str = "deterministic"
+    backend: str = "structural"
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(0))
 
     def __post_init__(self) -> None:
         check_positive("timesteps", self.timesteps)
         if self.encoder not in ("poisson", "deterministic"):
             raise ValueError(f"encoder must be 'poisson' or 'deterministic', got {self.encoder!r}")
+        if self.backend not in CHIP_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {CHIP_BACKENDS}, got {self.backend!r}"
+            )
 
     def build_chip(self, snn: SpikingNetwork) -> ResparcChip:
         """Instantiate and program a chip for a dense spiking network."""
@@ -85,6 +104,44 @@ class ChipSimulator:
             counters.global_control_events += chip.global_control.flag_updates
         return counters
 
+    def _run_structural(
+        self, chip: ResparcChip, spike_train: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, EventCounters]:
+        """Reference path: per-sample execution through the component tree.
+
+        Component counters accumulate for the lifetime of the chip instance,
+        so the counters of this run are taken as a delta against a snapshot —
+        matching the per-run semantics of the vectorized backend even when
+        the same chip is reused across runs.
+        """
+        baseline = self._gather_counters(chip)
+        timesteps, batch, _ = spike_train.shape
+        spike_counts = np.zeros((batch, chip.output_dim))
+        predictions = np.zeros(batch, dtype=int)
+        for sample in range(batch):
+            chip.reset_state()
+            for t in range(timesteps):
+                out = chip.step(spike_train[t, sample])
+                spike_counts[sample] += out
+            final_pool = chip.neuron_pools[chip.layer_order[-1]]
+            score = spike_counts[sample] + 1e-3 * final_pool.membrane.reshape(-1)
+            predictions[sample] = int(np.argmax(score))
+        counters = self._gather_counters(chip).difference(baseline)
+        return predictions, spike_counts, counters
+
+    def _run_vectorized(
+        self, chip: ResparcChip, spike_train: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, EventCounters]:
+        """Fast path: compiled chip, whole-batch NumPy execution.
+
+        The compiled program is cached per chip instance, so repeated runs
+        on the same chip pay the compilation cost once.
+        """
+        from repro.fastpath import VectorizedChipEngine
+
+        outcome = VectorizedChipEngine.from_chip(chip).run_batch(spike_train)
+        return outcome.predictions, outcome.spike_counts, outcome.counters
+
     def run(
         self,
         snn: SpikingNetwork,
@@ -92,41 +149,40 @@ class ChipSimulator:
         labels: np.ndarray | None = None,
         chip: ResparcChip | None = None,
     ) -> ChipRunResult:
-        """Run a batch of flattened inputs through the structural chip."""
+        """Run a batch of flattened inputs through the selected backend."""
+        if chip is not None and chip.config != self.config:
+            raise ValueError(
+                "the supplied chip was built for a different ArchitectureConfig "
+                "than this simulator; latency/energy accounting would mix "
+                "configurations"
+            )
         chip = chip or self.build_chip(snn)
         x = np.asarray(inputs, dtype=float)
         if x.ndim == 1:
             x = x[np.newaxis]
         x = x.reshape(x.shape[0], -1)
         spike_train = self._encode(x)
-
         batch = x.shape[0]
-        n_out = chip._layer_dims[chip.layer_order[-1]][1]
-        spike_counts = np.zeros((batch, n_out))
-        predictions = np.zeros(batch, dtype=int)
-        wall_clock_s = 0.0
 
-        for sample in range(batch):
-            chip.reset_state()
-            for t in range(self.timesteps):
-                out = chip.step(spike_train[t, sample])
-                spike_counts[sample] += out
-            final_pool = chip.neuron_pools[chip.layer_order[-1]]
-            score = spike_counts[sample] + 1e-3 * final_pool.membrane.reshape(-1)
-            predictions[sample] = int(np.argmax(score))
-            # A per-timestep latency of one crossbar read + integration per
-            # time-multiplex stage, matching the analytical latency model.
-            wall_clock_s += self.timesteps * (
-                self.config.device.read_pulse_s + self.library.neuron_integration_latency_s
-            )
+        if self.backend == "vectorized":
+            predictions, spike_counts, counters = self._run_vectorized(chip, spike_train)
+        else:
+            predictions, spike_counts, counters = self._run_structural(chip, spike_train)
 
-        counters = self._gather_counters(chip)
+        # A per-timestep latency of one crossbar read + integration per
+        # time-multiplex stage, matching the analytical latency model.
+        wall_clock_s = (
+            batch
+            * self.timesteps
+            * (self.config.device.read_pulse_s + self.library.neuron_integration_latency_s)
+        )
+
         counters.neuron_spikes += float(spike_counts.sum())
         energy = counters_to_energy(
             counters,
             library=self.library,
             crossbar_energy=CrossbarEnergyModel(device=self.config.device),
-            label=f"resparc-structural/{snn.name}",
+            label=f"resparc-{self.backend}/{snn.name}",
             active_mpes=chip.total_mpes_used,
             active_switches=sum(len(cell.switches) for cell in chip.neurocells),
             duration_s=wall_clock_s,
@@ -143,4 +199,39 @@ class ChipSimulator:
             counters=counters,
             energy=energy,
             timesteps=self.timesteps,
+            backend=self.backend,
         )
+
+
+def simulate(
+    snn: SpikingNetwork,
+    inputs: np.ndarray,
+    labels: np.ndarray | None = None,
+    *,
+    backend: str = "structural",
+    config: ArchitectureConfig | None = None,
+    library: ComponentLibrary | None = None,
+    timesteps: int = 32,
+    encoder: str = "deterministic",
+    rng: np.random.Generator | None = None,
+    chip: ResparcChip | None = None,
+) -> ChipRunResult:
+    """One-call chip simulation facade with backend selection.
+
+    Builds a :class:`ChipSimulator` for the given configuration and runs the
+    batch; ``backend`` picks the structural reference path or the vectorized
+    fast path (both produce a :class:`ChipRunResult` with directly comparable
+    counters and energy).  When a prebuilt ``chip`` is supplied and ``config``
+    is not, the chip's own configuration is used.
+    """
+    if config is None:
+        config = chip.config if chip is not None else ArchitectureConfig()
+    simulator = ChipSimulator(
+        config=config,
+        library=library or DEFAULT_LIBRARY,
+        timesteps=timesteps,
+        encoder=encoder,
+        backend=backend,
+        rng=rng if rng is not None else np.random.default_rng(0),
+    )
+    return simulator.run(snn, inputs, labels=labels, chip=chip)

@@ -55,6 +55,13 @@ class EventCounters:
             setattr(merged, f.name, getattr(self, f.name) + getattr(other, f.name))
         return merged
 
+    def difference(self, baseline: "EventCounters") -> "EventCounters":
+        """Return element-wise ``self - baseline`` (events since a snapshot)."""
+        delta = EventCounters()
+        for f in fields(EventCounters):
+            setattr(delta, f.name, getattr(self, f.name) - getattr(baseline, f.name))
+        return delta
+
     def as_dict(self) -> dict[str, float]:
         """Counter values keyed by name."""
         return {f.name: getattr(self, f.name) for f in fields(EventCounters)}

@@ -146,6 +146,13 @@ class CrossbarArray:
         return self._programmed is not None
 
     @property
+    def programmed(self) -> ProgrammedWeights:
+        """The programmed differential conductance pair (raises if unprogrammed)."""
+        if self._programmed is None:
+            raise RuntimeError("crossbar has not been programmed")
+        return self._programmed
+
+    @property
     def utilisation(self) -> float:
         """Fraction of cross-points holding non-zero synapses."""
         return float(self._synapse_mask.mean())

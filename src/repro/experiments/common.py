@@ -17,7 +17,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.baseline import BaselineConfig, BaselineEvaluation, CmosBaselineModel
-from repro.core import ArchitectureConfig, ResparcEvaluation, ResparcModel
+from repro.core import (
+    CHIP_BACKENDS,
+    ArchitectureConfig,
+    ChipRunResult,
+    ChipSimulator,
+    ResparcEvaluation,
+    ResparcModel,
+)
 from repro.datasets import SyntheticDataset, make_dataset
 from repro.mapping import MappedNetwork, map_network
 from repro.snn import (
@@ -51,6 +58,15 @@ class ExperimentSettings:
     train_epochs: int = 0
     network_scale: float = 1.0
     seed: int = 7
+    #: Chip execution backend used by structural cross-validation runs
+    #: ("structural" or "vectorized"; see :mod:`repro.fastpath`).
+    chip_backend: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        if self.chip_backend not in CHIP_BACKENDS:
+            raise ValueError(
+                f"chip_backend must be one of {CHIP_BACKENDS}, got {self.chip_backend!r}"
+            )
 
     @staticmethod
     def quick() -> "ExperimentSettings":
@@ -179,6 +195,45 @@ class WorkloadContext:
         )
         model = ResparcModel(config=config)
         return model.evaluate(model.map(workload.network), workload.trace)
+
+    def evaluate_chip(
+        self,
+        workload: PreparedWorkload,
+        crossbar_size: int = 64,
+        event_driven: bool = True,
+        backend: str | None = None,
+        samples: int | None = None,
+    ) -> ChipRunResult:
+        """Run a workload through the structural/vectorized chip simulator.
+
+        This is the experiment-level entry to the cycle-exact chip model: it
+        executes the converted SNN sample by sample (or, with the vectorized
+        backend, as one batch) and returns measured counters/energy, which
+        cross-validates the analytical activity-based evaluation.  Only MLP
+        workloads are executable on the structural chip.
+
+        ``backend`` defaults to ``settings.chip_backend``.
+        """
+        if not workload.spec.is_mlp:
+            raise ValueError(
+                f"{workload.name} is not an MLP; the chip simulator executes "
+                "fully connected networks only"
+            )
+        s = self.settings
+        config = ArchitectureConfig().with_crossbar_size(crossbar_size).with_event_driven(
+            event_driven
+        )
+        simulator = ChipSimulator(
+            config=config,
+            timesteps=s.timesteps,
+            encoder="poisson",
+            backend=backend or s.chip_backend,
+            rng=derive_rng(s.seed, "chip", workload.name),
+        )
+        n = s.eval_samples if samples is None else samples
+        inputs = self._inputs_for(workload.spec, workload.dataset, "test")[:n]
+        labels = workload.dataset.test_labels[:n]
+        return simulator.run(workload.snn, inputs, labels)
 
     def evaluate_cmos(
         self,

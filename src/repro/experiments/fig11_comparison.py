@@ -39,6 +39,10 @@ class Fig11Row:
     resparc_latency_s: float
     paper_energy_benefit: float
     paper_speedup: float
+    #: Per-classification energy measured on the executed chip model (MLPs
+    #: only, when chip validation is requested) and the backend that ran it.
+    chip_energy_j: float | None = None
+    chip_backend: str | None = None
 
     @property
     def energy_benefit(self) -> float:
@@ -63,13 +67,17 @@ class Fig11Result:
         return [r for r in self.rows if r.connectivity == connectivity.upper()]
 
     def mean_energy_benefit(self, connectivity: str) -> float:
-        """Average energy benefit over a topology family."""
+        """Average energy benefit over a topology family (NaN when empty)."""
         rows = self.rows_for(connectivity)
+        if not rows:
+            return float("nan")
         return sum(r.energy_benefit for r in rows) / len(rows)
 
     def mean_speedup(self, connectivity: str) -> float:
-        """Average speedup over a topology family."""
+        """Average speedup over a topology family (NaN when empty)."""
         rows = self.rows_for(connectivity)
+        if not rows:
+            return float("nan")
         return sum(r.speedup for r in rows) / len(rows)
 
     def as_table(self) -> str:
@@ -85,14 +93,25 @@ class Fig11Result:
                 f"{row.paper_energy_benefit:>7.0f}x {row.speedup:>9.1f}x "
                 f"{row.paper_speedup:>7.0f}x"
             )
-        lines.append(
-            f"  mean MLP: {self.mean_energy_benefit('MLP'):.0f}x energy, "
-            f"{self.mean_speedup('MLP'):.0f}x speedup (paper ~513x / ~382x)"
-        )
-        lines.append(
-            f"  mean CNN: {self.mean_energy_benefit('CNN'):.0f}x energy, "
-            f"{self.mean_speedup('CNN'):.0f}x speedup (paper ~12x / ~60x)"
-        )
+        if self.rows_for("MLP"):
+            lines.append(
+                f"  mean MLP: {self.mean_energy_benefit('MLP'):.0f}x energy, "
+                f"{self.mean_speedup('MLP'):.0f}x speedup (paper ~513x / ~382x)"
+            )
+        if self.rows_for("CNN"):
+            lines.append(
+                f"  mean CNN: {self.mean_energy_benefit('CNN'):.0f}x energy, "
+                f"{self.mean_speedup('CNN'):.0f}x speedup (paper ~12x / ~60x)"
+            )
+        validated = [r for r in self.rows if r.chip_energy_j is not None]
+        if validated:
+            lines.append("  chip cross-validation (executed chip / analytical model):")
+            for row in validated:
+                ratio = row.chip_energy_j / row.resparc_energy_j
+                lines.append(
+                    f"    {row.benchmark:<14} {row.chip_backend:<10} "
+                    f"{row.chip_energy_j:>10.3e} J  ({ratio:>6.2f}x model)"
+                )
         return "\n".join(lines)
 
 
@@ -101,8 +120,15 @@ def run_fig11(
     context: WorkloadContext | None = None,
     crossbar_size: int = 64,
     benchmarks: list[str] | None = None,
+    validate_chip: bool = False,
 ) -> Fig11Result:
-    """Reproduce Fig. 11 for the requested benchmarks (default: all six)."""
+    """Reproduce Fig. 11 for the requested benchmarks (default: all six).
+
+    With ``validate_chip`` the MLP rows are additionally executed on the
+    chip simulator (backend chosen by ``settings.chip_backend``) and the
+    measured per-classification energy is reported next to the analytical
+    number — the cross-model check the structural hierarchy exists for.
+    """
     context = context or WorkloadContext(settings or ExperimentSettings())
     names = benchmarks or [spec.name for spec in list_benchmarks()]
     result = Fig11Result(crossbar_size=crossbar_size)
@@ -111,6 +137,13 @@ def run_fig11(
         resparc = context.evaluate_resparc(workload, crossbar_size=crossbar_size)
         cmos = context.evaluate_cmos(workload)
         paper = PAPER_FIG11.get(name, {"energy_benefit": float("nan"), "speedup": float("nan")})
+        chip_energy_j = None
+        chip_backend = None
+        if validate_chip and workload.spec.is_mlp:
+            chip = context.evaluate_chip(workload, crossbar_size=crossbar_size)
+            samples = max(len(chip.predictions), 1)
+            chip_energy_j = chip.energy.total_j / samples
+            chip_backend = chip.backend
         result.rows.append(
             Fig11Row(
                 benchmark=name,
@@ -121,6 +154,8 @@ def run_fig11(
                 resparc_latency_s=resparc.latency_per_classification_s,
                 paper_energy_benefit=paper["energy_benefit"],
                 paper_speedup=paper["speedup"],
+                chip_energy_j=chip_energy_j,
+                chip_backend=chip_backend,
             )
         )
     return result

@@ -10,7 +10,7 @@ EXPERIMENTS.md generation.
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.experiments.common import ExperimentSettings, WorkloadContext
 from repro.experiments.fig11_comparison import Fig11Result, run_fig11
@@ -47,14 +47,20 @@ def run_all(
     settings: ExperimentSettings | None = None,
     include_accuracy: bool = True,
     logger: RunLogger | None = None,
+    validate_chip: bool = False,
 ) -> ExperimentSuiteResult:
-    """Run the full figure suite with a shared workload cache."""
+    """Run the full figure suite with a shared workload cache.
+
+    ``validate_chip`` additionally executes the MLP benchmarks on the chip
+    simulator (``settings.chip_backend`` selects the structural reference or
+    the vectorized fast path) and reports the measured energy in Fig. 11.
+    """
     logger = logger or RunLogger(name="experiments", echo=False)
     settings = settings or ExperimentSettings()
     context = WorkloadContext(settings)
 
     logger.info("running Fig. 11 (energy/speedup comparison)")
-    fig11 = run_fig11(context=context)
+    fig11 = run_fig11(context=context, validate_chip=validate_chip)
     logger.info("running Fig. 12 (energy breakdowns vs MCA size)")
     fig12 = run_fig12(context=context)
     logger.info("running Fig. 13 (event-driven savings)")
@@ -76,20 +82,33 @@ def main(argv: list[str] | None = None) -> int:
         "--no-accuracy", action="store_true", help="skip the Fig. 14(a) accuracy sweep"
     )
     parser.add_argument("--timesteps", type=int, default=None, help="override rate-coding window")
+    parser.add_argument(
+        "--backend",
+        choices=["structural", "vectorized"],
+        default=None,
+        help="chip execution backend for structural cross-validation runs "
+        "(implies --validate-chip)",
+    )
+    parser.add_argument(
+        "--validate-chip",
+        action="store_true",
+        help="execute the MLP benchmarks on the chip simulator and report the "
+        "measured energy next to the analytical model in Fig. 11",
+    )
     args = parser.parse_args(argv)
 
     settings = ExperimentSettings.quick() if args.quick else ExperimentSettings()
     if args.timesteps is not None:
-        settings = ExperimentSettings(
-            timesteps=args.timesteps,
-            eval_samples=settings.eval_samples,
-            train_samples=settings.train_samples,
-            test_samples=settings.test_samples,
-            train_epochs=settings.train_epochs,
-            network_scale=settings.network_scale,
-            seed=settings.seed,
-        )
-    result = run_all(settings=settings, include_accuracy=not args.no_accuracy)
+        settings = replace(settings, timesteps=args.timesteps)
+    if args.backend is not None:
+        settings = replace(settings, chip_backend=args.backend)
+    result = run_all(
+        settings=settings,
+        include_accuracy=not args.no_accuracy,
+        # Choosing a chip backend only means something for chip runs, so
+        # --backend implies the chip cross-validation pass.
+        validate_chip=args.validate_chip or args.backend is not None,
+    )
     print(result.render())
     return 0
 

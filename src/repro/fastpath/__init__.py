@@ -1,0 +1,33 @@
+"""The vectorized fast path of the structural chip model.
+
+The structural model (:mod:`repro.core.resparc`) executes one sample at a
+time through Python objects — maximal fidelity, minimal throughput.  This
+package compiles a programmed chip into dense arrays
+(:func:`~repro.fastpath.compiler.compile_chip`) and replays whole batches
+through NumPy (:class:`~repro.fastpath.engine.VectorizedChipEngine`),
+producing the same predictions, the same :class:`~repro.core.stats.EventCounters`
+and the same energy totals as the structural execution.
+
+Select it through ``ChipSimulator(backend="vectorized")`` or the
+:func:`repro.core.simulator.simulate` facade; ``tests/test_backend_parity.py``
+is the contract that keeps the two backends equivalent.
+"""
+
+from repro.fastpath.compiler import (
+    CompiledChip,
+    CompiledLayer,
+    CompiledTile,
+    StaticStepEvents,
+    compile_chip,
+)
+from repro.fastpath.engine import BatchRunOutcome, VectorizedChipEngine
+
+__all__ = [
+    "CompiledChip",
+    "CompiledLayer",
+    "CompiledTile",
+    "StaticStepEvents",
+    "compile_chip",
+    "BatchRunOutcome",
+    "VectorizedChipEngine",
+]

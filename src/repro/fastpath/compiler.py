@@ -1,0 +1,305 @@
+"""Lowering a programmed :class:`~repro.core.resparc.ResparcChip` to arrays.
+
+The structural chip executes one sample at a time by pushing spike packets
+through Python objects.  The vectorized backend instead *compiles* the chip
+once: every programmed tile is captured as a dense differential-conductance
+matrix (exactly the values the MCA would apply), the data-independent event
+activity of one timestep is pre-counted into a :class:`StaticStepEvents`
+schedule, and the data-dependent crossbar read energy is tabulated per
+possible active-row count through the very same
+:class:`~repro.crossbar.energy.CrossbarEnergyModel` the structural MCA calls.
+
+The compiled program is immutable and holds no references to the live chip
+components, so one chip can serve the structural path and any number of
+vectorized batch runs without the two interfering.
+"""
+
+from __future__ import annotations
+
+import math
+import weakref
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.resparc import ResparcChip
+
+__all__ = ["CompiledTile", "CompiledLayer", "StaticStepEvents", "CompiledChip", "compile_chip"]
+
+
+def _chunks(n_items: int, chunk_bits: int) -> int:
+    """Number of ``chunk_bits``-wide packets/words covering ``n_items`` slots."""
+    return int(math.ceil(n_items / chunk_bits)) if n_items else 0
+
+
+@dataclass(frozen=True)
+class CompiledTile:
+    """One programmed MCA, captured as dense arrays.
+
+    ``conductance_diff`` is the full-geometry ``g_positive - g_negative``
+    matrix; evaluating ``(x * V_read) @ conductance_diff * scale / lsb``
+    reproduces, operation for operation, what
+    :meth:`repro.crossbar.mca.CrossbarArray.evaluate` computes for an ideal
+    device, so the vectorized drive matches the structural drive bit for bit.
+    ``read_cost_j[a]`` is the energy of one evaluation with ``a`` active rows.
+    """
+
+    layer_index: int
+    row_start: int
+    row_stop: int
+    column_start: int
+    column_stop: int
+    conductance_diff: np.ndarray
+    scale: float
+    read_cost_j: np.ndarray
+
+    @property
+    def rows(self) -> int:
+        """Input rows the tile consumes."""
+        return self.row_stop - self.row_start
+
+    @property
+    def columns(self) -> int:
+        """Output columns the tile produces."""
+        return self.column_stop - self.column_start
+
+
+@dataclass(frozen=True)
+class CompiledLayer:
+    """One dense layer of the compiled program."""
+
+    layer_index: int
+    n_in: int
+    n_out: int
+    threshold: float
+    tiles: tuple[CompiledTile, ...]
+    #: Distinct (NeuroCell, mPE) destinations the layer's input is routed to.
+    destinations: int
+    #: Packets per routed copy of the layer's input vector.
+    input_packets: int
+    #: True when the layer's output crosses NeuroCells over the shared bus.
+    needs_bus_transfer: bool
+    #: Words of one output vector on the bus / in the input SRAM.
+    output_words: int
+
+
+@dataclass(frozen=True)
+class StaticStepEvents:
+    """Data-independent event counts of one chip timestep (one sample).
+
+    These are the events the structural chip generates regardless of the
+    spike values: buffer pushes/pops, control sequencing, crossbar
+    evaluations, SRAM staging and the per-timestep completion flags.  The
+    engine multiplies them by ``batch * timesteps``.
+    """
+
+    crossbar_evaluations: int
+    neuron_integrations: int
+    ibuff_accesses: int
+    obuff_accesses: int
+    tbuff_accesses: int
+    local_control_events: int
+    ccu_transfers: int
+    input_sram_reads: int
+    input_sram_writes: int
+    global_control_events: int
+    #: Zero-check comparisons (switch packets + bus words); 0 without ED.
+    zero_checks: int
+    #: Switch hops when event-driven gating is OFF (every packet forwarded).
+    switch_hops_without_ed: int
+    #: Bus words when event-driven gating is OFF (every word driven).
+    io_bus_words_without_ed: int
+
+
+@dataclass(frozen=True)
+class CompiledChip:
+    """A :class:`ResparcChip` lowered to a batch-executable program."""
+
+    layers: tuple[CompiledLayer, ...]
+    static_events: StaticStepEvents
+    event_driven: bool
+    packet_bits: int
+    word_bits: int
+    read_voltage_v: float
+    #: Current of a full-scale weight per active row (``V * g_range``).
+    current_lsb_a: float
+    neurocell_count: int
+    active_mpes: int
+    active_switches: int
+    sram_access_energy_j: float
+    sram_leakage_power_w: float
+
+    @property
+    def input_dim(self) -> int:
+        """Width of the first layer's input vector."""
+        return self.layers[0].n_in
+
+    @property
+    def output_dim(self) -> int:
+        """Width of the last layer's output vector."""
+        return self.layers[-1].n_out
+
+
+#: One compiled program per live chip instance.  A chip's weights are
+#: programmed once at construction and never rewritten, so the lowering can
+#: be cached for the chip's lifetime; the weak keys let chips be collected.
+_COMPILED: "weakref.WeakKeyDictionary[ResparcChip, CompiledChip]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def compile_chip(chip: ResparcChip) -> CompiledChip:
+    """Lower a programmed structural chip into a :class:`CompiledChip`.
+
+    Results are memoized per chip instance (chips are programmed once, at
+    construction).  Raises ``ValueError`` when the chip's crossbars enable
+    analog non-idealities (IR drop, sneak paths, read noise): those
+    evaluation paths are stochastic or geometry-coupled and only the
+    structural model simulates them.
+    """
+    cached = _COMPILED.get(chip)
+    if cached is not None:
+        return cached
+    program = _compile_chip(chip)
+    _COMPILED[chip] = program
+    return program
+
+
+def _compile_chip(chip: ResparcChip) -> CompiledChip:
+    config = chip.config
+    if not chip.tiles:
+        raise ValueError("chip has no programmed tiles; build it from a network first")
+
+    device = config.device
+    lsb = device.read_voltage_v * (device.g_on_s - device.g_off_s)
+
+    layers: list[CompiledLayer] = []
+    for position, layer_index in enumerate(chip.layer_order):
+        n_in, n_out = chip.dims_for(layer_index)
+        tiles: list[CompiledTile] = []
+        destinations: dict[tuple[int, int], None] = {}
+        for tile in chip.tiles_for_layer(layer_index):
+            destinations.setdefault((tile.neurocell_index, tile.mpe_index))
+            mpe = chip.neurocells[tile.neurocell_index].mpes[tile.mpe_index]
+            mca = mpe.mcas[tile.mca_index]
+            if not mca.config.nonidealities.ideal:
+                raise ValueError(
+                    "the vectorized backend requires ideal crossbars; "
+                    "run non-ideality studies through the structural backend"
+                )
+            programmed = mca.programmed
+            rows = mca.config.rows
+            cost = mca.energy_model
+            read_cost_j = np.array(
+                [
+                    cost.read_cost(
+                        rows=rows,
+                        columns=mca.config.columns,
+                        active_rows=active,
+                        utilisation=mca.utilisation,
+                    ).energy_j
+                    for active in range(rows + 1)
+                ]
+            )
+            a = tile.assignment
+            tiles.append(
+                CompiledTile(
+                    layer_index=layer_index,
+                    row_start=a.row_start,
+                    row_stop=a.row_stop,
+                    column_start=a.column_start,
+                    column_stop=a.column_stop,
+                    conductance_diff=programmed.g_positive - programmed.g_negative,
+                    scale=programmed.scale,
+                    read_cost_j=read_cost_j,
+                )
+            )
+        needs_bus = False
+        if position + 1 < len(chip.layer_order):
+            cells_here = {t.neurocell_index for t in chip.tiles_for_layer(layer_index)}
+            cells_next = {
+                t.neurocell_index
+                for t in chip.tiles_for_layer(chip.layer_order[position + 1])
+            }
+            needs_bus = not cells_next.issubset(cells_here)
+        layers.append(
+            CompiledLayer(
+                layer_index=layer_index,
+                n_in=n_in,
+                n_out=n_out,
+                threshold=chip.threshold_for(layer_index),
+                tiles=tuple(tiles),
+                destinations=len(destinations),
+                input_packets=_chunks(n_in, config.packet_bits),
+                needs_bus_transfer=needs_bus,
+                output_words=_chunks(n_out, config.word_bits),
+            )
+        )
+
+    static = _static_step_events(layers, chip)
+    return CompiledChip(
+        layers=tuple(layers),
+        static_events=static,
+        event_driven=config.event_driven,
+        packet_bits=config.packet_bits,
+        word_bits=config.word_bits,
+        read_voltage_v=device.read_voltage_v,
+        current_lsb_a=lsb,
+        neurocell_count=len(chip.neurocells),
+        active_mpes=chip.total_mpes_used,
+        active_switches=sum(len(cell.switches) for cell in chip.neurocells),
+        sram_access_energy_j=chip.input_memory.access_energy_j(),
+        sram_leakage_power_w=chip.input_memory.leakage_power_w(),
+    )
+
+
+def _static_step_events(layers: list[CompiledLayer], chip: ResparcChip) -> StaticStepEvents:
+    """Pre-count the data-independent events of one structural timestep."""
+    config = chip.config
+    input_words = _chunks(layers[0].n_in, config.word_bits)
+
+    crossbar_evaluations = 0
+    neuron_integrations = 0
+    ibuff = 0
+    obuff = 0
+    tbuff = 0
+    local_control = 0
+    ccu = 0
+    sram_words = input_words  # the per-step input staging (store + load)
+    switch_packets = 0
+    bus_words = input_words
+
+    for layer in layers:
+        switch_packets += layer.destinations * layer.input_packets
+        for tile in layer.tiles:
+            crossbar_evaluations += 1
+            neuron_integrations += tile.columns
+            # deliver_packets pushes then evaluate_tile drains: one write and
+            # one read per packet of the tile's row slice.
+            ibuff += 2 * _chunks(tile.rows, config.packet_bits)
+            # emit_output pushes then pops every output packet.
+            obuff += 2 * _chunks(tile.columns, config.packet_bits)
+            tbuff += 1
+            local_control += 1
+            if tile.row_start > 0:
+                ccu += 1
+        if layer.needs_bus_transfer:
+            sram_words += layer.output_words
+            bus_words += layer.output_words
+
+    zero_checks = (switch_packets + bus_words) if config.event_driven else 0
+    return StaticStepEvents(
+        crossbar_evaluations=crossbar_evaluations,
+        neuron_integrations=neuron_integrations,
+        ibuff_accesses=ibuff,
+        obuff_accesses=obuff,
+        tbuff_accesses=tbuff,
+        local_control_events=local_control,
+        ccu_transfers=ccu,
+        input_sram_reads=sram_words,
+        input_sram_writes=sram_words,
+        global_control_events=len(chip.neurocells),
+        zero_checks=zero_checks,
+        switch_hops_without_ed=switch_packets,
+        io_bus_words_without_ed=bus_words,
+    )

@@ -1,0 +1,65 @@
+"""Golden regression of the rendered Fig. 11-14 tables (quick settings).
+
+``run_all(ExperimentSettings.quick(), include_accuracy=False)`` must render
+exactly the tables checked in at ``tests/golden/quick_suite.txt``.  The run
+is fully deterministic (synthetic datasets, derived RNGs, fixed seed), so
+any diff means an intentional change to the models/rendering — or a
+regression.
+
+Updating the golden after an intentional change::
+
+    UPDATE_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_quick.py
+
+then review the diff of ``tests/golden/quick_suite.txt`` like any other code
+change.  (The Fig. 14(a) accuracy sweep is excluded: it is the slowest stage
+and its rendering is covered by the runner CLI test.)
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentSettings, run_all
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "quick_suite.txt"
+
+
+@pytest.fixture(scope="module")
+def rendered_tables() -> str:
+    result = run_all(ExperimentSettings.quick(), include_accuracy=False)
+    return result.render() + "\n"
+
+
+def test_quick_suite_matches_golden(rendered_tables: str):
+    if os.environ.get("UPDATE_GOLDEN"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(rendered_tables)
+        pytest.skip(f"golden updated at {GOLDEN_PATH}")
+    assert GOLDEN_PATH.exists(), (
+        f"golden file missing; generate it with UPDATE_GOLDEN=1 pytest {__file__}"
+    )
+    golden = GOLDEN_PATH.read_text()
+    if rendered_tables != golden:
+        diff = "\n".join(
+            difflib.unified_diff(
+                golden.splitlines(),
+                rendered_tables.splitlines(),
+                fromfile="golden/quick_suite.txt",
+                tofile="run_all(quick)",
+                lineterm="",
+            )
+        )
+        raise AssertionError(
+            "rendered figure tables diverged from the golden snapshot; if the "
+            "change is intentional, regenerate with UPDATE_GOLDEN=1 and commit "
+            f"the diff.\n{diff}"
+        )
+
+
+def test_golden_contains_every_figure(rendered_tables: str):
+    for figure in ("Fig. 11", "Fig. 12", "Fig. 13", "Fig. 14(b)"):
+        assert figure in rendered_tables
