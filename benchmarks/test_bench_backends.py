@@ -11,17 +11,23 @@ timestep for the whole batch.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 import pytest
 
 from repro.core import ArchitectureConfig, ChipSimulator
+from repro.serve import ChipPool, ChipSession, InferenceRequest
 from repro.snn import Dense, Network, convert_to_snn
 
 BATCH = 64
 TIMESTEPS = 8
 SPEEDUP_FLOOR = 5.0
+
+#: Pool benchmark: batch the issue floor (>= 64) is asserted at.
+POOL_BATCH = 256
+POOL_JOBS = 4
 
 
 @pytest.fixture(scope="module")
@@ -105,3 +111,97 @@ def test_vectorized_speedup_floor(bench_workload):
     np.testing.assert_array_equal(
         structural_result.spike_counts, vectorized_result.spike_counts
     )
+
+
+# -- pool throughput ----------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def pool_workload():
+    """A wider MLP and a large batch, sized so per-shard work amortises threads."""
+    rng = np.random.default_rng(23)
+    network = Network(
+        (256,),
+        [
+            Dense(256, 128, use_bias=False, rng=rng, name="fc1"),
+            Dense(128, 10, activation=None, use_bias=False, rng=rng, name="out"),
+        ],
+        name="pool-mlp",
+    )
+    snn = convert_to_snn(network, rng.random((24, 256)))
+    config = ArchitectureConfig(crossbar_rows=32, crossbar_columns=32)
+    inputs = rng.random((POOL_BATCH, 256))
+    return snn, config, inputs
+
+
+def _pool_time(pool: ChipPool, request: InferenceRequest, rounds: int = 3):
+    """Best-of-N wall clock of one pool inference, plus the last response."""
+    best = float("inf")
+    response = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        response = pool.infer(request)
+        best = min(best, time.perf_counter() - t0)
+    return best, response
+
+
+def test_bench_pool_sharded_inference(benchmark, pool_workload):
+    """Sharded pool inference on the vectorized backend (timing reference)."""
+    snn, config, inputs = pool_workload
+    request = InferenceRequest(inputs=inputs)
+    with ChipPool(
+        snn, jobs=POOL_JOBS, config=config, timesteps=TIMESTEPS, seed=0
+    ) as pool:
+        response = benchmark.pedantic(
+            lambda: pool.infer(request), iterations=1, rounds=3
+        )
+    assert response.predictions.shape == (POOL_BATCH,)
+    assert response.jobs == POOL_JOBS
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="pool sharding needs >= 2 cores to beat a single session",
+)
+def test_pool_throughput_beats_single_session(pool_workload):
+    """``jobs=4`` must beat ``jobs=1`` on a batch >= 64 (vectorized backend)."""
+    snn, config, inputs = pool_workload
+    request = InferenceRequest(inputs=inputs)
+    with ChipPool(snn, jobs=1, config=config, timesteps=TIMESTEPS, seed=0) as single:
+        single_s, single_response = _pool_time(single, request)
+    with ChipPool(
+        snn, jobs=POOL_JOBS, config=config, timesteps=TIMESTEPS, seed=0
+    ) as pool:
+        pool_s, pool_response = _pool_time(pool, request)
+
+    speedup = single_s / pool_s
+    print(
+        f"\npool wall-clock (batch {POOL_BATCH}): jobs=1 {single_s:.3f}s, "
+        f"jobs={POOL_JOBS} {pool_s:.3f}s, speedup {speedup:.2f}x"
+    )
+    assert speedup > 1.0, (
+        f"jobs={POOL_JOBS} pool slower than a single session "
+        f"({pool_s:.3f}s vs {single_s:.3f}s)"
+    )
+    # Sharding must not change the answer.
+    np.testing.assert_array_equal(
+        single_response.predictions, pool_response.predictions
+    )
+    np.testing.assert_array_equal(
+        single_response.spike_counts, pool_response.spike_counts
+    )
+
+
+def test_pool_result_matches_session_on_bench_workload(pool_workload):
+    """Cheap invariant re-check on the benchmarked shape (cores-independent)."""
+    snn, config, inputs = pool_workload
+    request = InferenceRequest(inputs=inputs[:96])
+    session = ChipSession(snn, config=config, timesteps=TIMESTEPS, seed=0)
+    single = session.infer(request)
+    with ChipPool(
+        snn, jobs=POOL_JOBS, config=config, timesteps=TIMESTEPS, seed=0
+    ) as pool:
+        sharded = pool.infer(request)
+    np.testing.assert_array_equal(single.predictions, sharded.predictions)
+    np.testing.assert_array_equal(single.spike_counts, sharded.spike_counts)
+    assert sharded.energy.total_j == pytest.approx(single.energy.total_j, rel=1e-9)

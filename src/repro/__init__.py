@@ -21,6 +21,9 @@ Subpackages
     The RESPARC architecture (mPE / NeuroCell / chip) and its models.
 ``repro.fastpath``
     Vectorized batch backend of the structural chip (compiled execution).
+``repro.serve``
+    Service-layer inference API (sessions, sharded chip pools, serializable
+    result schema).
 ``repro.mapping``
     The mapping compiler (partitioning, placement, technology-aware sizing).
 ``repro.workloads``
@@ -40,6 +43,7 @@ __all__ = [
     "experiments",
     "fastpath",
     "mapping",
+    "serve",
     "snn",
     "utils",
     "workloads",

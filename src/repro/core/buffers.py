@@ -16,7 +16,7 @@ energy through the same component library as the analytical model.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

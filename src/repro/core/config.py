@@ -8,6 +8,7 @@ and the event-driven feature switches the experiments toggle.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 
 from repro.crossbar.device import DeviceParameters
@@ -96,8 +97,13 @@ class ArchitectureConfig:
 
     @property
     def switches_per_neurocell(self) -> int:
-        """Programmable switches per NeuroCell ((sqrt(mpes)-1)^2; 9 for a 4x4 array)."""
-        side = int(round(self.mpes_per_neurocell**0.5))
+        """Programmable switches per NeuroCell ((ceil(sqrt(mpes))-1)^2; 9 for a 4x4 array).
+
+        Matches the grid :class:`~repro.core.neurocell.NeuroCell` instantiates,
+        including non-square mPE counts (which occupy the smallest enclosing
+        square grid).
+        """
+        side = math.ceil(self.mpes_per_neurocell**0.5)
         return max(side - 1, 1) ** 2
 
     @property

@@ -43,7 +43,10 @@ class NeuroCell:
             raise ValueError(f"mpes_per_neurocell must be positive, got {mpes_per_neurocell}")
         self.cell_id = cell_id
         self.packet_bits = packet_bits
-        self.side = max(int(round(math.sqrt(mpes_per_neurocell))), 1)
+        # Ceil keeps every mPE index inside an n x n grid for non-square
+        # counts (rounding made e.g. 2 mPEs share one grid cell, which
+        # attached the same switch port twice); square counts are unchanged.
+        self.side = max(int(math.ceil(math.sqrt(mpes_per_neurocell))), 1)
         self.mpes: list[MacroProcessingEngine] = [
             MacroProcessingEngine(
                 mpe_id=f"nc{cell_id}.mpe{i}",

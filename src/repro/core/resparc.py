@@ -16,7 +16,6 @@ event accounting the structural model validates on MLPs.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,7 +24,7 @@ from repro.core.buffers import SpikePacket
 from repro.core.config import ArchitectureConfig
 from repro.core.control import GlobalControlUnit
 from repro.core.interconnect import GlobalIOBus, InputMemory
-from repro.core.mpe import MacroProcessingEngine, TileAssignment
+from repro.core.mpe import TileAssignment
 from repro.core.neurocell import NeuroCell
 from repro.crossbar.mca import CrossbarConfig
 from repro.snn.conversion import SpikingNetwork

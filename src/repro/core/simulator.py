@@ -15,6 +15,12 @@ Two execution backends are available behind the same interface:
   ops.  Predictions and event counts are identical to the structural path;
   energy totals agree to floating-point accumulation order.  The
   cross-backend contract is enforced by ``tests/test_backend_parity.py``.
+
+Since the serving redesign, :class:`ChipSimulator` and :func:`simulate` are
+thin adapters over :class:`repro.serve.ChipSession` (which owns the backend
+execution machinery); they are kept for the one-shot batch-run shape the
+tests and examples use.  Long-lived callers should hold a session — or a
+:class:`repro.serve.ChipPool` for sharded batches — directly.
 """
 
 from __future__ import annotations
@@ -25,12 +31,10 @@ import numpy as np
 
 from repro.core.config import ArchitectureConfig
 from repro.core.resparc import ResparcChip
-from repro.core.stats import EventCounters, counters_to_energy
-from repro.crossbar.energy import CrossbarEnergyModel
+from repro.core.stats import EventCounters
 from repro.energy.components import DEFAULT_LIBRARY, ComponentLibrary
 from repro.energy.model import EnergyReport
 from repro.snn.conversion import SpikingNetwork
-from repro.snn.encoding import DeterministicRateEncoder, PoissonEncoder
 from repro.utils.validation import check_positive
 
 __all__ = ["ChipRunResult", "ChipSimulator", "CHIP_BACKENDS", "simulate"]
@@ -54,7 +58,12 @@ class ChipRunResult:
 
 @dataclass
 class ChipSimulator:
-    """Drives a structurally instantiated chip over encoded spike trains."""
+    """Drives a structurally instantiated chip over encoded spike trains.
+
+    A thin adapter over :class:`repro.serve.ChipSession` in legacy stream
+    mode: the simulator's ``rng`` is consumed by chip building and spike
+    encoding in call order, so results are identical to pre-serve releases.
+    """
 
     config: ArchitectureConfig = field(default_factory=ArchitectureConfig)
     library: ComponentLibrary = field(default_factory=lambda: DEFAULT_LIBRARY)
@@ -76,72 +85,6 @@ class ChipSimulator:
         """Instantiate and program a chip for a dense spiking network."""
         return ResparcChip.from_spiking_network(snn, config=self.config, rng=self.rng)
 
-    def _encode(self, inputs: np.ndarray) -> np.ndarray:
-        if self.encoder == "poisson":
-            return PoissonEncoder(rng=self.rng).encode(inputs, self.timesteps)
-        return DeterministicRateEncoder().encode(inputs, self.timesteps)
-
-    def _gather_counters(self, chip: ResparcChip) -> EventCounters:
-        counters = EventCounters()
-        for cell in chip.neurocells:
-            counters.switch_hops += cell.switch_hops
-            counters.suppressed_packets += cell.suppressed_packets
-            counters.zero_checks += cell.zero_checks
-            for mpe in cell.mpes:
-                counters.crossbar_evaluations += mpe.crossbar_evaluations
-                counters.crossbar_device_energy_j += mpe.crossbar_energy_j
-                counters.ibuff_accesses += sum(b.accesses for b in mpe.ibuffs)
-                counters.obuff_accesses += sum(b.accesses for b in mpe.obuffs)
-                counters.tbuff_accesses += mpe.tbuffer_lookups
-                counters.local_control_events += mpe.control.evaluations_issued
-                counters.ccu_transfers += mpe.ccu.total_transfers
-                counters.neuron_integrations += mpe.neuron_integrations
-        counters.io_bus_words += chip.bus.words_transferred
-        counters.zero_checks += chip.bus.zero_checks
-        counters.input_sram_reads += chip.input_memory.reads
-        counters.input_sram_writes += chip.input_memory.writes
-        if chip.global_control is not None:
-            counters.global_control_events += chip.global_control.flag_updates
-        return counters
-
-    def _run_structural(
-        self, chip: ResparcChip, spike_train: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, EventCounters]:
-        """Reference path: per-sample execution through the component tree.
-
-        Component counters accumulate for the lifetime of the chip instance,
-        so the counters of this run are taken as a delta against a snapshot —
-        matching the per-run semantics of the vectorized backend even when
-        the same chip is reused across runs.
-        """
-        baseline = self._gather_counters(chip)
-        timesteps, batch, _ = spike_train.shape
-        spike_counts = np.zeros((batch, chip.output_dim))
-        predictions = np.zeros(batch, dtype=int)
-        for sample in range(batch):
-            chip.reset_state()
-            for t in range(timesteps):
-                out = chip.step(spike_train[t, sample])
-                spike_counts[sample] += out
-            final_pool = chip.neuron_pools[chip.layer_order[-1]]
-            score = spike_counts[sample] + 1e-3 * final_pool.membrane.reshape(-1)
-            predictions[sample] = int(np.argmax(score))
-        counters = self._gather_counters(chip).difference(baseline)
-        return predictions, spike_counts, counters
-
-    def _run_vectorized(
-        self, chip: ResparcChip, spike_train: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray, EventCounters]:
-        """Fast path: compiled chip, whole-batch NumPy execution.
-
-        The compiled program is cached per chip instance, so repeated runs
-        on the same chip pay the compilation cost once.
-        """
-        from repro.fastpath import VectorizedChipEngine
-
-        outcome = VectorizedChipEngine.from_chip(chip).run_batch(spike_train)
-        return outcome.predictions, outcome.spike_counts, outcome.counters
-
     def run(
         self,
         snn: SpikingNetwork,
@@ -150,57 +93,23 @@ class ChipSimulator:
         chip: ResparcChip | None = None,
     ) -> ChipRunResult:
         """Run a batch of flattened inputs through the selected backend."""
+        from repro.serve.schema import InferenceRequest
+        from repro.serve.session import CONFIG_MISMATCH_ERROR, ChipSession
+
         if chip is not None and chip.config != self.config:
-            raise ValueError(
-                "the supplied chip was built for a different ArchitectureConfig "
-                "than this simulator; latency/energy accounting would mix "
-                "configurations"
-            )
-        chip = chip or self.build_chip(snn)
-        x = np.asarray(inputs, dtype=float)
-        if x.ndim == 1:
-            x = x[np.newaxis]
-        x = x.reshape(x.shape[0], -1)
-        spike_train = self._encode(x)
-        batch = x.shape[0]
-
-        if self.backend == "vectorized":
-            predictions, spike_counts, counters = self._run_vectorized(chip, spike_train)
-        else:
-            predictions, spike_counts, counters = self._run_structural(chip, spike_train)
-
-        # A per-timestep latency of one crossbar read + integration per
-        # time-multiplex stage, matching the analytical latency model.
-        wall_clock_s = (
-            batch
-            * self.timesteps
-            * (self.config.device.read_pulse_s + self.library.neuron_integration_latency_s)
-        )
-
-        counters.neuron_spikes += float(spike_counts.sum())
-        energy = counters_to_energy(
-            counters,
+            raise ValueError(CONFIG_MISMATCH_ERROR)
+        session = ChipSession(
+            snn,
+            chip=chip,
+            config=self.config,
             library=self.library,
-            crossbar_energy=CrossbarEnergyModel(device=self.config.device),
-            label=f"resparc-{self.backend}/{snn.name}",
-            active_mpes=chip.total_mpes_used,
-            active_switches=sum(len(cell.switches) for cell in chip.neurocells),
-            duration_s=wall_clock_s,
-            sram_access_energy_j=chip.input_memory.access_energy_j(),
-            sram_leakage_power_w=chip.input_memory.leakage_power_w(),
-        )
-        accuracy = None
-        if labels is not None:
-            accuracy = float(np.mean(predictions == np.asarray(labels, dtype=int)))
-        return ChipRunResult(
-            predictions=predictions,
-            spike_counts=spike_counts,
-            accuracy=accuracy,
-            counters=counters,
-            energy=energy,
             timesteps=self.timesteps,
+            encoder=self.encoder,
             backend=self.backend,
+            rng=self.rng,
         )
+        response = session.infer(InferenceRequest(inputs=inputs, labels=labels))
+        return response.as_run_result()
 
 
 def simulate(
@@ -222,8 +131,14 @@ def simulate(
     batch; ``backend`` picks the structural reference path or the vectorized
     fast path (both produce a :class:`ChipRunResult` with directly comparable
     counters and energy).  When a prebuilt ``chip`` is supplied and ``config``
-    is not, the chip's own configuration is used.
+    is not, the chip's own configuration is used; supplying both with
+    mismatched configurations is rejected here, at the facade, rather than
+    deep inside the run.
     """
+    from repro.serve.session import CONFIG_MISMATCH_ERROR
+
+    if chip is not None and config is not None and chip.config != config:
+        raise ValueError(CONFIG_MISMATCH_ERROR)
     if config is None:
         config = chip.config if chip is not None else ArchitectureConfig()
     simulator = ChipSimulator(

@@ -10,7 +10,7 @@ guarantees the two models charge identical per-event energies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 from repro.crossbar.energy import CrossbarEnergyModel
 from repro.energy.components import ComponentLibrary
@@ -65,6 +65,19 @@ class EventCounters:
     def as_dict(self) -> dict[str, float]:
         """Counter values keyed by name."""
         return {f.name: getattr(self, f.name) for f in fields(EventCounters)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, float]) -> "EventCounters":
+        """Rebuild a counter set from :meth:`as_dict` output (JSON-safe).
+
+        Unknown keys are rejected rather than dropped, so schema drift
+        between serializer and deserializer fails loudly.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown counter fields: {sorted(unknown)}")
+        return cls(**{name: float(value) for name, value in data.items()})
 
     @property
     def total_events(self) -> float:

@@ -20,7 +20,7 @@ through the activity models; nothing downstream is tuned per benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields, replace
 
 from repro.utils.validation import check_positive
 

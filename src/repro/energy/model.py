@@ -125,6 +125,31 @@ class EnergyReport:
             merged.add(name, value)
         return merged
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible representation (label, components, group map)."""
+        return {
+            "label": self.label,
+            "components": dict(self.components),
+            "group_map": dict(self.group_map),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "EnergyReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        JSON serialises floats with shortest round-trip precision, so a
+        ``to_dict -> json -> from_dict`` cycle is lossless.
+        """
+        components = data.get("components", {})
+        group_map = data.get("group_map", {})
+        if not isinstance(components, dict) or not isinstance(group_map, dict):
+            raise ValueError("components and group_map must be mappings")
+        return cls(
+            label=str(data["label"]),
+            components={str(k): float(v) for k, v in components.items()},
+            group_map={str(k): str(v) for k, v in group_map.items()},
+        )
+
     def summary(self) -> str:
         """Multi-line human readable breakdown."""
         lines = [f"EnergyReport {self.label!r}: total {format_energy(self.total_j)}"]

@@ -21,12 +21,12 @@ from repro.core import (
     CHIP_BACKENDS,
     ArchitectureConfig,
     ChipRunResult,
-    ChipSimulator,
     ResparcEvaluation,
     ResparcModel,
 )
 from repro.datasets import SyntheticDataset, make_dataset
 from repro.mapping import MappedNetwork, map_network
+from repro.serve import ChipPool, ChipSession, InferenceRequest
 from repro.snn import (
     ActivityTrace,
     ConversionSpec,
@@ -36,7 +36,7 @@ from repro.snn import (
     Trainer,
     convert_to_snn,
 )
-from repro.utils.rng import derive_rng
+from repro.utils.rng import derive_rng, stable_seed
 from repro.workloads import BenchmarkSpec, get_benchmark
 
 __all__ = ["ExperimentSettings", "WorkloadContext", "PreparedWorkload"]
@@ -61,12 +61,17 @@ class ExperimentSettings:
     #: Chip execution backend used by structural cross-validation runs
     #: ("structural" or "vectorized"; see :mod:`repro.fastpath`).
     chip_backend: str = "vectorized"
+    #: Worker sessions for chip runs: 1 runs a single legacy-seeded session,
+    #: > 1 shards each batch across a :class:`repro.serve.ChipPool`.
+    chip_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.chip_backend not in CHIP_BACKENDS:
             raise ValueError(
                 f"chip_backend must be one of {CHIP_BACKENDS}, got {self.chip_backend!r}"
             )
+        if self.chip_jobs < 1:
+            raise ValueError(f"chip_jobs must be >= 1, got {self.chip_jobs}")
 
     @staticmethod
     def quick() -> "ExperimentSettings":
@@ -203,16 +208,23 @@ class WorkloadContext:
         event_driven: bool = True,
         backend: str | None = None,
         samples: int | None = None,
+        jobs: int | None = None,
     ) -> ChipRunResult:
-        """Run a workload through the structural/vectorized chip simulator.
+        """Run a workload through the serve-layer chip sessions.
 
         This is the experiment-level entry to the cycle-exact chip model: it
-        executes the converted SNN sample by sample (or, with the vectorized
-        backend, as one batch) and returns measured counters/energy, which
-        cross-validates the analytical activity-based evaluation.  Only MLP
-        workloads are executable on the structural chip.
+        executes the converted SNN through a :class:`repro.serve.ChipSession`
+        (or, with ``jobs > 1``, shards the batch across a
+        :class:`repro.serve.ChipPool`) and returns measured counters/energy,
+        which cross-validates the analytical activity-based evaluation.  Only
+        MLP workloads are executable on the structural chip.
 
-        ``backend`` defaults to ``settings.chip_backend``.
+        ``backend`` defaults to ``settings.chip_backend`` and ``jobs`` to
+        ``settings.chip_jobs``.  The single-session path encodes from the
+        legacy derived-RNG stream (bit-identical to earlier releases); the
+        pool path uses the shard-stable :class:`repro.snn.EncoderState`
+        seeding, whose Poisson draws differ from the legacy stream but are
+        identical for every ``jobs`` count.
         """
         if not workload.spec.is_mlp:
             raise ValueError(
@@ -223,17 +235,31 @@ class WorkloadContext:
         config = ArchitectureConfig().with_crossbar_size(crossbar_size).with_event_driven(
             event_driven
         )
-        simulator = ChipSimulator(
+        n = s.eval_samples if samples is None else samples
+        inputs = self._inputs_for(workload.spec, workload.dataset, "test")[:n]
+        labels = workload.dataset.test_labels[:n]
+        request = InferenceRequest(inputs=inputs, labels=labels)
+        jobs = s.chip_jobs if jobs is None else jobs
+        if jobs > 1:
+            with ChipPool(
+                workload.snn,
+                jobs=jobs,
+                config=config,
+                timesteps=s.timesteps,
+                encoder="poisson",
+                backend=backend or s.chip_backend,
+                seed=stable_seed(s.seed, "chip", workload.name),
+            ) as pool:
+                return pool.infer(request).as_run_result()
+        session = ChipSession(
+            workload.snn,
             config=config,
             timesteps=s.timesteps,
             encoder="poisson",
             backend=backend or s.chip_backend,
             rng=derive_rng(s.seed, "chip", workload.name),
         )
-        n = s.eval_samples if samples is None else samples
-        inputs = self._inputs_for(workload.spec, workload.dataset, "test")[:n]
-        labels = workload.dataset.test_labels[:n]
-        return simulator.run(workload.snn, inputs, labels)
+        return session.infer(request).as_run_result()
 
     def evaluate_cmos(
         self,

@@ -21,8 +21,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.crossbar import QuantizationSpec, quantize_network_weights
 from repro.datasets import make_dataset
 from repro.experiments.common import ExperimentSettings, WorkloadContext

@@ -95,19 +95,30 @@ def main(argv: list[str] | None = None) -> int:
         help="execute the MLP benchmarks on the chip simulator and report the "
         "measured energy next to the analytical model in Fig. 11",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker sessions for chip runs: > 1 shards each batch across a "
+        "repro.serve.ChipPool (implies --validate-chip)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     settings = ExperimentSettings.quick() if args.quick else ExperimentSettings()
     if args.timesteps is not None:
         settings = replace(settings, timesteps=args.timesteps)
     if args.backend is not None:
         settings = replace(settings, chip_backend=args.backend)
+    if args.jobs is not None:
+        settings = replace(settings, chip_jobs=args.jobs)
     result = run_all(
         settings=settings,
         include_accuracy=not args.no_accuracy,
-        # Choosing a chip backend only means something for chip runs, so
-        # --backend implies the chip cross-validation pass.
-        validate_chip=args.validate_chip or args.backend is not None,
+        # Chip backend/jobs choices only mean something for chip runs, so
+        # --backend and --jobs imply the chip cross-validation pass.
+        validate_chip=args.validate_chip or args.backend is not None or args.jobs is not None,
     )
     print(result.render())
     return 0

@@ -1,0 +1,40 @@
+"""Service-layer inference API.
+
+The serving subsystem wraps the chip models behind the session/pool shape a
+server, queue worker or sweep harness can sit on:
+
+* :class:`~repro.serve.schema.InferenceRequest` /
+  :class:`~repro.serve.schema.InferenceResponse` — the serializable request
+  and result schema (lossless JSON round trip, including event counters and
+  the energy report).
+* :class:`~repro.serve.session.ChipSession` — one programmed chip plus its
+  compiled fastpath program and encoder state, serving ``infer`` requests
+  with per-request batch/labels/timesteps overrides.
+* :class:`~repro.serve.pool.ChipPool` — N worker sessions sharding a large
+  batch, merging shard responses into one result identical to a
+  single-session run.
+
+Quickstart::
+
+    from repro.serve import ChipPool, ChipSession, InferenceRequest
+
+    session = ChipSession(snn, timesteps=16, encoder="poisson", seed=7)
+    response = session.infer(InferenceRequest(inputs=images, labels=labels))
+
+    with ChipPool(snn, jobs=4, timesteps=16, encoder="poisson", seed=7) as pool:
+        sharded = pool.infer(InferenceRequest(inputs=images, labels=labels))
+
+    payload = sharded.to_json()  # ships across a process boundary
+"""
+
+from repro.serve.pool import ChipPool
+from repro.serve.schema import SCHEMA_VERSION, InferenceRequest, InferenceResponse
+from repro.serve.session import ChipSession
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ChipPool",
+    "ChipSession",
+    "InferenceRequest",
+    "InferenceResponse",
+]

@@ -1,0 +1,179 @@
+"""Sharded inference across a pool of chip sessions.
+
+:class:`ChipPool` owns ``jobs`` worker :class:`~repro.serve.ChipSession`\\ s
+and splits each request batch into contiguous shards, one per worker, run
+concurrently on a thread pool (the vectorized backend spends its time in
+NumPy kernels, which release the GIL).  The merged response is
+*result-identical* to running the whole batch on one session:
+
+* encoding is shard-stable — every worker shares the pool's
+  :class:`~repro.snn.encoding.EncoderState` and receives its shard's
+  absolute ``sample_offset``, so sample ``i`` gets the same spike train no
+  matter how the batch is partitioned;
+* predictions and spike counts are per-sample and concatenate exactly;
+* event counters are integer totals that sum exactly across shards, and the
+  merged counters are converted to energy through the primary session's own
+  pipeline, so components agree with a single-session run to floating-point
+  accumulation order (<< 1e-9 relative).
+
+Worker isolation: with the vectorized backend all workers share one
+programmed chip and its compiled program (the engine never mutates either);
+the structural backend mutates live component state, so each worker gets its
+own identically-seeded chip.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.config import ArchitectureConfig
+from repro.energy.components import ComponentLibrary
+from repro.serve.schema import InferenceRequest, InferenceResponse
+from repro.serve.session import ChipSession
+from repro.snn.conversion import SpikingNetwork
+from repro.snn.encoding import EncoderState
+
+__all__ = ["ChipPool"]
+
+
+class ChipPool:
+    """N worker sessions sharding large batches behind one ``infer`` call."""
+
+    def __init__(
+        self,
+        snn: SpikingNetwork,
+        jobs: int = 2,
+        *,
+        config: ArchitectureConfig | None = None,
+        library: ComponentLibrary | None = None,
+        timesteps: int = 32,
+        encoder: str = "deterministic",
+        backend: str = "vectorized",
+        seed: int = 0,
+        encoder_state: EncoderState | None = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        primary = ChipSession(
+            snn,
+            config=config,
+            library=library,
+            timesteps=timesteps,
+            encoder=encoder,
+            backend=backend,
+            seed=seed,
+            encoder_state=encoder_state,
+        )
+        self.sessions = [primary]
+        for _ in range(jobs - 1):
+            # Vectorized workers share the primary's chip (and therefore its
+            # cached compiled program); structural workers rebuild their own
+            # chip from the same derived seed, which programs identically.
+            shared_chip = primary.chip if backend == "vectorized" else None
+            self.sessions.append(
+                ChipSession(
+                    snn,
+                    chip=shared_chip,
+                    config=primary.config,
+                    library=library,
+                    timesteps=timesteps,
+                    backend=backend,
+                    seed=seed,
+                    encoder_state=primary.encoder_state,
+                )
+            )
+        self._executor = ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="chip-pool"
+        )
+        # Shard tasks are pinned to fixed worker sessions, and structural
+        # workers mutate their chip in place — so only one batch may be in
+        # flight per pool.  Callers' infer() calls serialise on this lock.
+        self._infer_lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker threads (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "ChipPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def session(self) -> ChipSession:
+        """The primary session (shared chip / encoder state / energy context)."""
+        return self.sessions[0]
+
+    # -- inference ----------------------------------------------------------------
+
+    def _shard_bounds(self, batch: int) -> list[tuple[int, int]]:
+        """Contiguous, near-equal shard boundaries; empty shards are dropped."""
+        sizes = [len(part) for part in np.array_split(np.arange(batch), self.jobs)]
+        bounds = []
+        start = 0
+        for size in sizes:
+            if size:
+                bounds.append((start, start + size))
+            start += size
+        return bounds
+
+    def infer(self, request: InferenceRequest) -> InferenceResponse:
+        """Shard one request across the workers and merge their responses.
+
+        Thread-safe: concurrent callers are serialised, one batch in flight
+        at a time (the worker threads parallelise *within* a batch).
+        """
+        with self._infer_lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            batch = request.batch_size
+            timesteps = (
+                request.timesteps
+                if request.timesteps is not None
+                else self.session.timesteps
+            )
+            bounds = self._shard_bounds(batch)
+            if len(bounds) <= 1:
+                return self.session.infer(request)
+
+            futures = [
+                self._executor.submit(session.infer, request.shard(start, stop))
+                for session, (start, stop) in zip(self.sessions, bounds)
+            ]
+            responses = [future.result() for future in futures]
+
+        predictions = np.concatenate([r.predictions for r in responses])
+        spike_counts = np.vstack([r.spike_counts for r in responses])
+        counters = responses[0].counters
+        for shard in responses[1:]:
+            counters = counters.merge(shard.counters)
+        # Recompute energy from the merged counters through the primary
+        # session's pipeline: identical to a single full-batch run (the
+        # static/leakage terms are linear in the batch size).
+        energy = self.session.energy_for(counters, batch=batch, timesteps=timesteps)
+        accuracy = None
+        if request.labels is not None:
+            accuracy = float(
+                np.mean(predictions == np.asarray(request.labels, dtype=int))
+            )
+        return InferenceResponse(
+            predictions=predictions,
+            spike_counts=spike_counts,
+            accuracy=accuracy,
+            counters=counters,
+            energy=energy,
+            timesteps=timesteps,
+            backend=self.session.backend,
+            batch_size=batch,
+            jobs=len(bounds),
+        )

@@ -1,0 +1,200 @@
+"""Serializable request/response schema of the serving API.
+
+A server, queue worker or sweep harness needs results that can cross a
+process boundary.  :class:`InferenceRequest` and :class:`InferenceResponse`
+are the wire-level counterparts of the in-memory simulation types: plain
+dataclasses whose :meth:`to_dict` / :meth:`from_dict` round-trip losslessly
+through JSON (Python's ``json`` serialises floats with shortest round-trip
+precision), carrying :class:`~repro.core.stats.EventCounters` and
+:class:`~repro.energy.model.EnergyReport` via their own dict codecs.
+
+The schema is versioned (``SCHEMA_VERSION``) so a deserialiser can reject
+payloads written by an incompatible producer instead of mis-reading them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.stats import EventCounters
+from repro.energy.model import EnergyReport
+
+__all__ = ["SCHEMA_VERSION", "InferenceRequest", "InferenceResponse"]
+
+#: Version tag embedded in every serialised response.
+SCHEMA_VERSION = 1
+
+
+def _as_batch(inputs: np.ndarray) -> np.ndarray:
+    """Coerce request inputs to a flattened ``(batch, features)`` float array."""
+    x = np.asarray(inputs, dtype=float)
+    if x.ndim == 1:
+        x = x[np.newaxis]
+    return x.reshape(x.shape[0], -1)
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One batch of inputs for a :class:`~repro.serve.ChipSession`.
+
+    Attributes
+    ----------
+    inputs:
+        Intensity array of shape ``(batch, ...)`` (a single 1-D sample is
+        promoted to a batch of one); trailing axes are flattened.
+    labels:
+        Optional integer labels; when present the response carries accuracy.
+    timesteps:
+        Per-request override of the session's rate-coding window.
+    sample_offset:
+        Absolute index of ``inputs[0]`` within the logical batch.  Used by
+        :class:`~repro.serve.ChipPool` so a shard's stochastic encoding is
+        identical to the same slice of a single full-batch request.
+    """
+
+    inputs: np.ndarray
+    labels: np.ndarray | None = None
+    timesteps: int | None = None
+    sample_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timesteps is not None and self.timesteps <= 0:
+            raise ValueError(f"timesteps must be positive, got {self.timesteps}")
+        if self.sample_offset < 0:
+            raise ValueError(f"sample_offset must be >= 0, got {self.sample_offset}")
+
+    @property
+    def batch(self) -> np.ndarray:
+        """The inputs as a flattened ``(batch, features)`` array."""
+        return _as_batch(self.inputs)
+
+    @property
+    def batch_size(self) -> int:
+        """Number of samples in the request."""
+        return self.batch.shape[0]
+
+    def shard(self, start: int, stop: int) -> "InferenceRequest":
+        """The sub-request covering samples ``[start, stop)`` of this batch."""
+        x = self.batch
+        labels = None
+        if self.labels is not None:
+            labels = np.asarray(self.labels)[start:stop]
+        return replace(
+            self,
+            inputs=x[start:stop],
+            labels=labels,
+            sample_offset=self.sample_offset + start,
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible representation."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "inputs": self.batch.tolist(),
+            "labels": None if self.labels is None else np.asarray(self.labels).tolist(),
+            "timesteps": self.timesteps,
+            "sample_offset": self.sample_offset,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "InferenceRequest":
+        """Rebuild a request produced by :meth:`to_dict`."""
+        _check_version(data)
+        labels = data.get("labels")
+        timesteps = data.get("timesteps")
+        return cls(
+            inputs=np.asarray(data["inputs"], dtype=float),
+            labels=None if labels is None else np.asarray(labels, dtype=int),
+            timesteps=None if timesteps is None else int(timesteps),
+            sample_offset=int(data.get("sample_offset", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class InferenceResponse:
+    """Outcome of one served inference batch.
+
+    Mirrors :class:`~repro.core.simulator.ChipRunResult` (predictions, spike
+    counts, accuracy, counters, energy) plus the serving metadata a client
+    needs: the executing backend, the batch size and how many pool workers
+    the batch was sharded across.
+    """
+
+    predictions: np.ndarray
+    spike_counts: np.ndarray
+    accuracy: float | None
+    counters: EventCounters
+    energy: EnergyReport
+    timesteps: int
+    backend: str
+    batch_size: int
+    jobs: int = 1
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible representation (lossless float round trip)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "predictions": self.predictions.tolist(),
+            "spike_counts": self.spike_counts.tolist(),
+            "accuracy": self.accuracy,
+            "counters": self.counters.as_dict(),
+            "energy": self.energy.to_dict(),
+            "timesteps": self.timesteps,
+            "backend": self.backend,
+            "batch_size": self.batch_size,
+            "jobs": self.jobs,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "InferenceResponse":
+        """Rebuild a response produced by :meth:`to_dict`."""
+        _check_version(data)
+        accuracy = data.get("accuracy")
+        return cls(
+            predictions=np.asarray(data["predictions"], dtype=int),
+            spike_counts=np.asarray(data["spike_counts"], dtype=float),
+            accuracy=None if accuracy is None else float(accuracy),
+            counters=EventCounters.from_dict(data["counters"]),
+            energy=EnergyReport.from_dict(data["energy"]),
+            timesteps=int(data["timesteps"]),
+            backend=str(data["backend"]),
+            batch_size=int(data["batch_size"]),
+            jobs=int(data.get("jobs", 1)),
+            metadata=dict(data.get("metadata", {})),
+        )
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, payload: str) -> "InferenceResponse":
+        """Deserialise from a JSON string."""
+        return cls.from_dict(json.loads(payload))
+
+    def as_run_result(self):
+        """Convert to the legacy :class:`~repro.core.simulator.ChipRunResult`."""
+        from repro.core.simulator import ChipRunResult
+
+        return ChipRunResult(
+            predictions=self.predictions,
+            spike_counts=self.spike_counts,
+            accuracy=self.accuracy,
+            counters=self.counters,
+            energy=self.energy,
+            timesteps=self.timesteps,
+            backend=self.backend,
+        )
+
+
+def _check_version(data: dict[str, object]) -> None:
+    version = data.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {version!r} (this build reads {SCHEMA_VERSION})"
+        )

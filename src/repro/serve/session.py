@@ -1,0 +1,272 @@
+"""Chip-owning inference sessions.
+
+A :class:`ChipSession` is the service-layer unit of the serving API: it owns
+one programmed :class:`~repro.core.resparc.ResparcChip`, the chip's compiled
+fastpath program (compiled eagerly, cached for the session's lifetime) and
+the encoder state, and answers :class:`~repro.serve.schema.InferenceRequest`
+batches with :class:`~repro.serve.schema.InferenceResponse` results.
+
+Two encoder regimes are supported:
+
+* **state mode** (the serving default) — a shard-stable
+  :class:`~repro.snn.encoding.EncoderState` derived from an integer seed.
+  Inference is a pure function of ``(session, request)``: repeated calls
+  return identical responses, and :class:`~repro.serve.pool.ChipPool` can
+  split a batch across sessions without changing a single spike.
+* **legacy stream mode** — an explicit :class:`numpy.random.Generator`
+  whose state advances across calls, reproducing the historical
+  :class:`~repro.core.simulator.ChipSimulator` semantics exactly.  The
+  simulator facade delegates here, so its results are bit-identical to
+  earlier releases.
+
+This module also hosts the backend execution machinery (the structural
+per-sample loop and the vectorized batch dispatch) that
+:class:`~repro.core.simulator.ChipSimulator` is now a thin adapter over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ArchitectureConfig
+from repro.core.resparc import ResparcChip
+from repro.core.stats import EventCounters, counters_to_energy
+from repro.crossbar.energy import CrossbarEnergyModel
+from repro.energy.components import DEFAULT_LIBRARY, ComponentLibrary
+from repro.energy.model import EnergyReport
+from repro.serve.schema import InferenceRequest, InferenceResponse
+from repro.snn.conversion import SpikingNetwork
+from repro.snn.encoding import DeterministicRateEncoder, EncoderState, PoissonEncoder
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["ChipSession", "CONFIG_MISMATCH_ERROR"]
+
+#: Raised whenever a prebuilt chip is paired with a different configuration.
+CONFIG_MISMATCH_ERROR = (
+    "the supplied chip was built for a different ArchitectureConfig "
+    "than this simulator; latency/energy accounting would mix "
+    "configurations"
+)
+
+
+# -- backend execution machinery ----------------------------------------------------
+
+
+def gather_chip_counters(chip: ResparcChip) -> EventCounters:
+    """Snapshot the lifetime event counters of a structural chip's components."""
+    counters = EventCounters()
+    for cell in chip.neurocells:
+        counters.switch_hops += cell.switch_hops
+        counters.suppressed_packets += cell.suppressed_packets
+        counters.zero_checks += cell.zero_checks
+        for mpe in cell.mpes:
+            counters.crossbar_evaluations += mpe.crossbar_evaluations
+            counters.crossbar_device_energy_j += mpe.crossbar_energy_j
+            counters.ibuff_accesses += sum(b.accesses for b in mpe.ibuffs)
+            counters.obuff_accesses += sum(b.accesses for b in mpe.obuffs)
+            counters.tbuff_accesses += mpe.tbuffer_lookups
+            counters.local_control_events += mpe.control.evaluations_issued
+            counters.ccu_transfers += mpe.ccu.total_transfers
+            counters.neuron_integrations += mpe.neuron_integrations
+    counters.io_bus_words += chip.bus.words_transferred
+    counters.zero_checks += chip.bus.zero_checks
+    counters.input_sram_reads += chip.input_memory.reads
+    counters.input_sram_writes += chip.input_memory.writes
+    if chip.global_control is not None:
+        counters.global_control_events += chip.global_control.flag_updates
+    return counters
+
+
+def run_structural(
+    chip: ResparcChip, spike_train: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, EventCounters]:
+    """Reference path: per-sample execution through the component tree.
+
+    Component counters accumulate for the lifetime of the chip instance, so
+    the counters of this run are taken as a delta against a snapshot —
+    matching the per-run semantics of the vectorized backend even when the
+    same chip is reused across runs.
+    """
+    baseline = gather_chip_counters(chip)
+    timesteps, batch, _ = spike_train.shape
+    spike_counts = np.zeros((batch, chip.output_dim))
+    predictions = np.zeros(batch, dtype=int)
+    for sample in range(batch):
+        chip.reset_state()
+        for t in range(timesteps):
+            out = chip.step(spike_train[t, sample])
+            spike_counts[sample] += out
+        final_pool = chip.neuron_pools[chip.layer_order[-1]]
+        score = spike_counts[sample] + 1e-3 * final_pool.membrane.reshape(-1)
+        predictions[sample] = int(np.argmax(score))
+    counters = gather_chip_counters(chip).difference(baseline)
+    return predictions, spike_counts, counters
+
+
+def run_vectorized(
+    chip: ResparcChip, spike_train: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, EventCounters]:
+    """Fast path: compiled chip, whole-batch NumPy execution.
+
+    The compiled program is cached per chip instance, so repeated runs on
+    the same chip pay the compilation cost once.
+    """
+    from repro.fastpath import VectorizedChipEngine
+
+    outcome = VectorizedChipEngine.from_chip(chip).run_batch(spike_train)
+    return outcome.predictions, outcome.spike_counts, outcome.counters
+
+
+_BACKEND_RUNNERS = {"structural": run_structural, "vectorized": run_vectorized}
+
+
+# -- the session --------------------------------------------------------------------
+
+
+class ChipSession:
+    """A programmed chip plus everything needed to serve inference on it.
+
+    Parameters
+    ----------
+    snn:
+        The spiking network the chip executes (used for chip construction
+        when no prebuilt ``chip`` is given, and for report labelling).
+    chip:
+        Optional prebuilt chip.  Must match ``config`` when both are given.
+    config / library / timesteps / encoder / backend:
+        Same meaning as on :class:`~repro.core.simulator.ChipSimulator`.
+    seed:
+        Seed of the session's deterministic randomness (chip programming and
+        shard-stable spike encoding).  Ignored in legacy stream mode.
+    rng:
+        Legacy stream mode: an explicit generator consumed by chip building
+        and encoding in order, exactly like ``ChipSimulator`` — spike trains
+        depend on call history, so sharding would change results.
+        :class:`~repro.serve.pool.ChipPool` therefore always builds its own
+        state-mode sessions and never uses this mode.
+    encoder_state:
+        Explicit :class:`EncoderState` override (implies state mode);
+        ``encoder``/``seed`` are ignored when it is given.
+    """
+
+    def __init__(
+        self,
+        snn: SpikingNetwork,
+        *,
+        chip: ResparcChip | None = None,
+        config: ArchitectureConfig | None = None,
+        library: ComponentLibrary | None = None,
+        timesteps: int = 32,
+        encoder: str = "deterministic",
+        backend: str = "vectorized",
+        seed: int = 0,
+        rng: np.random.Generator | None = None,
+        encoder_state: EncoderState | None = None,
+    ):
+        from repro.core.simulator import CHIP_BACKENDS
+
+        check_positive("timesteps", timesteps)
+        if backend not in CHIP_BACKENDS:
+            raise ValueError(f"backend must be one of {CHIP_BACKENDS}, got {backend!r}")
+        if encoder not in ("poisson", "deterministic"):
+            raise ValueError(
+                f"encoder must be 'poisson' or 'deterministic', got {encoder!r}"
+            )
+        if chip is not None and config is not None and chip.config != config:
+            raise ValueError(CONFIG_MISMATCH_ERROR)
+
+        self.snn = snn
+        self.config = chip.config if chip is not None else (config or ArchitectureConfig())
+        self.library = library or DEFAULT_LIBRARY
+        self.timesteps = timesteps
+        self.backend = backend
+        self._rng = rng
+        if rng is None:
+            self.encoder_state: EncoderState | None = encoder_state or EncoderState(
+                kind=encoder, seed=seed
+            )
+            self.encoder = self.encoder_state.kind
+            build_rng = derive_rng(seed, "chip")
+        else:
+            self.encoder_state = None
+            self.encoder = encoder
+            build_rng = rng
+        self.chip = chip or ResparcChip.from_spiking_network(
+            snn, config=self.config, rng=build_rng
+        )
+        # Eager, cached compilation: the first request should not pay the
+        # lowering cost, and every vectorized run reuses the same program.
+        if backend == "vectorized":
+            from repro.fastpath import compile_chip
+
+            compile_chip(self.chip)
+
+    # -- encoding -----------------------------------------------------------------
+
+    def _encode(self, x: np.ndarray, timesteps: int, sample_offset: int) -> np.ndarray:
+        if self._rng is not None:
+            if self.encoder == "poisson":
+                return PoissonEncoder(rng=self._rng).encode(x, timesteps)
+            return DeterministicRateEncoder().encode(x, timesteps)
+        assert self.encoder_state is not None
+        return self.encoder_state.shard(sample_offset).encode(x, timesteps)
+
+    # -- energy -------------------------------------------------------------------
+
+    def energy_for(
+        self, counters: EventCounters, batch: int, timesteps: int
+    ) -> EnergyReport:
+        """Convert run counters into the session's energy report.
+
+        Exposed separately from :meth:`infer` so a pool can recompute the
+        energy of *merged* shard counters through the exact pipeline a
+        single-session run uses, keeping sharded responses result-identical.
+        """
+        # A per-timestep latency of one crossbar read + integration per
+        # time-multiplex stage, matching the analytical latency model.
+        wall_clock_s = (
+            batch
+            * timesteps
+            * (self.config.device.read_pulse_s + self.library.neuron_integration_latency_s)
+        )
+        return counters_to_energy(
+            counters,
+            library=self.library,
+            crossbar_energy=CrossbarEnergyModel(device=self.config.device),
+            label=f"resparc-{self.backend}/{self.snn.name}",
+            active_mpes=self.chip.total_mpes_used,
+            active_switches=sum(len(cell.switches) for cell in self.chip.neurocells),
+            duration_s=wall_clock_s,
+            sram_access_energy_j=self.chip.input_memory.access_energy_j(),
+            sram_leakage_power_w=self.chip.input_memory.leakage_power_w(),
+        )
+
+    # -- inference ----------------------------------------------------------------
+
+    def infer(self, request: InferenceRequest) -> InferenceResponse:
+        """Run one request batch through the session's backend."""
+        timesteps = request.timesteps if request.timesteps is not None else self.timesteps
+        x = request.batch
+        spike_train = self._encode(x, timesteps, request.sample_offset)
+        predictions, spike_counts, counters = _BACKEND_RUNNERS[self.backend](
+            self.chip, spike_train
+        )
+        counters.neuron_spikes += float(spike_counts.sum())
+        energy = self.energy_for(counters, batch=x.shape[0], timesteps=timesteps)
+        accuracy = None
+        if request.labels is not None:
+            accuracy = float(
+                np.mean(predictions == np.asarray(request.labels, dtype=int))
+            )
+        return InferenceResponse(
+            predictions=predictions,
+            spike_counts=spike_counts,
+            accuracy=accuracy,
+            counters=counters,
+            energy=energy,
+            timesteps=timesteps,
+            backend=self.backend,
+            batch_size=x.shape[0],
+            jobs=1,
+        )

@@ -19,6 +19,7 @@ functionally simulate the deep SNNs that RESPARC accelerates:
 from repro.snn.conversion import ConversionSpec, SpikingNetwork, convert_to_snn
 from repro.snn.encoding import (
     DeterministicRateEncoder,
+    EncoderState,
     PoissonEncoder,
     spike_train_statistics,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "SpikingNetwork",
     "convert_to_snn",
     "DeterministicRateEncoder",
+    "EncoderState",
     "PoissonEncoder",
     "spike_train_statistics",
     "ActivityTrace",

@@ -18,13 +18,19 @@ Two encoders are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive
 
-__all__ = ["PoissonEncoder", "DeterministicRateEncoder", "spike_train_statistics"]
+__all__ = [
+    "PoissonEncoder",
+    "DeterministicRateEncoder",
+    "EncoderState",
+    "spike_train_statistics",
+]
 
 
 @dataclass
@@ -104,6 +110,95 @@ class DeterministicRateEncoder:
             spikes[t] = fired.astype(float)
             accumulator -= fired.astype(float)
         return spikes
+
+
+@dataclass(frozen=True)
+class EncoderState:
+    """Serializable encoder configuration with shard-stable randomness.
+
+    The stock :class:`PoissonEncoder` draws one random block covering the
+    whole batch, so the spike train of sample ``i`` depends on how many
+    samples precede it — a batch split across workers would encode
+    differently than the same batch encoded at once.  ``EncoderState``
+    instead derives an independent generator per *absolute* sample index
+    from ``(seed, sample_offset + i)``, which makes encoding a pure function
+    of ``(state, values, timesteps)``:
+
+    * repeated :meth:`encode` calls are identical (no hidden stream state),
+    * a shard extracted with :meth:`shard` encodes exactly the slice the
+      full-batch encoding would produce, regardless of how the batch is
+      partitioned — the property :class:`repro.serve.ChipPool` relies on.
+
+    The state is a plain frozen dataclass and round-trips through
+    :meth:`to_dict` / :meth:`from_dict`, so a session's encoder can cross a
+    process boundary alongside its results.
+    """
+
+    kind: str = "deterministic"
+    seed: int = 0
+    max_rate: float = 1.0
+    #: Absolute index of this state's first sample within the logical batch.
+    sample_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("poisson", "deterministic"):
+            raise ValueError(
+                f"encoder kind must be 'poisson' or 'deterministic', got {self.kind!r}"
+            )
+        check_positive("max_rate", self.max_rate)
+        if self.max_rate > 1.0:
+            raise ValueError(f"max_rate must be <= 1, got {self.max_rate}")
+        if self.sample_offset < 0:
+            raise ValueError(f"sample_offset must be >= 0, got {self.sample_offset}")
+
+    def shard(self, start: int) -> "EncoderState":
+        """Extract the encoder state of a shard beginning ``start`` samples in."""
+        if start < 0:
+            raise ValueError(f"shard start must be >= 0, got {start}")
+        if start == 0:
+            return self
+        return replace(self, sample_offset=self.sample_offset + start)
+
+    def encode(self, values: np.ndarray, timesteps: int) -> np.ndarray:
+        """Encode a ``(batch, ...)`` intensity array into ``(timesteps, batch, ...)``.
+
+        Every sample is encoded from its own derived generator, so the output
+        for sample ``i`` depends only on ``(seed, sample_offset + i)`` — not
+        on the batch it happens to share a request with.
+        """
+        if timesteps <= 0:
+            raise ValueError(f"timesteps must be positive, got {timesteps}")
+        x = np.atleast_2d(np.asarray(values, dtype=float))
+        if self.kind == "deterministic":
+            # Error diffusion is elementwise per sample: slicing commutes
+            # with encoding, so no per-sample generators are needed.
+            return DeterministicRateEncoder(max_rate=self.max_rate).encode(x, timesteps)
+        spikes = np.empty((timesteps,) + x.shape, dtype=float)
+        for i in range(x.shape[0]):
+            rng = derive_rng(self.seed, "encoder", self.sample_offset + i)
+            spikes[:, i] = PoissonEncoder(rng=rng, max_rate=self.max_rate).encode(
+                x[i], timesteps
+            )
+        return spikes
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible representation."""
+        return {
+            "kind": self.kind,
+            "seed": self.seed,
+            "max_rate": self.max_rate,
+            "sample_offset": self.sample_offset,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, object]) -> "EncoderState":
+        """Rebuild a state produced by :meth:`to_dict`."""
+        return cls(
+            kind=str(data["kind"]),
+            seed=int(data["seed"]),
+            max_rate=float(data.get("max_rate", 1.0)),
+            sample_offset=int(data.get("sample_offset", 0)),
+        )
 
 
 def spike_train_statistics(spike_train: np.ndarray, packet_bits: int = 32) -> dict[str, float]:

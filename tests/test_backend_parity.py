@@ -229,6 +229,23 @@ class TestVectorizedBackendGuards:
         result = simulate(snn, np.zeros((1, 24)), chip=chip, timesteps=4)
         assert result.predictions.shape == (1,)
 
+    def test_simulate_facade_rejects_mismatched_config(self):
+        # The facade must raise the mismatch itself, not hand the wrong
+        # config to a simulator and rely on the run-time check downstream.
+        network, calibration = _mlp(6, (24, 10))
+        snn = convert_to_snn(network, calibration)
+        chip = ChipSimulator(
+            config=ArchitectureConfig(crossbar_rows=16, crossbar_columns=16)
+        ).build_chip(snn)
+        with pytest.raises(ValueError, match="different ArchitectureConfig"):
+            simulate(
+                snn,
+                np.zeros((1, 24)),
+                config=ArchitectureConfig(crossbar_rows=32, crossbar_columns=32),
+                chip=chip,
+                timesteps=4,
+            )
+
     def test_compiled_program_is_cached_per_chip(self):
         from repro.fastpath import compile_chip
 

@@ -259,6 +259,53 @@ class TestMpeAndNeuroCell:
         assert len(cell.switches) == 1
         assert cell.free_mca_count == 8
 
+    @pytest.mark.parametrize("mpes", [1, 2, 3, 5, 6, 10, 16])
+    def test_neurocell_supports_any_mpe_count(self, mpes):
+        # Regression: non-square counts used to collapse two mPEs onto one
+        # grid cell (round instead of ceil of sqrt), attaching the same
+        # switch port twice and crashing construction for e.g. 2 mPEs.
+        cell = NeuroCell(
+            0, CrossbarConfig(rows=8, columns=8), mpes_per_neurocell=mpes, mcas_per_mpe=2
+        )
+        assert len(cell.mpes) == mpes
+        for switch in cell.switches:
+            names = [port.name for port in switch.ports]
+            assert len(names) == len(set(names))
+        # Every mPE is reachable through some switch.
+        for mpe in cell.mpes:
+            assert cell.switch_for_mpe(mpe.mpe_id) is not None
+        spikes = np.ones(8)
+        delivered = cell.route_spike_vector(spikes, [m.mpe_id for m in cell.mpes])
+        assert all(count == 1 for count in delivered.values())
+
+    def test_non_square_mpe_count_runs_end_to_end(self):
+        # A chip built with 2 mPEs per NeuroCell must program and execute.
+        from repro.core import ArchitectureConfig, simulate
+        from repro.snn import Dense, Network, convert_to_snn
+
+        rng = np.random.default_rng(3)
+        network = Network(
+            (16,),
+            [
+                Dense(16, 12, use_bias=False, rng=rng, name="fc1"),
+                Dense(12, 5, activation=None, use_bias=False, rng=rng, name="out"),
+            ],
+            name="nonsquare-mlp",
+        )
+        snn = convert_to_snn(network, rng.random((8, 16)))
+        config = ArchitectureConfig(
+            crossbar_rows=8, crossbar_columns=8, mcas_per_mpe=1, mpes_per_neurocell=2
+        )
+        inputs = rng.random((3, 16))
+        results = {
+            backend: simulate(snn, inputs, backend=backend, config=config, timesteps=5)
+            for backend in ("structural", "vectorized")
+        }
+        np.testing.assert_array_equal(
+            results["structural"].predictions, results["vectorized"].predictions
+        )
+        assert config.switches_per_neurocell == 1
+
     def test_neurocell_routing_counts_hops_and_suppression(self):
         cell = NeuroCell(0, CrossbarConfig(rows=8, columns=8), mpes_per_neurocell=4, mcas_per_mpe=2, packet_bits=4)
         spikes = np.array([1, 0, 0, 0, 0, 0, 0, 0])

@@ -16,7 +16,7 @@ from repro.mapping import (
     summarise_utilisation,
     utilisation_by_layer,
 )
-from repro.snn import AvgPool2D, Conv2D, Dense, Flatten, Network, extract_connectivity
+from repro.snn import AvgPool2D, Conv2D, Network, extract_connectivity
 from repro.snn.topology import LayerConnectivity
 from repro.workloads import build_mnist_cnn, build_mnist_mlp
 

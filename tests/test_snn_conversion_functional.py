@@ -6,11 +6,9 @@ import numpy as np
 import pytest
 
 from repro.snn import (
-    AvgPool2D,
     Conv2D,
     ConversionSpec,
     Dense,
-    Flatten,
     Network,
     SpikingSimulator,
     Trainer,

@@ -7,11 +7,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.snn import (
-    AvgPool2D,
-    Conv2D,
-    Dense,
     DeterministicRateEncoder,
-    Flatten,
     IFNeuronParameters,
     IFNeuronPool,
     Network,
