@@ -64,14 +64,31 @@ class ExperimentSettings:
     #: Worker sessions for chip runs: 1 runs a single legacy-seeded session,
     #: > 1 shards each batch across a :class:`repro.serve.ChipPool`.
     chip_jobs: int = 1
+    #: Shard executor for pooled chip runs ("inline", "thread" or "process";
+    #: see :mod:`repro.serve.distributed.executors`).  Only meaningful with
+    #: ``chip_jobs > 1``.
+    chip_executor: str = "thread"
+    #: Optional ``host:port`` of a running chip server; when set, chip runs
+    #: are sent to that server instead of executing locally (the server must
+    #: serve the same workload for the results to be comparable).
+    chip_endpoint: str | None = None
 
     def __post_init__(self) -> None:
+        from repro.serve.distributed import EXECUTORS, parse_endpoint
+
         if self.chip_backend not in CHIP_BACKENDS:
             raise ValueError(
                 f"chip_backend must be one of {CHIP_BACKENDS}, got {self.chip_backend!r}"
             )
         if self.chip_jobs < 1:
             raise ValueError(f"chip_jobs must be >= 1, got {self.chip_jobs}")
+        if self.chip_executor not in EXECUTORS:
+            raise ValueError(
+                f"chip_executor must be one of {sorted(EXECUTORS)}, "
+                f"got {self.chip_executor!r}"
+            )
+        if self.chip_endpoint is not None:
+            parse_endpoint(self.chip_endpoint)  # raises with an actionable message
 
     @staticmethod
     def quick() -> "ExperimentSettings":
@@ -110,6 +127,7 @@ class WorkloadContext:
 
     settings: ExperimentSettings = field(default_factory=ExperimentSettings)
     _workloads: dict[tuple[str, int], PreparedWorkload] = field(default_factory=dict, repr=False)
+    _served_workload: str | None = field(default=None, repr=False)
 
     # -- workload preparation -----------------------------------------------------
 
@@ -178,6 +196,26 @@ class WorkloadContext:
         self._workloads[cache_key] = prepared
         return prepared
 
+    # -- remote serving -----------------------------------------------------------
+
+    def served_workload_name(self) -> str | None:
+        """Workload advertised by the ``chip_endpoint`` server (None when unset).
+
+        Cached after the first lookup.  Experiments use this to send only
+        the matching benchmark's chip runs to the server — a single-workload
+        server cannot answer for the other benchmarks.  Servers advertising
+        the generic ``"custom"`` name accept any workload (the operator
+        vouches for the match).
+        """
+        if self.settings.chip_endpoint is None:
+            return None
+        if self._served_workload is None:
+            from repro.serve.distributed import RemoteSession
+
+            with RemoteSession.connect(self.settings.chip_endpoint) as remote:
+                self._served_workload = str(remote.info().get("workload", "custom"))
+        return self._served_workload
+
     # -- architecture evaluations -----------------------------------------------------
 
     def map(self, workload: PreparedWorkload, crossbar_size: int) -> MappedNetwork:
@@ -209,22 +247,33 @@ class WorkloadContext:
         backend: str | None = None,
         samples: int | None = None,
         jobs: int | None = None,
+        executor: str | None = None,
+        endpoint: str | None = None,
     ) -> ChipRunResult:
         """Run a workload through the serve-layer chip sessions.
 
         This is the experiment-level entry to the cycle-exact chip model: it
         executes the converted SNN through a :class:`repro.serve.ChipSession`
         (or, with ``jobs > 1``, shards the batch across a
-        :class:`repro.serve.ChipPool`) and returns measured counters/energy,
-        which cross-validates the analytical activity-based evaluation.  Only
-        MLP workloads are executable on the structural chip.
+        :class:`repro.serve.ChipPool` using ``executor`` — inline, thread or
+        process workers) and returns measured counters/energy, which
+        cross-validates the analytical activity-based evaluation.  Only MLP
+        workloads are executable on the structural chip.
 
-        ``backend`` defaults to ``settings.chip_backend`` and ``jobs`` to
-        ``settings.chip_jobs``.  The single-session path encodes from the
-        legacy derived-RNG stream (bit-identical to earlier releases); the
-        pool path uses the shard-stable :class:`repro.snn.EncoderState`
-        seeding, whose Poisson draws differ from the legacy stream but are
-        identical for every ``jobs`` count.
+        ``backend`` defaults to ``settings.chip_backend``, ``jobs`` to
+        ``settings.chip_jobs``, ``executor`` to ``settings.chip_executor``
+        and ``endpoint`` to ``settings.chip_endpoint``.  The single-session
+        path encodes from the legacy derived-RNG stream (bit-identical to
+        earlier releases); the pool path uses the shard-stable
+        :class:`repro.snn.EncoderState` seeding, whose Poisson draws differ
+        from the legacy stream but are identical for every ``jobs`` count
+        and every executor.
+
+        With an ``endpoint`` (``"host:port"``), the request is sent to a
+        running chip server instead of executing locally; the server decides
+        backend/jobs/seeding, so ``crossbar_size``/``backend``/``jobs`` do
+        not apply, and results match local runs only if the server serves
+        the same workload with the same settings.
         """
         if not workload.spec.is_mlp:
             raise ValueError(
@@ -232,13 +281,27 @@ class WorkloadContext:
                 "fully connected networks only"
             )
         s = self.settings
-        config = ArchitectureConfig().with_crossbar_size(crossbar_size).with_event_driven(
-            event_driven
-        )
         n = s.eval_samples if samples is None else samples
         inputs = self._inputs_for(workload.spec, workload.dataset, "test")[:n]
         labels = workload.dataset.test_labels[:n]
         request = InferenceRequest(inputs=inputs, labels=labels)
+        endpoint = s.chip_endpoint if endpoint is None else endpoint
+        if endpoint is not None:
+            from repro.serve.distributed import RemoteSession
+
+            with RemoteSession.connect(endpoint) as remote:
+                served = str(remote.info().get("workload", "custom"))
+                if served not in ("custom", workload.name):
+                    raise ValueError(
+                        f"chip server at {endpoint} serves {served!r}, not "
+                        f"{workload.name!r}; start a matching server "
+                        f"(python -m repro.serve.distributed serve --workload "
+                        f"{workload.name}) or drop the endpoint"
+                    )
+                return remote.infer(request).as_run_result()
+        config = ArchitectureConfig().with_crossbar_size(crossbar_size).with_event_driven(
+            event_driven
+        )
         jobs = s.chip_jobs if jobs is None else jobs
         if jobs > 1:
             with ChipPool(
@@ -249,6 +312,7 @@ class WorkloadContext:
                 encoder="poisson",
                 backend=backend or s.chip_backend,
                 seed=stable_seed(s.seed, "chip", workload.name),
+                executor=executor or s.chip_executor,
             ) as pool:
                 return pool.infer(request).as_run_result()
         session = ChipSession(

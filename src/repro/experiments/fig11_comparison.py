@@ -143,10 +143,19 @@ def run_fig11(
         chip_energy_j = None
         chip_backend = None
         if validate_chip and workload.spec.is_mlp:
-            chip = context.evaluate_chip(workload, crossbar_size=crossbar_size, jobs=jobs)
-            samples = max(len(chip.predictions), 1)
-            chip_energy_j = chip.energy.total_j / samples
-            chip_backend = chip.backend
+            # A remote chip server answers for one workload only; restrict
+            # the validation pass to the benchmark it advertises
+            # (``"custom"`` servers accept anything).  Checked only when a
+            # chip run is actually requested, so analytical-only runs never
+            # touch the network.
+            served = context.served_workload_name()
+            if served in (None, "custom", name):
+                chip = context.evaluate_chip(
+                    workload, crossbar_size=crossbar_size, jobs=jobs
+                )
+                samples = max(len(chip.predictions), 1)
+                chip_energy_j = chip.energy.total_j / samples
+                chip_backend = chip.backend
         result.rows.append(
             Fig11Row(
                 benchmark=name,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 
 from repro.experiments.common import ExperimentSettings, WorkloadContext
 from repro.experiments.fig11_comparison import Fig11Result, run_fig11
+from repro.serve.distributed import EXECUTORS, parse_endpoint
 from repro.experiments.fig12_breakdown import Fig12Result, run_fig12
 from repro.experiments.fig13_eventdriven import Fig13Result, run_fig13
 from repro.experiments.fig14_precision import Fig14Result, run_fig14
@@ -102,9 +103,24 @@ def main(argv: list[str] | None = None) -> int:
         help="worker sessions for chip runs: > 1 shards each batch across a "
         "repro.serve.ChipPool (implies --validate-chip)",
     )
+    parser.add_argument(
+        "--executor",
+        choices=sorted(EXECUTORS),
+        default=None,
+        help="shard executor for pooled chip runs: inline (sequential), "
+        "thread (default) or process (one chip per worker process); "
+        "needs --jobs >= 2 (implies --validate-chip)",
+    )
+    parser.add_argument(
+        "--endpoint",
+        default=None,
+        metavar="HOST:PORT",
+        help="send chip runs to a running chip server "
+        "(python -m repro.serve.distributed serve) instead of executing "
+        "locally (implies --validate-chip)",
+    )
     args = parser.parse_args(argv)
-    if args.jobs is not None and args.jobs < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    _validate_chip_arguments(parser, args)
 
     settings = ExperimentSettings.quick() if args.quick else ExperimentSettings()
     if args.timesteps is not None:
@@ -113,15 +129,47 @@ def main(argv: list[str] | None = None) -> int:
         settings = replace(settings, chip_backend=args.backend)
     if args.jobs is not None:
         settings = replace(settings, chip_jobs=args.jobs)
+    if args.executor is not None:
+        settings = replace(settings, chip_executor=args.executor)
+    if args.endpoint is not None:
+        settings = replace(settings, chip_endpoint=args.endpoint)
     result = run_all(
         settings=settings,
         include_accuracy=not args.no_accuracy,
-        # Chip backend/jobs choices only mean something for chip runs, so
-        # --backend and --jobs imply the chip cross-validation pass.
-        validate_chip=args.validate_chip or args.backend is not None or args.jobs is not None,
+        # Chip backend/jobs/executor/endpoint choices only mean something for
+        # chip runs, so each of them implies the chip cross-validation pass.
+        validate_chip=args.validate_chip
+        or args.backend is not None
+        or args.jobs is not None
+        or args.executor is not None
+        or args.endpoint is not None,
     )
     print(result.render())
     return 0
+
+
+def _validate_chip_arguments(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Reject inconsistent chip-run options up front, before any work runs."""
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.executor is not None and (args.jobs is None or args.jobs < 2):
+        parser.error(
+            f"--executor {args.executor} selects the ChipPool worker strategy "
+            f"and only takes effect with --jobs >= 2 "
+            f"(got {'no --jobs' if args.jobs is None else f'--jobs {args.jobs}'})"
+        )
+    if args.endpoint is not None:
+        if args.jobs is not None or args.executor is not None or args.backend is not None:
+            parser.error(
+                "--endpoint sends chip runs to a remote server, which owns its "
+                "own backend/jobs/executor; drop --jobs/--executor/--backend"
+            )
+        try:
+            parse_endpoint(args.endpoint)
+        except ValueError as exc:
+            parser.error(str(exc))
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

@@ -10,9 +10,13 @@ server, queue worker or sweep harness can sit on:
 * :class:`~repro.serve.session.ChipSession` — one programmed chip plus its
   compiled fastpath program and encoder state, serving ``infer`` requests
   with per-request batch/labels/timesteps overrides.
-* :class:`~repro.serve.pool.ChipPool` — N worker sessions sharding a large
-  batch, merging shard responses into one result identical to a
-  single-session run.
+* :class:`~repro.serve.pool.ChipPool` — N workers sharding a large batch
+  behind a pluggable executor (``inline`` / ``thread`` / ``process``),
+  merging shard responses into one result identical to a single-session
+  run.
+* :mod:`repro.serve.distributed` — the multi-host layer: the executor
+  registry, a socket chip server plus :class:`RemoteSession` client, and a
+  capacity-weighted multi-endpoint :class:`InferenceGateway`.
 
 Quickstart::
 
@@ -27,6 +31,12 @@ Quickstart::
     payload = sharded.to_json()  # ships across a process boundary
 """
 
+from repro.serve.distributed import (
+    ChipServer,
+    GatewayEndpoint,
+    InferenceGateway,
+    RemoteSession,
+)
 from repro.serve.pool import ChipPool
 from repro.serve.schema import SCHEMA_VERSION, InferenceRequest, InferenceResponse
 from repro.serve.session import ChipSession
@@ -34,7 +44,11 @@ from repro.serve.session import ChipSession
 __all__ = [
     "SCHEMA_VERSION",
     "ChipPool",
+    "ChipServer",
     "ChipSession",
+    "GatewayEndpoint",
+    "InferenceGateway",
     "InferenceRequest",
     "InferenceResponse",
+    "RemoteSession",
 ]

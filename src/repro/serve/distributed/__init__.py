@@ -1,0 +1,68 @@
+"""Distributed serving: executors, socket server/client, and the gateway.
+
+Three layers share the :class:`~repro.serve.InferenceRequest` ->
+:class:`~repro.serve.InferenceResponse` contract and are each result-
+identical to a single local :class:`~repro.serve.ChipSession`:
+
+* **executors** (:mod:`~repro.serve.distributed.executors`) — pluggable
+  shard execution for :class:`~repro.serve.ChipPool`: ``inline``, ``thread``
+  or ``process`` (one programmed chip per ``multiprocessing`` worker, shards
+  shipped through the JSON schema).
+* **server/client** (:mod:`~repro.serve.distributed.server` /
+  :mod:`~repro.serve.distributed.client`) — a stdlib-socket chip daemon
+  answering newline-delimited JSON, and :class:`RemoteSession`, which gives
+  a chip on another host the ``ChipSession`` surface.
+* **gateway** (:mod:`~repro.serve.distributed.gateway`) — fans a batch out
+  across several endpoints (local pools and/or remote sessions) with
+  capacity-weighted sharding and exact merge.
+
+Quickstart::
+
+    from repro.serve import ChipPool, InferenceRequest
+    from repro.serve.distributed import ChipServer, InferenceGateway, RemoteSession
+
+    pool = ChipPool(snn, jobs=4, executor="process", seed=7)   # multi-core
+    server = ChipServer(pool, port=7070).start()               # multi-host
+    remote = RemoteSession.connect("127.0.0.1:7070")
+    gateway = InferenceGateway([remote, local_pool])           # multi-endpoint
+    response = gateway.infer(InferenceRequest(inputs=images))
+
+``python -m repro.serve.distributed serve --workload mnist-mlp`` runs the
+daemon from the command line; ``infer`` and ``smoke`` client subcommands
+live alongside it (see :mod:`~repro.serve.distributed.cli`).
+"""
+
+from repro.serve.distributed.client import RemoteServerError, RemoteSession, parse_endpoint
+from repro.serve.distributed.executors import (
+    EXECUTORS,
+    InlineExecutor,
+    ProcessExecutor,
+    SessionSpec,
+    ShardExecutor,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.serve.distributed.gateway import GatewayEndpoint, InferenceGateway
+from repro.serve.distributed.server import (
+    ChipServer,
+    ServingWorkload,
+    load_benchmark_workload,
+)
+
+__all__ = [
+    "EXECUTORS",
+    "ChipServer",
+    "GatewayEndpoint",
+    "InferenceGateway",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "RemoteServerError",
+    "RemoteSession",
+    "ServingWorkload",
+    "SessionSpec",
+    "ShardExecutor",
+    "ThreadExecutor",
+    "load_benchmark_workload",
+    "make_executor",
+    "parse_endpoint",
+]

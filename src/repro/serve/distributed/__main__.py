@@ -1,0 +1,5 @@
+"""``python -m repro.serve.distributed`` — the serve CLI."""
+
+from repro.serve.distributed.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,296 @@
+"""Serve-CLI: run, query and smoke-test the socket chip server.
+
+Three subcommands, all runnable as ``python -m repro.serve.distributed``:
+
+* ``serve`` — load a registered MLP benchmark, open a :class:`ChipPool` on
+  it and serve newline-delimited JSON inference on a TCP port until
+  interrupted (or a client sends the ``shutdown`` op)::
+
+      PYTHONPATH=src python -m repro.serve.distributed serve \\
+          --workload mnist-mlp --port 7070 --jobs 2
+
+* ``infer`` — connect to a running server, send one batch of the workload's
+  test split and print the result::
+
+      PYTHONPATH=src python -m repro.serve.distributed infer \\
+          --endpoint 127.0.0.1:7070 --workload mnist-mlp --samples 8
+
+* ``smoke`` — the CI end-to-end check: boot a server subprocess on a free
+  port, wait for readiness, run a client inference twice (asserting the
+  served results are deterministic and well-formed), then tear the server
+  down.  Exit code 0 means the whole loop works.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+from repro.serve.distributed.client import RemoteSession, parse_endpoint
+from repro.serve.distributed.executors import EXECUTORS
+from repro.serve.distributed.server import ChipServer, load_benchmark_workload
+from repro.serve.pool import ChipPool
+from repro.serve.schema import InferenceRequest
+from repro.utils.units import format_energy
+from repro.workloads import list_benchmarks
+
+__all__ = ["main"]
+
+MLP_BENCHMARKS = sorted(spec.name for spec in list_benchmarks(connectivity="MLP"))
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload",
+        default="mnist-mlp",
+        choices=MLP_BENCHMARKS,
+        help="registered MLP benchmark to serve",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0, help="network width scale factor"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload/session seed")
+    parser.add_argument(
+        "--timesteps", type=int, default=16, help="rate-coding window per sample"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.distributed",
+        description="Socket chip server, client and smoke check",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="serve a workload on a TCP port")
+    _add_workload_arguments(serve)
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7070, help="bind port (0 picks a free port)"
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=2, help="pool worker count (>= 1)"
+    )
+    serve.add_argument(
+        "--executor",
+        default="thread",
+        choices=sorted(EXECUTORS),
+        help="pool shard executor",
+    )
+    serve.add_argument(
+        "--encoder",
+        default="poisson",
+        choices=["poisson", "deterministic"],
+        help="input spike encoder",
+    )
+    serve.add_argument(
+        "--backend",
+        default="vectorized",
+        choices=["structural", "vectorized"],
+        help="chip execution backend",
+    )
+
+    infer = sub.add_parser("infer", help="run one client inference")
+    _add_workload_arguments(infer)
+    infer.add_argument(
+        "--endpoint", required=True, metavar="HOST:PORT", help="server address"
+    )
+    infer.add_argument(
+        "--samples", type=int, default=8, help="test samples to send"
+    )
+
+    smoke = sub.add_parser(
+        "smoke", help="boot a server subprocess, run a client inference, tear down"
+    )
+    _add_workload_arguments(smoke)
+    smoke.add_argument("--samples", type=int, default=4, help="test samples to send")
+    smoke.add_argument("--jobs", type=int, default=2, help="server pool workers")
+    smoke.add_argument(
+        "--boot-timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for the server to accept connections",
+    )
+    return parser
+
+
+def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    if getattr(args, "jobs", 1) < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if getattr(args, "samples", 1) < 1:
+        parser.error(f"--samples must be >= 1, got {args.samples}")
+    if args.timesteps < 1:
+        parser.error(f"--timesteps must be >= 1, got {args.timesteps}")
+    if args.scale <= 0:
+        parser.error(f"--scale must be > 0, got {args.scale}")
+    if getattr(args, "endpoint", None) is not None:
+        try:
+            parse_endpoint(args.endpoint)
+        except ValueError as exc:
+            parser.error(str(exc))
+
+
+# -- subcommands --------------------------------------------------------------------
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    workload = load_benchmark_workload(args.workload, scale=args.scale, seed=args.seed)
+    with ChipPool(
+        workload.snn,
+        jobs=args.jobs,
+        timesteps=args.timesteps,
+        encoder=args.encoder,
+        backend=args.backend,
+        seed=args.seed,
+        executor=args.executor,
+    ) as pool:
+        with ChipServer(
+            pool, host=args.host, port=args.port, workload=args.workload
+        ) as server:
+            host, port = server.address
+            print(
+                f"chip-server: {args.workload} ({args.backend}, jobs={args.jobs}, "
+                f"executor={args.executor}) listening on {host}:{port}",
+                flush=True,
+            )
+            try:
+                server.serve_forever()
+            except KeyboardInterrupt:
+                pass
+    print("chip-server: stopped", flush=True)
+    return 0
+
+
+def _client_inference(
+    remote: RemoteSession, args: argparse.Namespace
+) -> tuple[InferenceRequest, object]:
+    workload = load_benchmark_workload(args.workload, scale=args.scale, seed=args.seed)
+    n = min(args.samples, len(workload.test_inputs))
+    request = InferenceRequest(
+        inputs=workload.test_inputs[:n], labels=workload.test_labels[:n]
+    )
+    return request, remote.infer(request)
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    with RemoteSession.connect(args.endpoint) as remote:
+        info = remote.info()
+        print(f"server    : {info}")
+        request, response = _client_inference(remote, args)
+        print(f"predictions: {response.predictions.tolist()}")
+        print(
+            f"result    : {response.batch_size} samples, "
+            f"accuracy {response.accuracy:.2%}, "
+            f"energy {format_energy(response.energy.total_j)}, "
+            f"jobs {response.jobs}"
+        )
+    return 0
+
+
+def _wait_for_listening_line(proc: subprocess.Popen) -> tuple[str, int]:
+    """Read the server's banner to learn the bound address.
+
+    The server binds ``--port 0`` (the kernel picks a free port — no
+    probe-then-rebind race) and prints ``listening on HOST:PORT``; everything
+    it writes before that is echoed through so boot failures show up in the
+    smoke log.
+    """
+    assert proc.stdout is not None
+    for line in proc.stdout:
+        print(line, end="", flush=True)
+        match = re.search(r"listening on (\S+):(\d+)", line)
+        if match:
+            return match.group(1), int(match.group(2))
+    raise RuntimeError(
+        f"server subprocess exited with {proc.wait()} before listening"
+    )
+
+
+def _connect_to_booting_server(
+    proc: subprocess.Popen, address: tuple[str, int], timeout: float
+) -> RemoteSession:
+    """Retry-connect while the server boots, failing fast if it dies."""
+    deadline = time.monotonic() + timeout
+    while True:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server subprocess exited with {proc.returncode} before "
+                f"accepting connections"
+            )
+        try:
+            return RemoteSession.connect(
+                address, wait=min(0.5, max(0.0, deadline - time.monotonic()))
+            )
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+
+
+def _cmd_smoke(args: argparse.Namespace) -> int:
+    command = [
+        sys.executable,
+        "-m",
+        "repro.serve.distributed.cli",
+        "serve",
+        "--workload", args.workload,
+        "--scale", str(args.scale),
+        "--seed", str(args.seed),
+        "--timesteps", str(args.timesteps),
+        "--jobs", str(args.jobs),
+        "--host", "127.0.0.1",
+        "--port", "0",
+    ]
+    print(f"smoke: booting {' '.join(command)}", flush=True)
+    proc = subprocess.Popen(command, stdout=subprocess.PIPE, text=True)
+    try:
+        address = _wait_for_listening_line(proc)
+        with _connect_to_booting_server(proc, address, args.boot_timeout) as remote:
+            assert remote.ping(), "server did not answer ping"
+            info = remote.info()
+            assert info["workload"] == args.workload, f"wrong workload: {info}"
+            print(f"smoke: server info {info}", flush=True)
+            request, first = _client_inference(remote, args)
+            again = remote.infer(request)
+            assert first.batch_size == request.batch_size
+            assert len(first.predictions) == request.batch_size
+            assert first.energy.total_j > 0, "served response carries no energy"
+            assert np.array_equal(first.predictions, again.predictions), (
+                "served inference is not deterministic"
+            )
+            assert first.counters.as_dict() == again.counters.as_dict()
+            print(
+                f"smoke: {first.batch_size} samples, accuracy {first.accuracy:.2%}, "
+                f"energy {format_energy(first.energy.total_j)}, "
+                f"deterministic round trip ok",
+                flush=True,
+            )
+            remote.shutdown_server()
+        returncode = proc.wait(timeout=30)
+        assert returncode == 0, f"server exited with {returncode}"
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+    print("smoke: OK", flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    _validate(parser, args)
+    commands = {"serve": _cmd_serve, "infer": _cmd_infer, "smoke": _cmd_smoke}
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

@@ -1,0 +1,156 @@
+"""Remote chip client: the ``ChipSession`` surface over a socket.
+
+:class:`RemoteSession` connects to a :class:`~repro.serve.distributed.server.
+ChipServer` and exposes the same ``infer(InferenceRequest) ->
+InferenceResponse`` contract as a local :class:`~repro.serve.ChipSession`,
+so pools, gateways and experiments can treat a chip on another host exactly
+like a chip in this process.  The wire format is one JSON object per line in
+each direction (see the server module for the protocol).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+
+from repro.serve.schema import InferenceRequest, InferenceResponse
+
+__all__ = ["RemoteSession", "RemoteServerError", "parse_endpoint"]
+
+
+class RemoteServerError(RuntimeError):
+    """The server answered a request with ``ok: false``."""
+
+
+def parse_endpoint(endpoint: str) -> tuple[str, int]:
+    """Parse ``"host:port"`` into ``(host, port)`` with actionable errors."""
+    text = str(endpoint).strip()
+    host, sep, port_text = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"endpoint must look like HOST:PORT (for example 127.0.0.1:7070), "
+            f"got {endpoint!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"endpoint port must be an integer, got {port_text!r} in {endpoint!r}"
+        ) from None
+    if not 1 <= port <= 65535:
+        raise ValueError(f"endpoint port must be in [1, 65535], got {port}")
+    return host, port
+
+
+class RemoteSession:
+    """A chip session served by a remote :class:`ChipServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    timeout:
+        Per-request socket timeout in seconds (inference on a large batch is
+        slow; size accordingly).
+
+    The session holds one persistent connection; requests are serialised on
+    it (one line out, one line in).  Use one ``RemoteSession`` per thread, or
+    an outer lock, for concurrent callers.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._socket.makefile("rwb")
+        self._info: dict[str, object] | None = None
+
+    @classmethod
+    def connect(
+        cls,
+        endpoint: str | tuple[str, int],
+        *,
+        timeout: float = 120.0,
+        wait: float = 0.0,
+    ) -> "RemoteSession":
+        """Connect to ``"host:port"`` (or a ``(host, port)`` tuple).
+
+        ``wait`` keeps retrying for up to that many seconds while the server
+        boots (0 means a single attempt).
+        """
+        host, port = (
+            parse_endpoint(endpoint) if isinstance(endpoint, str) else endpoint
+        )
+        deadline = time.monotonic() + wait
+        while True:
+            try:
+                return cls(host, port, timeout=timeout)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    # -- protocol -----------------------------------------------------------------
+
+    def _call(self, message: dict[str, object]) -> dict[str, object]:
+        self._file.write(json.dumps(message).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError(
+                f"chip server at {self.host}:{self.port} closed the connection"
+            )
+        reply = json.loads(line.decode("utf-8"))
+        if not reply.get("ok"):
+            raise RemoteServerError(str(reply.get("error", "unknown server error")))
+        return reply
+
+    # -- the session surface ------------------------------------------------------
+
+    def ping(self) -> bool:
+        """Round-trip a no-op message."""
+        return bool(self._call({"op": "ping"}).get("pong"))
+
+    def info(self, refresh: bool = False) -> dict[str, object]:
+        """Server metadata: workload, backend, timesteps, jobs, capacity."""
+        if self._info is None or refresh:
+            self._info = dict(self._call({"op": "info"})["info"])
+        return self._info
+
+    @property
+    def capacity(self) -> int:
+        """Worker count of the remote pool (gateway sharding weight)."""
+        return int(self.info().get("capacity", 1))
+
+    @property
+    def backend(self) -> str:
+        """Execution backend of the remote chip."""
+        return str(self.info().get("backend", "unknown"))
+
+    @property
+    def timesteps(self) -> int:
+        """Default rate-coding window of the remote session."""
+        return int(self.info().get("timesteps", 0))
+
+    def infer(self, request: InferenceRequest) -> InferenceResponse:
+        """Run one batch on the remote chip (same contract as ChipSession)."""
+        reply = self._call({"op": "infer", "request": request.to_dict()})
+        return InferenceResponse.from_dict(reply["response"])
+
+    def shutdown_server(self) -> None:
+        """Ask the server process to stop serving (clean remote teardown)."""
+        self._call({"op": "shutdown"})
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

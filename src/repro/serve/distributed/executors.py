@@ -1,0 +1,255 @@
+"""Pluggable shard executors for :class:`~repro.serve.pool.ChipPool`.
+
+A pool splits each request batch into contiguous shards; *how* the shards
+execute is this module's concern.  Every executor implements the same tiny
+contract — :meth:`ShardExecutor.start` with a :class:`SessionSpec`,
+:meth:`ShardExecutor.run_shards` mapping shard requests to responses, and
+:meth:`ShardExecutor.close` — and every executor is **result-identical**:
+predictions, spike counts and integer event counters match a single
+:class:`~repro.serve.session.ChipSession` run exactly, and energies agree to
+floating-point accumulation order.  That identity holds because
+
+* encoding is shard-stable (:class:`~repro.snn.encoding.EncoderState` seeds
+  spike streams per absolute sample index),
+* chip programming is a pure function of ``(snn, config, seed)``, so every
+  worker — thread or process — holds an identically programmed chip, and
+* counters are per-run deltas that sum exactly across shards.
+
+Three executors are provided:
+
+* :class:`InlineExecutor` — runs shards sequentially on the caller's thread
+  (the debugging/profiling baseline: sharding semantics, no concurrency).
+* :class:`ThreadExecutor` — the classic pool behaviour: one worker session
+  per job on a thread pool (the vectorized backend releases the GIL in its
+  NumPy kernels).  Vectorized workers share the primary session's chip and
+  compiled program; structural workers rebuild their own chip.
+* :class:`ProcessExecutor` — ``multiprocessing`` workers, each holding its
+  own programmed chip in its own interpreter.  Requests and responses cross
+  the process boundary through the lossless JSON schema
+  (:meth:`~repro.serve.schema.InferenceRequest.to_json` /
+  :meth:`~repro.serve.schema.InferenceResponse.from_json`), exactly the
+  bytes a remote chip server would exchange — so this executor doubles as
+  the single-host proof of the multi-host wire format.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.config import ArchitectureConfig
+from repro.core.resparc import ResparcChip
+from repro.energy.components import ComponentLibrary
+from repro.serve.schema import InferenceRequest, InferenceResponse
+from repro.serve.session import ChipSession
+from repro.snn.conversion import SpikingNetwork
+from repro.snn.encoding import EncoderState
+
+__all__ = [
+    "SessionSpec",
+    "ShardExecutor",
+    "InlineExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "EXECUTORS",
+    "make_executor",
+]
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Picklable recipe for building interchangeable worker sessions.
+
+    Everything a worker — in this process or another — needs to build a
+    :class:`ChipSession` whose chip is programmed identically to the pool's
+    primary session.  The spec always carries an explicit
+    :class:`EncoderState` (never a legacy RNG stream), so worker encoding is
+    shard-stable by construction.
+    """
+
+    snn: SpikingNetwork
+    config: ArchitectureConfig
+    library: ComponentLibrary | None
+    timesteps: int
+    backend: str
+    seed: int
+    encoder_state: EncoderState
+
+    def build_session(self, chip: ResparcChip | None = None) -> ChipSession:
+        """Build a worker session (optionally reusing a prebuilt chip)."""
+        return ChipSession(
+            self.snn,
+            chip=chip,
+            config=self.config,
+            library=self.library,
+            timesteps=self.timesteps,
+            backend=self.backend,
+            seed=self.seed,
+            encoder_state=self.encoder_state,
+        )
+
+
+class ShardExecutor(ABC):
+    """Executes a pool's shard requests on worker sessions."""
+
+    #: Registry name (what ``ChipPool(executor=...)`` selects by).
+    name = "abstract"
+
+    @abstractmethod
+    def start(self, spec: SessionSpec, jobs: int, primary: ChipSession) -> None:
+        """Provision ``jobs`` workers from ``spec``.
+
+        ``primary`` is the pool's already-built primary session; executors
+        that run in-process may reuse it (and, on the vectorized backend,
+        its chip) instead of building a redundant worker.
+        """
+
+    @abstractmethod
+    def run_shards(self, shards: list[InferenceRequest]) -> list[InferenceResponse]:
+        """Run the shard requests and return their responses, in order.
+
+        ``len(shards)`` never exceeds the ``jobs`` the executor was started
+        with; the pool guarantees at most one call in flight at a time.
+        """
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+
+
+class InlineExecutor(ShardExecutor):
+    """Sequential execution on the calling thread.
+
+    Shards run one after another on the primary session — valid because
+    counters are per-run deltas (the structural backend resets chip state
+    per sample) — so the pool's sharding semantics can be exercised and
+    profiled without any concurrency in the way.
+    """
+
+    name = "inline"
+
+    def start(self, spec: SessionSpec, jobs: int, primary: ChipSession) -> None:
+        self._primary = primary
+
+    def run_shards(self, shards: list[InferenceRequest]) -> list[InferenceResponse]:
+        return [self._primary.infer(shard) for shard in shards]
+
+
+class ThreadExecutor(ShardExecutor):
+    """One worker session per job on a thread pool (the historical pool)."""
+
+    name = "thread"
+
+    def start(self, spec: SessionSpec, jobs: int, primary: ChipSession) -> None:
+        # Vectorized workers share the primary's chip (and therefore its
+        # cached compiled program); the engine never mutates either.  The
+        # structural backend mutates live component state, so each worker
+        # rebuilds its own chip from the same seed, which programs
+        # identically.
+        shared_chip = primary.chip if spec.backend == "vectorized" else None
+        self.sessions = [primary]
+        for _ in range(jobs - 1):
+            self.sessions.append(spec.build_session(chip=shared_chip))
+        self._threads = ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="chip-pool"
+        )
+
+    def run_shards(self, shards: list[InferenceRequest]) -> list[InferenceResponse]:
+        # Shards are pinned to fixed sessions: structural workers mutate
+        # their chip in place, so a session must never run two shards of the
+        # same batch.
+        futures = [
+            self._threads.submit(session.infer, shard)
+            for session, shard in zip(self.sessions, shards)
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._threads.shutdown(wait=True)
+
+
+# -- process workers ---------------------------------------------------------------
+#
+# Worker state lives in a module global because ``multiprocessing`` worker
+# functions must be importable top-level callables.  Each worker process
+# builds its own session (and therefore its own programmed chip) once, in the
+# pool initializer, then serves shard requests from it.
+
+_WORKER_SESSION: ChipSession | None = None
+
+
+def _process_worker_init(spec: SessionSpec) -> None:
+    global _WORKER_SESSION
+    _WORKER_SESSION = spec.build_session()
+
+
+def _process_worker_infer(payload: str) -> str:
+    if _WORKER_SESSION is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("process worker used before initialisation")
+    request = InferenceRequest.from_json(payload)
+    return _WORKER_SESSION.infer(request).to_json()
+
+
+class ProcessExecutor(ShardExecutor):
+    """``multiprocessing`` workers, one programmed chip per process.
+
+    Shard requests and responses are shipped through the JSON schema — the
+    same wire format the socket chip server speaks — so results are exact by
+    the schema's lossless round-trip guarantee, and the executor sidesteps
+    the GIL entirely (useful for the structural backend, whose per-sample
+    Python loop threads cannot parallelise).
+
+    Parameters
+    ----------
+    start_method:
+        ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
+        ``"forkserver"`` or ``None`` for the platform default).  All methods
+        work because :class:`SessionSpec` is picklable.
+    """
+
+    name = "process"
+
+    def __init__(self, start_method: str | None = None):
+        self._start_method = start_method
+        self._pool: multiprocessing.pool.Pool | None = None
+
+    def start(self, spec: SessionSpec, jobs: int, primary: ChipSession) -> None:
+        context = multiprocessing.get_context(self._start_method)
+        self._pool = context.Pool(
+            processes=jobs, initializer=_process_worker_init, initargs=(spec,)
+        )
+
+    def run_shards(self, shards: list[InferenceRequest]) -> list[InferenceResponse]:
+        if self._pool is None:
+            raise RuntimeError("process executor is not started")
+        payloads = self._pool.map(
+            _process_worker_infer, [shard.to_json() for shard in shards], chunksize=1
+        )
+        return [InferenceResponse.from_json(payload) for payload in payloads]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+
+#: Executor registry, keyed by the names ``ChipPool(executor=...)`` accepts.
+EXECUTORS: dict[str, type[ShardExecutor]] = {
+    InlineExecutor.name: InlineExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+
+def make_executor(executor: str | ShardExecutor) -> ShardExecutor:
+    """Resolve an executor name (or pass through an instance)."""
+    if isinstance(executor, ShardExecutor):
+        return executor
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"executor must be one of {sorted(EXECUTORS)} or a ShardExecutor "
+            f"instance, got {executor!r}"
+        )
+    return EXECUTORS[executor]()

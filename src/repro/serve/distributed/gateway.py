@@ -1,0 +1,204 @@
+"""Multi-endpoint inference gateway with capacity-weighted sharding.
+
+:class:`InferenceGateway` fans one request batch out across several
+endpoints — local :class:`~repro.serve.ChipSession`\\ s and
+:class:`~repro.serve.ChipPool`\\ s, remote
+:class:`~repro.serve.distributed.client.RemoteSession`\\ s, anything with the
+``infer`` contract — and merges the shard responses into one exact result.
+
+Sharding is *capacity-weighted*: an endpoint with capacity 3 (say, a remote
+pool with ``jobs=3``) receives three times the samples of a capacity-1
+session, via cumulative rounding so the contiguous shard sizes always sum to
+the batch exactly.  Because every shard carries its absolute
+``sample_offset`` and every endpoint derives spike trains from the same
+shard-stable :class:`~repro.snn.encoding.EncoderState` seeding, the merged
+response is result-identical to running the whole batch on any single
+endpoint — provided the endpoints serve the *same workload* (same SNN,
+config, seed, encoder and timesteps), which is the operator's contract.
+
+The merge is exact: predictions and spike counts concatenate per-sample,
+event counters sum, and the energy report is the component-wise sum of the
+shard reports (every component is linear in its counters and in the shard's
+batch-duration, so the sum equals the full-batch report to floating-point
+accumulation order).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.serve.schema import InferenceRequest, InferenceResponse
+
+__all__ = ["GatewayEndpoint", "InferenceGateway"]
+
+
+@dataclass
+class GatewayEndpoint:
+    """One inference target behind the gateway, with its sharding weight.
+
+    ``capacity`` defaults to the target's own ``capacity`` attribute (a
+    :class:`RemoteSession` reports its server's worker count), then to its
+    ``jobs`` attribute (a local pool), then to 1.
+    """
+
+    target: object
+    capacity: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not hasattr(self.target, "infer"):
+            raise TypeError(
+                f"gateway endpoint target must provide infer(); got "
+                f"{type(self.target).__name__}"
+            )
+        if not self.capacity:
+            self.capacity = float(
+                getattr(self.target, "capacity", 0)
+                or getattr(self.target, "jobs", 0)
+                or 1
+            )
+        if self.capacity <= 0:
+            raise ValueError(f"endpoint capacity must be > 0, got {self.capacity}")
+        if not self.name:
+            self.name = f"{type(self.target).__name__.lower()}"
+
+
+@dataclass
+class _ShardPlan:
+    endpoint: GatewayEndpoint
+    start: int
+    stop: int
+    response: InferenceResponse | None = field(default=None, repr=False)
+
+
+class InferenceGateway:
+    """Fan batches out across endpoints and merge the responses exactly."""
+
+    def __init__(
+        self,
+        endpoints: Sequence[GatewayEndpoint | object],
+        *,
+        name: str = "gateway",
+    ):
+        if not endpoints:
+            raise ValueError("gateway needs at least one endpoint")
+        self.name = name
+        self.endpoints = [
+            e if isinstance(e, GatewayEndpoint) else GatewayEndpoint(target=e)
+            for e in endpoints
+        ]
+        self._threads = ThreadPoolExecutor(
+            max_workers=len(self.endpoints), thread_name_prefix="gateway"
+        )
+        # Shards are pinned to endpoints whose own infer() calls serialise
+        # internally, so the gateway allows one batch in flight at a time.
+        self._infer_lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self, *, close_endpoints: bool = False) -> None:
+        """Shut down the dispatch threads; optionally close every endpoint."""
+        if not self._closed:
+            self._closed = True
+            self._threads.shutdown(wait=True)
+        if close_endpoints:
+            for endpoint in self.endpoints:
+                closer = getattr(endpoint.target, "close", None)
+                if callable(closer):
+                    closer()
+
+    def __enter__(self) -> "InferenceGateway":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- sharding -----------------------------------------------------------------
+
+    @property
+    def total_capacity(self) -> float:
+        """Sum of the endpoint capacities."""
+        return float(sum(e.capacity for e in self.endpoints))
+
+    def shard_plan(self, batch: int) -> list[_ShardPlan]:
+        """Capacity-weighted contiguous shards covering ``[0, batch)`` exactly.
+
+        Cumulative rounding keeps the boundaries monotone and the final
+        boundary equal to ``batch``; endpoints whose rounded share is empty
+        (small batches) are skipped rather than sent degenerate requests.
+        """
+        total = self.total_capacity
+        plan: list[_ShardPlan] = []
+        start = 0
+        cumulative = 0.0
+        for endpoint in self.endpoints:
+            cumulative += endpoint.capacity
+            stop = round(batch * cumulative / total)
+            if stop > start:
+                plan.append(_ShardPlan(endpoint=endpoint, start=start, stop=stop))
+                start = stop
+        return plan
+
+    # -- inference ----------------------------------------------------------------
+
+    def infer(self, request: InferenceRequest) -> InferenceResponse:
+        """Shard one request across the endpoints and merge the responses."""
+        with self._infer_lock:
+            if self._closed:
+                raise RuntimeError("gateway is closed")
+            plan = self.shard_plan(request.batch_size)
+            # A single-shard plan still goes through the merge below so every
+            # gateway response has the same shape (metadata["shards"] etc.).
+            futures = [
+                self._threads.submit(
+                    shard.endpoint.target.infer,
+                    request.shard(shard.start, shard.stop),
+                )
+                for shard in plan
+            ]
+            for shard, future in zip(plan, futures):
+                shard.response = future.result()
+
+        responses = [shard.response for shard in plan]
+        predictions = np.concatenate([r.predictions for r in responses])
+        spike_counts = np.vstack([r.spike_counts for r in responses])
+        counters = responses[0].counters
+        energy = responses[0].energy
+        for shard_response in responses[1:]:
+            counters = counters.merge(shard_response.counters)
+            energy = energy.merged_with(shard_response.energy)
+        accuracy = None
+        if request.labels is not None:
+            accuracy = float(
+                np.mean(predictions == np.asarray(request.labels, dtype=int))
+            )
+        backends = {r.backend for r in responses}
+        return InferenceResponse(
+            predictions=predictions,
+            spike_counts=spike_counts,
+            accuracy=accuracy,
+            counters=counters,
+            energy=energy,
+            timesteps=responses[0].timesteps,
+            backend=backends.pop() if len(backends) == 1 else "mixed",
+            batch_size=request.batch_size,
+            jobs=int(sum(r.jobs for r in responses)),
+            metadata={
+                "gateway": self.name,
+                "shards": [
+                    {
+                        "endpoint": shard.endpoint.name,
+                        "start": shard.start,
+                        "stop": shard.stop,
+                        "jobs": shard.response.jobs,
+                    }
+                    for shard in plan
+                ],
+            },
+        )

@@ -1,0 +1,245 @@
+"""Socket chip server: newline-delimited JSON inference over TCP.
+
+:class:`ChipServer` wraps any inference target that answers
+``infer(InferenceRequest) -> InferenceResponse`` — a
+:class:`~repro.serve.ChipSession`, a :class:`~repro.serve.ChipPool`, even a
+gateway — behind a tiny line-oriented protocol that stdlib clients can speak:
+
+* client sends one JSON object per line: ``{"op": "infer", "request":
+  {...}}``, ``{"op": "info"}``, ``{"op": "ping"}`` or ``{"op": "shutdown"}``;
+* server answers one JSON object per line: ``{"ok": true, ...}`` on success
+  or ``{"ok": false, "error": "..."}`` on failure — malformed JSON, schema
+  violations and inference errors all surface as error replies rather than
+  dropped connections.
+
+The payloads are exactly the serve-schema dicts, so a response read off the
+wire is lossless (`InferenceResponse.from_dict`), and the numbers a remote
+client sees are bit-identical to a local run.  Connections are handled on
+daemon threads; the pool's own lock serialises actual chip work.
+
+:func:`load_benchmark_workload` builds a servable SNN from the benchmark
+registry (network → synthetic dataset → ANN→SNN conversion), which is what
+``python -m repro.serve.distributed serve --workload mnist-mlp`` uses.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets import make_dataset
+from repro.serve.schema import SCHEMA_VERSION, InferenceRequest
+from repro.snn.conversion import SpikingNetwork, convert_to_snn
+from repro.workloads import get_benchmark
+
+__all__ = ["ChipServer", "ServingWorkload", "load_benchmark_workload"]
+
+
+@dataclass
+class ServingWorkload:
+    """A benchmark prepared for serving: the SNN plus its evaluation split."""
+
+    name: str
+    snn: SpikingNetwork
+    test_inputs: np.ndarray
+    test_labels: np.ndarray
+
+
+def load_benchmark_workload(
+    benchmark: str,
+    *,
+    scale: float = 1.0,
+    seed: int = 7,
+    train_samples: int = 64,
+    test_samples: int = 32,
+) -> ServingWorkload:
+    """Build a servable SNN for a registered MLP benchmark.
+
+    Deterministic in ``(benchmark, scale, seed, train_samples)``: a server
+    and a client that load the same workload with the same arguments hold
+    the same network, which is what makes remote results comparable to local
+    ones.
+    """
+    spec = get_benchmark(benchmark)
+    if not spec.is_mlp:
+        raise ValueError(
+            f"{benchmark!r} is not an MLP; the chip server executes fully "
+            f"connected networks only (choose from the *-mlp benchmarks)"
+        )
+    network = spec.build(scale=scale, seed=seed)
+    dataset = make_dataset(
+        spec.dataset, train_samples=train_samples, test_samples=test_samples, seed=seed
+    )
+    train_inputs = dataset.train_images.reshape(dataset.train_images.shape[0], -1)
+    test_inputs = dataset.test_images.reshape(dataset.test_images.shape[0], -1)
+    snn = convert_to_snn(network, train_inputs[: min(32, len(train_inputs))])
+    return ServingWorkload(
+        name=benchmark,
+        snn=snn,
+        test_inputs=test_inputs,
+        test_labels=dataset.test_labels,
+    )
+
+
+class _ChipTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class _ChipRequestHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            reply = self.server.chip_server._handle_line(line.decode("utf-8"))
+            self.wfile.write(reply.encode("utf-8") + b"\n")
+            self.wfile.flush()
+
+
+class ChipServer:
+    """Serve an inference target on a TCP port.
+
+    Parameters
+    ----------
+    target:
+        Anything with ``infer(InferenceRequest) -> InferenceResponse``.
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`address`).
+    workload:
+        Human-readable workload name reported by the ``info`` op.
+
+    Use :meth:`serve_forever` to block, or :meth:`start` to serve on a
+    background thread; :meth:`close` (or the context manager) tears down
+    either way.
+    """
+
+    def __init__(
+        self,
+        target,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workload: str = "custom",
+    ):
+        self.target = target
+        self.workload = workload
+        self._tcp = _ChipTCPServer((host, port), _ChipRequestHandler)
+        self._tcp.chip_server = self
+        self._thread: threading.Thread | None = None
+        # Connections are handled on parallel threads, but bare targets (a
+        # structural ChipSession mutates live chip state per run) are not
+        # thread-safe — serialise inference here.  Pools/gateways carry
+        # their own lock; the double acquisition is uncontended.
+        self._infer_lock = threading.Lock()
+        self._serving = False
+        self._closed = False
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        host, port = self._tcp.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def endpoint(self) -> str:
+        """The bound address as a ``host:port`` string."""
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def info(self) -> dict[str, object]:
+        """Metadata reported to clients (duck-typed off the target)."""
+        session = getattr(self.target, "session", self.target)
+        jobs = int(getattr(self.target, "jobs", 1))
+        info: dict[str, object] = {
+            "schema_version": SCHEMA_VERSION,
+            "workload": self.workload,
+            "backend": getattr(session, "backend", "unknown"),
+            "timesteps": int(getattr(session, "timesteps", 0)),
+            "jobs": jobs,
+            # Capacity drives gateway sharding weights; a pool's capacity is
+            # its worker count.
+            "capacity": jobs,
+        }
+        executor = getattr(self.target, "executor", None)
+        if executor is not None:
+            info["executor"] = executor
+        return info
+
+    # -- protocol -----------------------------------------------------------------
+
+    def _handle_line(self, line: str) -> str:
+        try:
+            try:
+                message = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"malformed request line: {exc}") from None
+            if not isinstance(message, dict):
+                raise ValueError("request line must be a JSON object")
+            op = message.get("op")
+            if op == "ping":
+                result: dict[str, object] = {"pong": True}
+            elif op == "info":
+                result = {"info": self.info()}
+            elif op == "infer":
+                payload = message.get("request")
+                if not isinstance(payload, dict):
+                    raise ValueError('infer needs a "request" object payload')
+                request = InferenceRequest.from_dict(payload)
+                with self._infer_lock:
+                    response = self.target.infer(request)
+                result = {"response": response.to_dict()}
+            elif op == "shutdown":
+                # shutdown() must not run on the serve_forever thread; the
+                # handler thread (ThreadingTCPServer) is safe.
+                threading.Thread(target=self._tcp.shutdown, daemon=True).start()
+                result = {"stopping": True}
+            else:
+                raise ValueError(
+                    f"unknown op {op!r}; expected ping, info, infer or shutdown"
+                )
+            return json.dumps({"ok": True, **result})
+        except Exception as exc:  # noqa: BLE001 - every failure becomes a reply
+            return json.dumps({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` or a shutdown op."""
+        self._serving = True
+        self._tcp.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "ChipServer":
+        """Serve on a background daemon thread and return self."""
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="chip-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        # shutdown() waits on serve_forever's exit event and would block
+        # forever on a server that never served.
+        if self._serving:
+            self._tcp.shutdown()
+        self._tcp.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ChipServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

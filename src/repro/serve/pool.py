@@ -1,36 +1,36 @@
 """Sharded inference across a pool of chip sessions.
 
-:class:`ChipPool` owns ``jobs`` worker :class:`~repro.serve.ChipSession`\\ s
-and splits each request batch into contiguous shards, one per worker, run
-concurrently on a thread pool (the vectorized backend spends its time in
-NumPy kernels, which release the GIL).  The merged response is
-*result-identical* to running the whole batch on one session:
+:class:`ChipPool` owns a primary :class:`~repro.serve.ChipSession` plus a
+pluggable :class:`~repro.serve.distributed.executors.ShardExecutor` that runs
+``jobs`` workers — inline on the calling thread, on a thread pool, or in
+``multiprocessing`` worker processes each holding its own programmed chip.
+Each request batch is split into contiguous shards, one per worker, and the
+merged response is *result-identical* to running the whole batch on one
+session regardless of the executor:
 
-* encoding is shard-stable — every worker shares the pool's
+* encoding is shard-stable — every worker derives the pool's
   :class:`~repro.snn.encoding.EncoderState` and receives its shard's
   absolute ``sample_offset``, so sample ``i`` gets the same spike train no
-  matter how the batch is partitioned;
+  matter how (or where) the batch is partitioned;
+* chip programming is a pure function of ``(snn, config, seed)``, so thread
+  workers sharing the primary chip and process workers rebuilding their own
+  execute the same hardware;
 * predictions and spike counts are per-sample and concatenate exactly;
 * event counters are integer totals that sum exactly across shards, and the
   merged counters are converted to energy through the primary session's own
   pipeline, so components agree with a single-session run to floating-point
   accumulation order (<< 1e-9 relative).
-
-Worker isolation: with the vectorized backend all workers share one
-programmed chip and its compiled program (the engine never mutates either);
-the structural backend mutates live component state, so each worker gets its
-own identically-seeded chip.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
 from repro.core.config import ArchitectureConfig
 from repro.energy.components import ComponentLibrary
+from repro.serve.distributed.executors import SessionSpec, ShardExecutor, make_executor
 from repro.serve.schema import InferenceRequest, InferenceResponse
 from repro.serve.session import ChipSession
 from repro.snn.conversion import SpikingNetwork
@@ -40,7 +40,20 @@ __all__ = ["ChipPool"]
 
 
 class ChipPool:
-    """N worker sessions sharding large batches behind one ``infer`` call."""
+    """N workers sharding large batches behind one ``infer`` call.
+
+    Parameters
+    ----------
+    executor:
+        Worker strategy: ``"inline"`` (sequential, debugging baseline),
+        ``"thread"`` (default; NumPy kernels release the GIL) or
+        ``"process"`` (one chip per worker process, requests shipped through
+        the JSON schema).  A :class:`ShardExecutor` instance is also
+        accepted.  All executors return identical results.  A ``jobs=1``
+        pool never shards, so no workers are provisioned and the executor
+        choice is effectively ``inline`` (a process worker would program a
+        chip that is never consulted).
+    """
 
     def __init__(
         self,
@@ -54,10 +67,16 @@ class ChipPool:
         backend: str = "vectorized",
         seed: int = 0,
         encoder_state: EncoderState | None = None,
+        executor: str | ShardExecutor = "thread",
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        # Validate the requested executor even when it will not be used; a
+        # single-worker pool downgrades to inline rather than provisioning
+        # workers that infer()'s single-shard fast path can never reach.
+        requested = make_executor(executor)
+        self._shard_executor = requested if jobs > 1 else make_executor("inline")
         primary = ChipSession(
             snn,
             config=config,
@@ -68,40 +87,34 @@ class ChipPool:
             seed=seed,
             encoder_state=encoder_state,
         )
-        self.sessions = [primary]
-        for _ in range(jobs - 1):
-            # Vectorized workers share the primary's chip (and therefore its
-            # cached compiled program); structural workers rebuild their own
-            # chip from the same derived seed, which programs identically.
-            shared_chip = primary.chip if backend == "vectorized" else None
-            self.sessions.append(
-                ChipSession(
-                    snn,
-                    chip=shared_chip,
-                    config=primary.config,
-                    library=library,
-                    timesteps=timesteps,
-                    backend=backend,
-                    seed=seed,
-                    encoder_state=primary.encoder_state,
-                )
-            )
-        self._executor = ThreadPoolExecutor(
-            max_workers=jobs, thread_name_prefix="chip-pool"
+        self._primary = primary
+        assert primary.encoder_state is not None  # sessions built here are state-mode
+        self._shard_executor.start(
+            SessionSpec(
+                snn=snn,
+                config=primary.config,
+                library=library,
+                timesteps=timesteps,
+                backend=backend,
+                seed=seed,
+                encoder_state=primary.encoder_state,
+            ),
+            jobs,
+            primary,
         )
-        # Shard tasks are pinned to fixed worker sessions, and structural
-        # workers mutate their chip in place — so only one batch may be in
-        # flight per pool.  Callers' infer() calls serialise on this lock.
+        # Shard tasks are pinned to fixed workers, and structural workers
+        # mutate their chip in place — so only one batch may be in flight per
+        # pool.  Callers' infer() calls serialise on this lock.
         self._infer_lock = threading.Lock()
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the worker threads (idempotent)."""
+        """Shut down the workers (idempotent)."""
         if not self._closed:
             self._closed = True
-            self._executor.shutdown(wait=True)
+            self._shard_executor.close()
 
     def __enter__(self) -> "ChipPool":
         return self
@@ -112,12 +125,22 @@ class ChipPool:
     @property
     def session(self) -> ChipSession:
         """The primary session (shared chip / encoder state / energy context)."""
-        return self.sessions[0]
+        return self._primary
+
+    @property
+    def executor(self) -> str:
+        """Name of the active shard executor."""
+        return self._shard_executor.name
 
     # -- inference ----------------------------------------------------------------
 
     def _shard_bounds(self, batch: int) -> list[tuple[int, int]]:
-        """Contiguous, near-equal shard boundaries; empty shards are dropped."""
+        """Contiguous, near-equal shard boundaries; empty shards are dropped.
+
+        With ``batch < jobs`` some workers have nothing to do; their empty
+        shards are dropped here so no worker ever receives a degenerate
+        zero-sample request (which the schema rejects).
+        """
         sizes = [len(part) for part in np.array_split(np.arange(batch), self.jobs)]
         bounds = []
         start = 0
@@ -131,7 +154,7 @@ class ChipPool:
         """Shard one request across the workers and merge their responses.
 
         Thread-safe: concurrent callers are serialised, one batch in flight
-        at a time (the worker threads parallelise *within* a batch).
+        at a time (the workers parallelise *within* a batch).
         """
         with self._infer_lock:
             if self._closed:
@@ -146,11 +169,9 @@ class ChipPool:
             if len(bounds) <= 1:
                 return self.session.infer(request)
 
-            futures = [
-                self._executor.submit(session.infer, request.shard(start, stop))
-                for session, (start, stop) in zip(self.sessions, bounds)
-            ]
-            responses = [future.result() for future in futures]
+            responses = self._shard_executor.run_shards(
+                [request.shard(start, stop) for start, stop in bounds]
+            )
 
         predictions = np.concatenate([r.predictions for r in responses])
         spike_counts = np.vstack([r.spike_counts for r in responses])

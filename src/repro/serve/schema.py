@@ -29,11 +29,56 @@ SCHEMA_VERSION = 1
 
 
 def _as_batch(inputs: np.ndarray) -> np.ndarray:
-    """Coerce request inputs to a flattened ``(batch, features)`` float array."""
+    """Coerce request inputs to a flattened ``(batch, features)`` float array.
+
+    Degenerate inputs are rejected here (the reshape below cannot infer a
+    feature axis for them anyway): a request must carry at least one sample
+    and each sample at least one feature.
+    """
     x = np.asarray(inputs, dtype=float)
     if x.ndim == 1:
-        x = x[np.newaxis]
+        # An empty 1-D input is an empty batch, not a single empty sample.
+        x = x.reshape(0, 0) if x.size == 0 else x[np.newaxis]
+    if x.shape[0] == 0:
+        raise ValueError(
+            "request batch is empty: inputs must contain at least one sample"
+        )
+    if x.size == 0:
+        raise ValueError(
+            "request samples are empty: each sample needs at least one feature"
+        )
     return x.reshape(x.shape[0], -1)
+
+
+def _load_payload(payload: str, what: str) -> dict[str, object]:
+    """Parse a JSON payload into a mapping, raising :class:`ValueError` on junk.
+
+    Wire-facing consumers (the chip server, queue workers) must be able to
+    treat every deserialisation failure uniformly, so malformed JSON and
+    non-object payloads surface as ``ValueError`` like every other schema
+    violation rather than leaking :class:`json.JSONDecodeError`.
+    """
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed {what} JSON payload: {exc}") from None
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"{what} payload must be a JSON object, got {type(data).__name__}"
+        )
+    return data
+
+
+def _check_fields(
+    data: dict[str, object], *, what: str, required: set[str], optional: set[str]
+) -> None:
+    """Reject payloads with missing required or unknown fields (schema drift)."""
+    missing = required - set(data)
+    if missing:
+        raise ValueError(f"{what} payload missing required fields: {sorted(missing)}")
+    unknown = set(data) - required - optional
+    if unknown:
+        raise ValueError(f"{what} payload has unknown fields: {sorted(unknown)}")
 
 
 @dataclass(frozen=True)
@@ -65,6 +110,12 @@ class InferenceRequest:
             raise ValueError(f"timesteps must be positive, got {self.timesteps}")
         if self.sample_offset < 0:
             raise ValueError(f"sample_offset must be >= 0, got {self.sample_offset}")
+        batch = self.batch  # raises on empty batches / featureless samples
+        if self.labels is not None and len(np.asarray(self.labels)) != batch.shape[0]:
+            raise ValueError(
+                f"labels length {len(np.asarray(self.labels))} does not match "
+                f"batch size {batch.shape[0]}"
+            )
 
     @property
     def batch(self) -> np.ndarray:
@@ -101,8 +152,19 @@ class InferenceRequest:
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "InferenceRequest":
-        """Rebuild a request produced by :meth:`to_dict`."""
+        """Rebuild a request produced by :meth:`to_dict`.
+
+        Payloads missing ``inputs`` or carrying fields this build does not
+        know are rejected with a :class:`ValueError`, so a drifted producer
+        fails loudly instead of being silently mis-read.
+        """
         _check_version(data)
+        _check_fields(
+            data,
+            what="request",
+            required={"inputs"},
+            optional={"schema_version", "labels", "timesteps", "sample_offset"},
+        )
         labels = data.get("labels")
         timesteps = data.get("timesteps")
         return cls(
@@ -111,6 +173,15 @@ class InferenceRequest:
             timesteps=None if timesteps is None else int(timesteps),
             sample_offset=int(data.get("sample_offset", 0)),
         )
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string (the chip server's wire format)."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, payload: str) -> "InferenceRequest":
+        """Deserialise from a JSON string; malformed JSON is a ValueError."""
+        return cls.from_dict(_load_payload(payload, "request"))
 
 
 @dataclass(frozen=True)
@@ -152,8 +223,26 @@ class InferenceResponse:
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "InferenceResponse":
-        """Rebuild a response produced by :meth:`to_dict`."""
+        """Rebuild a response produced by :meth:`to_dict`.
+
+        Like :meth:`InferenceRequest.from_dict`, missing required fields and
+        unknown fields raise :class:`ValueError`.
+        """
         _check_version(data)
+        _check_fields(
+            data,
+            what="response",
+            required={
+                "predictions",
+                "spike_counts",
+                "counters",
+                "energy",
+                "timesteps",
+                "backend",
+                "batch_size",
+            },
+            optional={"schema_version", "accuracy", "jobs", "metadata"},
+        )
         accuracy = data.get("accuracy")
         return cls(
             predictions=np.asarray(data["predictions"], dtype=int),
@@ -174,8 +263,8 @@ class InferenceResponse:
 
     @classmethod
     def from_json(cls, payload: str) -> "InferenceResponse":
-        """Deserialise from a JSON string."""
-        return cls.from_dict(json.loads(payload))
+        """Deserialise from a JSON string; malformed JSON is a ValueError."""
+        return cls.from_dict(_load_payload(payload, "response"))
 
     def as_run_result(self):
         """Convert to the legacy :class:`~repro.core.simulator.ChipRunResult`."""

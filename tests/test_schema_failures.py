@@ -1,0 +1,172 @@
+"""Failure paths and property tests for the serving wire schema.
+
+The schema is the trust boundary of the distributed subsystem: every byte a
+chip server or process worker reads arrives through
+``InferenceRequest.from_json`` / ``InferenceResponse.from_json``.  These
+tests pin down the failure behaviour — malformed JSON, missing required
+fields and unknown fields must all surface as :class:`ValueError` with a
+message naming the problem — and property-test the lossless float round
+trip of :class:`EventCounters` and :class:`EnergyReport` over randomized
+values (JSON's shortest-round-trip float printing makes the cycle exact).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import EventCounters
+from repro.energy.model import EnergyReport
+from repro.serve import InferenceRequest, InferenceResponse
+
+
+def _request_dict() -> dict:
+    return InferenceRequest(
+        inputs=np.random.default_rng(0).random((3, 4)),
+        labels=np.array([1, 2, 3]),
+        timesteps=5,
+        sample_offset=2,
+    ).to_dict()
+
+
+class TestMalformedPayloads:
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ("{not json", "malformed request JSON"),
+            ("", "malformed request JSON"),
+            ("[1, 2]", "must be a JSON object"),
+            ('"a string"', "must be a JSON object"),
+        ],
+    )
+    def test_request_from_json_rejects_junk(self, payload, match):
+        with pytest.raises(ValueError, match=match):
+            InferenceRequest.from_json(payload)
+
+    @pytest.mark.parametrize(
+        "payload, match",
+        [
+            ("{truncated", "malformed response JSON"),
+            ("null", "must be a JSON object"),
+        ],
+    )
+    def test_response_from_json_rejects_junk(self, payload, match):
+        with pytest.raises(ValueError, match=match):
+            InferenceResponse.from_json(payload)
+
+    def test_request_missing_inputs(self):
+        data = _request_dict()
+        del data["inputs"]
+        with pytest.raises(ValueError, match=r"missing required fields: \['inputs'\]"):
+            InferenceRequest.from_dict(data)
+
+    def test_request_unknown_field(self):
+        data = _request_dict()
+        data["priority"] = "high"
+        with pytest.raises(ValueError, match=r"unknown fields: \['priority'\]"):
+            InferenceRequest.from_dict(data)
+
+    def test_request_optional_fields_may_be_absent(self):
+        restored = InferenceRequest.from_dict({"inputs": [[0.5, 0.25]]})
+        assert restored.batch_size == 1
+        assert restored.labels is None
+        assert restored.timesteps is None
+        assert restored.sample_offset == 0
+
+    def test_response_missing_fields_are_named(self):
+        with pytest.raises(ValueError, match="missing required fields") as excinfo:
+            InferenceResponse.from_dict({"predictions": [1]})
+        for name in ("counters", "energy", "backend"):
+            assert name in str(excinfo.value)
+
+    def test_response_unknown_field(self):
+        data = {
+            "predictions": [1],
+            "spike_counts": [[0.0]],
+            "counters": EventCounters().as_dict(),
+            "energy": EnergyReport(label="t").to_dict(),
+            "timesteps": 4,
+            "backend": "vectorized",
+            "batch_size": 1,
+            "warp_factor": 9,
+        }
+        with pytest.raises(ValueError, match=r"unknown fields: \['warp_factor'\]"):
+            InferenceResponse.from_dict(data)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="batch is empty"):
+            InferenceRequest(inputs=np.zeros((0, 4)))
+        with pytest.raises(ValueError, match="batch is empty"):
+            InferenceRequest(inputs=[])
+
+    def test_featureless_samples_rejected(self):
+        with pytest.raises(ValueError, match="at least one feature"):
+            InferenceRequest(inputs=np.zeros((3, 0)))
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="labels length 2"):
+            InferenceRequest(inputs=np.zeros((3, 4)), labels=np.array([0, 1]))
+
+    def test_request_json_round_trip(self):
+        data = _request_dict()
+        restored = InferenceRequest.from_json(json.dumps(data))
+        assert restored.to_dict() == data
+
+
+# -- property tests -----------------------------------------------------------------
+
+finite_counts = st.floats(
+    min_value=0.0, max_value=1e15, allow_nan=False, allow_infinity=False
+)
+
+counters_strategy = st.builds(
+    EventCounters,
+    **{name: finite_counts for name in EventCounters().as_dict()},
+)
+
+component_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+)
+energy_values = st.floats(
+    min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(counters=counters_strategy)
+    def test_event_counters_survive_json_exactly(self, counters):
+        payload = json.dumps(counters.as_dict())
+        restored = EventCounters.from_dict(json.loads(payload))
+        assert restored.as_dict() == counters.as_dict()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        components=st.dictionaries(component_names, energy_values, max_size=8),
+        label=st.text(min_size=1, max_size=20),
+    )
+    def test_energy_report_survives_json_exactly(self, components, label):
+        report = EnergyReport(label=label)
+        for name, value in components.items():
+            report.add(name, value)
+        restored = EnergyReport.from_dict(json.loads(json.dumps(report.to_dict())))
+        assert restored.components == report.components
+        assert restored.label == report.label
+
+    @settings(max_examples=25, deadline=None)
+    @given(counters=counters_strategy)
+    def test_merge_commutes_with_round_trip(self, counters):
+        # Merging then serialising equals serialising then merging — the
+        # property the pool/gateway merge relies on when responses cross a
+        # process or socket boundary.
+        other = EventCounters(crossbar_evaluations=7.0, neuron_spikes=3.5)
+        direct = counters.merge(other).as_dict()
+        via_wire = (
+            EventCounters.from_dict(json.loads(json.dumps(counters.as_dict())))
+            .merge(other)
+            .as_dict()
+        )
+        assert direct == via_wire

@@ -172,6 +172,33 @@ class TestChipPoolParity:
         assert response.jobs <= 3
         assert response.predictions.shape == (3,)
 
+    def test_jobs_4_batch_2_drops_empty_shards(self, workload):
+        # Regression: with batch < jobs the empty shards must be dropped, so
+        # no worker ever receives a degenerate zero-sample request, and the
+        # result still matches a single session exactly.
+        snn, config, inputs, labels = workload
+        request = InferenceRequest(inputs=inputs[:2], labels=labels[:2])
+        session = ChipSession(snn, config=config, timesteps=5, encoder="poisson", seed=1)
+        single = session.infer(request)
+        with ChipPool(
+            snn, jobs=4, config=config, timesteps=5, encoder="poisson", seed=1
+        ) as pool:
+            assert pool._shard_bounds(2) == [(0, 1), (1, 2)]
+            assert all(stop > start for start, stop in pool._shard_bounds(2))
+            response = pool.infer(request)
+        assert response.jobs == 2
+        _assert_responses_identical(single, response)
+
+    def test_empty_batch_raises_clear_error(self, workload):
+        snn, config, _, _ = workload
+        with pytest.raises(ValueError, match="batch is empty"):
+            InferenceRequest(inputs=np.zeros((0, 48)))
+        with ChipPool(snn, jobs=4, config=config, timesteps=5, seed=1) as pool:
+            # The pool never even sees a zero-sample request — the schema
+            # rejects it at construction, which is the clear error we want.
+            with pytest.raises(ValueError, match="batch is empty"):
+                pool.infer(InferenceRequest(inputs=np.zeros((0, 48))))
+
     def test_concurrent_callers_are_serialised(self, workload):
         # Shard tasks are pinned to fixed worker sessions (whose structural
         # chips are mutated in place), so the pool serialises infer() calls;
