@@ -41,6 +41,11 @@ from repro.workloads import BenchmarkSpec, get_benchmark
 
 __all__ = ["ExperimentSettings", "WorkloadContext", "PreparedWorkload"]
 
+#: Per-request deadline for remote chip runs: a wedged server (accepts the
+#: connection but never answers) must fail the run, not hang it forever.
+#: Matches the historical RemoteSession socket-timeout default.
+REMOTE_DEADLINE_S = 120.0
+
 
 @dataclass(frozen=True)
 class ExperimentSettings:
@@ -68,13 +73,16 @@ class ExperimentSettings:
     #: see :mod:`repro.serve.distributed.executors`).  Only meaningful with
     #: ``chip_jobs > 1``.
     chip_executor: str = "thread"
-    #: Optional ``host:port`` of a running chip server; when set, chip runs
-    #: are sent to that server instead of executing locally (the server must
-    #: serve the same workload for the results to be comparable).
+    #: Optional running chip server(s): one ``host:port`` or a
+    #: comma-separated list of them.  When set, chip runs are sent to those
+    #: servers instead of executing locally — several endpoints fan each
+    #: batch out through the async :class:`repro.serve.InferenceGateway`
+    #: (every server must serve the same workload/settings for the results
+    #: to be comparable).
     chip_endpoint: str | None = None
 
     def __post_init__(self) -> None:
-        from repro.serve.distributed import EXECUTORS, parse_endpoint
+        from repro.serve.distributed import EXECUTORS, split_endpoints
 
         if self.chip_backend not in CHIP_BACKENDS:
             raise ValueError(
@@ -88,7 +96,7 @@ class ExperimentSettings:
                 f"got {self.chip_executor!r}"
             )
         if self.chip_endpoint is not None:
-            parse_endpoint(self.chip_endpoint)  # raises with an actionable message
+            split_endpoints(self.chip_endpoint)  # raises with an actionable message
 
     @staticmethod
     def quick() -> "ExperimentSettings":
@@ -210,9 +218,10 @@ class WorkloadContext:
         if self.settings.chip_endpoint is None:
             return None
         if self._served_workload is None:
-            from repro.serve.distributed import RemoteSession
+            from repro.serve.distributed import RemoteSession, split_endpoints
 
-            with RemoteSession.connect(self.settings.chip_endpoint) as remote:
+            first = split_endpoints(self.settings.chip_endpoint)[0]
+            with RemoteSession.connect(first) as remote:
                 self._served_workload = str(remote.info().get("workload", "custom"))
         return self._served_workload
 
@@ -269,11 +278,14 @@ class WorkloadContext:
         from the legacy stream but are identical for every ``jobs`` count
         and every executor.
 
-        With an ``endpoint`` (``"host:port"``), the request is sent to a
-        running chip server instead of executing locally; the server decides
-        backend/jobs/seeding, so ``crossbar_size``/``backend``/``jobs`` do
-        not apply, and results match local runs only if the server serves
-        the same workload with the same settings.
+        With an ``endpoint`` (one ``"host:port"`` or a comma-separated list),
+        the request is routed through pipelined remote sessions and the
+        async :class:`~repro.serve.InferenceGateway` to running chip servers
+        instead of executing locally — multiple endpoints split each batch
+        capacity-weighted so network and compute overlap.  The servers
+        decide backend/jobs/seeding, so ``crossbar_size``/``backend``/
+        ``jobs`` do not apply, and results match local runs only if every
+        server serves the same workload with the same settings.
         """
         if not workload.spec.is_mlp:
             raise ValueError(
@@ -287,18 +299,7 @@ class WorkloadContext:
         request = InferenceRequest(inputs=inputs, labels=labels)
         endpoint = s.chip_endpoint if endpoint is None else endpoint
         if endpoint is not None:
-            from repro.serve.distributed import RemoteSession
-
-            with RemoteSession.connect(endpoint) as remote:
-                served = str(remote.info().get("workload", "custom"))
-                if served not in ("custom", workload.name):
-                    raise ValueError(
-                        f"chip server at {endpoint} serves {served!r}, not "
-                        f"{workload.name!r}; start a matching server "
-                        f"(python -m repro.serve.distributed serve --workload "
-                        f"{workload.name}) or drop the endpoint"
-                    )
-                return remote.infer(request).as_run_result()
+            return self._evaluate_remote(workload, request, endpoint)
         config = ArchitectureConfig().with_crossbar_size(crossbar_size).with_event_driven(
             event_driven
         )
@@ -324,6 +325,57 @@ class WorkloadContext:
             rng=derive_rng(s.seed, "chip", workload.name),
         )
         return session.infer(request).as_run_result()
+
+    def _evaluate_remote(
+        self, workload: PreparedWorkload, request: InferenceRequest, endpoint: str
+    ) -> ChipRunResult:
+        """Send one chip run to remote server(s) through the async gateway.
+
+        Workload mismatches fail before any batch is sent, naming both
+        sides; servers advertising the generic ``"custom"`` workload accept
+        anything (the operator vouches for the match).
+        """
+        from repro.serve.distributed import (
+            GatewayEndpoint,
+            InferenceGateway,
+            PipelinedSession,
+            split_endpoints,
+        )
+
+        endpoints = split_endpoints(endpoint)
+        deadline_s = REMOTE_DEADLINE_S
+        remotes: list[PipelinedSession] = []
+        gateway: InferenceGateway | None = None
+        try:
+            for part in endpoints:
+                remote = PipelinedSession.connect(part)
+                remotes.append(remote)
+                served = str(
+                    remote.info(timeout=deadline_s).get("workload", "custom")
+                )
+                if served not in ("custom", workload.name):
+                    raise ValueError(
+                        f"chip server at {part} serves {served!r}, not "
+                        f"{workload.name!r}; start a matching server "
+                        f"(python -m repro.serve.distributed serve --workload "
+                        f"{workload.name}) or drop the endpoint"
+                    )
+            gateway = InferenceGateway(
+                [
+                    GatewayEndpoint(target=remote, name=part)
+                    for remote, part in zip(remotes, endpoints)
+                ]
+            )
+            return gateway.submit(request).result(deadline_s).as_run_result()
+        finally:
+            # Close the sessions FIRST: that fails any still-pending shard
+            # futures and unblocks the gateway's worker threads, so the
+            # gateway close (which joins them) cannot hang on a wedged
+            # server that already blew the deadline above.
+            for remote in remotes:
+                remote.close()
+            if gateway is not None:
+                gateway.close()
 
     def evaluate_cmos(
         self,

@@ -14,7 +14,7 @@ from dataclasses import dataclass, replace
 
 from repro.experiments.common import ExperimentSettings, WorkloadContext
 from repro.experiments.fig11_comparison import Fig11Result, run_fig11
-from repro.serve.distributed import EXECUTORS, parse_endpoint
+from repro.serve.distributed import EXECUTORS, split_endpoints
 from repro.experiments.fig12_breakdown import Fig12Result, run_fig12
 from repro.experiments.fig13_eventdriven import Fig13Result, run_fig13
 from repro.experiments.fig14_precision import Fig14Result, run_fig14
@@ -114,10 +114,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--endpoint",
         default=None,
-        metavar="HOST:PORT",
-        help="send chip runs to a running chip server "
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="send chip runs to running chip server(s) "
         "(python -m repro.serve.distributed serve) instead of executing "
-        "locally (implies --validate-chip)",
+        "locally; a comma-separated list fans each batch across the servers "
+        "through the async inference gateway (implies --validate-chip)",
     )
     args = parser.parse_args(argv)
     _validate_chip_arguments(parser, args)
@@ -167,7 +168,7 @@ def _validate_chip_arguments(
                 "own backend/jobs/executor; drop --jobs/--executor/--backend"
             )
         try:
-            parse_endpoint(args.endpoint)
+            split_endpoints(args.endpoint)
         except ValueError as exc:
             parser.error(str(exc))
 

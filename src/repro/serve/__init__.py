@@ -35,13 +35,20 @@ from repro.serve.distributed import (
     ChipServer,
     GatewayEndpoint,
     InferenceGateway,
+    PipelinedSession,
     RemoteSession,
 )
 from repro.serve.pool import ChipPool
-from repro.serve.schema import SCHEMA_VERSION, InferenceRequest, InferenceResponse
+from repro.serve.schema import (
+    PROTOCOL_VERSION,
+    SCHEMA_VERSION,
+    InferenceRequest,
+    InferenceResponse,
+)
 from repro.serve.session import ChipSession
 
 __all__ = [
+    "PROTOCOL_VERSION",
     "SCHEMA_VERSION",
     "ChipPool",
     "ChipServer",
@@ -50,5 +57,6 @@ __all__ = [
     "InferenceGateway",
     "InferenceRequest",
     "InferenceResponse",
+    "PipelinedSession",
     "RemoteSession",
 ]

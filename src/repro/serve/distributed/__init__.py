@@ -9,30 +9,42 @@ identical to a single local :class:`~repro.serve.ChipSession`:
   or ``process`` (one programmed chip per ``multiprocessing`` worker, shards
   shipped through the JSON schema).
 * **server/client** (:mod:`~repro.serve.distributed.server` /
-  :mod:`~repro.serve.distributed.client`) — a stdlib-socket chip daemon
-  answering newline-delimited JSON, and :class:`RemoteSession`, which gives
-  a chip on another host the ``ChipSession`` surface.
+  :mod:`~repro.serve.distributed.client`) — an :mod:`asyncio` chip daemon
+  answering newline-delimited JSON with pipelined request ids and
+  cross-client dynamic batching, :class:`RemoteSession`, which gives a chip
+  on another host the ``ChipSession`` surface (with reconnect-and-retry
+  across server restarts), and :class:`PipelinedSession`, which keeps many
+  tagged requests in flight over a small connection pool.
 * **gateway** (:mod:`~repro.serve.distributed.gateway`) — fans a batch out
   across several endpoints (local pools and/or remote sessions) with
-  capacity-weighted sharding and exact merge.
+  capacity-weighted sharding and an exact streaming merge;
+  ``submit()`` is non-blocking, so successive batches pipeline across the
+  endpoints.
 
 Quickstart::
 
     from repro.serve import ChipPool, InferenceRequest
-    from repro.serve.distributed import ChipServer, InferenceGateway, RemoteSession
+    from repro.serve.distributed import ChipServer, InferenceGateway, PipelinedSession
 
     pool = ChipPool(snn, jobs=4, executor="process", seed=7)   # multi-core
     server = ChipServer(pool, port=7070).start()               # multi-host
-    remote = RemoteSession.connect("127.0.0.1:7070")
+    remote = PipelinedSession.connect("127.0.0.1:7070")        # many in flight
     gateway = InferenceGateway([remote, local_pool])           # multi-endpoint
-    response = gateway.infer(InferenceRequest(inputs=images))
+    future = gateway.submit(InferenceRequest(inputs=images))   # non-blocking
+    response = future.result()
 
 ``python -m repro.serve.distributed serve --workload mnist-mlp`` runs the
 daemon from the command line; ``infer`` and ``smoke`` client subcommands
 live alongside it (see :mod:`~repro.serve.distributed.cli`).
 """
 
-from repro.serve.distributed.client import RemoteServerError, RemoteSession, parse_endpoint
+from repro.serve.distributed.client import (
+    PipelinedSession,
+    RemoteServerError,
+    RemoteSession,
+    parse_endpoint,
+    split_endpoints,
+)
 from repro.serve.distributed.executors import (
     EXECUTORS,
     InlineExecutor,
@@ -55,6 +67,7 @@ __all__ = [
     "GatewayEndpoint",
     "InferenceGateway",
     "InlineExecutor",
+    "PipelinedSession",
     "ProcessExecutor",
     "RemoteServerError",
     "RemoteSession",
@@ -65,4 +78,5 @@ __all__ = [
     "load_benchmark_workload",
     "make_executor",
     "parse_endpoint",
+    "split_endpoints",
 ]

@@ -17,8 +17,10 @@ Three subcommands, all runnable as ``python -m repro.serve.distributed``:
 
 * ``smoke`` — the CI end-to-end check: boot a server subprocess on a free
   port, wait for readiness, run a client inference twice (asserting the
-  served results are deterministic and well-formed), then tear the server
-  down.  Exit code 0 means the whole loop works.
+  served results are deterministic and well-formed), then drive two
+  concurrent pipelined clients and assert their dynamically batched
+  responses are identical to the serial ones, then tear the server down.
+  Exit code 0 means the whole loop works.
 """
 
 from __future__ import annotations
@@ -31,7 +33,11 @@ import time
 
 import numpy as np
 
-from repro.serve.distributed.client import RemoteSession, parse_endpoint
+from repro.serve.distributed.client import (
+    PipelinedSession,
+    RemoteSession,
+    parse_endpoint,
+)
 from repro.serve.distributed.executors import EXECUTORS
 from repro.serve.distributed.server import ChipServer, load_benchmark_workload
 from repro.serve.pool import ChipPool
@@ -94,6 +100,12 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["structural", "vectorized"],
         help="chip execution backend",
     )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=8,
+        help="most queued compatible requests one dynamic batch may coalesce",
+    )
 
     infer = sub.add_parser("infer", help="run one client inference")
     _add_workload_arguments(infer)
@@ -103,6 +115,12 @@ def _build_parser() -> argparse.ArgumentParser:
     infer.add_argument(
         "--samples", type=int, default=8, help="test samples to send"
     )
+    infer.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-request socket timeout in seconds (size for the batch)",
+    )
 
     smoke = sub.add_parser(
         "smoke", help="boot a server subprocess, run a client inference, tear down"
@@ -110,6 +128,12 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(smoke)
     smoke.add_argument("--samples", type=int, default=4, help="test samples to send")
     smoke.add_argument("--jobs", type=int, default=2, help="server pool workers")
+    smoke.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="per-request socket timeout in seconds",
+    )
     smoke.add_argument(
         "--boot-timeout",
         type=float,
@@ -128,6 +152,10 @@ def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None
         parser.error(f"--timesteps must be >= 1, got {args.timesteps}")
     if args.scale <= 0:
         parser.error(f"--scale must be > 0, got {args.scale}")
+    if getattr(args, "max_batch", 1) < 1:
+        parser.error(f"--max-batch must be >= 1, got {args.max_batch}")
+    if getattr(args, "timeout", 1.0) <= 0:
+        parser.error(f"--timeout must be > 0 seconds, got {args.timeout}")
     if getattr(args, "endpoint", None) is not None:
         try:
             parse_endpoint(args.endpoint)
@@ -150,12 +178,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         executor=args.executor,
     ) as pool:
         with ChipServer(
-            pool, host=args.host, port=args.port, workload=args.workload
+            pool,
+            host=args.host,
+            port=args.port,
+            workload=args.workload,
+            max_batch=args.max_batch,
         ) as server:
             host, port = server.address
             print(
                 f"chip-server: {args.workload} ({args.backend}, jobs={args.jobs}, "
-                f"executor={args.executor}) listening on {host}:{port}",
+                f"executor={args.executor}, max_batch={args.max_batch}) "
+                f"listening on {host}:{port}",
                 flush=True,
             )
             try:
@@ -178,7 +211,7 @@ def _client_inference(
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
-    with RemoteSession.connect(args.endpoint) as remote:
+    with RemoteSession.connect(args.endpoint, timeout=args.timeout) as remote:
         info = remote.info()
         print(f"server    : {info}")
         request, response = _client_inference(remote, args)
@@ -212,10 +245,13 @@ def _wait_for_listening_line(proc: subprocess.Popen) -> tuple[str, int]:
 
 
 def _connect_to_booting_server(
-    proc: subprocess.Popen, address: tuple[str, int], timeout: float
+    proc: subprocess.Popen,
+    address: tuple[str, int],
+    boot_timeout: float,
+    timeout: float,
 ) -> RemoteSession:
     """Retry-connect while the server boots, failing fast if it dies."""
-    deadline = time.monotonic() + timeout
+    deadline = time.monotonic() + boot_timeout
     while True:
         if proc.poll() is not None:
             raise RuntimeError(
@@ -224,11 +260,74 @@ def _connect_to_booting_server(
             )
         try:
             return RemoteSession.connect(
-                address, wait=min(0.5, max(0.0, deadline - time.monotonic()))
+                address,
+                timeout=timeout,
+                wait=min(0.5, max(0.0, deadline - time.monotonic())),
             )
         except OSError:
             if time.monotonic() >= deadline:
                 raise
+
+
+def _smoke_pipelined_clients(
+    address: tuple[str, int],
+    remote: RemoteSession,
+    request: InferenceRequest,
+    timeout: float,
+    clients: int = 2,
+    rounds: int = 3,
+) -> None:
+    """Two concurrent pipelined clients must match the serial answers exactly.
+
+    Each client keeps ``rounds`` tagged requests in flight at once, so the
+    server's dispatcher sees a full queue and dynamically batches across the
+    connections; dynamic batching must change throughput, never numbers.
+    """
+    shifted = InferenceRequest(
+        inputs=request.batch,
+        labels=request.labels,
+        sample_offset=request.batch_size,
+    )
+    serial = {0: remote.infer(request), 1: remote.infer(shifted)}
+    sessions = [
+        PipelinedSession.connect(address, connections=1, timeout=timeout)
+        for _ in range(clients)
+    ]
+    try:
+        futures = [
+            (index % 2, session.submit(request if index % 2 == 0 else shifted))
+            for index, session in enumerate(sessions * rounds)
+        ]
+        for which, future in futures:
+            response = future.result(timeout=timeout)
+            expected = serial[which]
+            assert np.array_equal(response.predictions, expected.predictions), (
+                "pipelined response predictions diverged from the serial run"
+            )
+            assert np.array_equal(response.spike_counts, expected.spike_counts), (
+                "pipelined response spike counts diverged from the serial run"
+            )
+            got, want = response.counters.as_dict(), expected.counters.as_dict()
+            for name, value in want.items():
+                if name == "crossbar_device_energy_j":
+                    # Float accumulation order may differ between a coalesced
+                    # and a serial dispatch; everything else is integer-exact.
+                    assert abs(got[name] - value) <= 1e-9 * max(abs(value), 1e-30)
+                else:
+                    assert got[name] == value, f"counter {name} diverged: " \
+                        f"{got[name]} != {value}"
+            assert abs(response.energy.total_j - expected.energy.total_j) <= (
+                1e-9 * expected.energy.total_j
+            ), "pipelined response energy diverged from the serial run"
+    finally:
+        for session in sessions:
+            session.close()
+    stats = remote.info(refresh=True).get("stats", {})
+    print(
+        f"smoke: {len(futures)} pipelined requests over {clients} clients ok "
+        f"(server stats: {stats})",
+        flush=True,
+    )
 
 
 def _cmd_smoke(args: argparse.Namespace) -> int:
@@ -249,7 +348,9 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
     proc = subprocess.Popen(command, stdout=subprocess.PIPE, text=True)
     try:
         address = _wait_for_listening_line(proc)
-        with _connect_to_booting_server(proc, address, args.boot_timeout) as remote:
+        with _connect_to_booting_server(
+            proc, address, args.boot_timeout, args.timeout
+        ) as remote:
             assert remote.ping(), "server did not answer ping"
             info = remote.info()
             assert info["workload"] == args.workload, f"wrong workload: {info}"
@@ -269,6 +370,7 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
                 f"deterministic round trip ok",
                 flush=True,
             )
+            _smoke_pipelined_clients(address, remote, request, args.timeout)
             remote.shutdown_server()
         returncode = proc.wait(timeout=30)
         assert returncode == 0, f"server exited with {returncode}"

@@ -1,22 +1,48 @@
-"""Remote chip client: the ``ChipSession`` surface over a socket.
+"""Remote chip clients: the ``ChipSession`` surface over a socket.
 
-:class:`RemoteSession` connects to a :class:`~repro.serve.distributed.server.
-ChipServer` and exposes the same ``infer(InferenceRequest) ->
-InferenceResponse`` contract as a local :class:`~repro.serve.ChipSession`,
-so pools, gateways and experiments can treat a chip on another host exactly
-like a chip in this process.  The wire format is one JSON object per line in
-each direction (see the server module for the protocol).
+Two client shapes speak the chip server's newline-delimited JSON protocol
+(see :mod:`repro.serve.schema` for the envelope):
+
+* :class:`RemoteSession` — one connection, strict request/reply, the same
+  ``infer(InferenceRequest) -> InferenceResponse`` contract as a local
+  :class:`~repro.serve.ChipSession`.  Idempotent ops (``ping`` / ``info`` /
+  ``infer`` — inference is a pure function of the request) transparently
+  reconnect and retry once when the server restarts under the session.
+* :class:`PipelinedSession` — the async/pipelined mode: a small pool of
+  connections, each carrying many tagged requests in flight at once.
+  :meth:`PipelinedSession.submit` returns a
+  :class:`concurrent.futures.Future` immediately, so callers overlap
+  network and compute (and give the server's dynamic batcher something to
+  coalesce); the blocking :meth:`PipelinedSession.infer` /
+  :meth:`PipelinedSession.infer_many` adapters sit on top.
+
+Both clients are drop-in gateway endpoints (they expose ``capacity`` /
+``backend`` / ``timesteps`` from the server's ``info``), and both return
+responses bit-identical to a local run — the wire round trip is lossless.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import socket
+import threading
 import time
+from concurrent.futures import Future
 
-from repro.serve.schema import InferenceRequest, InferenceResponse
+from repro.serve.schema import (
+    InferenceRequest,
+    InferenceResponse,
+    request_envelope,
+)
 
-__all__ = ["RemoteSession", "RemoteServerError", "parse_endpoint"]
+__all__ = [
+    "PipelinedSession",
+    "RemoteServerError",
+    "RemoteSession",
+    "parse_endpoint",
+    "split_endpoints",
+]
 
 
 class RemoteServerError(RuntimeError):
@@ -43,6 +69,31 @@ def parse_endpoint(endpoint: str) -> tuple[str, int]:
     return host, port
 
 
+def split_endpoints(endpoints: str) -> list[str]:
+    """Split a (possibly comma-separated) endpoint option, validating each part."""
+    parts = [part.strip() for part in str(endpoints).split(",") if part.strip()]
+    if not parts:
+        raise ValueError(
+            f"endpoint must look like HOST:PORT (or a comma-separated list of "
+            f"them), got {endpoints!r}"
+        )
+    for part in parts:
+        parse_endpoint(part)  # raises with an actionable message
+    return parts
+
+
+def _connect_with_wait(factory, wait: float):
+    """Retry ``factory()`` on connection errors for up to ``wait`` seconds."""
+    deadline = time.monotonic() + wait
+    while True:
+        try:
+            return factory()
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+
+
 class RemoteSession:
     """A chip session served by a remote :class:`ChipServer`.
 
@@ -53,18 +104,31 @@ class RemoteSession:
     timeout:
         Per-request socket timeout in seconds (inference on a large batch is
         slow; size accordingly).
+    retries:
+        Reconnect-and-resend attempts for idempotent ops after a connection
+        failure (a server restart leaves the session holding a dead socket;
+        one retry rides out a reboot).  ``0`` disables the resilience.
 
     The session holds one persistent connection; requests are serialised on
-    it (one line out, one line in).  Use one ``RemoteSession`` per thread, or
-    an outer lock, for concurrent callers.
+    it (one line out, one line in).  Use one ``RemoteSession`` per thread —
+    or :class:`PipelinedSession` — for concurrent callers.
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 120.0):
+    def __init__(
+        self, host: str, port: int, *, timeout: float = 120.0, retries: int = 1
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.host = host
         self.port = port
-        self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._socket.makefile("rwb")
+        self.timeout = timeout
+        self.retries = retries
+        self._socket: socket.socket | None = None
+        self._file = None
+        self._ids = itertools.count(1)
         self._info: dict[str, object] | None = None
+        self._closed = False
+        self._connect()
 
     @classmethod
     def connect(
@@ -72,6 +136,7 @@ class RemoteSession:
         endpoint: str | tuple[str, int],
         *,
         timeout: float = 120.0,
+        retries: int = 1,
         wait: float = 0.0,
     ) -> "RemoteSession":
         """Connect to ``"host:port"`` (or a ``(host, port)`` tuple).
@@ -82,40 +147,98 @@ class RemoteSession:
         host, port = (
             parse_endpoint(endpoint) if isinstance(endpoint, str) else endpoint
         )
-        deadline = time.monotonic() + wait
-        while True:
-            try:
-                return cls(host, port, timeout=timeout)
-            except OSError:
-                if time.monotonic() >= deadline:
-                    raise
-                time.sleep(0.05)
+        return _connect_with_wait(
+            lambda: cls(host, port, timeout=timeout, retries=retries), wait
+        )
+
+    # -- connection management ----------------------------------------------------
+
+    def _connect(self) -> None:
+        self._socket = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        self._file = self._socket.makefile("rwb")
+
+    def _drop_connection(self) -> None:
+        file, sock = self._file, self._socket
+        self._file = self._socket = None
+        try:
+            if file is not None:
+                file.close()
+        except OSError:
+            pass
+        finally:
+            if sock is not None:
+                sock.close()
 
     # -- protocol -----------------------------------------------------------------
 
-    def _call(self, message: dict[str, object]) -> dict[str, object]:
-        self._file.write(json.dumps(message).encode("utf-8") + b"\n")
-        self._file.flush()
-        line = self._file.readline()
-        if not line:
-            raise ConnectionError(
-                f"chip server at {self.host}:{self.port} closed the connection"
-            )
-        reply = json.loads(line.decode("utf-8"))
-        if not reply.get("ok"):
-            raise RemoteServerError(str(reply.get("error", "unknown server error")))
-        return reply
+    def _call(
+        self, message: dict[str, object], *, idempotent: bool = True
+    ) -> dict[str, object]:
+        """One request/reply round trip, reconnecting on a dead connection.
+
+        Idempotent ops are resent once per configured retry after a
+        connection-level failure (server restart, dead socket); a
+        :class:`RemoteServerError` is a *successful* round trip and is never
+        retried.
+        """
+        if self._closed:
+            raise RuntimeError("remote session is closed")
+        attempts = 1 + (self.retries if idempotent else 0)
+        last_error: Exception | None = None
+        for _ in range(attempts):
+            try:
+                if self._file is None:
+                    self._connect()
+                request_id = next(self._ids)
+                payload = dict(message)
+                payload["id"] = request_id
+                self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+                self._file.flush()
+                line = self._file.readline()
+                if not line:
+                    raise ConnectionError(
+                        f"chip server at {self.host}:{self.port} closed the connection"
+                    )
+                reply = json.loads(line.decode("utf-8"))
+                if reply.get("id") not in (None, request_id):
+                    raise ConnectionError(
+                        f"chip server at {self.host}:{self.port} answered request "
+                        f"{request_id} with id {reply.get('id')!r} (desynchronised "
+                        f"connection)"
+                    )
+                if not reply.get("ok"):
+                    raise RemoteServerError(
+                        str(reply.get("error", "unknown server error"))
+                    )
+                return reply
+            except TimeoutError:
+                # A slow server is not a dead one: resending would duplicate
+                # the work and mask the real problem.  The connection is
+                # desynchronised (the late reply is still coming), so drop
+                # it, but surface the timeout as-is.
+                self._drop_connection()
+                raise
+            except (ConnectionError, OSError) as exc:
+                self._drop_connection()
+                last_error = exc
+        assert last_error is not None
+        raise ConnectionError(
+            f"chip server at {self.host}:{self.port} unreachable after "
+            f"{attempts} attempt(s): {last_error}"
+        ) from last_error
 
     # -- the session surface ------------------------------------------------------
 
     def ping(self) -> bool:
         """Round-trip a no-op message."""
-        return bool(self._call({"op": "ping"}).get("pong"))
+        return bool(self._call(request_envelope("ping")).get("pong"))
 
     def info(self, refresh: bool = False) -> dict[str, object]:
         """Server metadata: workload, backend, timesteps, jobs, capacity."""
         if self._info is None or refresh:
-            self._info = dict(self._call({"op": "info"})["info"])
+            self._info = dict(self._call(request_envelope("info"))["info"])
         return self._info
 
     @property
@@ -135,21 +258,357 @@ class RemoteSession:
 
     def infer(self, request: InferenceRequest) -> InferenceResponse:
         """Run one batch on the remote chip (same contract as ChipSession)."""
-        reply = self._call({"op": "infer", "request": request.to_dict()})
+        reply = self._call(request_envelope("infer", request=request.to_dict()))
         return InferenceResponse.from_dict(reply["response"])
 
     def shutdown_server(self) -> None:
-        """Ask the server process to stop serving (clean remote teardown)."""
-        self._call({"op": "shutdown"})
+        """Ask the server process to stop serving (clean remote teardown).
+
+        Never retried: a connection that drops after the send most likely
+        means the shutdown worked.
+        """
+        self._call(request_envelope("shutdown"), idempotent=False)
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
+        self._closed = True
+        self._drop_connection()
+
+    def __enter__(self) -> "RemoteSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# -- pipelined client ---------------------------------------------------------------
+
+
+class _PipelinedConnection:
+    """One socket carrying many tagged requests; a reader thread routes replies."""
+
+    def __init__(self, host: str, port: int, timeout: float):
+        self.host = host
+        self.port = port
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        # The timeout above governs connection establishment only.  The
+        # reader must block indefinitely between replies: a pipelined
+        # connection is legitimately idle for long stretches, and a read
+        # timeout firing then would wrongly kill every in-flight request.
+        # Per-request deadlines belong to future.result(timeout=...).
+        self._socket.settimeout(None)
+        self._file = self._socket.makefile("rwb")
+        self._lock = threading.Lock()
+        self._pending: dict[object, Future] = {}
+        self._dead = False
+        self._reader = threading.Thread(
+            target=self._read_loop, name="chip-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    @property
+    def dead(self) -> bool:
+        return self._dead
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    def send(self, message: dict[str, object], future: Future) -> None:
+        """Register ``future`` under the message id and put the line on the wire."""
+        request_id = message["id"]
+        with self._lock:
+            if self._dead:
+                raise ConnectionError(
+                    f"connection to {self.host}:{self.port} is down"
+                )
+            self._pending[request_id] = future
+            try:
+                self._file.write(json.dumps(message).encode("utf-8") + b"\n")
+                self._file.flush()
+            except (OSError, ValueError) as exc:
+                del self._pending[request_id]
+                raise ConnectionError(
+                    f"connection to {self.host}:{self.port} failed mid-send: {exc}"
+                ) from exc
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                line = self._file.readline()
+                if not line:
+                    break
+                reply = json.loads(line.decode("utf-8"))
+                with self._lock:
+                    future = self._pending.pop(reply.get("id"), None)
+                if future is None:
+                    continue  # untagged or stale reply; nothing to route
+                if reply.get("ok"):
+                    future.set_result(reply)
+                else:
+                    future.set_exception(
+                        RemoteServerError(
+                            str(reply.get("error", "unknown server error"))
+                        )
+                    )
+        except (OSError, ValueError):
+            pass
+        finally:
+            self._fail_pending(
+                ConnectionError(
+                    f"chip server at {self.host}:{self.port} closed the connection"
+                )
+            )
+
+    def _fail_pending(self, exc: Exception) -> None:
+        with self._lock:
+            self._dead = True
+            pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    def close(self) -> None:
+        with self._lock:
+            self._dead = True
+        # Unblock the reader first: closing the buffered file while the
+        # reader thread sits in readline() would deadlock on the buffer's
+        # internal lock until the socket timeout.  shutdown() delivers EOF.
+        try:
+            self._socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        if threading.current_thread() is not self._reader:
+            self._reader.join(timeout=5.0)
         try:
             self._file.close()
+        except OSError:
+            pass
         finally:
             self._socket.close()
 
-    def __enter__(self) -> "RemoteSession":
+
+class PipelinedSession:
+    """Pipelined chip client: many requests in flight over a connection pool.
+
+    Parameters
+    ----------
+    host, port:
+        Server address.
+    connections:
+        Size of the connection pool (requests are spread across the least
+        loaded live connections; one is plenty for pure pipelining, two or
+        three overlap TCP flow control on large batches).
+    timeout:
+        Connection-establishment timeout in seconds.  Established
+        connections wait indefinitely for replies (they are legitimately
+        idle between batches); put per-request deadlines on
+        ``future.result(timeout=...)``.
+
+    :meth:`submit` returns a :class:`concurrent.futures.Future` resolving to
+    the :class:`InferenceResponse`; requests already on a connection that
+    dies are transparently resubmitted once on a fresh connection
+    (inference is idempotent — a pure function of the request).  The
+    blocking :meth:`infer` / :meth:`infer_many` adapters mirror the
+    ``ChipSession`` surface, so a pipelined remote is also a valid gateway
+    endpoint.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connections: int = 2,
+        timeout: float = 120.0,
+    ):
+        if connections < 1:
+            raise ValueError(f"connections must be >= 1, got {connections}")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._info: dict[str, object] | None = None
+        self._closed = False
+        # Fail fast like RemoteSession: the first connection opens eagerly.
+        self._connections: list[_PipelinedConnection | None] = [
+            _PipelinedConnection(host, port, timeout)
+        ] + [None] * (connections - 1)
+
+    @classmethod
+    def connect(
+        cls,
+        endpoint: str | tuple[str, int],
+        *,
+        connections: int = 2,
+        timeout: float = 120.0,
+        wait: float = 0.0,
+    ) -> "PipelinedSession":
+        """Connect to ``"host:port"`` (or a tuple), waiting out a server boot."""
+        host, port = (
+            parse_endpoint(endpoint) if isinstance(endpoint, str) else endpoint
+        )
+        return _connect_with_wait(
+            lambda: cls(host, port, connections=connections, timeout=timeout), wait
+        )
+
+    # -- connection pool ----------------------------------------------------------
+
+    def _pick_connection(self) -> _PipelinedConnection:
+        """The least-loaded live connection, (re)opening slots as needed."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pipelined session is closed")
+            best: _PipelinedConnection | None = None
+            best_load = 0
+            open_slot: int | None = None
+            for index, connection in enumerate(self._connections):
+                if connection is None or connection.dead:
+                    if open_slot is None:
+                        open_slot = index
+                    continue
+                load = connection.in_flight
+                if best is None or load < best_load:
+                    best, best_load = connection, load
+            # An idle live connection (or no free slot) means no reconnect.
+            if best is not None and (best_load == 0 or open_slot is None):
+                return best
+            if open_slot is None:
+                raise ConnectionError(
+                    f"no usable connection to {self.host}:{self.port}"
+                )  # pragma: no cover - slots always exist
+        # Prefer opening the idle slot over queueing behind live traffic —
+        # but connect OUTSIDE the session lock: establishment can block for
+        # the whole timeout and must not stall submits that could ride the
+        # healthy connections.
+        fresh = _PipelinedConnection(self.host, self.port, self.timeout)
+        with self._lock:
+            if self._closed:
+                fresh.close()
+                raise RuntimeError("pipelined session is closed")
+            current = self._connections[open_slot]
+            if current is not None and not current.dead:
+                # Another thread reconnected this slot first; use theirs.
+                fresh.close()
+                return current
+            self._connections[open_slot] = fresh
+        return fresh
+
+    # -- protocol -----------------------------------------------------------------
+
+    def _submit_op(
+        self, op: str, *, retry: bool = True, **fields: object
+    ) -> Future:
+        """Send one envelope, returning a future for its reply envelope."""
+        outer: Future = Future()
+        self._attempt(op, fields, outer, retries_left=1 if retry else 0)
+        return outer
+
+    def _attempt(
+        self, op: str, fields: dict[str, object], outer: Future, retries_left: int
+    ) -> None:
+        message = request_envelope(op, request_id=next(self._ids), **fields)
+        inner: Future = Future()
+
+        def relay(done: Future) -> None:
+            exc = done.exception()
+            if isinstance(exc, ConnectionError) and retries_left > 0:
+                # The connection died with this request in flight; resend on
+                # a fresh one (idempotent ops only reach this path).
+                try:
+                    self._attempt(op, fields, outer, retries_left - 1)
+                except Exception as retry_exc:  # noqa: BLE001 - into the future
+                    if not outer.done():
+                        outer.set_exception(retry_exc)
+            elif exc is not None:
+                outer.set_exception(exc)
+            else:
+                outer.set_result(done.result())
+
+        inner.add_done_callback(relay)
+        try:
+            self._pick_connection().send(message, inner)
+        except ConnectionError as exc:
+            if retries_left > 0:
+                self._attempt(op, fields, outer, retries_left - 1)
+            elif not outer.done():
+                outer.set_exception(exc)
+        except RuntimeError as exc:  # session closed while retrying
+            if not outer.done():
+                outer.set_exception(exc)
+
+    # -- the pipelined surface ----------------------------------------------------
+
+    def submit(self, request: InferenceRequest) -> Future:
+        """Queue one inference; the future resolves to its InferenceResponse."""
+        outer: Future = Future()
+        raw = self._submit_op("infer", request=request.to_dict())
+
+        def convert(done: Future) -> None:
+            try:
+                outer.set_result(
+                    InferenceResponse.from_dict(done.result()["response"])
+                )
+            except Exception as exc:  # noqa: BLE001 - routed into the future
+                outer.set_exception(exc)
+
+        raw.add_done_callback(convert)
+        return outer
+
+    def infer(self, request: InferenceRequest) -> InferenceResponse:
+        """Blocking single inference (the ``ChipSession`` contract)."""
+        return self.submit(request).result()
+
+    def infer_many(self, requests: list[InferenceRequest]) -> list[InferenceResponse]:
+        """Submit every request before collecting any reply (full pipelining)."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]
+
+    def ping(self, timeout: float | None = None) -> bool:
+        """Round-trip a no-op message (optionally bounded by ``timeout``)."""
+        return bool(self._submit_op("ping").result(timeout).get("pong"))
+
+    def info(
+        self, refresh: bool = False, *, timeout: float | None = None
+    ) -> dict[str, object]:
+        """Server metadata: workload, backend, timesteps, jobs, capacity."""
+        if self._info is None or refresh:
+            self._info = dict(self._submit_op("info").result(timeout)["info"])
+        return self._info
+
+    @property
+    def capacity(self) -> int:
+        """Worker count of the remote pool (gateway sharding weight)."""
+        return int(self.info().get("capacity", 1))
+
+    @property
+    def backend(self) -> str:
+        """Execution backend of the remote chip."""
+        return str(self.info().get("backend", "unknown"))
+
+    @property
+    def timesteps(self) -> int:
+        """Default rate-coding window of the remote session."""
+        return int(self.info().get("timesteps", 0))
+
+    def shutdown_server(self) -> None:
+        """Ask the server process to stop serving (never retried)."""
+        self._submit_op("shutdown", retry=False).result()
+
+    def close(self) -> None:
+        """Close every connection (idempotent); in-flight requests fail."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            connections, self._connections = self._connections, []
+        for connection in connections:
+            if connection is not None:
+                connection.close()
+
+    def __enter__(self) -> "PipelinedSession":
         return self
 
     def __exit__(self, *exc_info: object) -> None:

@@ -111,7 +111,9 @@ class ShardExecutor(ABC):
         """Run the shard requests and return their responses, in order.
 
         ``len(shards)`` never exceeds the ``jobs`` the executor was started
-        with; the pool guarantees at most one call in flight at a time.
+        with (:meth:`~repro.serve.pool.ChipPool.infer_many` chunks larger
+        coalesced dispatches into waves); the pool guarantees at most one
+        call in flight at a time.
         """
 
     def close(self) -> None:
@@ -158,7 +160,13 @@ class ThreadExecutor(ShardExecutor):
     def run_shards(self, shards: list[InferenceRequest]) -> list[InferenceResponse]:
         # Shards are pinned to fixed sessions: structural workers mutate
         # their chip in place, so a session must never run two shards of the
-        # same batch.
+        # same dispatch wave.  An over-capacity wave would silently drop
+        # shards in the zip below — reject it loudly instead.
+        if len(shards) > len(self.sessions):
+            raise ValueError(
+                f"thread executor holds {len(self.sessions)} worker sessions "
+                f"but received {len(shards)} shards in one wave"
+            )
         futures = [
             self._threads.submit(session.infer, shard)
             for session, shard in zip(self.sessions, shards)

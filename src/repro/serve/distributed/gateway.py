@@ -1,10 +1,12 @@
-"""Multi-endpoint inference gateway with capacity-weighted sharding.
+"""Multi-endpoint inference gateway: capacity-weighted sharding, streaming merge.
 
 :class:`InferenceGateway` fans one request batch out across several
 endpoints — local :class:`~repro.serve.ChipSession`\\ s and
 :class:`~repro.serve.ChipPool`\\ s, remote
-:class:`~repro.serve.distributed.client.RemoteSession`\\ s, anything with the
-``infer`` contract — and merges the shard responses into one exact result.
+:class:`~repro.serve.distributed.client.RemoteSession`\\ s /
+:class:`~repro.serve.distributed.client.PipelinedSession`\\ s, anything with
+the ``infer`` contract — and merges the shard responses into one exact
+result.
 
 Sharding is *capacity-weighted*: an endpoint with capacity 3 (say, a remote
 pool with ``jobs=3``) receives three times the samples of a capacity-1
@@ -16,17 +18,29 @@ response is result-identical to running the whole batch on any single
 endpoint — provided the endpoints serve the *same workload* (same SNN,
 config, seed, encoder and timesteps), which is the operator's contract.
 
+The gateway is **non-blocking**: :meth:`InferenceGateway.submit` dispatches
+every shard concurrently and returns a :class:`concurrent.futures.Future`
+immediately.  Shard completions stream into the merged result as they
+arrive — the big per-sample arrays are written straight into their
+preallocated slots — and the first shard failure resolves the future with
+an error naming the endpoint instead of hanging the merge on the survivors.
+Multiple batches may be in flight at once; a per-endpoint lock keeps each
+endpoint serving one shard at a time (endpoints own their internal
+concurrency), so successive batches pipeline across endpoints instead of
+running lock-step.
+
 The merge is exact: predictions and spike counts concatenate per-sample,
 event counters sum, and the energy report is the component-wise sum of the
 shard reports (every component is linear in its counters and in the shard's
 batch-duration, so the sum equals the full-batch report to floating-point
-accumulation order).
+accumulation order).  Counters and energy are reduced in shard-plan order
+regardless of completion order, so the merged numbers are deterministic.
 """
 
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -43,12 +57,17 @@ class GatewayEndpoint:
 
     ``capacity`` defaults to the target's own ``capacity`` attribute (a
     :class:`RemoteSession` reports its server's worker count), then to its
-    ``jobs`` attribute (a local pool), then to 1.
+    ``jobs`` attribute (a local pool), then to 1.  An explicit capacity must
+    be positive — a zero-capacity endpoint could never receive a shard.
     """
 
     target: object
-    capacity: float = 0.0
+    capacity: float | None = None
     name: str = ""
+    #: Serialises this endpoint's shards across in-flight gateway batches.
+    lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not hasattr(self.target, "infer"):
@@ -56,12 +75,13 @@ class GatewayEndpoint:
                 f"gateway endpoint target must provide infer(); got "
                 f"{type(self.target).__name__}"
             )
-        if not self.capacity:
+        if self.capacity is None:
             self.capacity = float(
                 getattr(self.target, "capacity", 0)
                 or getattr(self.target, "jobs", 0)
                 or 1
             )
+        self.capacity = float(self.capacity)
         if self.capacity <= 0:
             raise ValueError(f"endpoint capacity must be > 0, got {self.capacity}")
         if not self.name:
@@ -74,6 +94,130 @@ class _ShardPlan:
     start: int
     stop: int
     response: InferenceResponse | None = field(default=None, repr=False)
+
+
+class _MergeState:
+    """Accumulates streaming shard completions into one merged response."""
+
+    def __init__(
+        self,
+        gateway: "InferenceGateway",
+        request: InferenceRequest,
+        plan: list[_ShardPlan],
+        result: Future,
+    ):
+        self.gateway = gateway
+        self.request = request
+        self.plan = plan
+        self.result = result
+        self.lock = threading.Lock()
+        self.remaining = len(plan)
+        self.resolved = False
+        self.predictions: np.ndarray | None = None
+        self.spike_counts: np.ndarray | None = None
+        self.shard_futures: list[Future] = []
+
+    def shard_done(self, shard: _ShardPlan, future: Future) -> None:
+        try:
+            self._absorb(shard, future)
+        except Exception as exc:  # noqa: BLE001 - the caller only sees the future
+            # A merge failure (say, endpoints serving different output
+            # widths) must surface on the result, never vanish into the
+            # callback machinery and leave the caller hanging.
+            with self.lock:
+                self.resolved = True
+            try:
+                self.result.set_exception(exc)
+            except InvalidStateError:
+                pass
+
+    def _absorb(self, shard: _ShardPlan, future: Future) -> None:
+        if future.cancelled():
+            return
+        exc = future.exception()
+        if exc is not None:
+            # First failure wins: surface it now, cancel what has not
+            # started, and let the in-flight survivors finish idle.
+            with self.lock:
+                if self.resolved:
+                    return
+                self.resolved = True
+                siblings = [f for f in self.shard_futures if f is not future]
+            # Outside the lock: cancelling a pending future runs its
+            # done-callback (this method, for the sibling shard) inline on
+            # this very thread, which must not find the lock held.
+            for other in siblings:
+                other.cancel()
+            self.result.set_exception(
+                RuntimeError(
+                    f"gateway endpoint {shard.endpoint.name!r} failed on "
+                    f"shard [{shard.start}:{shard.stop}): "
+                    f"{type(exc).__name__}: {exc}"
+                )
+            )
+            return
+        response: InferenceResponse = future.result()
+        with self.lock:
+            if self.resolved:
+                return
+            shard.response = response
+            # Stream the per-sample arrays straight into the merged slots.
+            batch = self.request.batch_size
+            if self.predictions is None:
+                self.predictions = np.zeros(batch, dtype=response.predictions.dtype)
+                self.spike_counts = np.zeros(
+                    (batch, response.spike_counts.shape[1]),
+                    dtype=response.spike_counts.dtype,
+                )
+            self.predictions[shard.start : shard.stop] = response.predictions
+            self.spike_counts[shard.start : shard.stop] = response.spike_counts
+            self.remaining -= 1
+            if self.remaining > 0:
+                return
+            self.resolved = True
+        self._finalise()
+
+    def _finalise(self) -> None:
+        plan, request = self.plan, self.request
+        responses = [shard.response for shard in plan]
+        # Deterministic reduction: counters and energy merge in plan order,
+        # whatever order the shards completed in.
+        counters = responses[0].counters
+        energy = responses[0].energy
+        for shard_response in responses[1:]:
+            counters = counters.merge(shard_response.counters)
+            energy = energy.merged_with(shard_response.energy)
+        accuracy = None
+        if request.labels is not None:
+            accuracy = float(
+                np.mean(self.predictions == np.asarray(request.labels, dtype=int))
+            )
+        backends = {r.backend for r in responses}
+        self.result.set_result(
+            InferenceResponse(
+                predictions=self.predictions,
+                spike_counts=self.spike_counts,
+                accuracy=accuracy,
+                counters=counters,
+                energy=energy,
+                timesteps=responses[0].timesteps,
+                backend=backends.pop() if len(backends) == 1 else "mixed",
+                batch_size=request.batch_size,
+                jobs=int(sum(r.jobs for r in responses)),
+                metadata={
+                    "gateway": self.gateway.name,
+                    "shards": [
+                        {
+                            "endpoint": shard.endpoint.name,
+                            "start": shard.start,
+                            "stop": shard.stop,
+                            "jobs": shard.response.jobs,
+                        }
+                        for shard in plan
+                    ],
+                },
+            )
+        )
 
 
 class InferenceGateway:
@@ -92,12 +236,12 @@ class InferenceGateway:
             e if isinstance(e, GatewayEndpoint) else GatewayEndpoint(target=e)
             for e in endpoints
         ]
+        # Sized for several batches in flight: shards of batch k+1 queue up
+        # behind the per-endpoint locks while batch k still computes.
         self._threads = ThreadPoolExecutor(
-            max_workers=len(self.endpoints), thread_name_prefix="gateway"
+            max_workers=max(4, 2 * len(self.endpoints)),
+            thread_name_prefix="gateway",
         )
-        # Shards are pinned to endpoints whose own infer() calls serialise
-        # internally, so the gateway allows one batch in flight at a time.
-        self._infer_lock = threading.Lock()
         self._closed = False
 
     # -- lifecycle ----------------------------------------------------------------
@@ -132,6 +276,8 @@ class InferenceGateway:
         Cumulative rounding keeps the boundaries monotone and the final
         boundary equal to ``batch``; endpoints whose rounded share is empty
         (small batches) are skipped rather than sent degenerate requests.
+        A single-endpoint gateway degenerates to one whole-batch shard — no
+        splitting, just the dispatch/merge envelope.
         """
         total = self.total_capacity
         plan: list[_ShardPlan] = []
@@ -147,58 +293,46 @@ class InferenceGateway:
 
     # -- inference ----------------------------------------------------------------
 
+    def _run_shard(
+        self, shard: _ShardPlan, sub_request: InferenceRequest
+    ) -> InferenceResponse:
+        # One shard at a time per endpoint: endpoints own their internal
+        # concurrency (pools shard further, pipelined remotes pipeline),
+        # and most targets' infer() is not reentrant.
+        with shard.endpoint.lock:
+            return shard.endpoint.target.infer(sub_request)
+
+    def submit(self, request: InferenceRequest) -> Future:
+        """Dispatch one batch without blocking.
+
+        Returns a future resolving to the merged
+        :class:`InferenceResponse`.  All endpoint shards go out
+        concurrently; completions merge as they stream in, and a shard
+        failure resolves the future immediately with an error naming the
+        endpoint.  Safe to call again before earlier batches resolve —
+        batches pipeline across the endpoints.
+        """
+        if self._closed:
+            raise RuntimeError("gateway is closed")
+        plan = self.shard_plan(request.batch_size)
+        result: Future = Future()
+        state = _MergeState(self, request, plan, result)
+        for shard in plan:
+            future = self._threads.submit(
+                self._run_shard, shard, request.shard(shard.start, shard.stop)
+            )
+            state.shard_futures.append(future)
+        for shard, future in zip(plan, state.shard_futures):
+            future.add_done_callback(
+                lambda done, shard=shard: state.shard_done(shard, done)
+            )
+        return result
+
     def infer(self, request: InferenceRequest) -> InferenceResponse:
         """Shard one request across the endpoints and merge the responses."""
-        with self._infer_lock:
-            if self._closed:
-                raise RuntimeError("gateway is closed")
-            plan = self.shard_plan(request.batch_size)
-            # A single-shard plan still goes through the merge below so every
-            # gateway response has the same shape (metadata["shards"] etc.).
-            futures = [
-                self._threads.submit(
-                    shard.endpoint.target.infer,
-                    request.shard(shard.start, shard.stop),
-                )
-                for shard in plan
-            ]
-            for shard, future in zip(plan, futures):
-                shard.response = future.result()
+        return self.submit(request).result()
 
-        responses = [shard.response for shard in plan]
-        predictions = np.concatenate([r.predictions for r in responses])
-        spike_counts = np.vstack([r.spike_counts for r in responses])
-        counters = responses[0].counters
-        energy = responses[0].energy
-        for shard_response in responses[1:]:
-            counters = counters.merge(shard_response.counters)
-            energy = energy.merged_with(shard_response.energy)
-        accuracy = None
-        if request.labels is not None:
-            accuracy = float(
-                np.mean(predictions == np.asarray(request.labels, dtype=int))
-            )
-        backends = {r.backend for r in responses}
-        return InferenceResponse(
-            predictions=predictions,
-            spike_counts=spike_counts,
-            accuracy=accuracy,
-            counters=counters,
-            energy=energy,
-            timesteps=responses[0].timesteps,
-            backend=backends.pop() if len(backends) == 1 else "mixed",
-            batch_size=request.batch_size,
-            jobs=int(sum(r.jobs for r in responses)),
-            metadata={
-                "gateway": self.name,
-                "shards": [
-                    {
-                        "endpoint": shard.endpoint.name,
-                        "start": shard.start,
-                        "stop": shard.stop,
-                        "jobs": shard.response.jobs,
-                    }
-                    for shard in plan
-                ],
-            },
-        )
+    def infer_many(self, requests: list[InferenceRequest]) -> list[InferenceResponse]:
+        """Pipeline several batches through the endpoints at once."""
+        futures = [self.submit(request) for request in requests]
+        return [future.result() for future in futures]

@@ -1,4 +1,4 @@
-"""Socket chip server: newline-delimited JSON inference over TCP.
+"""Asyncio chip server: pipelined newline-delimited JSON inference over TCP.
 
 :class:`ChipServer` wraps any inference target that answers
 ``infer(InferenceRequest) -> InferenceResponse`` — a
@@ -6,16 +6,28 @@
 gateway — behind a tiny line-oriented protocol that stdlib clients can speak:
 
 * client sends one JSON object per line: ``{"op": "infer", "request":
-  {...}}``, ``{"op": "info"}``, ``{"op": "ping"}`` or ``{"op": "shutdown"}``;
+  {...}}``, ``{"op": "info"}``, ``{"op": "ping"}`` or ``{"op": "shutdown"}``,
+  optionally tagged with a protocol version ``"v"`` and a request ``"id"``;
 * server answers one JSON object per line: ``{"ok": true, ...}`` on success
   or ``{"ok": false, "error": "..."}`` on failure — malformed JSON, schema
   violations and inference errors all surface as error replies rather than
-  dropped connections.
+  dropped connections.  Replies echo the request's ``id``.
+
+The server core is an :mod:`asyncio` event loop, so a connection is no
+longer a lock-step request/reply channel: a client may keep several tagged
+requests in flight and match the replies by ``id`` (version-1 clients that
+send untagged requests get their replies in arrival order, exactly as
+before).  Every ``infer`` lands on a single server-wide queue; a dispatcher
+coroutine drains the queue and **dynamically batches** compatible requests —
+same ``timesteps`` override — from any number of clients into one
+``target.infer_many`` pool dispatch.  Responses are split back per request
+by the pool, exactly (shard-stable encoding means coalescing changes
+throughput, never numbers).  Chip work runs on a one-thread executor so the
+event loop stays responsive while the chips crunch.
 
 The payloads are exactly the serve-schema dicts, so a response read off the
 wire is lossless (`InferenceResponse.from_dict`), and the numbers a remote
-client sees are bit-identical to a local run.  Connections are handled on
-daemon threads; the pool's own lock serialises actual chip work.
+client sees are bit-identical to a local run.
 
 :func:`load_benchmark_workload` builds a servable SNN from the benchmark
 registry (network → synthetic dataset → ANN→SNN conversion), which is what
@@ -24,19 +36,46 @@ registry (network → synthetic dataset → ANN→SNN conversion), which is what
 
 from __future__ import annotations
 
+import asyncio
+import contextlib
 import json
-import socketserver
+import socket
 import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.datasets import make_dataset
-from repro.serve.schema import SCHEMA_VERSION, InferenceRequest
+from repro.serve.schema import (
+    PROTOCOL_VERSION,
+    SCHEMA_VERSION,
+    InferenceRequest,
+    error_envelope,
+    parse_envelope,
+    reply_envelope,
+)
 from repro.snn.conversion import SpikingNetwork, convert_to_snn
 from repro.workloads import get_benchmark
 
 __all__ = ["ChipServer", "ServingWorkload", "load_benchmark_workload"]
+
+#: Longest accepted wire line.  A request line carries the whole input batch
+#: as JSON floats (~20 bytes per value), so the stdlib's 64 KiB stream
+#: default would cap batches at a few thousand values; 64 MiB comfortably
+#: fits production-sized batches while still bounding a misbehaving client.
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+#: Lines longer than this are parsed off the event loop: decoding megabytes
+#: of JSON inline would stall every other connection for the duration.
+_OFFLOAD_PARSE_BYTES = 64 * 1024
+
+
+def _encode_reply_line(reply: dict[str, object]) -> bytes:
+    """Serialise one reply envelope to its wire line (runs off-loop)."""
+    return json.dumps(reply).encode("utf-8") + b"\n"
 
 
 @dataclass
@@ -85,34 +124,38 @@ def load_benchmark_workload(
     )
 
 
-class _ChipTCPServer(socketserver.ThreadingTCPServer):
-    allow_reuse_address = True
-    daemon_threads = True
+@dataclass
+class _QueuedInfer:
+    """One infer request waiting in the server's dynamic-batching queue."""
 
-
-class _ChipRequestHandler(socketserver.StreamRequestHandler):
-    def handle(self) -> None:
-        for raw in self.rfile:
-            line = raw.strip()
-            if not line:
-                continue
-            reply = self.server.chip_server._handle_line(line.decode("utf-8"))
-            self.wfile.write(reply.encode("utf-8") + b"\n")
-            self.wfile.flush()
+    key: object  # compatibility key: requests sharing it may coalesce
+    request: InferenceRequest
+    future: asyncio.Future
 
 
 class ChipServer:
-    """Serve an inference target on a TCP port.
+    """Serve an inference target on a TCP port (asyncio core).
 
     Parameters
     ----------
     target:
         Anything with ``infer(InferenceRequest) -> InferenceResponse``.
+        Targets that additionally provide ``infer_many(list) -> list`` (a
+        :class:`~repro.serve.ChipPool`) get cross-client dynamic batching:
+        queued compatible requests coalesce into one pool dispatch.
     host, port:
         Bind address; ``port=0`` picks a free port (read it back from
-        :attr:`address`).
+        :attr:`address`).  The socket is bound eagerly in the constructor,
+        so :attr:`address` is valid before serving starts.
     workload:
         Human-readable workload name reported by the ``info`` op.
+    max_batch:
+        Most requests one dynamic batch may coalesce (>= 1).
+    batch_window_s:
+        Extra seconds the dispatcher lingers for more compatible requests
+        once the queue runs dry before dispatching a non-full batch.  The
+        default 0 only coalesces what is already queued — batching under
+        concurrency, zero added latency when idle.
 
     Use :meth:`serve_forever` to block, or :meth:`start` to serve on a
     background thread; :meth:`close` (or the context manager) tears down
@@ -126,17 +169,35 @@ class ChipServer:
         host: str = "127.0.0.1",
         port: int = 0,
         workload: str = "custom",
+        max_batch: int = 8,
+        batch_window_s: float = 0.0,
     ):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if batch_window_s < 0:
+            raise ValueError(f"batch_window_s must be >= 0, got {batch_window_s}")
         self.target = target
         self.workload = workload
-        self._tcp = _ChipTCPServer((host, port), _ChipRequestHandler)
-        self._tcp.chip_server = self
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_s
+        # Bind eagerly so `address` works immediately and `start()` has no
+        # listening race; asyncio adopts this socket in _serve_async.
+        self._sock = socket.create_server((host, port), reuse_port=False)
+        bound = self._sock.getsockname()[:2]
+        self._address = (str(bound[0]), int(bound[1]))
+        #: Dynamic-batching counters: total requests served, dispatches made
+        #: and the largest coalesced dispatch (only the dispatcher coroutine
+        #: writes these).
+        self.stats: dict[str, int] = {"requests": 0, "batches": 0, "max_coalesced": 0}
         self._thread: threading.Thread | None = None
-        # Connections are handled on parallel threads, but bare targets (a
-        # structural ChipSession mutates live chip state per run) are not
-        # thread-safe — serialise inference here.  Pools/gateways carry
-        # their own lock; the double acquisition is uncontended.
-        self._infer_lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._queue: asyncio.Queue[_QueuedInfer] | None = None
+        # Chip work runs on exactly one worker thread, which is the
+        # serialisation point: bare targets (a structural ChipSession
+        # mutates live chip state per run) are not thread-safe, and a busy
+        # worker is what lets queued requests pile up and coalesce.
+        self._work = ThreadPoolExecutor(max_workers=1, thread_name_prefix="chip-work")
         self._serving = False
         self._closed = False
 
@@ -144,9 +205,8 @@ class ChipServer:
 
     @property
     def address(self) -> tuple[str, int]:
-        """The bound ``(host, port)``."""
-        host, port = self._tcp.server_address[:2]
-        return str(host), int(port)
+        """The bound ``(host, port)`` (cached at bind time)."""
+        return self._address
 
     @property
     def endpoint(self) -> str:
@@ -160,6 +220,7 @@ class ChipServer:
         jobs = int(getattr(self.target, "jobs", 1))
         info: dict[str, object] = {
             "schema_version": SCHEMA_VERSION,
+            "protocol_version": PROTOCOL_VERSION,
             "workload": self.workload,
             "backend": getattr(session, "backend", "unknown"),
             "timesteps": int(getattr(session, "timesteps", 0)),
@@ -167,6 +228,8 @@ class ChipServer:
             # Capacity drives gateway sharding weights; a pool's capacity is
             # its worker count.
             "capacity": jobs,
+            "max_batch": self.max_batch,
+            "stats": dict(self.stats),
         }
         executor = getattr(self.target, "executor", None)
         if executor is not None:
@@ -175,15 +238,11 @@ class ChipServer:
 
     # -- protocol -----------------------------------------------------------------
 
-    def _handle_line(self, line: str) -> str:
+    async def _execute(self, message: dict[str, object]) -> dict[str, object]:
+        """Turn one parsed envelope into a reply envelope (never raises)."""
+        op = message.get("op")
+        request_id = message.get("id")
         try:
-            try:
-                message = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(f"malformed request line: {exc}") from None
-            if not isinstance(message, dict):
-                raise ValueError("request line must be a JSON object")
-            op = message.get("op")
             if op == "ping":
                 result: dict[str, object] = {"pong": True}
             elif op == "info":
@@ -192,37 +251,267 @@ class ChipServer:
                 payload = message.get("request")
                 if not isinstance(payload, dict):
                     raise ValueError('infer needs a "request" object payload')
-                request = InferenceRequest.from_dict(payload)
-                with self._infer_lock:
-                    response = self.target.infer(request)
-                result = {"response": response.to_dict()}
+                assert self._loop is not None and self._queue is not None
+                # Schema decode/encode of a large batch is real CPU work;
+                # run it off-loop so other connections stay responsive.
+                request = await self._loop.run_in_executor(
+                    None, InferenceRequest.from_dict, payload
+                )
+                future = self._loop.create_future()
+                # Compatibility key: only requests sharing the encoding
+                # window may ride in one coalesced dispatch.
+                await self._queue.put(
+                    _QueuedInfer(key=request.timesteps, request=request, future=future)
+                )
+                response = await future
+                result = {
+                    "response": await self._loop.run_in_executor(
+                        None, response.to_dict
+                    )
+                }
             elif op == "shutdown":
-                # shutdown() must not run on the serve_forever thread; the
-                # handler thread (ThreadingTCPServer) is safe.
-                threading.Thread(target=self._tcp.shutdown, daemon=True).start()
                 result = {"stopping": True}
             else:
                 raise ValueError(
                     f"unknown op {op!r}; expected ping, info, infer or shutdown"
                 )
-            return json.dumps({"ok": True, **result})
+            return reply_envelope(op, result, request_id=request_id)
+        except asyncio.CancelledError:
+            raise
         except Exception as exc:  # noqa: BLE001 - every failure becomes a reply
-            return json.dumps({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+            return error_envelope(
+                f"{type(exc).__name__}: {exc}", op=op, request_id=request_id
+            )
+
+    def _run_batch(self, requests: list[InferenceRequest]):
+        """Execute one coalesced dispatch (only ever on the single work thread)."""
+        infer_many = getattr(self.target, "infer_many", None)
+        if infer_many is not None and len(requests) > 1:
+            return infer_many(requests)
+        return [self.target.infer(request) for request in requests]
+
+    async def _batch_loop(self) -> None:
+        """Drain the request queue, coalescing compatible requests."""
+        assert self._loop is not None and self._queue is not None
+        pending: deque[_QueuedInfer] = deque()
+        while True:
+            if not pending:
+                pending.append(await self._queue.get())
+            # Everything already queued joins the candidate set at once.
+            with contextlib.suppress(asyncio.QueueEmpty):
+                while True:
+                    pending.append(self._queue.get_nowait())
+            if (
+                self.batch_window_s > 0
+                and len(pending) < self.max_batch
+            ):
+                with contextlib.suppress(asyncio.TimeoutError, TimeoutError):
+                    pending.append(
+                        await asyncio.wait_for(self._queue.get(), self.batch_window_s)
+                    )
+            # Coalesce the head-of-line request with every compatible
+            # follower (FIFO order preserved for the rest).
+            key = pending[0].key
+            batch: list[_QueuedInfer] = []
+            rest: deque[_QueuedInfer] = deque()
+            for item in pending:
+                if item.key == key and len(batch) < self.max_batch:
+                    batch.append(item)
+                else:
+                    rest.append(item)
+            pending = rest
+            live = [item for item in batch if not item.future.done()]
+            if not live:
+                continue
+            self.stats["requests"] += len(live)
+            self.stats["batches"] += 1
+            self.stats["max_coalesced"] = max(self.stats["max_coalesced"], len(live))
+            try:
+                responses = await self._loop.run_in_executor(
+                    self._work, self._run_batch, [item.request for item in live]
+                )
+            except Exception as exc:  # noqa: BLE001 - surfaced per request
+                for item in live:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                continue
+            for item, response in zip(live, responses):
+                if not item.future.done():
+                    item.future.set_result(response)
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        ordered_tail: asyncio.Task | None = None
+        tasks: set[asyncio.Task] = set()
+        saw_shutdown = False
+
+        async def process(
+            message: dict[str, object] | None,
+            error: tuple[str, object, object] | None,
+            previous: asyncio.Task | None,
+        ) -> None:
+            if error is not None:
+                text, op, request_id = error
+                reply = error_envelope(text, op=op, request_id=request_id)
+                is_shutdown = False
+            else:
+                assert message is not None
+                reply = await self._execute(message)
+                is_shutdown = message.get("op") == "shutdown"
+            if previous is not None:
+                # Version-1 requests carry no id, so their replies must
+                # leave in arrival order; chain on the previous untagged
+                # reply (its own failures were already turned into replies).
+                with contextlib.suppress(Exception):
+                    await asyncio.shield(previous)
+            assert self._loop is not None
+            data = await self._loop.run_in_executor(None, _encode_reply_line, reply)
+            try:
+                async with write_lock:
+                    writer.write(data)
+                    await writer.drain()
+            finally:
+                if is_shutdown and self._stop_event is not None:
+                    # The reply goes out first so the asking client sees the
+                    # acknowledgement — but the stop must happen even if
+                    # that client already hung up (fire-and-forget scripts).
+                    self._stop_event.set()
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line longer than the stream limit: the connection
+                    # cannot be resynchronised, but the client still gets
+                    # told why before the hangup.
+                    reply = error_envelope(
+                        f"ValueError: request line exceeds the server's "
+                        f"{MAX_LINE_BYTES} byte limit"
+                    )
+                    async with write_lock:
+                        writer.write(json.dumps(reply).encode("utf-8") + b"\n")
+                        await writer.drain()
+                    break
+                if not line:
+                    break
+                text = line.strip()
+                if not text:
+                    continue
+                message: dict[str, object] | None = None
+                error: tuple[str, object, object] | None = None
+                try:
+                    decoded = text.decode("utf-8")
+                    if len(text) > _OFFLOAD_PARSE_BYTES:
+                        # Parsing megabytes of JSON inline would stall every
+                        # other connection; push it to the default executor.
+                        message = await asyncio.get_running_loop().run_in_executor(
+                            None, parse_envelope, decoded
+                        )
+                    else:
+                        message = parse_envelope(decoded)
+                except ValueError as exc:
+                    # Best effort to tag the error reply: a line that is
+                    # valid JSON but a rejected envelope (bad version, ...)
+                    # still carries an id a pipelined client routes by.
+                    op = request_id = None
+                    if len(text) <= _OFFLOAD_PARSE_BYTES:
+                        with contextlib.suppress(ValueError, UnicodeDecodeError):
+                            raw = json.loads(text.decode("utf-8"))
+                            if isinstance(raw, dict):
+                                op, request_id = raw.get("op"), raw.get("id")
+                    error = (f"ValueError: {exc}", op, request_id)
+                if message is not None and message.get("op") == "shutdown":
+                    saw_shutdown = True
+                pipelined = message is not None and message.get("id") is not None
+                task = asyncio.create_task(
+                    process(message, error, None if pipelined else ordered_tail)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+                if not pipelined:
+                    ordered_tail = task
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            for task in list(tasks):
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            if saw_shutdown and self._stop_event is not None:
+                # A fire-and-forget client may hang up before its shutdown
+                # task ran (and the hangup cancels pending tasks above); the
+                # op must still win.  Setting the event twice is harmless.
+                self._stop_event.set()
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
 
     # -- lifecycle ----------------------------------------------------------------
+
+    async def _serve_async(self) -> None:
+        self._stop_event = asyncio.Event()
+        self._queue = asyncio.Queue()
+        # The loop is published LAST: start() returns (and close() may run)
+        # as soon as it appears, and close() needs the stop event with it.
+        self._loop = asyncio.get_running_loop()
+        connections: set[asyncio.Task] = set()
+
+        async def handle(reader, writer) -> None:
+            task = asyncio.current_task()
+            connections.add(task)
+            try:
+                await self._handle_client(reader, writer)
+            except asyncio.CancelledError:
+                # Server shutdown hung up on this client mid-connection;
+                # finish cleanly so asyncio's stream machinery (which calls
+                # task.exception() from a plain callback) sees a completed
+                # task, not a cancelled one.
+                pass
+            finally:
+                connections.discard(task)
+
+        dispatcher = asyncio.create_task(self._batch_loop())
+        server = await asyncio.start_server(
+            handle, sock=self._sock, limit=MAX_LINE_BYTES
+        )
+        try:
+            await self._stop_event.wait()
+        finally:
+            dispatcher.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await dispatcher
+            # Hang up on lingering clients: on newer Pythons wait_closed()
+            # waits for every handler, and a connected-but-idle client must
+            # not stall the shutdown.
+            for task in list(connections):
+                task.cancel()
+            if connections:
+                await asyncio.gather(*connections, return_exceptions=True)
+            server.close()
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`close` or a shutdown op."""
         self._serving = True
-        self._tcp.serve_forever(poll_interval=0.1)
+        try:
+            asyncio.run(self._serve_async())
+        finally:
+            self._serving = False
 
     def start(self) -> "ChipServer":
         """Serve on a background daemon thread and return self."""
-        self._serving = True
         self._thread = threading.Thread(
             target=self.serve_forever, name="chip-server", daemon=True
         )
         self._thread.start()
+        # serve_forever owns the listening socket from here; wait until the
+        # loop exists so an immediate close() can reach it.
+        while self._thread.is_alive() and self._loop is None:
+            time.sleep(0.001)
         return self
 
     def close(self) -> None:
@@ -230,13 +519,15 @@ class ChipServer:
         if self._closed:
             return
         self._closed = True
-        # shutdown() waits on serve_forever's exit event and would block
-        # forever on a server that never served.
-        if self._serving:
-            self._tcp.shutdown()
-        self._tcp.server_close()
+        loop, stop = self._loop, self._stop_event
+        if loop is not None and stop is not None and not loop.is_closed():
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(stop.set)
         if self._thread is not None:
-            self._thread.join(timeout=5.0)
+            self._thread.join(timeout=10.0)
+        self._work.shutdown(wait=True)
+        with contextlib.suppress(OSError):
+            self._sock.close()
 
     def __enter__(self) -> "ChipServer":
         return self

@@ -134,14 +134,15 @@ class ChipPool:
 
     # -- inference ----------------------------------------------------------------
 
-    def _shard_bounds(self, batch: int) -> list[tuple[int, int]]:
+    def _shard_bounds(self, batch: int, shards: int | None = None) -> list[tuple[int, int]]:
         """Contiguous, near-equal shard boundaries; empty shards are dropped.
 
-        With ``batch < jobs`` some workers have nothing to do; their empty
+        With ``batch < shards`` some workers have nothing to do; their empty
         shards are dropped here so no worker ever receives a degenerate
         zero-sample request (which the schema rejects).
         """
-        sizes = [len(part) for part in np.array_split(np.arange(batch), self.jobs)]
+        shards = self.jobs if shards is None else shards
+        sizes = [len(part) for part in np.array_split(np.arange(batch), shards)]
         bounds = []
         start = 0
         for size in sizes:
@@ -150,29 +151,107 @@ class ChipPool:
             start += size
         return bounds
 
+    def _shard_allocation(self, requests: list[InferenceRequest]) -> list[int]:
+        """How many shards each request receives in one coalesced dispatch.
+
+        Every request gets at least one shard; leftover worker slots go to
+        the largest remaining per-shard batches first (deterministic
+        tie-break on request order), so one big request cannot starve the
+        small ones riding in the same dispatch and the total never exceeds
+        ``jobs`` when the requests fit in a single wave.
+        """
+        sizes = [request.batch_size for request in requests]
+        shares = [1] * len(requests)
+        spare = self.jobs - len(requests)
+        while spare > 0:
+            # The request whose shards are currently largest gets the slot.
+            candidates = [
+                (size / share, -index)
+                for index, (size, share) in enumerate(zip(sizes, shares))
+                if share < size
+            ]
+            if not candidates:
+                break
+            _, neg_index = max(candidates)
+            shares[-neg_index] += 1
+            spare -= 1
+        return shares
+
     def infer(self, request: InferenceRequest) -> InferenceResponse:
         """Shard one request across the workers and merge their responses.
 
-        Thread-safe: concurrent callers are serialised, one batch in flight
-        at a time (the workers parallelise *within* a batch).
+        Thread-safe: concurrent callers are serialised, one dispatch in
+        flight at a time (the workers parallelise *within* a dispatch).
         """
+        return self.infer_many([request])[0]
+
+    def infer_many(self, requests: list[InferenceRequest]) -> list[InferenceResponse]:
+        """Run several requests as one coalesced pool dispatch.
+
+        This is the dynamic-batching seam the async chip server drains its
+        request queue through: the pool's ``jobs`` worker slots are
+        allocated across all queued requests at once (each request split
+        into contiguous shards carrying its *own* absolute
+        ``sample_offset``), every shard executes through the shard executor,
+        and the shard responses are regrouped per request with exactly the
+        merge a standalone :meth:`infer` performs.  Because encoding is
+        shard-stable per absolute sample index, each returned response is
+        result-identical to running that request alone on a single
+        :class:`~repro.serve.ChipSession` — coalescing changes throughput,
+        never numbers.
+
+        Requests may disagree on ``timesteps``/``labels``; each shard
+        carries its request's own overrides.  More requests than worker
+        slots simply execute in successive waves of ``jobs`` shards.
+        """
+        if not requests:
+            raise ValueError("infer_many needs at least one request")
         with self._infer_lock:
             if self._closed:
                 raise RuntimeError("pool is closed")
-            batch = request.batch_size
-            timesteps = (
-                request.timesteps
-                if request.timesteps is not None
-                else self.session.timesteps
+            plans = [
+                self._shard_bounds(request.batch_size, shards)
+                for request, shards in zip(requests, self._shard_allocation(requests))
+            ]
+            if len(requests) == 1 and len(plans[0]) <= 1:
+                # Historic fast path: a request too small to shard runs on
+                # the primary session without touching the executor.
+                return [self.session.infer(requests[0])]
+            shard_requests = [
+                request.shard(start, stop)
+                for request, bounds in zip(requests, plans)
+                for start, stop in bounds
+            ]
+            # Executors pin shards to fixed workers, so a dispatch larger
+            # than the worker count executes in successive full waves.
+            responses: list[InferenceResponse] = []
+            for wave in range(0, len(shard_requests), self.jobs):
+                responses.extend(
+                    self._shard_executor.run_shards(
+                        shard_requests[wave : wave + self.jobs]
+                    )
+                )
+        merged = []
+        cursor = 0
+        for request, bounds in zip(requests, plans):
+            merged.append(
+                self._merge_request(request, responses[cursor : cursor + len(bounds)])
             )
-            bounds = self._shard_bounds(batch)
-            if len(bounds) <= 1:
-                return self.session.infer(request)
+            cursor += len(bounds)
+        return merged
 
-            responses = self._shard_executor.run_shards(
-                [request.shard(start, stop) for start, stop in bounds]
-            )
-
+    def _merge_request(
+        self, request: InferenceRequest, responses: list[InferenceResponse]
+    ) -> InferenceResponse:
+        """Merge one request's shard responses (exact, same as a single run)."""
+        if len(responses) == 1:
+            return responses[0]
+        batch = request.batch_size
+        timesteps = (
+            request.timesteps
+            if request.timesteps is not None
+            else self.session.timesteps
+        )
         predictions = np.concatenate([r.predictions for r in responses])
         spike_counts = np.vstack([r.spike_counts for r in responses])
         counters = responses[0].counters
@@ -196,5 +275,5 @@ class ChipPool:
             timesteps=timesteps,
             backend=self.session.backend,
             batch_size=batch,
-            jobs=len(bounds),
+            jobs=len(responses),
         )

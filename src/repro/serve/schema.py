@@ -10,6 +10,13 @@ precision), carrying :class:`~repro.core.stats.EventCounters` and
 
 The schema is versioned (``SCHEMA_VERSION``) so a deserialiser can reject
 payloads written by an incompatible producer instead of mis-reading them.
+
+This module also defines the newline-delimited JSON *wire envelope* the chip
+server and its clients exchange (one JSON object per line in each
+direction).  Protocol version 2 adds explicit ``op``/``reply`` framing and
+optional request ``id``\\ s so several requests can be in flight on one
+connection; version-1 peers (no ``v``, no ``id``) remain fully supported —
+the server answers them in arrival order, exactly as before.
 """
 
 from __future__ import annotations
@@ -22,10 +29,90 @@ import numpy as np
 from repro.core.stats import EventCounters
 from repro.energy.model import EnergyReport
 
-__all__ = ["SCHEMA_VERSION", "InferenceRequest", "InferenceResponse"]
+__all__ = [
+    "PROTOCOL_VERSION",
+    "SCHEMA_VERSION",
+    "InferenceRequest",
+    "InferenceResponse",
+    "error_envelope",
+    "parse_envelope",
+    "reply_envelope",
+    "request_envelope",
+]
 
 #: Version tag embedded in every serialised response.
 SCHEMA_VERSION = 1
+
+#: Wire-envelope version: 2 adds request ids and ``op``/``reply`` framing.
+#: Version-1 envelopes (no ``v`` field) are still accepted everywhere.
+PROTOCOL_VERSION = 2
+
+
+# -- wire envelope ------------------------------------------------------------------
+
+
+def request_envelope(
+    op: str, *, request_id: object = None, **fields: object
+) -> dict[str, object]:
+    """Build one request line of the wire protocol.
+
+    ``request_id`` (any JSON scalar) tags the request so its reply can be
+    matched out of order; omitting it produces a version-1 style envelope
+    whose reply arrives in order on the connection.
+    """
+    envelope: dict[str, object] = {"v": PROTOCOL_VERSION, "op": op}
+    if request_id is not None:
+        envelope["id"] = request_id
+    envelope.update(fields)
+    return envelope
+
+
+def reply_envelope(
+    op: object, result: dict[str, object], *, request_id: object = None
+) -> dict[str, object]:
+    """Build a success reply, echoing the request's ``op`` and ``id``."""
+    envelope: dict[str, object] = {"ok": True, "v": PROTOCOL_VERSION, "reply": op}
+    if request_id is not None:
+        envelope["id"] = request_id
+    envelope.update(result)
+    return envelope
+
+
+def error_envelope(
+    message: str, *, op: object = None, request_id: object = None
+) -> dict[str, object]:
+    """Build an error reply (every failure becomes a reply, never a dropped line)."""
+    envelope: dict[str, object] = {
+        "ok": False,
+        "v": PROTOCOL_VERSION,
+        "reply": op,
+        "error": message,
+    }
+    if request_id is not None:
+        envelope["id"] = request_id
+    return envelope
+
+
+def parse_envelope(line: str) -> dict[str, object]:
+    """Parse one wire line into an envelope mapping.
+
+    Raises :class:`ValueError` on malformed JSON, non-object lines and
+    envelope versions newer than this build understands, so the server can
+    turn every protocol violation into an error reply.
+    """
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed request line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ValueError("request line must be a JSON object")
+    version = message.get("v", 1)
+    if not isinstance(version, int) or not 1 <= version <= PROTOCOL_VERSION:
+        raise ValueError(
+            f"unsupported protocol version {version!r} "
+            f"(this build speaks 1..{PROTOCOL_VERSION})"
+        )
+    return message
 
 
 def _as_batch(inputs: np.ndarray) -> np.ndarray:

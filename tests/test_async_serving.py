@@ -1,0 +1,744 @@
+"""The async serving core: pipelined protocol, dynamic batching, resilience.
+
+Four seams of the PR-4 refactor, each held to the established parity bar
+(results must be *exactly* what a single :class:`~repro.serve.ChipSession`
+returns — parallelism, pipelining and coalescing may change throughput,
+never numbers):
+
+* the **wire protocol**: version-2 envelopes with request ids allow several
+  requests in flight per connection, while untagged version-1 lines keep
+  their strict in-order replies;
+* the **pool's** :meth:`~repro.serve.ChipPool.infer_many` dynamic-batching
+  seam: many requests coalesce into one executor dispatch and split back
+  per request, exactly;
+* the **server's** cross-client dynamic batcher, driven through gate
+  targets so coalescing is deterministic rather than timing-dependent;
+* **client/gateway resilience**: reconnect-and-retry across a server
+  restart, non-blocking gateway dispatch, and failure surfacing instead of
+  a hung merge.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core import ArchitectureConfig
+from repro.serve import ChipPool, ChipSession, InferenceRequest
+from repro.serve.distributed import (
+    EXECUTORS,
+    ChipServer,
+    GatewayEndpoint,
+    InferenceGateway,
+    PipelinedSession,
+    RemoteSession,
+)
+from repro.serve.schema import PROTOCOL_VERSION, request_envelope
+from repro.snn import Dense, Network, convert_to_snn
+
+ENERGY_RTOL = 1e-9
+
+
+def _mlp(seed: int, dims: tuple[int, ...]):
+    rng = np.random.default_rng(seed)
+    layers = []
+    for i, (n_in, n_out) in enumerate(zip(dims[:-1], dims[1:])):
+        last = i == len(dims) - 2
+        layers.append(
+            Dense(
+                n_in,
+                n_out,
+                activation=None if last else "relu",
+                use_bias=False,
+                rng=rng,
+                name=f"fc{i}",
+            )
+        )
+    network = Network((dims[0],), layers, name=f"async-{'x'.join(map(str, dims))}")
+    return convert_to_snn(network, rng.random((12, dims[0])))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    snn = _mlp(9, (48, 24, 10))
+    config = ArchitectureConfig(crossbar_rows=16, crossbar_columns=16)
+    rng = np.random.default_rng(33)
+    inputs = rng.random((13, 48))
+    labels = rng.integers(0, 10, size=13)
+    return snn, config, inputs, labels
+
+
+@pytest.fixture(scope="module")
+def single_session(workload):
+    snn, config, _, _ = workload
+    return ChipSession(snn, config=config, timesteps=5, encoder="poisson", seed=21)
+
+
+def _fresh_session(workload):
+    snn, config, _, _ = workload
+    return ChipSession(snn, config=config, timesteps=5, encoder="poisson", seed=21)
+
+
+def _assert_identical(expected, actual):
+    np.testing.assert_array_equal(expected.predictions, actual.predictions)
+    np.testing.assert_array_equal(expected.spike_counts, actual.spike_counts)
+    assert expected.accuracy == actual.accuracy
+    e, a = expected.counters.as_dict(), actual.counters.as_dict()
+    for name, value in e.items():
+        if name == "crossbar_device_energy_j":
+            assert a[name] == pytest.approx(value, rel=ENERGY_RTOL)
+        else:
+            assert a[name] == value, f"counter {name}: {a[name]} != {value}"
+    assert actual.energy.total_j == pytest.approx(
+        expected.energy.total_j, rel=ENERGY_RTOL
+    )
+
+
+# -- wire protocol ------------------------------------------------------------------
+
+
+class TestWireProtocol:
+    @pytest.fixture(scope="class")
+    def served_session(self, workload):
+        snn, config, _, _ = workload
+        session = ChipSession(snn, config=config, timesteps=5, encoder="poisson", seed=21)
+        with ChipServer(session, port=0, workload="wire-test").start() as server:
+            yield server
+
+    def test_tagged_requests_pipeline_on_one_connection(
+        self, served_session, workload, single_session
+    ):
+        _, _, inputs, _ = workload
+        first = InferenceRequest(inputs=inputs[:4])
+        second = InferenceRequest(inputs=inputs[4:9], sample_offset=4)
+        with socket.create_connection(served_session.address, timeout=30) as raw:
+            stream = raw.makefile("rwb")
+            # Both requests go out before either reply is read: the server
+            # must accept the pipelined lines and tag each reply with its id.
+            for request_id, request in [("a", first), ("b", second)]:
+                line = request_envelope(
+                    "infer", request_id=request_id, request=request.to_dict()
+                )
+                stream.write(json.dumps(line).encode() + b"\n")
+            stream.flush()
+            replies = [json.loads(stream.readline()) for _ in range(2)]
+        by_id = {reply["id"]: reply for reply in replies}
+        assert set(by_id) == {"a", "b"}
+        for reply in replies:
+            assert reply["ok"] is True
+            assert reply["reply"] == "infer"
+            assert reply["v"] == PROTOCOL_VERSION
+        expected = single_session.infer(InferenceRequest(inputs=inputs[:9]))
+        merged = np.concatenate(
+            [
+                np.asarray(by_id["a"]["response"]["predictions"]),
+                np.asarray(by_id["b"]["response"]["predictions"]),
+            ]
+        )
+        np.testing.assert_array_equal(expected.predictions, merged)
+
+    def test_untagged_v1_lines_still_answered_in_order(self, served_session):
+        with socket.create_connection(served_session.address, timeout=30) as raw:
+            stream = raw.makefile("rwb")
+            stream.write(b'{"op": "ping"}\n{"op": "info"}\n')
+            stream.flush()
+            ping = json.loads(stream.readline())
+            info = json.loads(stream.readline())
+        assert ping["ok"] is True and ping["pong"] is True
+        assert "id" not in ping
+        assert info["ok"] is True
+        assert info["info"]["workload"] == "wire-test"
+        assert info["info"]["protocol_version"] == PROTOCOL_VERSION
+
+    def test_unsupported_protocol_version_rejected(self, served_session):
+        with socket.create_connection(served_session.address, timeout=30) as raw:
+            stream = raw.makefile("rwb")
+            stream.write(b'{"v": 99, "op": "ping", "id": 1}\n')
+            stream.flush()
+            reply = json.loads(stream.readline())
+        assert reply["ok"] is False
+        assert "unsupported protocol version" in reply["error"]
+        # The error reply must stay routable: a pipelined client matches
+        # replies by id, and the bad line still carried one.
+        assert reply["id"] == 1
+        assert reply["reply"] == "ping"
+
+    def test_large_request_lines_cross_the_wire(self, served_session, single_session):
+        # A production batch serialises to hundreds of kilobytes per line —
+        # far past the stdlib stream default of 64 KiB.  Regression test for
+        # the server's raised line limit.
+        rng = np.random.default_rng(4)
+        request = InferenceRequest(inputs=rng.random((600, 48)))
+        expected = single_session.infer(request)
+        with RemoteSession.connect(served_session.address, timeout=60) as remote:
+            response = remote.infer(request)
+        np.testing.assert_array_equal(expected.predictions, response.predictions)
+        np.testing.assert_array_equal(expected.spike_counts, response.spike_counts)
+
+    def test_request_envelope_shape(self):
+        envelope = request_envelope("infer", request_id=7, request={"inputs": [[1.0]]})
+        assert envelope == {
+            "v": PROTOCOL_VERSION,
+            "op": "infer",
+            "id": 7,
+            "request": {"inputs": [[1.0]]},
+        }
+        assert "id" not in request_envelope("ping")
+
+
+# -- pool dynamic batching ----------------------------------------------------------
+
+
+class TestPoolInferMany:
+    @pytest.mark.parametrize("executor", sorted(EXECUTORS))
+    def test_coalesced_requests_split_back_exactly(
+        self, workload, single_session, executor
+    ):
+        snn, config, inputs, labels = workload
+        requests = [
+            InferenceRequest(inputs=inputs[:5], labels=labels[:5]),
+            InferenceRequest(inputs=inputs, labels=labels),
+            InferenceRequest(inputs=inputs[:1]),
+            InferenceRequest(inputs=inputs[:6], timesteps=3),
+        ]
+        expected = [single_session.infer(request) for request in requests]
+        with ChipPool(
+            snn,
+            jobs=3,
+            config=config,
+            timesteps=5,
+            encoder="poisson",
+            seed=21,
+            executor=executor,
+        ) as pool:
+            responses = pool.infer_many(requests)
+        assert len(responses) == len(requests)
+        for want, got in zip(expected, responses):
+            _assert_identical(want, got)
+
+    def test_more_requests_than_jobs_run_in_waves(self, workload, single_session):
+        snn, config, inputs, labels = workload
+        requests = [
+            InferenceRequest(inputs=inputs[i : i + 2], labels=labels[i : i + 2],
+                             sample_offset=i)
+            for i in range(0, 10, 2)
+        ]
+        expected = [single_session.infer(request) for request in requests]
+        with ChipPool(
+            snn, jobs=2, config=config, timesteps=5, encoder="poisson", seed=21
+        ) as pool:
+            responses = pool.infer_many(requests)
+        for want, got in zip(expected, responses):
+            _assert_identical(want, got)
+
+    def test_shard_allocation_properties(self, workload):
+        snn, config, inputs, _ = workload
+
+        def req(n):
+            return InferenceRequest(inputs=inputs[:n])
+
+        with ChipPool(
+            snn, jobs=4, config=config, timesteps=5, encoder="poisson", seed=21
+        ) as pool:
+            # Proportional with a floor of one shard per request.
+            assert pool._shard_allocation([req(8), req(2)]) == [3, 1]
+            # A batch-1 request can never be split further.
+            assert pool._shard_allocation([req(1), req(1), req(1)]) == [1, 1, 1]
+            # One request soaks up every worker slot.
+            assert pool._shard_allocation([req(13)]) == [4]
+            # More requests than slots: one shard each (waves handle the rest).
+            assert pool._shard_allocation([req(2)] * 6) == [1] * 6
+        with ChipPool(
+            snn, jobs=2, config=config, timesteps=5, encoder="poisson", seed=21
+        ) as pool:
+            with pytest.raises(ValueError, match="at least one request"):
+                pool.infer_many([])
+
+    def test_infer_still_matches_single_session(self, workload, single_session):
+        snn, config, inputs, labels = workload
+        request = InferenceRequest(inputs=inputs, labels=labels)
+        expected = single_session.infer(request)
+        with ChipPool(
+            snn, jobs=3, config=config, timesteps=5, encoder="poisson", seed=21
+        ) as pool:
+            response = pool.infer(request)
+        assert response.jobs == 3
+        _assert_identical(expected, response)
+
+
+# -- server-side dynamic batching ---------------------------------------------------
+
+
+class _GateTarget:
+    """Inference target that blocks until released and records dispatch sizes.
+
+    Lets a test hold the server's single work thread busy while more
+    requests queue up, making cross-client coalescing deterministic instead
+    of timing-dependent.
+    """
+
+    def __init__(self, session: ChipSession):
+        self.session = session
+        self.entered = threading.Event()
+        self.release = threading.Event()
+        self.dispatches: list[int] = []
+
+    @property
+    def backend(self) -> str:
+        return self.session.backend
+
+    @property
+    def timesteps(self) -> int:
+        return self.session.timesteps
+
+    def infer(self, request):
+        return self.infer_many([request])[0]
+
+    def infer_many(self, requests):
+        self.entered.set()
+        assert self.release.wait(timeout=30), "gate never released"
+        self.dispatches.append(len(requests))
+        return [self.session.infer(request) for request in requests]
+
+
+class TestServerDynamicBatching:
+    def _wait_for_queue(self, server: ChipServer, depth: int) -> None:
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if server._queue is not None and server._queue.qsize() >= depth:
+                return
+            time.sleep(0.005)
+        raise AssertionError(f"server queue never reached depth {depth}")
+
+    def test_queued_compatible_requests_coalesce(self, workload, single_session):
+        _, _, inputs, labels = workload
+        gate = _GateTarget(_fresh_session(workload))
+        first = InferenceRequest(inputs=inputs[:3], labels=labels[:3])
+        second = InferenceRequest(inputs=inputs, labels=labels)
+        third = InferenceRequest(inputs=inputs[:6], sample_offset=7)
+        with ChipServer(gate, port=0, workload="gate").start() as server:
+            with PipelinedSession.connect(server.address, connections=1) as client_a:
+                with PipelinedSession.connect(server.address, connections=1) as client_b:
+                    future_1 = client_a.submit(first)
+                    # While the work thread is gated on the first dispatch,
+                    # two more requests (one per client) pile up in the
+                    # server queue.
+                    assert gate.entered.wait(timeout=10), "first dispatch never ran"
+                    future_2 = client_a.submit(second)
+                    future_3 = client_b.submit(third)
+                    self._wait_for_queue(server, 2)
+                    gate.release.set()
+                    responses = [
+                        future.result(timeout=60)
+                        for future in (future_1, future_2, future_3)
+                    ]
+        # The gated head dispatched alone; the two queued requests (from two
+        # different clients) coalesced into one dispatch.
+        assert gate.dispatches == [1, 2]
+        assert server.stats["max_coalesced"] == 2
+        assert server.stats["requests"] == 3
+        for request, response in zip((first, second, third), responses):
+            _assert_identical(single_session.infer(request), response)
+
+    def test_incompatible_timesteps_never_coalesce(self, workload, single_session):
+        _, _, inputs, _ = workload
+        gate = _GateTarget(_fresh_session(workload))
+        plain = InferenceRequest(inputs=inputs[:3])
+        override = InferenceRequest(inputs=inputs[:3], timesteps=3)
+        with ChipServer(gate, port=0, workload="gate").start() as server:
+            with PipelinedSession.connect(server.address, connections=1) as client:
+                futures = [client.submit(plain)]
+                assert gate.entered.wait(timeout=10), "first dispatch never ran"
+                futures += [client.submit(plain), client.submit(override)]
+                self._wait_for_queue(server, 2)
+                gate.release.set()
+                responses = [future.result(timeout=60) for future in futures]
+        # The differing timesteps override must stay in its own dispatch.
+        assert gate.dispatches == [1, 1, 1]
+        _assert_identical(single_session.infer(override), responses[-1])
+        assert responses[-1].timesteps == 3
+
+    def test_concurrent_clients_match_single_session(self, workload, single_session):
+        # No gating: whatever interleaving/batching happens under real
+        # concurrency, every client must still get the single-session answer.
+        snn, config, inputs, labels = workload
+        request = InferenceRequest(inputs=inputs, labels=labels)
+        expected = single_session.infer(request)
+        with ChipPool(
+            snn, jobs=2, config=config, timesteps=5, encoder="poisson", seed=21
+        ) as pool:
+            with ChipServer(pool, port=0, workload="pool").start() as server:
+
+                def one_client(_):
+                    with PipelinedSession.connect(server.address) as remote:
+                        return remote.infer_many([request] * 3)
+
+                with ThreadPoolExecutor(max_workers=2) as clients:
+                    batches = list(clients.map(one_client, range(2)))
+        for batch in batches:
+            for response in batch:
+                _assert_identical(expected, response)
+
+
+# -- connection resilience ----------------------------------------------------------
+
+
+class TestReconnect:
+    def test_remote_session_survives_server_restart(self, workload, single_session):
+        _, _, inputs, _ = workload
+        request = InferenceRequest(inputs=inputs[:4])
+        expected = single_session.infer(request)
+        server = ChipServer(_fresh_session(workload), port=0, workload="restart").start()
+        host, port = server.address
+        remote = RemoteSession(host, port, timeout=30)
+        try:
+            _assert_identical(expected, remote.infer(request))
+            # Kill the server: the session now holds a dead socket.
+            server.close()
+            reborn = ChipServer(
+                _fresh_session(workload), host=host, port=port, workload="restart"
+            ).start()
+            try:
+                # Idempotent ops reconnect and retry transparently.
+                assert remote.ping()
+                assert remote.info(refresh=True)["workload"] == "restart"
+                _assert_identical(expected, remote.infer(request))
+            finally:
+                reborn.close()
+        finally:
+            remote.close()
+            server.close()
+
+    def test_retries_zero_disables_resilience(self, workload):
+        _, _, inputs, _ = workload
+        server = ChipServer(_fresh_session(workload), port=0, workload="fragile").start()
+        host, port = server.address
+        remote = RemoteSession(host, port, timeout=30, retries=0)
+        try:
+            assert remote.ping()
+            server.close()
+            reborn = ChipServer(
+                _fresh_session(workload), host=host, port=port, workload="fragile"
+            ).start()
+            try:
+                with pytest.raises(ConnectionError):
+                    remote.ping()
+            finally:
+                reborn.close()
+        finally:
+            remote.close()
+            server.close()
+
+    def test_pipelined_session_survives_server_restart(self, workload, single_session):
+        _, _, inputs, _ = workload
+        request = InferenceRequest(inputs=inputs[:4])
+        expected = single_session.infer(request)
+        server = ChipServer(_fresh_session(workload), port=0, workload="restart").start()
+        host, port = server.address
+        pipelined = PipelinedSession(host, port, timeout=30)
+        try:
+            _assert_identical(expected, pipelined.infer(request))
+            server.close()
+            reborn = ChipServer(
+                _fresh_session(workload), host=host, port=port, workload="restart"
+            ).start()
+            try:
+                _assert_identical(expected, pipelined.infer(request))
+            finally:
+                reborn.close()
+        finally:
+            pipelined.close()
+            server.close()
+
+    def test_slow_server_raises_timeout_without_retry(self, workload):
+        # A slow server is not a dead one: the timeout must surface as a
+        # TimeoutError after ONE attempt — resending would duplicate work.
+        _, _, inputs, _ = workload
+        gate = _GateTarget(_fresh_session(workload))
+        with ChipServer(gate, port=0, workload="slow").start() as server:
+            remote = RemoteSession(*server.address, timeout=0.4)
+            try:
+                started = time.monotonic()
+                with pytest.raises(TimeoutError):
+                    remote.infer(InferenceRequest(inputs=inputs[:2]))
+                elapsed = time.monotonic() - started
+                # One timeout window, not two (no retry of the slow request).
+                assert elapsed < 0.75, f"timed out after {elapsed:.2f}s — retried?"
+            finally:
+                gate.release.set()
+                remote.close()
+        assert gate.dispatches == [1], "the timed-out request was re-dispatched"
+
+    def test_idle_pipelined_connection_stays_alive(self, workload, single_session):
+        # The pipelined client's timeout governs connection establishment
+        # only; an established connection idle for longer than the timeout
+        # must keep working (a long-lived gateway endpoint is mostly idle).
+        _, _, inputs, _ = workload
+        request = InferenceRequest(inputs=inputs[:3])
+        expected = single_session.infer(request)
+        with ChipServer(
+            _fresh_session(workload), port=0, workload="idle"
+        ).start() as server:
+            with PipelinedSession(*server.address, timeout=0.3) as pipelined:
+                _assert_identical(expected, pipelined.infer(request))
+                time.sleep(0.6)  # well past the (establishment) timeout
+                _assert_identical(expected, pipelined.infer(request))
+
+    def test_fire_and_forget_shutdown_still_stops_server(self, workload):
+        # An operator script may send the shutdown op and hang up without
+        # reading the acknowledgement; the stop must not be lost with it.
+        server = ChipServer(_fresh_session(workload), port=0, workload="ff").start()
+        with socket.create_connection(server.address, timeout=10) as raw:
+            raw.sendall(b'{"op": "shutdown"}\n')
+        deadline = time.monotonic() + 10
+        while server._thread.is_alive() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert not server._thread.is_alive(), "server kept serving after shutdown op"
+        server.close()
+
+    def test_closed_sessions_reject_use(self, workload):
+        server = ChipServer(_fresh_session(workload), port=0, workload="closing").start()
+        remote = RemoteSession(*server.address)
+        remote.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            remote.ping()
+        pipelined = PipelinedSession(*server.address)
+        pipelined.close()
+        pipelined.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pipelined.ping()
+        server.close()
+
+
+# -- gateway ------------------------------------------------------------------------
+
+
+class _FailingTarget:
+    capacity = 1
+
+    def infer(self, request):
+        raise RuntimeError("endpoint exploded mid-batch")
+
+
+class _SlowTarget:
+    capacity = 1
+
+    def __init__(self, session, delay_s):
+        self._session = session
+        self._delay_s = delay_s
+
+    def infer(self, request):
+        time.sleep(self._delay_s)
+        return self._session.infer(request)
+
+
+class TestAsyncGateway:
+    def test_zero_capacity_endpoint_rejected(self, workload, single_session):
+        with pytest.raises(ValueError, match="capacity must be > 0, got 0"):
+            GatewayEndpoint(target=single_session, capacity=0)
+
+    def test_single_endpoint_bypasses_sharding(self, workload, single_session):
+        snn, config, inputs, labels = workload
+        request = InferenceRequest(inputs=inputs, labels=labels)
+        expected = single_session.infer(request)
+        with InferenceGateway([_fresh_session(workload)], name="solo") as gateway:
+            plan = gateway.shard_plan(request.batch_size)
+            assert [(shard.start, shard.stop) for shard in plan] == [(0, 13)]
+            response = gateway.infer(request)
+        _assert_identical(expected, response)
+        assert response.metadata["gateway"] == "solo"
+
+    def test_failing_endpoint_surfaces_instead_of_hanging(self, workload):
+        good = _fresh_session(workload)
+        _, _, inputs, _ = workload
+        with InferenceGateway(
+            [
+                GatewayEndpoint(target=good, capacity=1, name="good"),
+                GatewayEndpoint(target=_FailingTarget(), capacity=1, name="bad"),
+            ]
+        ) as gateway:
+            future = gateway.submit(InferenceRequest(inputs=inputs))
+            with pytest.raises(RuntimeError, match="'bad' failed on shard"):
+                future.result(timeout=30)
+
+    def test_pipelined_failures_resolve_every_batch(self, workload):
+        # Regression: a shard failure cancels its pending sibling, and
+        # Future.cancel() runs the sibling's done-callback inline on the
+        # failing thread — the merge state must survive that re-entrancy.
+        # Several pipelined batches keep shard futures queued behind the
+        # per-endpoint locks so cancellations actually hit pending futures.
+        _, _, inputs, _ = workload
+        slow_good = _SlowTarget(_fresh_session(workload), delay_s=0.05)
+        with InferenceGateway(
+            [
+                GatewayEndpoint(target=slow_good, capacity=1, name="good"),
+                GatewayEndpoint(target=_FailingTarget(), capacity=1, name="bad"),
+            ]
+        ) as gateway:
+            futures = [
+                gateway.submit(InferenceRequest(inputs=inputs)) for _ in range(6)
+            ]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="'bad' failed on shard"):
+                    future.result(timeout=30)
+
+    def test_mismatched_endpoints_error_instead_of_hanging(self, workload):
+        # Endpoints serving different networks violate the operator
+        # contract; the resulting merge error must reach the caller, not
+        # disappear inside a future callback.
+        snn, config, inputs, _ = workload
+        other_snn = _mlp(17, (48, 20, 6))  # different output width
+        a = ChipSession(snn, config=config, timesteps=5, encoder="poisson", seed=21)
+        b = ChipSession(
+            other_snn, config=config, timesteps=5, encoder="poisson", seed=21
+        )
+        with InferenceGateway(
+            [
+                GatewayEndpoint(target=a, capacity=1, name="a"),
+                GatewayEndpoint(target=b, capacity=1, name="b"),
+            ]
+        ) as gateway:
+            with pytest.raises(Exception):  # noqa: B017 - any error beats a hang
+                gateway.submit(InferenceRequest(inputs=inputs)).result(timeout=30)
+
+    def test_submit_is_non_blocking_and_batches_pipeline(
+        self, workload, single_session
+    ):
+        _, _, inputs, labels = workload
+        request = InferenceRequest(inputs=inputs, labels=labels)
+        expected = single_session.infer(request)
+        slow = _SlowTarget(_fresh_session(workload), delay_s=0.3)
+        with InferenceGateway([GatewayEndpoint(target=slow, name="slow")]) as gateway:
+            started = time.monotonic()
+            first = gateway.submit(request)
+            second = gateway.submit(request)
+            submit_s = time.monotonic() - started
+            assert submit_s < 0.25, "submit() must not wait for the endpoint"
+            assert not first.done()
+            _assert_identical(expected, first.result(timeout=30))
+            _assert_identical(expected, second.result(timeout=30))
+
+    def test_infer_many_pipelines_batches(self, workload, single_session):
+        snn, config, inputs, labels = workload
+        requests = [
+            InferenceRequest(inputs=inputs, labels=labels),
+            InferenceRequest(inputs=inputs[:5], labels=labels[:5]),
+        ]
+        expected = [single_session.infer(request) for request in requests]
+        endpoints = [
+            GatewayEndpoint(target=_fresh_session(workload), capacity=1, name="a"),
+            GatewayEndpoint(target=_fresh_session(workload), capacity=2, name="b"),
+        ]
+        with InferenceGateway(endpoints) as gateway:
+            responses = gateway.infer_many(requests)
+        for want, got in zip(expected, responses):
+            _assert_identical(want, got)
+
+
+# -- experiment wiring --------------------------------------------------------------
+
+
+class TestExperimentDeadline:
+    def test_wedged_server_fails_the_run_instead_of_hanging(self, monkeypatch):
+        # A server that accepts the connection and reads requests but never
+        # replies must blow the remote deadline AND let the gateway/session
+        # teardown finish — the whole call must return, not hang.
+        from repro.experiments import ExperimentSettings, WorkloadContext
+        from repro.experiments import common as experiments_common
+
+        wedged = socket.create_server(("127.0.0.1", 0))
+
+        def accept_loop():
+            while True:
+                try:
+                    conn, _ = wedged.accept()
+                except OSError:
+                    return
+                threading.Thread(
+                    target=_drain_forever, args=(conn,), daemon=True
+                ).start()
+
+        def _drain_forever(conn):
+            try:
+                while conn.recv(65536):
+                    pass
+            except OSError:
+                pass
+
+        threading.Thread(target=accept_loop, daemon=True).start()
+        monkeypatch.setattr(experiments_common, "REMOTE_DEADLINE_S", 1.0)
+        context = WorkloadContext(
+            ExperimentSettings(
+                timesteps=4, eval_samples=2, train_samples=16, test_samples=8,
+                train_epochs=0, network_scale=0.15, seed=11,
+            )
+        )
+        prepared = context.prepare("mnist-mlp")
+        host, port = wedged.getsockname()[:2]
+        started = time.monotonic()
+        try:
+            with pytest.raises(TimeoutError):
+                context.evaluate_chip(prepared, endpoint=f"{host}:{port}")
+            elapsed = time.monotonic() - started
+            assert elapsed < 20, f"teardown took {elapsed:.1f}s — hang regression"
+        finally:
+            wedged.close()
+
+
+# -- CLI ----------------------------------------------------------------------------
+
+
+class TestServeCli:
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["infer", "--endpoint", "127.0.0.1:7070", "--timeout", "0"],
+            ["infer", "--endpoint", "127.0.0.1:7070", "--timeout", "-3"],
+            ["smoke", "--timeout", "0"],
+            ["serve", "--max-batch", "0"],
+        ],
+    )
+    def test_cli_rejects_bad_arguments_early(self, argv):
+        from repro.serve.distributed.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2  # argparse usage error, not a traceback
+
+    def test_cli_infer_passes_timeout_through(self, monkeypatch, workload):
+        from repro.serve.distributed import cli
+
+        server = ChipServer(
+            _fresh_session(workload), port=0, workload="cli-test"
+        ).start()
+        seen: dict[str, float] = {}
+        real_connect = RemoteSession.connect.__func__
+
+        def spying_connect(cls, endpoint, *, timeout=120.0, **kwargs):
+            seen["timeout"] = timeout
+            return real_connect(cls, endpoint, timeout=timeout, **kwargs)
+
+        monkeypatch.setattr(
+            cli.RemoteSession, "connect", classmethod(spying_connect)
+        )
+
+        def tiny_inference(remote, args):
+            _, _, inputs, labels = workload
+            request = InferenceRequest(inputs=inputs[:2], labels=labels[:2])
+            return request, remote.infer(request)
+
+        monkeypatch.setattr(cli, "_client_inference", tiny_inference)
+        try:
+            code = cli.main(
+                ["infer", "--endpoint", server.endpoint, "--timeout", "45"]
+            )
+        finally:
+            server.close()
+        assert code == 0
+        assert seen["timeout"] == 45.0
