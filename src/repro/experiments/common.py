@@ -80,6 +80,12 @@ class ExperimentSettings:
     #: (every server must serve the same workload/settings for the results
     #: to be comparable).
     chip_endpoint: str | None = None
+    #: Per-request deadline (seconds) for remote chip runs.  Propagated to
+    #: the servers' admission control (a request queued longer is shed with
+    #: a structured ``deadline_exceeded`` error) and used as the gateway
+    #: result timeout.  ``None`` falls back to :data:`REMOTE_DEADLINE_S`.
+    #: Only meaningful with ``chip_endpoint``.
+    chip_deadline_s: float | None = None
 
     def __post_init__(self) -> None:
         from repro.serve.distributed import EXECUTORS, split_endpoints
@@ -94,6 +100,10 @@ class ExperimentSettings:
             raise ValueError(
                 f"chip_executor must be one of {sorted(EXECUTORS)}, "
                 f"got {self.chip_executor!r}"
+            )
+        if self.chip_deadline_s is not None and self.chip_deadline_s <= 0:
+            raise ValueError(
+                f"chip_deadline_s must be > 0 seconds, got {self.chip_deadline_s}"
             )
         if self.chip_endpoint is not None:
             split_endpoints(self.chip_endpoint)  # raises with an actionable message
@@ -343,7 +353,11 @@ class WorkloadContext:
         )
 
         endpoints = split_endpoints(endpoint)
-        deadline_s = REMOTE_DEADLINE_S
+        deadline_s = (
+            self.settings.chip_deadline_s
+            if self.settings.chip_deadline_s is not None
+            else REMOTE_DEADLINE_S
+        )
         remotes: list[PipelinedSession] = []
         gateway: InferenceGateway | None = None
         try:
@@ -366,7 +380,14 @@ class WorkloadContext:
                     for remote, part in zip(remotes, endpoints)
                 ]
             )
-            return gateway.submit(request).result(deadline_s).as_run_result()
+            # The deadline guards both ends: the servers' admission control
+            # sheds the request if it queues past the deadline, and the
+            # result timeout bounds the wait on a wedged server.
+            return (
+                gateway.submit(request, deadline_s=deadline_s)
+                .result(deadline_s)
+                .as_run_result()
+            )
         finally:
             # Close the sessions FIRST: that fails any still-pending shard
             # futures and unblocks the gateway's worker threads, so the

@@ -120,6 +120,15 @@ def main(argv: list[str] | None = None) -> int:
         "locally; a comma-separated list fans each batch across the servers "
         "through the async inference gateway (implies --validate-chip)",
     )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request deadline for remote chip runs: the servers shed "
+        "requests queued past it (structured 'deadline_exceeded') and the "
+        "gateway stops waiting; needs --endpoint",
+    )
     args = parser.parse_args(argv)
     _validate_chip_arguments(parser, args)
 
@@ -134,6 +143,8 @@ def main(argv: list[str] | None = None) -> int:
         settings = replace(settings, chip_executor=args.executor)
     if args.endpoint is not None:
         settings = replace(settings, chip_endpoint=args.endpoint)
+    if args.deadline is not None:
+        settings = replace(settings, chip_deadline_s=args.deadline)
     result = run_all(
         settings=settings,
         include_accuracy=not args.no_accuracy,
@@ -171,6 +182,14 @@ def _validate_chip_arguments(
             split_endpoints(args.endpoint)
         except ValueError as exc:
             parser.error(str(exc))
+    if args.deadline is not None:
+        if args.deadline <= 0:
+            parser.error(f"--deadline must be > 0 seconds, got {args.deadline}")
+        if args.endpoint is None:
+            parser.error(
+                "--deadline bounds remote chip runs and needs --endpoint "
+                "(local runs have no admission queue to shed from)"
+            )
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via CLI

@@ -39,6 +39,7 @@ live alongside it (see :mod:`~repro.serve.distributed.cli`).
 """
 
 from repro.serve.distributed.client import (
+    CancellableFuture,
     PipelinedSession,
     RemoteServerError,
     RemoteSession,
@@ -56,13 +57,17 @@ from repro.serve.distributed.executors import (
 )
 from repro.serve.distributed.gateway import GatewayEndpoint, InferenceGateway
 from repro.serve.distributed.server import (
+    SHED_POLICIES,
     ChipServer,
+    ServeRejection,
     ServingWorkload,
     load_benchmark_workload,
 )
 
 __all__ = [
     "EXECUTORS",
+    "SHED_POLICIES",
+    "CancellableFuture",
     "ChipServer",
     "GatewayEndpoint",
     "InferenceGateway",
@@ -71,6 +76,7 @@ __all__ = [
     "ProcessExecutor",
     "RemoteServerError",
     "RemoteSession",
+    "ServeRejection",
     "ServingWorkload",
     "SessionSpec",
     "ShardExecutor",

@@ -16,32 +16,44 @@ Three subcommands, all runnable as ``python -m repro.serve.distributed``:
           --endpoint 127.0.0.1:7070 --workload mnist-mlp --samples 8
 
 * ``smoke`` — the CI end-to-end check: boot a server subprocess on a free
-  port, wait for readiness, run a client inference twice (asserting the
-  served results are deterministic and well-formed), then drive two
-  concurrent pipelined clients and assert their dynamically batched
-  responses are identical to the serial ones, then tear the server down.
-  Exit code 0 means the whole loop works.
+  port (logging to ``--server-log``, dumped on failure), wait for
+  readiness, run a client inference twice (asserting the served results
+  are deterministic and well-formed), drive two concurrent pipelined
+  clients and assert their dynamically batched responses are identical to
+  the serial ones, tear the server down — then boot a bounded-queue server
+  in process and drive one deliberately-shed request, asserting the
+  structured ``overloaded`` reply while every admitted request stays
+  exact.  Exit code 0 means the whole loop works.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import re
 import subprocess
 import sys
+import tempfile
+import threading
 import time
 
 import numpy as np
 
 from repro.serve.distributed.client import (
     PipelinedSession,
+    RemoteServerError,
     RemoteSession,
     parse_endpoint,
 )
 from repro.serve.distributed.executors import EXECUTORS
-from repro.serve.distributed.server import ChipServer, load_benchmark_workload
+from repro.serve.distributed.server import (
+    SHED_POLICIES,
+    ChipServer,
+    load_benchmark_workload,
+)
 from repro.serve.pool import ChipPool
-from repro.serve.schema import InferenceRequest
+from repro.serve.schema import ERROR_OVERLOADED, InferenceRequest
+from repro.serve.session import ChipSession
 from repro.utils.units import format_energy
 from repro.workloads import list_benchmarks
 
@@ -106,6 +118,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default=8,
         help="most queued compatible requests one dynamic batch may coalesce",
     )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=0,
+        help="most infer requests that may wait for dispatch at once "
+        "(0 = unbounded); the load-shedding bound",
+    )
+    serve.add_argument(
+        "--shed-policy",
+        default="reject",
+        choices=sorted(SHED_POLICIES),
+        help="what a full queue does to new requests: reject with a "
+        "structured 'overloaded' error, or block admission until space frees",
+    )
 
     infer = sub.add_parser("infer", help="run one client inference")
     _add_workload_arguments(infer)
@@ -120,6 +146,14 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=120.0,
         help="per-request socket timeout in seconds (size for the batch)",
+    )
+    infer.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-request dispatch deadline enforced by the server "
+        "(a structured 'deadline_exceeded' error once it passes)",
     )
 
     smoke = sub.add_parser(
@@ -140,6 +174,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=120.0,
         help="seconds to wait for the server to accept connections",
     )
+    smoke.add_argument(
+        "--server-log",
+        default=None,
+        metavar="PATH",
+        help="file the server subprocess logs to (default: a temp file); "
+        "smoke dumps it when the check fails",
+    )
     return parser
 
 
@@ -154,8 +195,12 @@ def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None
         parser.error(f"--scale must be > 0, got {args.scale}")
     if getattr(args, "max_batch", 1) < 1:
         parser.error(f"--max-batch must be >= 1, got {args.max_batch}")
+    if getattr(args, "max_queue", 0) < 0:
+        parser.error(f"--max-queue must be >= 0, got {args.max_queue}")
     if getattr(args, "timeout", 1.0) <= 0:
         parser.error(f"--timeout must be > 0 seconds, got {args.timeout}")
+    if getattr(args, "deadline", None) is not None and args.deadline <= 0:
+        parser.error(f"--deadline must be > 0 seconds, got {args.deadline}")
     if getattr(args, "endpoint", None) is not None:
         try:
             parse_endpoint(args.endpoint)
@@ -183,11 +228,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             workload=args.workload,
             max_batch=args.max_batch,
+            max_queue=args.max_queue,
+            shed_policy=args.shed_policy,
         ) as server:
             host, port = server.address
             print(
                 f"chip-server: {args.workload} ({args.backend}, jobs={args.jobs}, "
-                f"executor={args.executor}, max_batch={args.max_batch}) "
+                f"executor={args.executor}, max_batch={args.max_batch}, "
+                f"max_queue={args.max_queue or 'unbounded'}, "
+                f"shed_policy={args.shed_policy}) "
                 f"listening on {host}:{port}",
                 flush=True,
             )
@@ -207,7 +256,8 @@ def _client_inference(
     request = InferenceRequest(
         inputs=workload.test_inputs[:n], labels=workload.test_labels[:n]
     )
-    return request, remote.infer(request)
+    deadline_s = getattr(args, "deadline", None)
+    return request, remote.infer(request, deadline_s=deadline_s)
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
@@ -225,23 +275,46 @@ def _cmd_infer(args: argparse.Namespace) -> int:
     return 0
 
 
-def _wait_for_listening_line(proc: subprocess.Popen) -> tuple[str, int]:
-    """Read the server's banner to learn the bound address.
+def _wait_for_listening_line(
+    proc: subprocess.Popen, log_path: str, boot_timeout: float
+) -> tuple[str, int]:
+    """Poll the server's log file for the banner to learn the bound address.
 
     The server binds ``--port 0`` (the kernel picks a free port — no
-    probe-then-rebind race) and prints ``listening on HOST:PORT``; everything
-    it writes before that is echoed through so boot failures show up in the
-    smoke log.
+    probe-then-rebind race) and prints ``listening on HOST:PORT`` into its
+    log file; logging to a file (rather than a pipe) means the full server
+    output survives for the failure dump and the server can never block on
+    a full pipe nobody drains.
     """
-    assert proc.stdout is not None
-    for line in proc.stdout:
-        print(line, end="", flush=True)
-        match = re.search(r"listening on (\S+):(\d+)", line)
+    deadline = time.monotonic() + boot_timeout
+    while True:
+        with open(log_path, encoding="utf-8", errors="replace") as log:
+            match = re.search(r"listening on (\S+):(\d+)", log.read())
         if match:
+            print(f"smoke: server {match.group(0)}", flush=True)
             return match.group(1), int(match.group(2))
-    raise RuntimeError(
-        f"server subprocess exited with {proc.wait()} before listening"
-    )
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"server subprocess exited with {proc.returncode} before "
+                f"listening"
+            )
+        if time.monotonic() >= deadline:
+            raise RuntimeError(
+                f"server did not print its listening banner within "
+                f"{boot_timeout:.0f}s"
+            )
+        time.sleep(0.05)
+
+
+def _dump_server_log(log_path: str) -> None:
+    """Echo the server subprocess log (the smoke failure post-mortem)."""
+    print(f"smoke: ---- server log ({log_path}) ----", flush=True)
+    try:
+        with open(log_path, encoding="utf-8", errors="replace") as log:
+            sys.stdout.write(log.read())
+    except OSError as exc:
+        print(f"smoke: could not read server log: {exc}")
+    print("smoke: ---- end of server log ----", flush=True)
 
 
 def _connect_to_booting_server(
@@ -330,6 +403,109 @@ def _smoke_pipelined_clients(
     )
 
 
+class _GatedTarget:
+    """Target that holds its first dispatch until released.
+
+    The shed drive needs the server's one work thread deterministically
+    busy while follow-up requests queue — real chip latency is too
+    machine-dependent to rely on.
+    """
+
+    def __init__(self, session: ChipSession):
+        self.session = session
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    @property
+    def backend(self) -> str:
+        return self.session.backend
+
+    @property
+    def timesteps(self) -> int:
+        return self.session.timesteps
+
+    def infer(self, request: InferenceRequest):
+        self.entered.set()
+        if not self.release.wait(timeout=120):
+            raise RuntimeError("shed-drive gate never released")
+        return self.session.infer(request)
+
+
+def _smoke_load_shedding(args: argparse.Namespace) -> None:
+    """Drive one deliberately-shed request and assert the structured reply.
+
+    An in-process server (real socket, real wire protocol) with
+    ``max_queue=1`` and a gated target: the first request occupies the work
+    thread, the second fills the queue, so the third **must** come back as
+    a structured ``overloaded`` error while both admitted requests return
+    the exact serial answers once the gate opens.
+    """
+    workload = load_benchmark_workload(args.workload, scale=args.scale, seed=args.seed)
+
+    def session() -> ChipSession:
+        return ChipSession(
+            workload.snn, timesteps=args.timesteps, encoder="poisson", seed=args.seed
+        )
+
+    n = min(args.samples, len(workload.test_inputs))
+    head = InferenceRequest(inputs=workload.test_inputs[:n])
+    queued = InferenceRequest(inputs=workload.test_inputs[:n], sample_offset=n)
+    serial = session()
+    expected_head, expected_queued = serial.infer(head), serial.infer(queued)
+    gate = _GatedTarget(session())
+    with ChipServer(
+        gate, port=0, workload=args.workload, max_queue=1
+    ).start() as server:
+        with PipelinedSession.connect(
+            server.address, connections=1, timeout=args.timeout
+        ) as client:
+            info = client.info()
+            print(
+                f"smoke: shed-drive server protocol v{info['protocol_version']}, "
+                f"started at {info['started_at']:.0f} "
+                f"(uptime {info['uptime_s']:.2f}s), max_queue={info['max_queue']}, "
+                f"shed_policy={info['shed_policy']}",
+                flush=True,
+            )
+            future_head = client.submit(head)
+            assert gate.entered.wait(timeout=args.timeout), (
+                "first request never reached the work thread"
+            )
+            future_queued = client.submit(queued)
+            deadline = time.monotonic() + args.timeout
+            while client.info(refresh=True).get("queue_depth", 0) < 1:
+                assert time.monotonic() < deadline, (
+                    "second request never reached the server queue"
+                )
+                time.sleep(0.01)
+            # Queue full (bound 1), worker busy: this one must be shed.
+            try:
+                client.submit(head).result(timeout=args.timeout)
+                raise AssertionError("third request was not shed by the full queue")
+            except RemoteServerError as exc:
+                assert exc.code == ERROR_OVERLOADED, (
+                    f"expected a structured 'overloaded' reply, got "
+                    f"code={exc.code!r} ({exc})"
+                )
+            gate.release.set()
+            got_head = future_head.result(timeout=args.timeout)
+            got_queued = future_queued.result(timeout=args.timeout)
+            assert np.array_equal(got_head.predictions, expected_head.predictions), (
+                "admitted head request diverged from the serial run"
+            )
+            assert np.array_equal(
+                got_queued.predictions, expected_queued.predictions
+            ), "admitted queued request diverged from the serial run"
+            final = client.info(refresh=True)
+            assert final["stats"]["shed"] == 1, f"unexpected shed stats: {final}"
+            assert final["queue_depth"] == 0, f"queue not drained: {final}"
+    print(
+        "smoke: load shedding ok (1 shed with structured 'overloaded', "
+        "2 admitted exact)",
+        flush=True,
+    )
+
+
 def _cmd_smoke(args: argparse.Namespace) -> int:
     command = [
         sys.executable,
@@ -344,43 +520,63 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         "--host", "127.0.0.1",
         "--port", "0",
     ]
-    print(f"smoke: booting {' '.join(command)}", flush=True)
-    proc = subprocess.Popen(command, stdout=subprocess.PIPE, text=True)
-    try:
-        address = _wait_for_listening_line(proc)
-        with _connect_to_booting_server(
-            proc, address, args.boot_timeout, args.timeout
-        ) as remote:
-            assert remote.ping(), "server did not answer ping"
-            info = remote.info()
-            assert info["workload"] == args.workload, f"wrong workload: {info}"
-            print(f"smoke: server info {info}", flush=True)
-            request, first = _client_inference(remote, args)
-            again = remote.infer(request)
-            assert first.batch_size == request.batch_size
-            assert len(first.predictions) == request.batch_size
-            assert first.energy.total_j > 0, "served response carries no energy"
-            assert np.array_equal(first.predictions, again.predictions), (
-                "served inference is not deterministic"
-            )
-            assert first.counters.as_dict() == again.counters.as_dict()
-            print(
-                f"smoke: {first.batch_size} samples, accuracy {first.accuracy:.2%}, "
-                f"energy {format_energy(first.energy.total_j)}, "
-                f"deterministic round trip ok",
-                flush=True,
-            )
-            _smoke_pipelined_clients(address, remote, request, args.timeout)
-            remote.shutdown_server()
-        returncode = proc.wait(timeout=30)
-        assert returncode == 0, f"server exited with {returncode}"
-    finally:
-        if proc.poll() is None:
-            proc.terminate()
-            try:
-                proc.wait(timeout=10)
-            except subprocess.TimeoutExpired:
-                proc.kill()
+    log_path = args.server_log
+    if log_path is None:
+        fd, log_path = tempfile.mkstemp(prefix="chip-server-", suffix=".log")
+        os.close(fd)
+    print(f"smoke: booting {' '.join(command)} (server log: {log_path})", flush=True)
+    with open(log_path, "w", encoding="utf-8") as log_file:
+        proc = subprocess.Popen(
+            command, stdout=log_file, stderr=subprocess.STDOUT, text=True
+        )
+        try:
+            address = _wait_for_listening_line(proc, log_path, args.boot_timeout)
+            with _connect_to_booting_server(
+                proc, address, args.boot_timeout, args.timeout
+            ) as remote:
+                assert remote.ping(), "server did not answer ping"
+                info = remote.info()
+                assert info["workload"] == args.workload, f"wrong workload: {info}"
+                print(f"smoke: server info {info}", flush=True)
+                print(
+                    f"smoke: server protocol v{info['protocol_version']}, "
+                    f"started at {info['started_at']:.0f} "
+                    f"(uptime {info['uptime_s']:.2f}s)",
+                    flush=True,
+                )
+                request, first = _client_inference(remote, args)
+                again = remote.infer(request)
+                assert first.batch_size == request.batch_size
+                assert len(first.predictions) == request.batch_size
+                assert first.energy.total_j > 0, "served response carries no energy"
+                assert np.array_equal(first.predictions, again.predictions), (
+                    "served inference is not deterministic"
+                )
+                assert first.counters.as_dict() == again.counters.as_dict()
+                print(
+                    f"smoke: {first.batch_size} samples, "
+                    f"accuracy {first.accuracy:.2%}, "
+                    f"energy {format_energy(first.energy.total_j)}, "
+                    f"deterministic round trip ok",
+                    flush=True,
+                )
+                _smoke_pipelined_clients(address, remote, request, args.timeout)
+                remote.shutdown_server()
+            returncode = proc.wait(timeout=30)
+            assert returncode == 0, f"server exited with {returncode}"
+        except BaseException:
+            # The server log is the post-mortem: dump it before the failure
+            # propagates (CI keeps only the smoke process output).
+            _dump_server_log(log_path)
+            raise
+        finally:
+            if proc.poll() is None:
+                proc.terminate()
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+    _smoke_load_shedding(args)
     print("smoke: OK", flush=True)
     return 0
 

@@ -23,12 +23,13 @@ responses bit-identical to a local run — the wire round trip is lossless.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import json
 import socket
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, InvalidStateError
 
 from repro.serve.schema import (
     InferenceRequest,
@@ -37,6 +38,7 @@ from repro.serve.schema import (
 )
 
 __all__ = [
+    "CancellableFuture",
     "PipelinedSession",
     "RemoteServerError",
     "RemoteSession",
@@ -46,11 +48,36 @@ __all__ = [
 
 
 class RemoteServerError(RuntimeError):
-    """The server answered a request with ``ok: false``."""
+    """The server answered a request with ``ok: false``.
+
+    ``code`` carries the server's structured error code when it supplied
+    one — ``"overloaded"`` (request shed by admission control),
+    ``"deadline_exceeded"`` (deadline expired before dispatch) or
+    ``"cancelled"`` — and is ``None`` for unstructured errors, so callers
+    can branch on the failure class without parsing the message text.
+    """
+
+    def __init__(self, message: str, code: str | None = None):
+        super().__init__(message)
+        self.code = code
+
+
+def _error_from_reply(reply: dict) -> RemoteServerError:
+    """Build the client-side error for an ``ok: false`` reply envelope."""
+    code = reply.get("code")
+    return RemoteServerError(
+        str(reply.get("error", "unknown server error")),
+        code=code if isinstance(code, str) else None,
+    )
 
 
 def parse_endpoint(endpoint: str) -> tuple[str, int]:
-    """Parse ``"host:port"`` into ``(host, port)`` with actionable errors."""
+    """Parse ``"host:port"`` into ``(host, port)`` with actionable errors.
+
+    Every rejection names the offending endpoint string: a bad port buried
+    in a comma-separated ``--endpoint`` list must be identifiable from the
+    message alone.
+    """
     text = str(endpoint).strip()
     host, sep, port_text = text.rpartition(":")
     if not sep or not host:
@@ -65,7 +92,9 @@ def parse_endpoint(endpoint: str) -> tuple[str, int]:
             f"endpoint port must be an integer, got {port_text!r} in {endpoint!r}"
         ) from None
     if not 1 <= port <= 65535:
-        raise ValueError(f"endpoint port must be in [1, 65535], got {port}")
+        raise ValueError(
+            f"endpoint port must be in [1, 65535], got {port} in {endpoint!r}"
+        )
     return host, port
 
 
@@ -209,9 +238,7 @@ class RemoteSession:
                         f"connection)"
                     )
                 if not reply.get("ok"):
-                    raise RemoteServerError(
-                        str(reply.get("error", "unknown server error"))
-                    )
+                    raise _error_from_reply(reply)
                 return reply
             except TimeoutError:
                 # A slow server is not a dead one: resending would duplicate
@@ -256,9 +283,19 @@ class RemoteSession:
         """Default rate-coding window of the remote session."""
         return int(self.info().get("timesteps", 0))
 
-    def infer(self, request: InferenceRequest) -> InferenceResponse:
-        """Run one batch on the remote chip (same contract as ChipSession)."""
-        reply = self._call(request_envelope("infer", request=request.to_dict()))
+    def infer(
+        self, request: InferenceRequest, *, deadline_s: float | None = None
+    ) -> InferenceResponse:
+        """Run one batch on the remote chip (same contract as ChipSession).
+
+        ``deadline_s`` rides the envelope to the server, which sheds the
+        request with a structured ``deadline_exceeded`` error if that much
+        time passes before dispatch (see :class:`RemoteServerError.code`).
+        """
+        fields: dict[str, object] = {"request": request.to_dict()}
+        if deadline_s is not None:
+            fields["deadline_s"] = float(deadline_s)
+        reply = self._call(request_envelope("infer", **fields))
         return InferenceResponse.from_dict(reply["response"])
 
     def shutdown_server(self) -> None:
@@ -344,14 +381,13 @@ class _PipelinedConnection:
                     future = self._pending.pop(reply.get("id"), None)
                 if future is None:
                     continue  # untagged or stale reply; nothing to route
-                if reply.get("ok"):
-                    future.set_result(reply)
-                else:
-                    future.set_exception(
-                        RemoteServerError(
-                            str(reply.get("error", "unknown server error"))
-                        )
-                    )
+                # A locally-cancelled future may already be done when its
+                # (cancelled-error) reply arrives; dropping it is correct.
+                with contextlib.suppress(InvalidStateError):
+                    if reply.get("ok"):
+                        future.set_result(reply)
+                    else:
+                        future.set_exception(_error_from_reply(reply))
         except (OSError, ValueError):
             pass
         finally:
@@ -360,6 +396,17 @@ class _PipelinedConnection:
                     f"chip server at {self.host}:{self.port} closed the connection"
                 )
             )
+
+    def abandon(self, request_id: object) -> None:
+        """Forget a pending request (a bounded wait gave up on its reply).
+
+        Without this, every timed-out poll of a wedged-but-connected server
+        would leave its future in the routing table forever, inflating
+        ``in_flight`` and steering connection selection off real load.  A
+        reply that does arrive later is dropped as stale.
+        """
+        with self._lock:
+            self._pending.pop(request_id, None)
 
     def _fail_pending(self, exc: Exception) -> None:
         with self._lock:
@@ -389,6 +436,31 @@ class _PipelinedConnection:
             self._socket.close()
 
 
+class CancellableFuture(Future):
+    """A result future whose :meth:`cancel` also revokes the remote work.
+
+    :meth:`PipelinedSession.submit` returns these: the future is never in
+    the executor sense "running" (replies resolve it from the reader
+    thread), so ``cancel()`` succeeds whenever the result has not arrived —
+    and on success additionally fires the attached canceller, which sends a
+    ``cancel`` op so the server drops the still-queued request instead of
+    computing an answer nobody will read.  Waiters see the standard
+    :class:`concurrent.futures.CancelledError`.
+    """
+
+    _canceller = None
+
+    def cancel(self) -> bool:
+        cancelled = super().cancel()
+        if cancelled and self._canceller is not None:
+            # Best effort: the remote side may already be dispatching (the
+            # server then simply completes the work) or the connection may
+            # be gone; local cancellation stands either way.
+            with contextlib.suppress(Exception):
+                self._canceller()
+        return cancelled
+
+
 class PipelinedSession:
     """Pipelined chip client: many requests in flight over a connection pool.
 
@@ -406,13 +478,15 @@ class PipelinedSession:
         idle between batches); put per-request deadlines on
         ``future.result(timeout=...)``.
 
-    :meth:`submit` returns a :class:`concurrent.futures.Future` resolving to
-    the :class:`InferenceResponse`; requests already on a connection that
-    dies are transparently resubmitted once on a fresh connection
-    (inference is idempotent — a pure function of the request).  The
-    blocking :meth:`infer` / :meth:`infer_many` adapters mirror the
-    ``ChipSession`` surface, so a pipelined remote is also a valid gateway
-    endpoint.
+    :meth:`submit` returns a :class:`CancellableFuture` resolving to the
+    :class:`InferenceResponse` — cancelling it also sends a ``cancel`` op so
+    the server drops the still-queued work — and accepts a per-request
+    ``deadline_s`` that the server enforces before dispatch; requests
+    already on a connection that dies are transparently resubmitted once on
+    a fresh connection (inference is idempotent — a pure function of the
+    request).  The blocking :meth:`infer` / :meth:`infer_many` adapters
+    mirror the ``ChipSession`` surface, so a pipelined remote is also a
+    valid gateway endpoint.
     """
 
     def __init__(
@@ -499,83 +573,174 @@ class PipelinedSession:
     # -- protocol -----------------------------------------------------------------
 
     def _submit_op(
-        self, op: str, *, retry: bool = True, **fields: object
+        self,
+        op: str,
+        *,
+        retry: bool = True,
+        sent: dict[str, object] | None = None,
+        **fields: object,
     ) -> Future:
-        """Send one envelope, returning a future for its reply envelope."""
+        """Send one envelope, returning a future for its reply envelope.
+
+        ``sent`` (when given) is updated in place with the connection and
+        request id of the most recent wire attempt, which is what a later
+        ``cancel`` op must target.
+        """
         outer: Future = Future()
-        self._attempt(op, fields, outer, retries_left=1 if retry else 0)
+        self._attempt(op, fields, outer, retries_left=1 if retry else 0, sent=sent)
         return outer
 
     def _attempt(
-        self, op: str, fields: dict[str, object], outer: Future, retries_left: int
+        self,
+        op: str,
+        fields: dict[str, object],
+        outer: Future,
+        retries_left: int,
+        sent: dict[str, object] | None = None,
     ) -> None:
-        message = request_envelope(op, request_id=next(self._ids), **fields)
+        request_id = next(self._ids)
+        message = request_envelope(op, request_id=request_id, **fields)
         inner: Future = Future()
 
         def relay(done: Future) -> None:
+            if outer.done():  # locally cancelled while in flight
+                return
             exc = done.exception()
             if isinstance(exc, ConnectionError) and retries_left > 0:
                 # The connection died with this request in flight; resend on
                 # a fresh one (idempotent ops only reach this path).
                 try:
-                    self._attempt(op, fields, outer, retries_left - 1)
+                    self._attempt(op, fields, outer, retries_left - 1, sent=sent)
                 except Exception as retry_exc:  # noqa: BLE001 - into the future
-                    if not outer.done():
+                    with contextlib.suppress(InvalidStateError):
                         outer.set_exception(retry_exc)
-            elif exc is not None:
-                outer.set_exception(exc)
             else:
-                outer.set_result(done.result())
+                with contextlib.suppress(InvalidStateError):
+                    if exc is not None:
+                        outer.set_exception(exc)
+                    else:
+                        outer.set_result(done.result())
 
         inner.add_done_callback(relay)
         try:
-            self._pick_connection().send(message, inner)
+            connection = self._pick_connection()
+            connection.send(message, inner)
+            if sent is not None:
+                sent["connection"] = connection
+                sent["id"] = request_id
         except ConnectionError as exc:
             if retries_left > 0:
-                self._attempt(op, fields, outer, retries_left - 1)
+                self._attempt(op, fields, outer, retries_left - 1, sent=sent)
             elif not outer.done():
-                outer.set_exception(exc)
+                with contextlib.suppress(InvalidStateError):
+                    outer.set_exception(exc)
         except RuntimeError as exc:  # session closed while retrying
             if not outer.done():
-                outer.set_exception(exc)
+                with contextlib.suppress(InvalidStateError):
+                    outer.set_exception(exc)
 
     # -- the pipelined surface ----------------------------------------------------
 
-    def submit(self, request: InferenceRequest) -> Future:
-        """Queue one inference; the future resolves to its InferenceResponse."""
-        outer: Future = Future()
-        raw = self._submit_op("infer", request=request.to_dict())
+    def submit(
+        self, request: InferenceRequest, *, deadline_s: float | None = None
+    ) -> CancellableFuture:
+        """Queue one inference; the future resolves to its InferenceResponse.
+
+        ``deadline_s`` rides the envelope: the server sheds the request with
+        a structured ``deadline_exceeded`` error if that much time passes
+        before dispatch.  The returned :class:`CancellableFuture`'s
+        ``cancel()`` additionally sends a ``cancel`` op, so the server drops
+        the still-queued work rather than computing an orphaned answer.
+        """
+        outer = CancellableFuture()
+        fields: dict[str, object] = {"request": request.to_dict()}
+        if deadline_s is not None:
+            fields["deadline_s"] = float(deadline_s)
+        sent: dict[str, object] = {}
+        raw = self._submit_op("infer", sent=sent, **fields)
+
+        def cancel_remote() -> None:
+            connection = sent.get("connection")
+            request_id = sent.get("id")
+            if (
+                not isinstance(connection, _PipelinedConnection)
+                or connection.dead
+                or request_id is None
+            ):
+                return
+            # Fire and forget: the reply (routed by its own fresh id) lands
+            # on a throwaway future nobody waits for.
+            connection.send(
+                request_envelope(
+                    "cancel", request_id=next(self._ids), target=request_id
+                ),
+                Future(),
+            )
+
+        outer._canceller = cancel_remote
 
         def convert(done: Future) -> None:
+            if outer.done():  # locally cancelled; the late reply is noise
+                return
             try:
-                outer.set_result(
-                    InferenceResponse.from_dict(done.result()["response"])
-                )
+                response = InferenceResponse.from_dict(done.result()["response"])
             except Exception as exc:  # noqa: BLE001 - routed into the future
-                outer.set_exception(exc)
+                with contextlib.suppress(InvalidStateError):
+                    outer.set_exception(exc)
+                return
+            with contextlib.suppress(InvalidStateError):
+                outer.set_result(response)
 
         raw.add_done_callback(convert)
         return outer
 
-    def infer(self, request: InferenceRequest) -> InferenceResponse:
+    def infer(
+        self, request: InferenceRequest, *, deadline_s: float | None = None
+    ) -> InferenceResponse:
         """Blocking single inference (the ``ChipSession`` contract)."""
-        return self.submit(request).result()
+        return self.submit(request, deadline_s=deadline_s).result()
 
-    def infer_many(self, requests: list[InferenceRequest]) -> list[InferenceResponse]:
+    def infer_many(
+        self,
+        requests: list[InferenceRequest],
+        *,
+        deadline_s: float | None = None,
+    ) -> list[InferenceResponse]:
         """Submit every request before collecting any reply (full pipelining)."""
-        futures = [self.submit(request) for request in requests]
+        futures = [
+            self.submit(request, deadline_s=deadline_s) for request in requests
+        ]
         return [future.result() for future in futures]
+
+    def _bounded_reply(
+        self, op: str, timeout: float | None, **fields: object
+    ) -> dict[str, object]:
+        """One op round trip whose bounded wait cleans up after itself.
+
+        On timeout the pending entry is abandoned on its connection, so a
+        wedged-but-connected server cannot inflate ``in_flight`` one leaked
+        future per poll.
+        """
+        sent: dict[str, object] = {}
+        raw = self._submit_op(op, sent=sent, **fields)
+        try:
+            return raw.result(timeout)
+        except TimeoutError:
+            connection = sent.get("connection")
+            if isinstance(connection, _PipelinedConnection):
+                connection.abandon(sent.get("id"))
+            raise
 
     def ping(self, timeout: float | None = None) -> bool:
         """Round-trip a no-op message (optionally bounded by ``timeout``)."""
-        return bool(self._submit_op("ping").result(timeout).get("pong"))
+        return bool(self._bounded_reply("ping", timeout).get("pong"))
 
     def info(
         self, refresh: bool = False, *, timeout: float | None = None
     ) -> dict[str, object]:
         """Server metadata: workload, backend, timesteps, jobs, capacity."""
         if self._info is None or refresh:
-            self._info = dict(self._submit_op("info").result(timeout)["info"])
+            self._info = dict(self._bounded_reply("info", timeout)["info"])
         return self._info
 
     @property

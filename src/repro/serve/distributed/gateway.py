@@ -8,15 +8,23 @@ endpoints — local :class:`~repro.serve.ChipSession`\\ s and
 the ``infer`` contract — and merges the shard responses into one exact
 result.
 
-Sharding is *capacity-weighted*: an endpoint with capacity 3 (say, a remote
-pool with ``jobs=3``) receives three times the samples of a capacity-1
-session, via cumulative rounding so the contiguous shard sizes always sum to
-the batch exactly.  Because every shard carries its absolute
-``sample_offset`` and every endpoint derives spike trains from the same
-shard-stable :class:`~repro.snn.encoding.EncoderState` seeding, the merged
-response is result-identical to running the whole batch on any single
-endpoint — provided the endpoints serve the *same workload* (same SNN,
-config, seed, encoder and timesteps), which is the operator's contract.
+Sharding is *capacity-weighted and load-aware*: an endpoint with capacity 3
+(say, a remote pool with ``jobs=3``) receives three times the samples of a
+capacity-1 session, via cumulative rounding so the contiguous shard sizes
+always sum to the batch exactly — but the static weight is discounted by the
+endpoint's observed backlog (gateway shards already in flight there plus the
+server's polled ``queue_depth``/``inflight``), so a congested server
+receives less of each new batch instead of stretching its queue further.  A
+shard that an overloaded server *sheds* (structured ``overloaded`` error) is
+retried once on the least-loaded sibling endpoint, and per-request
+deadlines propagate to every endpoint that understands them.  Because every
+shard carries its absolute ``sample_offset`` and every endpoint derives
+spike trains from the same shard-stable
+:class:`~repro.snn.encoding.EncoderState` seeding, the merged response is
+result-identical to running the whole batch on any single endpoint — any
+placement the load feedback picks yields the same numbers — provided the
+endpoints serve the *same workload* (same SNN, config, seed, encoder and
+timesteps), which is the operator's contract.
 
 The gateway is **non-blocking**: :meth:`InferenceGateway.submit` dispatches
 every shard concurrently and returns a :class:`concurrent.futures.Future`
@@ -39,16 +47,25 @@ regardless of completion order, so the merged numbers are deterministic.
 
 from __future__ import annotations
 
+import inspect
 import threading
+import time
 from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
 
-from repro.serve.schema import InferenceRequest, InferenceResponse
+from repro.serve.distributed.client import RemoteServerError
+from repro.serve.schema import ERROR_OVERLOADED, InferenceRequest, InferenceResponse
 
 __all__ = ["GatewayEndpoint", "InferenceGateway"]
+
+#: Hard bound on one endpoint load poll.  Polling happens synchronously on
+#: the submit path (TTL-throttled by ``load_poll_s``), so a wedged endpoint
+#: must cost at most this much per TTL window — never hang submit(), which
+#: would defeat the deadline bounds callers put on the *result*.
+LOAD_POLL_TIMEOUT_S = 1.0
 
 
 @dataclass
@@ -59,6 +76,11 @@ class GatewayEndpoint:
     :class:`RemoteSession` reports its server's worker count), then to its
     ``jobs`` attribute (a local pool), then to 1.  An explicit capacity must
     be positive — a zero-capacity endpoint could never receive a shard.
+
+    The gateway additionally tracks per-endpoint *load*: how many of its own
+    shards are currently on the endpoint (``inflight``) plus the endpoint's
+    last-polled server backlog (``load_hint``), which together discount the
+    static capacity during adaptive sharding.
     """
 
     target: object
@@ -67,6 +89,18 @@ class GatewayEndpoint:
     #: Serialises this endpoint's shards across in-flight gateway batches.
     lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+    #: Gateway shards currently executing on (or queued at) this endpoint.
+    inflight: int = field(default=0, init=False, repr=False, compare=False)
+    #: Last polled remote backlog (server queue depth + inflight).
+    load_hint: float = field(default=0.0, init=False, repr=False, compare=False)
+    #: ``time.monotonic()`` of the last backlog poll.
+    load_polled_at: float = field(default=0.0, init=False, repr=False, compare=False)
+    #: Whether ``target.infer`` accepts a ``deadline_s`` keyword (remote
+    #: sessions do; local sessions execute immediately, so there is nothing
+    #: for a deadline to shed).
+    supports_deadline: bool = field(
+        default=False, init=False, repr=False, compare=False
     )
 
     def __post_init__(self) -> None:
@@ -86,6 +120,12 @@ class GatewayEndpoint:
             raise ValueError(f"endpoint capacity must be > 0, got {self.capacity}")
         if not self.name:
             self.name = f"{type(self.target).__name__.lower()}"
+        try:
+            self.supports_deadline = (
+                "deadline_s" in inspect.signature(self.target.infer).parameters
+            )
+        except (TypeError, ValueError):  # builtins / exotic callables
+            self.supports_deadline = False
 
 
 @dataclass
@@ -94,6 +134,9 @@ class _ShardPlan:
     start: int
     stop: int
     response: InferenceResponse | None = field(default=None, repr=False)
+    #: Name of the endpoint originally planned, when the shard was shed
+    #: there and re-ran on ``endpoint`` instead.
+    retried_from: str | None = None
 
 
 class _MergeState:
@@ -212,6 +255,11 @@ class _MergeState:
                             "start": shard.start,
                             "stop": shard.stop,
                             "jobs": shard.response.jobs,
+                            **(
+                                {"retried_from": shard.retried_from}
+                                if shard.retried_from is not None
+                                else {}
+                            ),
                         }
                         for shard in plan
                     ],
@@ -221,21 +269,51 @@ class _MergeState:
 
 
 class InferenceGateway:
-    """Fan batches out across endpoints and merge the responses exactly."""
+    """Fan batches out across endpoints and merge the responses exactly.
+
+    Parameters
+    ----------
+    adaptive:
+        When True (default), sharding weights are the endpoints' *effective*
+        capacities — the static weight discounted by the observed backlog
+        (gateway shards already on the endpoint plus the server's polled
+        queue depth): ``capacity / (1 + backlog)``.  Idle endpoints keep
+        their static weights exactly, so a quiet gateway plans the same
+        shards the static planner did.  Any shard split is result-identical
+        (sharding is exact), so adaptivity changes placement, never numbers.
+    load_poll_s:
+        Minimum seconds between backlog polls of one endpoint.  Only
+        pipelined remotes (thread-safe ``info``, live ``queue_depth`` /
+        ``inflight`` fields) are polled, each poll bounded by
+        :data:`LOAD_POLL_TIMEOUT_S`; other targets may export a ``load()``
+        method returning their backlog — ``load()`` runs synchronously on
+        the submit path, so it MUST return immediately from local state
+        (blocking I/O belongs behind the timeout-bounded info path) — and
+        everything else contributes only the gateway's own in-flight count.
+    """
 
     def __init__(
         self,
         endpoints: Sequence[GatewayEndpoint | object],
         *,
         name: str = "gateway",
+        adaptive: bool = True,
+        load_poll_s: float = 0.25,
     ):
         if not endpoints:
             raise ValueError("gateway needs at least one endpoint")
+        if load_poll_s < 0:
+            raise ValueError(f"load_poll_s must be >= 0, got {load_poll_s}")
         self.name = name
+        self.adaptive = adaptive
+        self.load_poll_s = load_poll_s
         self.endpoints = [
             e if isinstance(e, GatewayEndpoint) else GatewayEndpoint(target=e)
             for e in endpoints
         ]
+        # Guards the per-endpoint inflight counters and load hints (the
+        # endpoint `lock` is held for whole inferences — too coarse here).
+        self._load_lock = threading.Lock()
         # Sized for several batches in flight: shards of batch k+1 queue up
         # behind the per-endpoint locks while batch k still computes.
         self._threads = ThreadPoolExecutor(
@@ -263,28 +341,91 @@ class InferenceGateway:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # -- load tracking ------------------------------------------------------------
+
+    def _poll_backlog(self, endpoint: GatewayEndpoint) -> float:
+        """Refresh and return the endpoint's remote backlog hint.
+
+        Two duck-typed sources, both optional: a ``load()`` method on the
+        target (a *non-blocking* local read by contract — it runs inline on
+        the submit path), else a thread-safe ``info`` poll (only
+        pipelined remotes expose both ``submit`` and ``info`` — a plain
+        :class:`RemoteSession` serialises its one connection, so probing it
+        concurrently with an in-flight shard would corrupt the framing).
+        The info poll is bounded by :data:`LOAD_POLL_TIMEOUT_S` — this runs
+        on the submit path, and a wedged endpoint must never turn the
+        non-blocking ``submit()`` into a hang.  Poll failures (including
+        timeouts) keep the previous hint: a dying endpoint's shard will
+        fail loudly on its own.
+        """
+        target = endpoint.target
+        now = time.monotonic()
+        with self._load_lock:
+            if now - endpoint.load_polled_at < self.load_poll_s:
+                return endpoint.load_hint
+            endpoint.load_polled_at = now
+        hint = None
+        loader = getattr(target, "load", None)
+        if callable(loader):
+            try:
+                hint = float(loader())
+            except Exception:  # noqa: BLE001 - load probes must never fail a plan
+                hint = None
+        elif hasattr(target, "submit") and callable(getattr(target, "info", None)):
+            try:
+                info = target.info(refresh=True, timeout=LOAD_POLL_TIMEOUT_S)
+                hint = float(info.get("queue_depth", 0)) + float(
+                    info.get("inflight", 0)
+                )
+            except Exception:  # noqa: BLE001 - load probes must never fail a plan
+                hint = None
+        with self._load_lock:
+            if hint is not None:
+                endpoint.load_hint = max(0.0, hint)
+            return endpoint.load_hint
+
+    def _backlog_of(self, endpoint: GatewayEndpoint) -> float:
+        """Observed backlog: gateway shards in flight + polled server queue."""
+        remote = self._poll_backlog(endpoint)
+        with self._load_lock:
+            return float(endpoint.inflight) + remote
+
+    def _effective_capacity(self, endpoint: GatewayEndpoint) -> float:
+        """Static weight discounted by backlog (equal to it when idle)."""
+        if not self.adaptive:
+            return float(endpoint.capacity)
+        return float(endpoint.capacity) / (1.0 + self._backlog_of(endpoint))
+
     # -- sharding -----------------------------------------------------------------
 
     @property
     def total_capacity(self) -> float:
-        """Sum of the endpoint capacities."""
+        """Sum of the static endpoint capacities."""
         return float(sum(e.capacity for e in self.endpoints))
 
     def shard_plan(self, batch: int) -> list[_ShardPlan]:
-        """Capacity-weighted contiguous shards covering ``[0, batch)`` exactly.
+        """Load-aware contiguous shards covering ``[0, batch)`` exactly.
 
+        Weights are the endpoints' effective capacities (static capacity
+        discounted by live backlog; see the class docstring) — on idle
+        endpoints this is exactly the historical static capacity plan.
         Cumulative rounding keeps the boundaries monotone and the final
         boundary equal to ``batch``; endpoints whose rounded share is empty
-        (small batches) are skipped rather than sent degenerate requests.
-        A single-endpoint gateway degenerates to one whole-batch shard — no
-        splitting, just the dispatch/merge envelope.
+        (small batches, heavy backlog) are skipped rather than sent
+        degenerate requests.  A single-endpoint gateway degenerates to one
+        whole-batch shard — no splitting (and no load polling), just the
+        dispatch/merge envelope.
         """
-        total = self.total_capacity
+        if len(self.endpoints) == 1:
+            weights = [1.0]
+        else:
+            weights = [self._effective_capacity(e) for e in self.endpoints]
+        total = sum(weights)
         plan: list[_ShardPlan] = []
         start = 0
         cumulative = 0.0
-        for endpoint in self.endpoints:
-            cumulative += endpoint.capacity
+        for endpoint, weight in zip(self.endpoints, weights):
+            cumulative += weight
             stop = round(batch * cumulative / total)
             if stop > start:
                 plan.append(_ShardPlan(endpoint=endpoint, start=start, stop=stop))
@@ -293,24 +434,71 @@ class InferenceGateway:
 
     # -- inference ----------------------------------------------------------------
 
-    def _run_shard(
-        self, shard: _ShardPlan, sub_request: InferenceRequest
+    def _infer_on(
+        self,
+        endpoint: GatewayEndpoint,
+        sub_request: InferenceRequest,
+        deadline_s: float | None,
     ) -> InferenceResponse:
         # One shard at a time per endpoint: endpoints own their internal
         # concurrency (pools shard further, pipelined remotes pipeline),
         # and most targets' infer() is not reentrant.
-        with shard.endpoint.lock:
-            return shard.endpoint.target.infer(sub_request)
+        with self._load_lock:
+            endpoint.inflight += 1
+        try:
+            with endpoint.lock:
+                if deadline_s is not None and endpoint.supports_deadline:
+                    return endpoint.target.infer(sub_request, deadline_s=deadline_s)
+                return endpoint.target.infer(sub_request)
+        finally:
+            with self._load_lock:
+                endpoint.inflight -= 1
 
-    def submit(self, request: InferenceRequest) -> Future:
+    def _fallback_for(self, shed: GatewayEndpoint) -> GatewayEndpoint | None:
+        """The least-backlogged *other* endpoint, or None when alone."""
+        candidates = [e for e in self.endpoints if e is not shed]
+        if not candidates:
+            return None
+        # Least backlog first; static capacity breaks ties (deterministic:
+        # min() keeps the earliest endpoint on full ties).
+        return min(candidates, key=lambda e: (self._backlog_of(e), -e.capacity))
+
+    def _run_shard(
+        self,
+        shard: _ShardPlan,
+        sub_request: InferenceRequest,
+        deadline_s: float | None,
+    ) -> InferenceResponse:
+        try:
+            return self._infer_on(shard.endpoint, sub_request, deadline_s)
+        except RemoteServerError as exc:
+            if exc.code != ERROR_OVERLOADED:
+                raise
+            # The endpoint shed this shard under load; one retry on the
+            # least-loaded sibling (the shard is idempotent and carries its
+            # absolute sample_offset, so re-running elsewhere is exact).
+            fallback = self._fallback_for(shard.endpoint)
+            if fallback is None:
+                raise
+            shard.retried_from = shard.endpoint.name
+            shard.endpoint = fallback
+            return self._infer_on(fallback, sub_request, deadline_s)
+
+    def submit(
+        self, request: InferenceRequest, *, deadline_s: float | None = None
+    ) -> Future:
         """Dispatch one batch without blocking.
 
         Returns a future resolving to the merged
         :class:`InferenceResponse`.  All endpoint shards go out
         concurrently; completions merge as they stream in, and a shard
         failure resolves the future immediately with an error naming the
-        endpoint.  Safe to call again before earlier batches resolve —
-        batches pipeline across the endpoints.
+        endpoint.  A shard shed by an overloaded endpoint is retried once
+        on the least-loaded sibling before failing.  ``deadline_s``
+        propagates to every endpoint whose ``infer`` accepts it (remote
+        sessions pass it to the server's admission control).  Safe to call
+        again before earlier batches resolve — batches pipeline across the
+        endpoints.
         """
         if self._closed:
             raise RuntimeError("gateway is closed")
@@ -319,7 +507,10 @@ class InferenceGateway:
         state = _MergeState(self, request, plan, result)
         for shard in plan:
             future = self._threads.submit(
-                self._run_shard, shard, request.shard(shard.start, shard.stop)
+                self._run_shard,
+                shard,
+                request.shard(shard.start, shard.stop),
+                deadline_s,
             )
             state.shard_futures.append(future)
         for shard, future in zip(plan, state.shard_futures):
@@ -328,11 +519,20 @@ class InferenceGateway:
             )
         return result
 
-    def infer(self, request: InferenceRequest) -> InferenceResponse:
+    def infer(
+        self, request: InferenceRequest, *, deadline_s: float | None = None
+    ) -> InferenceResponse:
         """Shard one request across the endpoints and merge the responses."""
-        return self.submit(request).result()
+        return self.submit(request, deadline_s=deadline_s).result()
 
-    def infer_many(self, requests: list[InferenceRequest]) -> list[InferenceResponse]:
+    def infer_many(
+        self,
+        requests: list[InferenceRequest],
+        *,
+        deadline_s: float | None = None,
+    ) -> list[InferenceResponse]:
         """Pipeline several batches through the endpoints at once."""
-        futures = [self.submit(request) for request in requests]
+        futures = [
+            self.submit(request, deadline_s=deadline_s) for request in requests
+        ]
         return [future.result() for future in futures]

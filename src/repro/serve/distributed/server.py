@@ -25,6 +25,16 @@ by the pool, exactly (shard-stable encoding means coalescing changes
 throughput, never numbers).  Chip work runs on a one-thread executor so the
 event loop stays responsive while the chips crunch.
 
+The queue is also the server's **admission-control plane**: ``max_queue``
+bounds how many requests may wait at once and ``shed_policy`` decides
+whether excess load is rejected with a structured ``overloaded`` error
+reply or blocked until space frees; per-request ``deadline_s`` expires
+waiting work with ``deadline_exceeded`` (checked on every queue sweep and
+again immediately before dispatch), and the ``cancel`` op removes a
+connection's own queued request.  Live load (``queue_depth``,
+``inflight``) and the shed/expired/cancelled counters are exported through
+the ``info`` op, which is what the gateway's adaptive sharding feeds on.
+
 The payloads are exactly the serve-schema dicts, so a response read off the
 wire is lossless (`InferenceResponse.from_dict`), and the numbers a remote
 client sees are bit-identical to a local run.
@@ -50,6 +60,9 @@ import numpy as np
 
 from repro.datasets import make_dataset
 from repro.serve.schema import (
+    ERROR_CANCELLED,
+    ERROR_DEADLINE_EXCEEDED,
+    ERROR_OVERLOADED,
     PROTOCOL_VERSION,
     SCHEMA_VERSION,
     InferenceRequest,
@@ -60,7 +73,34 @@ from repro.serve.schema import (
 from repro.snn.conversion import SpikingNetwork, convert_to_snn
 from repro.workloads import get_benchmark
 
-__all__ = ["ChipServer", "ServingWorkload", "load_benchmark_workload"]
+__all__ = [
+    "SHED_POLICIES",
+    "ChipServer",
+    "ServeRejection",
+    "ServingWorkload",
+    "load_benchmark_workload",
+]
+
+#: Load-shedding policies a bounded server queue may apply when full:
+#: ``"reject"`` answers excess requests immediately with a structured
+#: ``overloaded`` error; ``"block"`` holds admission until space frees
+#: (backpressure propagates to the client connection).
+SHED_POLICIES = ("reject", "block")
+
+
+class ServeRejection(Exception):
+    """An admission-control rejection, carried to the wire as a coded error.
+
+    ``code`` is one of the structured wire codes
+    (:data:`~repro.serve.schema.ERROR_OVERLOADED`,
+    :data:`~repro.serve.schema.ERROR_DEADLINE_EXCEEDED`,
+    :data:`~repro.serve.schema.ERROR_CANCELLED`); the server turns the
+    exception into an error reply whose ``code`` field clients branch on.
+    """
+
+    def __init__(self, message: str, code: str):
+        super().__init__(message)
+        self.code = code
 
 #: Longest accepted wire line.  A request line carries the whole input batch
 #: as JSON floats (~20 bytes per value), so the stdlib's 64 KiB stream
@@ -131,6 +171,15 @@ class _QueuedInfer:
     key: object  # compatibility key: requests sharing it may coalesce
     request: InferenceRequest
     future: asyncio.Future
+    #: Absolute loop-clock deadline (``loop.time()`` based), or None.
+    deadline: float | None = None
+    #: True once the dispatcher has handed the request to the work thread;
+    #: dispatched work can no longer be cancelled (dispatch wins).
+    dispatched: bool = False
+    #: The admission waiter while this request blocks on a full queue
+    #: (block policy); a cancel op resolves it so the request unblocks
+    #: immediately instead of waiting out a slot it will never use.
+    waiter: asyncio.Future | None = None
 
 
 class ChipServer:
@@ -156,6 +205,15 @@ class ChipServer:
         once the queue runs dry before dispatching a non-full batch.  The
         default 0 only coalesces what is already queued — batching under
         concurrency, zero added latency when idle.
+    max_queue:
+        Most ``infer`` requests that may wait for dispatch at once (0 =
+        unbounded, the historical behaviour).  With a bound, overload
+        degrades gracefully instead of accumulating latency without limit.
+    shed_policy:
+        What happens to an ``infer`` arriving at a full queue: ``"reject"``
+        (default) answers it immediately with a structured ``overloaded``
+        error reply; ``"block"`` holds admission until space frees (the
+        client connection feels backpressure instead of an error).
 
     Use :meth:`serve_forever` to block, or :meth:`start` to serve on a
     background thread; :meth:`close` (or the context manager) tears down
@@ -171,24 +229,52 @@ class ChipServer:
         workload: str = "custom",
         max_batch: int = 8,
         batch_window_s: float = 0.0,
+        max_queue: int = 0,
+        shed_policy: str = "reject",
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if batch_window_s < 0:
             raise ValueError(f"batch_window_s must be >= 0, got {batch_window_s}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        if shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"shed_policy must be one of {SHED_POLICIES}, got {shed_policy!r}"
+            )
         self.target = target
         self.workload = workload
         self.max_batch = max_batch
         self.batch_window_s = batch_window_s
+        self.max_queue = max_queue
+        self.shed_policy = shed_policy
+        #: Unix timestamp of server construction (the socket binds here, so
+        #: this is when the endpoint became connectable).
+        self.started_at = time.time()
         # Bind eagerly so `address` works immediately and `start()` has no
         # listening race; asyncio adopts this socket in _serve_async.
         self._sock = socket.create_server((host, port), reuse_port=False)
         bound = self._sock.getsockname()[:2]
         self._address = (str(bound[0]), int(bound[1]))
-        #: Dynamic-batching counters: total requests served, dispatches made
-        #: and the largest coalesced dispatch (only the dispatcher coroutine
-        #: writes these).
-        self.stats: dict[str, int] = {"requests": 0, "batches": 0, "max_coalesced": 0}
+        #: Serving counters: total requests served, dispatches made, the
+        #: largest coalesced dispatch, and the admission-control outcomes
+        #: (shed / deadline_exceeded / cancelled).  Only event-loop code
+        #: writes these.
+        self.stats: dict[str, int] = {
+            "requests": 0,
+            "batches": 0,
+            "max_coalesced": 0,
+            "shed": 0,
+            "deadline_exceeded": 0,
+            "cancelled": 0,
+        }
+        #: Requests admitted but not yet dispatched (the live queue depth the
+        #: admission bound applies to; includes items the dispatcher holds).
+        self._backlog = 0
+        #: Requests currently executing on the work thread.
+        self._inflight = 0
+        #: FIFO of block-policy admissions waiting for a queue slot.
+        self._space_waiters: deque[asyncio.Future] = deque()
         self._thread: threading.Thread | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop_event: asyncio.Event | None = None
@@ -229,6 +315,15 @@ class ChipServer:
             # its worker count.
             "capacity": jobs,
             "max_batch": self.max_batch,
+            # Live load: admitted-but-undispatched requests and requests on
+            # the work thread right now.  The gateway discounts its static
+            # capacity weights by these.
+            "queue_depth": self._backlog,
+            "inflight": self._inflight,
+            "max_queue": self.max_queue,
+            "shed_policy": self.shed_policy,
+            "started_at": self.started_at,
+            "uptime_s": max(0.0, time.time() - self.started_at),
             "stats": dict(self.stats),
         }
         executor = getattr(self.target, "executor", None)
@@ -236,10 +331,147 @@ class ChipServer:
             info["executor"] = executor
         return info
 
+    # -- admission control --------------------------------------------------------
+
+    def _relinquish_wait(self, waiter: asyncio.Future) -> None:
+        """Abandon a blocked admission without leaking its queue slot.
+
+        The abandonment paths (deadline timeout, task cancellation) race
+        the slot handoff: the timer/cancel can fire *after*
+        :meth:`_wake_one_waiter` already resolved this waiter (result
+        ``True``) and pre-incremented the backlog on its behalf.  A
+        transferred slot the waiter will never use must be passed on, or
+        the queue bound permanently shrinks by one.  Waiters resolved with
+        ``False`` (a cancel op) never held a slot.
+        """
+        if waiter.done() and not waiter.cancelled() and waiter.result():
+            self._release_slot()
+        else:
+            with contextlib.suppress(ValueError):
+                self._space_waiters.remove(waiter)
+
+    def _wake_one_waiter(self) -> None:
+        """Hand a freed queue slot to the longest-blocked admission waiter.
+
+        The slot transfers *atomically at wake time* (the backlog is
+        re-incremented on the waiter's behalf before any other task runs),
+        so a burst of fresh arrivals can never steal the slot from a
+        request that has been blocking longer — block-policy admission is
+        strictly FIFO.  The waiter resolves to ``True`` ("you own a slot");
+        a cancel op resolves waiters to ``False`` ("stop waiting, no slot").
+        """
+        while self._space_waiters:
+            waiter = self._space_waiters.popleft()
+            if not waiter.done():
+                self._backlog += 1  # the freed slot now belongs to this waiter
+                waiter.set_result(True)
+                return
+
+    def _release_slot(self) -> None:
+        """Return one backlog slot, waking the next blocked admission.
+
+        Called whenever an admitted request leaves the queue — dispatched,
+        expired, cancelled — or a transferred slot cannot be used.
+        """
+        self._backlog -= 1
+        self._wake_one_waiter()
+
+    async def _admit(self, item: _QueuedInfer) -> None:
+        """Apply the queue bound, then enqueue (never partially admits).
+
+        ``"reject"`` sheds immediately with a structured ``overloaded``
+        error; ``"block"`` joins a FIFO waiter queue for the next freed
+        slot — but never waits past the request's own deadline, which
+        converts the wait into ``deadline_exceeded``.  A request whose
+        future was already resolved (a ``cancel`` op raced admission) is
+        never enqueued — the server must not compute an answer nobody will
+        read.
+        """
+        assert self._loop is not None and self._queue is not None
+        if self.max_queue and (
+            self._backlog >= self.max_queue or self._space_waiters
+        ):
+            if self.shed_policy == "reject":
+                self.stats["shed"] += 1
+                raise ServeRejection(
+                    f"server queue is full ({self._backlog}/{self.max_queue} "
+                    f"requests waiting); request shed",
+                    code=ERROR_OVERLOADED,
+                )
+            remaining = None
+            if item.deadline is not None:
+                remaining = item.deadline - self._loop.time()
+                if remaining <= 0:
+                    self.stats["deadline_exceeded"] += 1
+                    raise ServeRejection(
+                        "deadline expired while blocked on a full server queue",
+                        code=ERROR_DEADLINE_EXCEEDED,
+                    )
+            waiter: asyncio.Future = self._loop.create_future()
+            self._space_waiters.append(waiter)
+            item.waiter = waiter
+            try:
+                got_slot = await asyncio.wait_for(waiter, timeout=remaining)
+            except (asyncio.TimeoutError, TimeoutError):
+                self._relinquish_wait(waiter)
+                if item.future.done():
+                    # A racing cancel already resolved this request; the
+                    # caller's `await future` reports the cancellation.
+                    return
+                self.stats["deadline_exceeded"] += 1
+                raise ServeRejection(
+                    "deadline expired while blocked on a full server queue",
+                    code=ERROR_DEADLINE_EXCEEDED,
+                ) from None
+            except asyncio.CancelledError:
+                # The connection died while we blocked.
+                self._relinquish_wait(waiter)
+                raise
+            finally:
+                item.waiter = None
+            if item.future.done():
+                if got_slot:
+                    self._release_slot()  # cancelled while blocked; pass it on
+                return
+            # got_slot is always True here: only a cancel resolves the
+            # waiter with False, and a cancel resolves the future first.
+            self._queue.put_nowait(item)
+            return
+        if item.future.done():
+            return  # cancelled before admission; nothing to enqueue
+        # No awaits between the bound check and the enqueue: admission is
+        # atomic on the event loop.
+        self._backlog += 1
+        self._queue.put_nowait(item)
+
     # -- protocol -----------------------------------------------------------------
 
-    async def _execute(self, message: dict[str, object]) -> dict[str, object]:
-        """Turn one parsed envelope into a reply envelope (never raises)."""
+    @staticmethod
+    def _parse_deadline(message: dict[str, object]) -> float | None:
+        deadline_s = message.get("deadline_s")
+        if deadline_s is None:
+            return None
+        if (
+            isinstance(deadline_s, bool)
+            or not isinstance(deadline_s, (int, float))
+            or deadline_s <= 0
+        ):
+            raise ValueError(
+                f"deadline_s must be a positive number of seconds, got {deadline_s!r}"
+            )
+        return float(deadline_s)
+
+    async def _execute(
+        self,
+        message: dict[str, object],
+        conn_pending: dict[object, _QueuedInfer],
+    ) -> dict[str, object]:
+        """Turn one parsed envelope into a reply envelope (never raises).
+
+        ``conn_pending`` maps this connection's still-pending tagged
+        ``infer`` ids to their queue items, which is what the ``cancel`` op
+        reaches into (and how it tells queued work from dispatched work).
+        """
         op = message.get("op")
         request_id = message.get("id")
         try:
@@ -251,6 +483,7 @@ class ChipServer:
                 payload = message.get("request")
                 if not isinstance(payload, dict):
                     raise ValueError('infer needs a "request" object payload')
+                deadline_s = self._parse_deadline(message)
                 assert self._loop is not None and self._queue is not None
                 # Schema decode/encode of a large batch is real CPU work;
                 # run it off-loop so other connections stay responsive.
@@ -258,26 +491,91 @@ class ChipServer:
                     None, InferenceRequest.from_dict, payload
                 )
                 future = self._loop.create_future()
+                deadline = (
+                    None if deadline_s is None else self._loop.time() + deadline_s
+                )
                 # Compatibility key: only requests sharing the encoding
                 # window may ride in one coalesced dispatch.
-                await self._queue.put(
-                    _QueuedInfer(key=request.timesteps, request=request, future=future)
+                item = _QueuedInfer(
+                    key=request.timesteps,
+                    request=request,
+                    future=future,
+                    deadline=deadline,
                 )
-                response = await future
+                # Registered BEFORE admission so a cancel op can reach a
+                # request still blocked in block-policy admission (its
+                # future resolves; _admit then declines to enqueue it).
+                if request_id is not None:
+                    conn_pending[request_id] = item
+                try:
+                    await self._admit(item)
+                    # A cancel op resolves this future with a structured
+                    # ServeRejection; the dispatcher resolves it with the
+                    # response (or the dispatch failure).
+                    response = await future
+                finally:
+                    if request_id is not None:
+                        conn_pending.pop(request_id, None)
                 result = {
                     "response": await self._loop.run_in_executor(
                         None, response.to_dict
                     )
                 }
+            elif op == "cancel":
+                target = message.get("target")
+                if target is None:
+                    raise ValueError(
+                        'cancel needs a "target" field naming the request id '
+                        "of a pending infer on this connection"
+                    )
+                pending = conn_pending.get(target)
+                cancelled = False
+                # Only *queued* work is cancellable: once the dispatcher has
+                # handed the request to the work thread, dispatch wins and
+                # the computed result is delivered normally.
+                if (
+                    pending is not None
+                    and not pending.dispatched
+                    and not pending.future.done()
+                ):
+                    # Resolve (don't cancel) the dispatch future: task
+                    # cancellation also cancels awaited futures, and the two
+                    # must stay distinguishable.  The waiting infer task
+                    # turns this into a structured `cancelled` error reply;
+                    # the dispatcher sweeps the dead item out of the queue.
+                    pending.future.set_exception(
+                        ServeRejection(
+                            f"request {target!r} cancelled before dispatch",
+                            code=ERROR_CANCELLED,
+                        )
+                    )
+                    if pending.waiter is not None and not pending.waiter.done():
+                        # Unblock a block-policy admission immediately (no
+                        # slot transfer) so the structured cancelled reply
+                        # goes out now, not when a queue slot frees — and
+                        # drop it from the waiter queue, where a resolved
+                        # entry would wrongly keep the bound check blocking
+                        # new arrivals after the queue drains.
+                        pending.waiter.set_result(False)
+                        with contextlib.suppress(ValueError):
+                            self._space_waiters.remove(pending.waiter)
+                    self.stats["cancelled"] += 1
+                    cancelled = True
+                result = {"cancelled": cancelled, "target": target}
             elif op == "shutdown":
                 result = {"stopping": True}
             else:
                 raise ValueError(
-                    f"unknown op {op!r}; expected ping, info, infer or shutdown"
+                    f"unknown op {op!r}; expected ping, info, infer, cancel "
+                    f"or shutdown"
                 )
             return reply_envelope(op, result, request_id=request_id)
         except asyncio.CancelledError:
             raise
+        except ServeRejection as exc:
+            return error_envelope(
+                str(exc), op=op, request_id=request_id, code=exc.code
+            )
         except Exception as exc:  # noqa: BLE001 - every failure becomes a reply
             return error_envelope(
                 f"{type(exc).__name__}: {exc}", op=op, request_id=request_id
@@ -291,7 +589,14 @@ class ChipServer:
         return [self.target.infer(request) for request in requests]
 
     async def _batch_loop(self) -> None:
-        """Drain the request queue, coalescing compatible requests."""
+        """Drain the request queue, coalescing compatible requests.
+
+        Deadline enforcement happens here, at both ends of the queue: every
+        sweep re-checks every held request (items parked behind an
+        incompatible head expire promptly, not when they finally match), and
+        the check runs immediately before dispatch, so a request never
+        reaches the work thread after its deadline has passed.
+        """
         assert self._loop is not None and self._queue is not None
         pending: deque[_QueuedInfer] = deque()
         while True:
@@ -309,33 +614,61 @@ class ChipServer:
                     pending.append(
                         await asyncio.wait_for(self._queue.get(), self.batch_window_s)
                     )
-            # Coalesce the head-of-line request with every compatible
-            # follower (FIFO order preserved for the rest).
-            key = pending[0].key
+            # Sweep out dead (cancelled) and expired requests, then coalesce
+            # the first live request with every compatible follower (FIFO
+            # order preserved for the rest).
+            now = self._loop.time()
+            key: object = None
+            key_set = False
             batch: list[_QueuedInfer] = []
             rest: deque[_QueuedInfer] = deque()
             for item in pending:
+                if item.future.done():
+                    # Cancelled (or otherwise resolved) while queued.
+                    self._release_slot()
+                    continue
+                if item.deadline is not None and now > item.deadline:
+                    self.stats["deadline_exceeded"] += 1
+                    item.future.set_exception(
+                        ServeRejection(
+                            "deadline expired before the request was "
+                            "dispatched",
+                            code=ERROR_DEADLINE_EXCEEDED,
+                        )
+                    )
+                    self._release_slot()
+                    continue
+                if not key_set:
+                    key, key_set = item.key, True
                 if item.key == key and len(batch) < self.max_batch:
                     batch.append(item)
                 else:
                     rest.append(item)
             pending = rest
-            live = [item for item in batch if not item.future.done()]
-            if not live:
+            if not batch:
                 continue
-            self.stats["requests"] += len(live)
+            # Marking dispatched and handing off happen in one synchronous
+            # block (no awaits until the executor hop), so a concurrent
+            # cancel task can never observe a half-dispatched batch.
+            for item in batch:
+                item.dispatched = True
+                self._release_slot()
+            self.stats["requests"] += len(batch)
             self.stats["batches"] += 1
-            self.stats["max_coalesced"] = max(self.stats["max_coalesced"], len(live))
+            self.stats["max_coalesced"] = max(self.stats["max_coalesced"], len(batch))
+            self._inflight = len(batch)
             try:
                 responses = await self._loop.run_in_executor(
-                    self._work, self._run_batch, [item.request for item in live]
+                    self._work, self._run_batch, [item.request for item in batch]
                 )
             except Exception as exc:  # noqa: BLE001 - surfaced per request
-                for item in live:
+                for item in batch:
                     if not item.future.done():
                         item.future.set_exception(exc)
                 continue
-            for item, response in zip(live, responses):
+            finally:
+                self._inflight = 0
+            for item, response in zip(batch, responses):
                 if not item.future.done():
                     item.future.set_result(response)
 
@@ -346,6 +679,9 @@ class ChipServer:
         ordered_tail: asyncio.Task | None = None
         tasks: set[asyncio.Task] = set()
         saw_shutdown = False
+        # Tagged infer requests of THIS connection still waiting for their
+        # reply; the cancel op may only reach its own connection's work.
+        conn_pending: dict[object, _QueuedInfer] = {}
 
         async def process(
             message: dict[str, object] | None,
@@ -358,7 +694,7 @@ class ChipServer:
                 is_shutdown = False
             else:
                 assert message is not None
-                reply = await self._execute(message)
+                reply = await self._execute(message, conn_pending)
                 is_shutdown = message.get("op") == "shutdown"
             if previous is not None:
                 # Version-1 requests carry no id, so their replies must
@@ -454,6 +790,7 @@ class ChipServer:
     async def _serve_async(self) -> None:
         self._stop_event = asyncio.Event()
         self._queue = asyncio.Queue()
+        self._space_waiters.clear()  # waiters belong to the serving loop
         # The loop is published LAST: start() returns (and close() may run)
         # as soon as it appears, and close() needs the stop event with it.
         self._loop = asyncio.get_running_loop()

@@ -154,28 +154,33 @@ class ChipPool:
     def _shard_allocation(self, requests: list[InferenceRequest]) -> list[int]:
         """How many shards each request receives in one coalesced dispatch.
 
-        Every request gets at least one shard; leftover worker slots go to
-        the largest remaining per-shard batches first (deterministic
-        tie-break on request order), so one big request cannot starve the
-        small ones riding in the same dispatch and the total never exceeds
-        ``jobs`` when the requests fit in a single wave.
+        Shard sizes are levelled against the dispatch's *ideal makespan* —
+        ``ceil(total samples / jobs)``, the wall-clock of a perfectly
+        balanced dispatch: request ``i`` is split into
+        ``ceil(batch_i / ideal)`` shards, so no single shard ever exceeds
+        the ideal and an oversized request is re-batched into sub-shards
+        that pack worker slots alongside the small requests riding in the
+        same dispatch.  When the requests fit one wave this reduces to the
+        historical proportional allocation; when they do not, the spill is
+        balanced sub-shards across extra waves rather than one monolithic
+        whole-request shard pinning a worker while its siblings idle.
         """
         sizes = [request.batch_size for request in requests]
-        shares = [1] * len(requests)
-        spare = self.jobs - len(requests)
-        while spare > 0:
-            # The request whose shards are currently largest gets the slot.
-            candidates = [
-                (size / share, -index)
-                for index, (size, share) in enumerate(zip(sizes, shares))
-                if share < size
-            ]
-            if not candidates:
-                break
-            _, neg_index = max(candidates)
-            shares[-neg_index] += 1
-            spare -= 1
-        return shares
+        ideal = max(1, -(-sum(sizes) // self.jobs))
+        return [-(-size // ideal) for size in sizes]
+
+    @staticmethod
+    def _pack_waves(sizes: list[int], jobs: int) -> list[list[int]]:
+        """Pack shard indices into waves of at most ``jobs``, largest first.
+
+        A wave's wall-clock is its largest shard, so sorting the shards by
+        descending size and chunking minimises the summed wave maxima (each
+        wave's maximum is then exactly the smallest it can possibly be given
+        the shards that remain).  The sort is stable, so equal-sized shards
+        dispatch in plan order — packing is deterministic.
+        """
+        order = sorted(range(len(sizes)), key=lambda index: -sizes[index])
+        return [order[start : start + jobs] for start in range(0, len(order), jobs)]
 
     def infer(self, request: InferenceRequest) -> InferenceResponse:
         """Shard one request across the workers and merge their responses.
@@ -189,20 +194,25 @@ class ChipPool:
         """Run several requests as one coalesced pool dispatch.
 
         This is the dynamic-batching seam the async chip server drains its
-        request queue through: the pool's ``jobs`` worker slots are
-        allocated across all queued requests at once (each request split
-        into contiguous shards carrying its *own* absolute
-        ``sample_offset``), every shard executes through the shard executor,
-        and the shard responses are regrouped per request with exactly the
-        merge a standalone :meth:`infer` performs.  Because encoding is
-        shard-stable per absolute sample index, each returned response is
-        result-identical to running that request alone on a single
-        :class:`~repro.serve.ChipSession` — coalescing changes throughput,
+        request queue through: every queued request is split into contiguous
+        shards carrying its *own* absolute ``sample_offset``, the shards are
+        **re-batched at the shard level** — an oversized request becomes
+        several sub-shards no larger than the dispatch's ideal makespan, and
+        the flattened shard set is packed into worker waves largest-first,
+        so sub-shards of a big request fill slots alongside small requests
+        instead of pinning one worker per request — and the shard responses
+        are regrouped per request with exactly the merge a standalone
+        :meth:`infer` performs.  Because encoding is shard-stable per
+        absolute sample index, each returned response is result-identical to
+        running that request alone on a single
+        :class:`~repro.serve.ChipSession` — re-batching changes throughput,
         never numbers.
 
         Requests may disagree on ``timesteps``/``labels``; each shard
-        carries its request's own overrides.  More requests than worker
-        slots simply execute in successive waves of ``jobs`` shards.
+        carries its request's own overrides (shards with different
+        ``timesteps`` may share a wave — workers are independent sessions).
+        More shards than worker slots execute in successive waves of at most
+        ``jobs`` shards.
         """
         if not requests:
             raise ValueError("infer_many needs at least one request")
@@ -222,15 +232,20 @@ class ChipPool:
                 for request, bounds in zip(requests, plans)
                 for start, stop in bounds
             ]
-            # Executors pin shards to fixed workers, so a dispatch larger
-            # than the worker count executes in successive full waves.
-            responses: list[InferenceResponse] = []
-            for wave in range(0, len(shard_requests), self.jobs):
-                responses.extend(
+            # Executors pin shards to fixed workers and a wave never exceeds
+            # the worker count; packing decides which shards share a wave.
+            responses: list[InferenceResponse | None] = [None] * len(shard_requests)
+            waves = self._pack_waves(
+                [shard.batch_size for shard in shard_requests], self.jobs
+            )
+            for wave in waves:
+                for index, response in zip(
+                    wave,
                     self._shard_executor.run_shards(
-                        shard_requests[wave : wave + self.jobs]
-                    )
-                )
+                        [shard_requests[index] for index in wave]
+                    ),
+                ):
+                    responses[index] = response
         merged = []
         cursor = 0
         for request, bounds in zip(requests, plans):

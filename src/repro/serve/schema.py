@@ -17,6 +17,19 @@ direction).  Protocol version 2 adds explicit ``op``/``reply`` framing and
 optional request ``id``\\ s so several requests can be in flight on one
 connection; version-1 peers (no ``v``, no ``id``) remain fully supported —
 the server answers them in arrival order, exactly as before.
+
+The version-2 envelope additionally carries the admission-control surface
+(all optional, so v1/v2 peers that ignore it are unchanged):
+
+* an ``infer`` request may set ``deadline_s`` (positive seconds); the server
+  rejects the request once that much time has passed before dispatch;
+* a ``cancel`` request (``{"op": "cancel", "target": <id>}``) removes the
+  still-queued ``infer`` tagged ``target`` on the same connection;
+* error replies may carry a machine-readable ``code`` —
+  :data:`ERROR_OVERLOADED`, :data:`ERROR_DEADLINE_EXCEEDED` or
+  :data:`ERROR_CANCELLED` — next to the human-readable ``error`` message, so
+  clients and the gateway can react (retry elsewhere, surface a timeout)
+  without parsing prose.
 """
 
 from __future__ import annotations
@@ -30,6 +43,9 @@ from repro.core.stats import EventCounters
 from repro.energy.model import EnergyReport
 
 __all__ = [
+    "ERROR_CANCELLED",
+    "ERROR_DEADLINE_EXCEEDED",
+    "ERROR_OVERLOADED",
     "PROTOCOL_VERSION",
     "SCHEMA_VERSION",
     "InferenceRequest",
@@ -46,6 +62,14 @@ SCHEMA_VERSION = 1
 #: Wire-envelope version: 2 adds request ids and ``op``/``reply`` framing.
 #: Version-1 envelopes (no ``v`` field) are still accepted everywhere.
 PROTOCOL_VERSION = 2
+
+#: Structured error codes carried in error replies (the ``code`` field).
+#: The request was shed by the server's admission control (queue full).
+ERROR_OVERLOADED = "overloaded"
+#: The request's ``deadline_s`` expired before the server dispatched it.
+ERROR_DEADLINE_EXCEEDED = "deadline_exceeded"
+#: The request was cancelled (a ``cancel`` op, or the client went away).
+ERROR_CANCELLED = "cancelled"
 
 
 # -- wire envelope ------------------------------------------------------------------
@@ -79,15 +103,26 @@ def reply_envelope(
 
 
 def error_envelope(
-    message: str, *, op: object = None, request_id: object = None
+    message: str,
+    *,
+    op: object = None,
+    request_id: object = None,
+    code: str | None = None,
 ) -> dict[str, object]:
-    """Build an error reply (every failure becomes a reply, never a dropped line)."""
+    """Build an error reply (every failure becomes a reply, never a dropped line).
+
+    ``code`` attaches a machine-readable error code (:data:`ERROR_OVERLOADED`,
+    :data:`ERROR_DEADLINE_EXCEEDED`, :data:`ERROR_CANCELLED`) so clients can
+    branch on the failure class without parsing the message text.
+    """
     envelope: dict[str, object] = {
         "ok": False,
         "v": PROTOCOL_VERSION,
         "reply": op,
         "error": message,
     }
+    if code is not None:
+        envelope["code"] = code
     if request_id is not None:
         envelope["id"] = request_id
     return envelope

@@ -21,10 +21,11 @@ never numbers):
 from __future__ import annotations
 
 import json
+import re
 import socket
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import CancelledError, ThreadPoolExecutor
 
 import numpy as np
 import pytest
@@ -37,9 +38,17 @@ from repro.serve.distributed import (
     GatewayEndpoint,
     InferenceGateway,
     PipelinedSession,
+    RemoteServerError,
     RemoteSession,
+    parse_endpoint,
 )
-from repro.serve.schema import PROTOCOL_VERSION, request_envelope
+from repro.serve.schema import (
+    ERROR_CANCELLED,
+    ERROR_DEADLINE_EXCEEDED,
+    ERROR_OVERLOADED,
+    PROTOCOL_VERSION,
+    request_envelope,
+)
 from repro.snn import Dense, Network, convert_to_snn
 
 ENERGY_RTOL = 1e-9
@@ -271,6 +280,68 @@ class TestPoolInferMany:
         assert response.jobs == 3
         _assert_identical(expected, response)
 
+    def test_oversized_request_splits_into_sub_shards(self, workload):
+        # Shard-level re-batching: a request larger than the ideal makespan
+        # is split into several sub-shards instead of pinning one worker
+        # with a monolithic whole-request shard.
+        snn, config, inputs, _ = workload
+
+        def req(n):
+            return InferenceRequest(inputs=np.random.default_rng(1).random((n, 48)))
+
+        with ChipPool(
+            snn, jobs=2, config=config, timesteps=5, encoder="poisson", seed=21
+        ) as pool:
+            # 13 + 2 samples on 2 workers: ideal makespan 8, so the big
+            # request becomes 2 sub-shards (7+6) and the small stays whole.
+            assert pool._shard_allocation([req(13), req(2)]) == [2, 1]
+            # 100 + 2 on 2 workers: the big request spills across waves in
+            # balanced halves rather than one 100-sample shard.
+            assert pool._shard_allocation([req(100), req(2)]) == [2, 1]
+            # 6 + 2 on 4 workers fit one wave: big sub-shards (2+2+2) pack
+            # worker slots alongside the small request.
+        with ChipPool(
+            snn, jobs=4, config=config, timesteps=5, encoder="poisson", seed=21
+        ) as pool:
+            assert pool._shard_allocation([req(6), req(2)]) == [3, 1]
+
+    def test_wave_packing_is_largest_first_and_deterministic(self):
+        # Sorting by descending size and chunking minimises the summed wave
+        # maxima; the stable sort keeps equal sizes in plan order.
+        assert ChipPool._pack_waves([7, 6, 2, 2], 2) == [[0, 1], [2, 3]]
+        assert ChipPool._pack_waves([2, 7, 3], 2) == [[1, 2], [0]]
+        assert ChipPool._pack_waves([4, 4, 4], 3) == [[0, 1, 2]]
+        assert ChipPool._pack_waves([1], 4) == [[0]]
+
+    @pytest.mark.parametrize("executor", sorted(EXECUTORS))
+    def test_mixed_small_and_oversized_requests_split_back_exactly(
+        self, workload, single_session, executor
+    ):
+        # The acceptance bar for shard-level re-batching: an oversized
+        # request (split into sub-shards) coalesced with small requests must
+        # return responses exactly identical to serial single-session runs.
+        snn, config, inputs, labels = workload
+        requests = [
+            InferenceRequest(inputs=inputs, labels=labels),  # oversized: 13
+            InferenceRequest(inputs=inputs[:2], sample_offset=4),  # small
+            InferenceRequest(inputs=inputs[:3], labels=labels[:3], timesteps=3),
+        ]
+        expected = [single_session.infer(request) for request in requests]
+        with ChipPool(
+            snn,
+            jobs=2,
+            config=config,
+            timesteps=5,
+            encoder="poisson",
+            seed=21,
+            executor=executor,
+        ) as pool:
+            # The oversized request really is re-batched into sub-shards.
+            assert pool._shard_allocation(requests)[0] > 1
+            responses = pool.infer_many(requests)
+        for want, got in zip(expected, responses):
+            _assert_identical(want, got)
+
 
 # -- server-side dynamic batching ---------------------------------------------------
 
@@ -384,6 +455,471 @@ class TestServerDynamicBatching:
         for batch in batches:
             for response in batch:
                 _assert_identical(expected, response)
+
+
+# -- load control: backpressure, deadlines, cancellation ----------------------------
+
+
+def _wait_for_info(client: PipelinedSession, predicate, timeout: float = 20.0):
+    """Poll the server's info op until ``predicate(info)`` holds."""
+    deadline = time.monotonic() + timeout
+    info: dict = {}
+    while time.monotonic() < deadline:
+        info = client.info(refresh=True)
+        if predicate(info):
+            return info
+        time.sleep(0.01)
+    raise AssertionError(f"server info never satisfied the predicate; last: {info}")
+
+
+class TestLoadControl:
+    def test_server_validates_queue_arguments(self, workload):
+        session = _fresh_session(workload)
+        with pytest.raises(ValueError, match="max_queue must be >= 0"):
+            ChipServer(session, port=0, max_queue=-1)
+        with pytest.raises(ValueError, match="shed_policy must be one of"):
+            ChipServer(session, port=0, shed_policy="bogus")
+
+    def test_info_reports_load_stats_and_start_time(self, workload):
+        before = time.time()
+        with ChipServer(
+            _fresh_session(workload), port=0, max_queue=7, shed_policy="block"
+        ) as server:
+            info = server.info()
+        assert info["protocol_version"] == PROTOCOL_VERSION
+        assert info["max_queue"] == 7
+        assert info["shed_policy"] == "block"
+        assert info["queue_depth"] == 0
+        assert info["inflight"] == 0
+        assert before <= info["started_at"] <= time.time()
+        assert info["uptime_s"] >= 0.0
+        for counter in ("shed", "deadline_exceeded", "cancelled"):
+            assert info["stats"][counter] == 0
+
+    def test_flood_sheds_with_structured_reply_and_bounded_queue(
+        self, workload, single_session
+    ):
+        # The acceptance scenario: queue bound N, 4N submitted.  The head
+        # request occupies the (gated) work thread, N fill the queue, the
+        # rest must come back as structured `overloaded` errors — and every
+        # admitted request must return the exact serial answer.
+        _, _, inputs, _ = workload
+        n_bound = 2
+        gate = _GateTarget(_fresh_session(workload))
+        head = InferenceRequest(inputs=inputs[:3])
+        admitted = [
+            InferenceRequest(inputs=inputs[3:8], sample_offset=3),
+            InferenceRequest(inputs=inputs[8:13], sample_offset=8),
+        ]
+        flood = [InferenceRequest(inputs=inputs[:2]) for _ in range(4 * n_bound - 1 - n_bound)]
+        with ChipServer(
+            gate, port=0, workload="bounded", max_queue=n_bound
+        ).start() as server:
+            with PipelinedSession.connect(server.address, connections=1) as client:
+                future_head = client.submit(head)
+                assert gate.entered.wait(timeout=10), "head dispatch never ran"
+                admitted_futures = []
+                for depth, request in enumerate(admitted, start=1):
+                    admitted_futures.append(client.submit(request))
+                    _wait_for_info(client, lambda i, d=depth: i["queue_depth"] == d)
+                shed_errors = []
+                for request in flood:
+                    with pytest.raises(RemoteServerError) as excinfo:
+                        client.submit(request).result(timeout=20)
+                    shed_errors.append(excinfo.value)
+                info = client.info(refresh=True)
+                # The bound holds while the flood hammers the full queue.
+                assert info["queue_depth"] == n_bound
+                gate.release.set()
+                results = [future_head.result(timeout=60)] + [
+                    future.result(timeout=60) for future in admitted_futures
+                ]
+                final = client.info(refresh=True)
+        assert len(shed_errors) == 4 * n_bound - 1 - n_bound  # 5 of 8 shed
+        for error in shed_errors:
+            assert error.code == ERROR_OVERLOADED
+            assert "queue is full" in str(error)
+        for request, response in zip([head, *admitted], results):
+            _assert_identical(single_session.infer(request), response)
+        assert final["stats"]["shed"] == len(shed_errors)
+        assert final["stats"]["requests"] == 1 + n_bound
+        assert final["queue_depth"] == 0
+
+    def test_block_policy_applies_backpressure_without_shedding(
+        self, workload, single_session
+    ):
+        _, _, inputs, _ = workload
+        gate = _GateTarget(_fresh_session(workload))
+        requests = [
+            InferenceRequest(inputs=inputs[:3]),
+            InferenceRequest(inputs=inputs[3:6], sample_offset=3),
+            InferenceRequest(inputs=inputs[6:9], sample_offset=6),
+        ]
+        with ChipServer(
+            gate, port=0, workload="blocking", max_queue=1, shed_policy="block"
+        ).start() as server:
+            with PipelinedSession.connect(server.address, connections=1) as client:
+                futures = [client.submit(requests[0])]
+                assert gate.entered.wait(timeout=10), "head dispatch never ran"
+                futures.append(client.submit(requests[1]))
+                _wait_for_info(client, lambda i: i["queue_depth"] == 1)
+                # The third submit blocks in admission instead of shedding:
+                # the queue bound holds and nothing errors.
+                futures.append(client.submit(requests[2]))
+                time.sleep(0.2)
+                info = client.info(refresh=True)
+                assert info["queue_depth"] == 1
+                assert info["stats"]["shed"] == 0
+                assert not futures[2].done(), "blocked request resolved early"
+                gate.release.set()
+                responses = [future.result(timeout=60) for future in futures]
+                final = client.info(refresh=True)
+        for request, response in zip(requests, responses):
+            _assert_identical(single_session.infer(request), response)
+        assert final["stats"]["shed"] == 0
+        assert final["stats"]["requests"] == 3
+
+    def test_cancel_reaches_request_blocked_in_admission(
+        self, workload, single_session
+    ):
+        # A cancel must also reach a request still blocked in block-policy
+        # admission: it is never enqueued, never dispatched, and the server
+        # does not burn chip compute on an answer nobody will read.
+        _, _, inputs, _ = workload
+        gate = _GateTarget(_fresh_session(workload))
+        head = InferenceRequest(inputs=inputs[:3])
+        queued = InferenceRequest(inputs=inputs[3:6], sample_offset=3)
+        blocked = InferenceRequest(inputs=inputs[6:9], sample_offset=6)
+        with ChipServer(
+            gate, port=0, workload="cancel-blocked", max_queue=1, shed_policy="block"
+        ).start() as server:
+            with PipelinedSession.connect(server.address, connections=1) as client:
+                future_head = client.submit(head)
+                assert gate.entered.wait(timeout=10), "head dispatch never ran"
+                future_queued = client.submit(queued)
+                _wait_for_info(client, lambda i: i["queue_depth"] == 1)
+                future_blocked = client.submit(blocked)
+                deadline = time.monotonic() + 10
+                while len(server._space_waiters) < 1:  # noqa: SLF001
+                    assert time.monotonic() < deadline, "third request never blocked"
+                    time.sleep(0.005)
+                assert future_blocked.cancel(), "blocked future refused to cancel"
+                _wait_for_info(client, lambda i: i["stats"]["cancelled"] == 1)
+                # The cancel unblocks the admission immediately — while the
+                # worker is still gated and the queue still full — and
+                # leaves no stale entry in the waiter queue.
+                deadline = time.monotonic() + 10
+                while server._space_waiters:  # noqa: SLF001
+                    assert time.monotonic() < deadline, (
+                        "cancelled admission still parked in the waiter queue"
+                    )
+                    time.sleep(0.005)
+                gate.release.set()
+                _assert_identical(
+                    single_session.infer(head), future_head.result(timeout=60)
+                )
+                _assert_identical(
+                    single_session.infer(queued), future_queued.result(timeout=60)
+                )
+                # Regression: a drained queue with a historical cancel must
+                # admit new work (no deadlock on a stale waiter entry).
+                _wait_for_info(client, lambda i: i["queue_depth"] == 0)
+                _assert_identical(
+                    single_session.infer(head),
+                    client.submit(head).result(timeout=60),
+                )
+                final = client.info(refresh=True)
+        assert final["stats"]["cancelled"] == 1
+        assert final["stats"]["requests"] == 3, "cancelled request was computed"
+        assert final["queue_depth"] == 0
+        assert sum(gate.dispatches) == 3, "cancelled request reached the work thread"
+
+    def test_block_policy_admission_is_fifo_under_sustained_load(
+        self, workload, single_session
+    ):
+        # The freed slot is handed to the longest-blocked waiter (slot
+        # transfer at wake time), so backpressure holds arrival order
+        # instead of letting fresh arrivals starve old ones.
+        _, _, inputs, _ = workload
+
+        class _RecordingGate(_GateTarget):
+            def __init__(self, session):
+                super().__init__(session)
+                self.offsets: list[int] = []
+
+            def infer_many(self, requests):
+                responses = super().infer_many(requests)
+                self.offsets.extend(r.sample_offset for r in requests)
+                return responses
+
+        gate = _RecordingGate(_fresh_session(workload))
+        requests = [
+            InferenceRequest(inputs=inputs[i : i + 3], sample_offset=i)
+            for i in (0, 3, 6, 9)
+        ]
+        with ChipServer(
+            gate, port=0, workload="fifo", max_queue=1, shed_policy="block"
+        ).start() as server:
+            with PipelinedSession.connect(server.address, connections=1) as client:
+                futures = [client.submit(requests[0])]
+                assert gate.entered.wait(timeout=10), "head dispatch never ran"
+                futures.append(client.submit(requests[1]))
+                _wait_for_info(client, lambda i: i["queue_depth"] == 1)
+                for expected_waiters in (1, 2):
+                    futures.append(client.submit(requests[len(futures)]))
+                    deadline = time.monotonic() + 10
+                    while len(server._space_waiters) < expected_waiters:  # noqa: SLF001
+                        assert time.monotonic() < deadline, (
+                            f"request never joined the waiter queue "
+                            f"({expected_waiters})"
+                        )
+                        time.sleep(0.005)
+                gate.release.set()
+                responses = [future.result(timeout=60) for future in futures]
+        for request, response in zip(requests, responses):
+            _assert_identical(single_session.infer(request), response)
+        assert gate.offsets == [0, 3, 6, 9], (
+            f"backpressure reordered arrivals: {gate.offsets}"
+        )
+
+    def test_deadline_expires_before_dispatch(self, workload, single_session):
+        _, _, inputs, _ = workload
+        gate = _GateTarget(_fresh_session(workload))
+        head = InferenceRequest(inputs=inputs[:3])
+        doomed = InferenceRequest(inputs=inputs[3:6], sample_offset=3)
+        with ChipServer(gate, port=0, workload="deadline").start() as server:
+            with PipelinedSession.connect(server.address, connections=1) as client:
+                future_head = client.submit(head)
+                assert gate.entered.wait(timeout=10), "head dispatch never ran"
+                future_doomed = client.submit(doomed, deadline_s=0.2)
+                _wait_for_info(client, lambda i: i["queue_depth"] == 1)
+                time.sleep(0.35)  # sail past the deadline while gated
+                gate.release.set()
+                with pytest.raises(RemoteServerError) as excinfo:
+                    future_doomed.result(timeout=20)
+                assert excinfo.value.code == ERROR_DEADLINE_EXCEEDED
+                _assert_identical(
+                    single_session.infer(head), future_head.result(timeout=60)
+                )
+                final = client.info(refresh=True)
+        assert final["stats"]["deadline_exceeded"] == 1
+        # The expired request never reached the work thread.
+        assert gate.dispatches == [1]
+
+    def test_invalid_deadline_is_rejected(self, workload):
+        with ChipServer(
+            _fresh_session(workload), port=0, workload="validate"
+        ).start() as server:
+            with PipelinedSession.connect(server.address, connections=1) as client:
+                with pytest.raises(
+                    RemoteServerError, match="deadline_s must be a positive number"
+                ):
+                    client.submit(
+                        InferenceRequest(inputs=[[1.0] * 48]), deadline_s=-1
+                    ).result(timeout=20)
+
+    def test_cancel_removes_queued_request(self, workload, single_session):
+        # Satellite: PipelinedSession future cancellation.  Cancelling the
+        # future sends a cancel op; the server drops the queued work (it
+        # never reaches the work thread) and counts the cancellation.
+        _, _, inputs, _ = workload
+        gate = _GateTarget(_fresh_session(workload))
+        head = InferenceRequest(inputs=inputs[:3])
+        doomed = InferenceRequest(inputs=inputs[3:6], sample_offset=3)
+        with ChipServer(gate, port=0, workload="cancel").start() as server:
+            with PipelinedSession.connect(server.address, connections=1) as client:
+                future_head = client.submit(head)
+                assert gate.entered.wait(timeout=10), "head dispatch never ran"
+                future_doomed = client.submit(doomed)
+                _wait_for_info(client, lambda i: i["queue_depth"] == 1)
+                assert future_doomed.cancel(), "pending future refused to cancel"
+                with pytest.raises(CancelledError):
+                    future_doomed.result(timeout=5)
+                _wait_for_info(client, lambda i: i["stats"]["cancelled"] == 1)
+                gate.release.set()
+                _assert_identical(
+                    single_session.infer(head), future_head.result(timeout=60)
+                )
+                # A finished future can no longer cancel.
+                assert not future_head.cancel()
+                final = client.info(refresh=True)
+        assert final["stats"]["cancelled"] == 1
+        assert final["stats"]["requests"] == 1
+        assert gate.dispatches == [1], "cancelled request was still dispatched"
+
+    def test_cancel_yields_structured_cancelled_reply_on_the_wire(self, workload):
+        # The raw protocol view of cancellation: the cancelled infer's reply
+        # is a structured error carrying code "cancelled" (not a dropped
+        # line), and the cancel op acknowledges with cancelled=true.
+        _, _, inputs, _ = workload
+        gate = _GateTarget(_fresh_session(workload))
+        head = InferenceRequest(inputs=inputs[:2])
+        queued = InferenceRequest(inputs=inputs[2:4], sample_offset=2)
+        with ChipServer(gate, port=0, workload="cancel-wire").start() as server:
+            with socket.create_connection(server.address, timeout=30) as raw:
+                stream = raw.makefile("rwb")
+
+                def send(envelope):
+                    stream.write(json.dumps(envelope).encode() + b"\n")
+                    stream.flush()
+
+                send(request_envelope("infer", request_id="a", request=head.to_dict()))
+                assert gate.entered.wait(timeout=10), "head dispatch never ran"
+                send(
+                    request_envelope("infer", request_id="b", request=queued.to_dict())
+                )
+                deadline = time.monotonic() + 10
+                while server._backlog < 1:  # noqa: SLF001 - in-process observation
+                    assert time.monotonic() < deadline, "request b never queued"
+                    time.sleep(0.005)
+                send(request_envelope("cancel", request_id="c", target="b"))
+                replies = {
+                    reply["id"]: reply
+                    for reply in (json.loads(stream.readline()) for _ in range(2))
+                }
+                gate.release.set()
+                final = json.loads(stream.readline())
+        assert set(replies) == {"b", "c"}
+        assert replies["c"]["ok"] is True and replies["c"]["cancelled"] is True
+        assert replies["b"]["ok"] is False
+        assert replies["b"]["code"] == ERROR_CANCELLED
+        assert "cancelled" in replies["b"]["error"]
+        assert final["id"] == "a" and final["ok"] is True
+
+    def test_cancel_after_dispatch_reports_false_and_delivers_result(
+        self, workload, single_session
+    ):
+        # Dispatch wins: once a request is on the work thread, cancel must
+        # report false, the computed result must still be delivered, and
+        # the cancelled/requests counters must not double-count.
+        _, _, inputs, _ = workload
+        gate = _GateTarget(_fresh_session(workload))
+        head = InferenceRequest(inputs=inputs[:2])
+        with ChipServer(gate, port=0, workload="dispatch-wins").start() as server:
+            with socket.create_connection(server.address, timeout=30) as raw:
+                stream = raw.makefile("rwb")
+                stream.write(
+                    json.dumps(
+                        request_envelope("infer", request_id="a", request=head.to_dict())
+                    ).encode()
+                    + b"\n"
+                )
+                stream.flush()
+                assert gate.entered.wait(timeout=10), "head dispatch never ran"
+                stream.write(
+                    json.dumps(
+                        request_envelope("cancel", request_id="c", target="a")
+                    ).encode()
+                    + b"\n"
+                )
+                stream.flush()
+                cancel_reply = json.loads(stream.readline())
+                gate.release.set()
+                infer_reply = json.loads(stream.readline())
+                final = server.stats.copy()
+        assert cancel_reply["id"] == "c"
+        assert cancel_reply["ok"] is True and cancel_reply["cancelled"] is False
+        assert infer_reply["id"] == "a" and infer_reply["ok"] is True
+        expected = single_session.infer(head)
+        np.testing.assert_array_equal(
+            np.asarray(infer_reply["response"]["predictions"]), expected.predictions
+        )
+        assert final["cancelled"] == 0
+        assert final["requests"] == 1
+
+    def test_cancel_op_with_unknown_target_reports_false(self, workload):
+        with ChipServer(
+            _fresh_session(workload), port=0, workload="cancel-miss"
+        ).start() as server:
+            with socket.create_connection(server.address, timeout=10) as raw:
+                stream = raw.makefile("rwb")
+                envelope = request_envelope("cancel", request_id=1, target=999)
+                stream.write(json.dumps(envelope).encode() + b"\n")
+                stream.flush()
+                reply = json.loads(stream.readline())
+        assert reply["ok"] is True
+        assert reply["cancelled"] is False
+        assert reply["target"] == 999
+
+
+# -- structured error replies (client side) ------------------------------------------
+
+
+def _canned_reply_server(reply_line: bytes):
+    """A one-shot fake server answering every request line with ``reply_line``."""
+    srv = socket.create_server(("127.0.0.1", 0))
+
+    def run():
+        try:
+            conn, _ = srv.accept()
+        except OSError:
+            return
+        with conn:
+            stream = conn.makefile("rwb")
+            while True:
+                line = stream.readline()
+                if not line:
+                    return
+                stream.write(reply_line + b"\n")
+                stream.flush()
+
+    threading.Thread(target=run, daemon=True).start()
+    return srv
+
+
+class TestStructuredErrorReplies:
+    def test_remote_session_raises_on_structured_error(self):
+        srv = _canned_reply_server(
+            b'{"ok": false, "error": "server queue is full; request shed", '
+            b'"code": "overloaded"}'
+        )
+        try:
+            remote = RemoteSession(*srv.getsockname()[:2], timeout=10, retries=0)
+            with pytest.raises(RemoteServerError, match="queue is full") as excinfo:
+                remote.infer(InferenceRequest(inputs=[[1.0, 2.0]]))
+            assert excinfo.value.code == ERROR_OVERLOADED
+            remote.close()
+        finally:
+            srv.close()
+
+    def test_remote_session_raises_on_unknown_error_shape(self):
+        # An error reply with no message and no code must still raise —
+        # never hang, never be mistaken for success.
+        srv = _canned_reply_server(b'{"ok": false}')
+        try:
+            remote = RemoteSession(*srv.getsockname()[:2], timeout=10, retries=0)
+            with pytest.raises(RemoteServerError, match="unknown server error") as excinfo:
+                remote.infer(InferenceRequest(inputs=[[1.0, 2.0]]))
+            assert excinfo.value.code is None
+            remote.close()
+        finally:
+            srv.close()
+
+    def test_pipelined_session_raises_on_structured_error(self, workload):
+        # Against a real server: shed replies surface through submit()
+        # futures with their code intact (exercised via a full queue in
+        # TestLoadControl; here the cheap path — an invalid op).
+        with ChipServer(
+            _fresh_session(workload), port=0, workload="errors"
+        ).start() as server:
+            with PipelinedSession.connect(server.address, connections=1) as client:
+                future = client._submit_op("definitely-not-an-op")
+                with pytest.raises(RemoteServerError, match="unknown op"):
+                    future.result(timeout=20)
+
+
+class TestParseEndpoint:
+    @pytest.mark.parametrize("bad", ["host:0", "host:-7", "127.0.0.1:65536"])
+    def test_out_of_range_ports_name_the_endpoint_string(self, bad):
+        with pytest.raises(ValueError, match=re.escape(repr(bad))) as excinfo:
+            parse_endpoint(bad)
+        assert "[1, 65535]" in str(excinfo.value)
+
+    @pytest.mark.parametrize("bad", ["host:seventy", "host:7.5", "host:"])
+    def test_non_numeric_ports_name_the_endpoint_string(self, bad):
+        with pytest.raises(ValueError, match=re.escape(repr(bad))) as excinfo:
+            parse_endpoint(bad)
+        assert "must be an integer" in str(excinfo.value)
 
 
 # -- connection resilience ----------------------------------------------------------
@@ -641,6 +1177,209 @@ class TestAsyncGateway:
             _assert_identical(want, got)
 
 
+class _BackloggedTarget:
+    """Local session reporting a scripted backlog through the load() hook."""
+
+    capacity = 1
+
+    def __init__(self, session: ChipSession, backlog: float):
+        self._session = session
+        self.backlog = backlog
+
+    def load(self) -> float:
+        return self.backlog
+
+    def infer(self, request):
+        return self._session.infer(request)
+
+
+class _SheddingTarget:
+    """Endpoint whose server always sheds (structured overloaded error)."""
+
+    capacity = 1
+
+    def __init__(self):
+        self.calls = 0
+
+    def infer(self, request):
+        self.calls += 1
+        raise RemoteServerError(
+            "server queue is full (1/1 requests waiting); request shed",
+            code=ERROR_OVERLOADED,
+        )
+
+
+class _InfoProbeRecorder:
+    """A pipelined-remote-shaped target recording how its info is polled."""
+
+    capacity = 1
+    submit = None  # pipelined marker: presence makes the target pollable
+
+    def __init__(self, session: ChipSession):
+        self._session = session
+        self.timeouts: list[float | None] = []
+        self.fail_polls = False
+
+    def info(self, refresh: bool = False, *, timeout: float | None = None):
+        self.timeouts.append(timeout)
+        if self.fail_polls:
+            raise TimeoutError("wedged endpoint never answered info")
+        return {"queue_depth": 2, "inflight": 1}
+
+    def infer(self, request):
+        return self._session.infer(request)
+
+
+class _DeadlineRecorder:
+    """Endpoint recording the deadline_s its infer() receives."""
+
+    capacity = 1
+
+    def __init__(self, session: ChipSession):
+        self._session = session
+        self.seen: list[float | None] = []
+
+    def infer(self, request, deadline_s: float | None = None):
+        self.seen.append(deadline_s)
+        return self._session.infer(request)
+
+
+class TestAdaptiveGateway:
+    def test_backlogged_endpoint_receives_fewer_samples(
+        self, workload, single_session
+    ):
+        _, _, inputs, labels = workload
+        idle = _BackloggedTarget(_fresh_session(workload), backlog=0.0)
+        busy = _BackloggedTarget(_fresh_session(workload), backlog=3.0)
+        with InferenceGateway(
+            [
+                GatewayEndpoint(target=idle, capacity=1, name="idle"),
+                GatewayEndpoint(target=busy, capacity=1, name="busy"),
+            ],
+            load_poll_s=0.0,
+        ) as gateway:
+            plan = gateway.shard_plan(12)
+            sizes = {p.endpoint.name: p.stop - p.start for p in plan}
+            # Effective capacities 1 vs 1/4: the busy endpoint's share drops
+            # from the static 6 to round(12 * 0.2) ≈ 2.
+            assert sizes["idle"] > sizes["busy"]
+            # Adaptivity changes placement, never numbers.
+            request = InferenceRequest(inputs=inputs, labels=labels)
+            _assert_identical(single_session.infer(request), gateway.infer(request))
+
+    def test_adaptive_off_restores_static_plan(self, workload):
+        idle = _BackloggedTarget(_fresh_session(workload), backlog=0.0)
+        busy = _BackloggedTarget(_fresh_session(workload), backlog=9.0)
+        with InferenceGateway(
+            [
+                GatewayEndpoint(target=idle, capacity=1, name="idle"),
+                GatewayEndpoint(target=busy, capacity=1, name="busy"),
+            ],
+            adaptive=False,
+        ) as gateway:
+            plan = gateway.shard_plan(12)
+            assert [(p.start, p.stop) for p in plan] == [(0, 6), (6, 12)]
+
+    def test_idle_endpoints_keep_the_static_plan(self, workload):
+        # Zero backlog everywhere: adaptive must plan exactly like the
+        # static capacity-weighted planner (the historical behaviour).
+        a = _fresh_session(workload)
+        b = _fresh_session(workload)
+        with InferenceGateway(
+            [
+                GatewayEndpoint(target=a, capacity=1, name="a"),
+                GatewayEndpoint(target=b, capacity=3, name="b"),
+            ]
+        ) as gateway:
+            plan = gateway.shard_plan(13)
+            assert [(p.start, p.stop) for p in plan] == [(0, 3), (3, 13)]
+
+    def test_load_polls_are_bounded_and_poll_failures_keep_planning(self, workload):
+        # The info poll runs on the submit path: it must carry a hard
+        # timeout (a wedged endpoint may not hang submit()), and a failed
+        # poll must keep the previous hint rather than failing the plan.
+        from repro.serve.distributed.gateway import LOAD_POLL_TIMEOUT_S
+
+        probe = _InfoProbeRecorder(_fresh_session(workload))
+        other = _fresh_session(workload)
+        with InferenceGateway(
+            [
+                GatewayEndpoint(target=probe, capacity=1, name="probed"),
+                GatewayEndpoint(target=other, capacity=1, name="plain"),
+            ],
+            load_poll_s=0.0,
+        ) as gateway:
+            plan = gateway.shard_plan(12)
+            assert probe.timeouts == [LOAD_POLL_TIMEOUT_S]
+            sizes = {p.endpoint.name: p.stop - p.start for p in plan}
+            # Polled backlog 3 discounts the probed endpoint: 1/(1+3) vs 1.
+            assert sizes["plain"] > sizes["probed"]
+            probe.fail_polls = True
+            plan = gateway.shard_plan(12)  # hint survives the failed poll
+            sizes = {p.endpoint.name: p.stop - p.start for p in plan}
+            assert sizes["plain"] > sizes["probed"]
+            assert len(probe.timeouts) == 2
+
+    def test_shed_shard_retries_on_other_endpoint(self, workload, single_session):
+        _, _, inputs, labels = workload
+        shedder = _SheddingTarget()
+        good = _fresh_session(workload)
+        request = InferenceRequest(inputs=inputs, labels=labels)
+        with InferenceGateway(
+            [
+                GatewayEndpoint(target=shedder, capacity=1, name="flaky"),
+                GatewayEndpoint(target=good, capacity=1, name="good"),
+            ]
+        ) as gateway:
+            response = gateway.infer(request)
+        _assert_identical(single_session.infer(request), response)
+        assert shedder.calls == 1, "shed shard retried on the shedding endpoint"
+        retried = [
+            s for s in response.metadata["shards"] if s.get("retried_from") == "flaky"
+        ]
+        assert len(retried) == 1
+        assert retried[0]["endpoint"] == "good"
+
+    def test_all_endpoints_shedding_surfaces_the_error(self, workload):
+        _, _, inputs, _ = workload
+        with InferenceGateway(
+            [GatewayEndpoint(target=_SheddingTarget(), capacity=1, name="flaky")]
+        ) as gateway:
+            future = gateway.submit(InferenceRequest(inputs=inputs))
+            with pytest.raises(RuntimeError, match="'flaky' failed on shard"):
+                future.result(timeout=30)
+
+    def test_non_overload_errors_are_not_retried(self, workload):
+        _, _, inputs, _ = workload
+        good = _fresh_session(workload)
+        with InferenceGateway(
+            [
+                GatewayEndpoint(target=_FailingTarget(), capacity=1, name="bad"),
+                GatewayEndpoint(target=good, capacity=1, name="good"),
+            ]
+        ) as gateway:
+            future = gateway.submit(InferenceRequest(inputs=inputs))
+            with pytest.raises(RuntimeError, match="'bad' failed on shard"):
+                future.result(timeout=30)
+
+    def test_deadline_propagates_to_supporting_endpoints(
+        self, workload, single_session
+    ):
+        _, _, inputs, labels = workload
+        recorder = _DeadlineRecorder(_fresh_session(workload))
+        plain = _fresh_session(workload)  # no deadline_s parameter
+        request = InferenceRequest(inputs=inputs, labels=labels)
+        with InferenceGateway(
+            [
+                GatewayEndpoint(target=recorder, capacity=1, name="aware"),
+                GatewayEndpoint(target=plain, capacity=1, name="plain"),
+            ]
+        ) as gateway:
+            response = gateway.infer(request, deadline_s=7.5)
+        _assert_identical(single_session.infer(request), response)
+        assert recorder.seen == [7.5]
+
+
 # -- experiment wiring --------------------------------------------------------------
 
 
@@ -700,8 +1439,13 @@ class TestServeCli:
         [
             ["infer", "--endpoint", "127.0.0.1:7070", "--timeout", "0"],
             ["infer", "--endpoint", "127.0.0.1:7070", "--timeout", "-3"],
+            ["infer", "--endpoint", "127.0.0.1:7070", "--deadline", "0"],
+            ["infer", "--endpoint", "127.0.0.1:7070", "--deadline", "-2"],
+            ["infer", "--endpoint", "127.0.0.1:0"],
             ["smoke", "--timeout", "0"],
             ["serve", "--max-batch", "0"],
+            ["serve", "--max-queue", "-1"],
+            ["serve", "--shed-policy", "sometimes"],
         ],
     )
     def test_cli_rejects_bad_arguments_early(self, argv):
@@ -710,6 +1454,27 @@ class TestServeCli:
         with pytest.raises(SystemExit) as excinfo:
             main(argv)
         assert excinfo.value.code == 2  # argparse usage error, not a traceback
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--deadline", "5"],  # needs --endpoint
+            ["--deadline", "0", "--endpoint", "127.0.0.1:7070"],
+        ],
+    )
+    def test_runner_rejects_bad_deadline_arguments(self, argv):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+
+    def test_experiment_settings_validate_deadline(self):
+        from repro.experiments import ExperimentSettings
+
+        with pytest.raises(ValueError, match="chip_deadline_s must be > 0"):
+            ExperimentSettings(chip_deadline_s=0)
+        assert ExperimentSettings(chip_deadline_s=30.0).chip_deadline_s == 30.0
 
     def test_cli_infer_passes_timeout_through(self, monkeypatch, workload):
         from repro.serve.distributed import cli
