@@ -362,7 +362,10 @@ class WorkloadContext:
         gateway: InferenceGateway | None = None
         try:
             for part in endpoints:
-                remote = PipelinedSession.connect(part)
+                # The deadline bounds establishment too: wire negotiation
+                # reads a handshake reply, and a wedged server (accepts,
+                # never answers) must fail the run within the deadline.
+                remote = PipelinedSession.connect(part, timeout=deadline_s)
                 remotes.append(remote)
                 served = str(
                     remote.info(timeout=deadline_s).get("workload", "custom")

@@ -40,16 +40,22 @@ from repro.serve.distributed import (
 )
 from repro.serve.pool import ChipPool
 from repro.serve.schema import (
+    FRAME_MAGIC,
     PROTOCOL_VERSION,
     SCHEMA_VERSION,
     InferenceRequest,
     InferenceResponse,
+    decode_frame,
+    encode_frame,
 )
 from repro.serve.session import ChipSession
 
 __all__ = [
+    "FRAME_MAGIC",
     "PROTOCOL_VERSION",
     "SCHEMA_VERSION",
+    "decode_frame",
+    "encode_frame",
     "ChipPool",
     "ChipServer",
     "ChipSession",

@@ -50,6 +50,7 @@ from repro.serve.distributed.executors import (
     EXECUTORS,
     InlineExecutor,
     ProcessExecutor,
+    ProcessJsonExecutor,
     SessionSpec,
     ShardExecutor,
     ThreadExecutor,
@@ -74,6 +75,7 @@ __all__ = [
     "InlineExecutor",
     "PipelinedSession",
     "ProcessExecutor",
+    "ProcessJsonExecutor",
     "RemoteServerError",
     "RemoteSession",
     "ServeRejection",

@@ -3,8 +3,9 @@
 Three subcommands, all runnable as ``python -m repro.serve.distributed``:
 
 * ``serve`` — load a registered MLP benchmark, open a :class:`ChipPool` on
-  it and serve newline-delimited JSON inference on a TCP port until
-  interrupted (or a client sends the ``shutdown`` op)::
+  it and serve inference on a TCP port (JSON lines or binary frames,
+  negotiated per connection) until interrupted (or a client sends the
+  ``shutdown`` op)::
 
       PYTHONPATH=src python -m repro.serve.distributed serve \\
           --workload mnist-mlp --port 7070 --jobs 2
@@ -155,6 +156,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-request dispatch deadline enforced by the server "
         "(a structured 'deadline_exceeded' error once it passes)",
     )
+    infer.add_argument(
+        "--wire",
+        default="auto",
+        choices=["auto", "json"],
+        help="wire carrier: auto negotiates binary frames with a v3 server "
+        "(falling back to JSON against older ones), json forces the JSON "
+        "carrier",
+    )
 
     smoke = sub.add_parser(
         "smoke", help="boot a server subprocess, run a client inference, tear down"
@@ -180,6 +189,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="file the server subprocess logs to (default: a temp file); "
         "smoke dumps it when the check fails",
+    )
+    smoke.add_argument(
+        "--wire",
+        default="auto",
+        choices=["auto", "json"],
+        help="client wire carrier for the smoke drive: auto negotiates "
+        "binary frames, json forces the JSON fallback path",
     )
     return parser
 
@@ -261,9 +277,15 @@ def _client_inference(
 
 
 def _cmd_infer(args: argparse.Namespace) -> int:
-    with RemoteSession.connect(args.endpoint, timeout=args.timeout) as remote:
+    with RemoteSession.connect(
+        args.endpoint, timeout=args.timeout, wire=args.wire
+    ) as remote:
         info = remote.info()
         print(f"server    : {info}")
+        print(
+            f"wire      : negotiated protocol v{remote.wire_version} "
+            f"({'binary frames' if remote.wire_version >= 3 else 'JSON lines'})"
+        )
         request, response = _client_inference(remote, args)
         print(f"predictions: {response.predictions.tolist()}")
         print(
@@ -322,6 +344,7 @@ def _connect_to_booting_server(
     address: tuple[str, int],
     boot_timeout: float,
     timeout: float,
+    wire: str = "auto",
 ) -> RemoteSession:
     """Retry-connect while the server boots, failing fast if it dies."""
     deadline = time.monotonic() + boot_timeout
@@ -336,6 +359,7 @@ def _connect_to_booting_server(
                 address,
                 timeout=timeout,
                 wait=min(0.5, max(0.0, deadline - time.monotonic())),
+                wire=wire,
             )
         except OSError:
             if time.monotonic() >= deadline:
@@ -349,6 +373,7 @@ def _smoke_pipelined_clients(
     timeout: float,
     clients: int = 2,
     rounds: int = 3,
+    wire: str = "auto",
 ) -> None:
     """Two concurrent pipelined clients must match the serial answers exactly.
 
@@ -363,7 +388,7 @@ def _smoke_pipelined_clients(
     )
     serial = {0: remote.infer(request), 1: remote.infer(shifted)}
     sessions = [
-        PipelinedSession.connect(address, connections=1, timeout=timeout)
+        PipelinedSession.connect(address, connections=1, timeout=timeout, wire=wire)
         for _ in range(clients)
     ]
     try:
@@ -453,11 +478,12 @@ def _smoke_load_shedding(args: argparse.Namespace) -> None:
     serial = session()
     expected_head, expected_queued = serial.infer(head), serial.infer(queued)
     gate = _GatedTarget(session())
+    wire = getattr(args, "wire", "auto")
     with ChipServer(
         gate, port=0, workload=args.workload, max_queue=1
     ).start() as server:
         with PipelinedSession.connect(
-            server.address, connections=1, timeout=args.timeout
+            server.address, connections=1, timeout=args.timeout, wire=wire
         ) as client:
             info = client.info()
             print(
@@ -532,14 +558,21 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
         try:
             address = _wait_for_listening_line(proc, log_path, args.boot_timeout)
             with _connect_to_booting_server(
-                proc, address, args.boot_timeout, args.timeout
+                proc, address, args.boot_timeout, args.timeout, args.wire
             ) as remote:
                 assert remote.ping(), "server did not answer ping"
+                expected_wire = 3 if args.wire == "auto" else 2
+                assert remote.wire_version == expected_wire, (
+                    f"--wire {args.wire} should negotiate protocol "
+                    f"v{expected_wire}, got v{remote.wire_version}"
+                )
                 info = remote.info()
                 assert info["workload"] == args.workload, f"wrong workload: {info}"
                 print(f"smoke: server info {info}", flush=True)
                 print(
                     f"smoke: server protocol v{info['protocol_version']}, "
+                    f"negotiated wire v{remote.wire_version} "
+                    f"({'binary frames' if remote.wire_version >= 3 else 'JSON lines'}), "
                     f"started at {info['started_at']:.0f} "
                     f"(uptime {info['uptime_s']:.2f}s)",
                     flush=True,
@@ -560,7 +593,9 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
                     f"deterministic round trip ok",
                     flush=True,
                 )
-                _smoke_pipelined_clients(address, remote, request, args.timeout)
+                _smoke_pipelined_clients(
+                    address, remote, request, args.timeout, wire=args.wire
+                )
                 remote.shutdown_server()
             returncode = proc.wait(timeout=30)
             assert returncode == 0, f"server exited with {returncode}"

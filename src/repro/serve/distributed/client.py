@@ -1,7 +1,7 @@
 """Remote chip clients: the ``ChipSession`` surface over a socket.
 
-Two client shapes speak the chip server's newline-delimited JSON protocol
-(see :mod:`repro.serve.schema` for the envelope):
+Two client shapes speak the chip server's wire protocol (see
+:mod:`repro.serve.schema` for the envelope and the binary frame):
 
 * :class:`RemoteSession` — one connection, strict request/reply, the same
   ``infer(InferenceRequest) -> InferenceResponse`` contract as a local
@@ -16,6 +16,15 @@ Two client shapes speak the chip server's newline-delimited JSON protocol
   coalesce); the blocking :meth:`PipelinedSession.infer` /
   :meth:`PipelinedSession.infer_many` adapters sit on top.
 
+Both clients negotiate the wire carrier on connect: a version-less JSON
+ping reveals the server's protocol version (every reply envelope carries
+``"v"``), and a peer speaking protocol 3 switches the connection to binary
+frames — raw little-endian array payloads instead of number-by-number JSON
+text.  Older servers keep getting newline-delimited JSON unchanged, and
+``wire="json"`` forces the fallback explicitly.  Reconnects renegotiate, so
+a server upgraded (or downgraded) under a live session is picked up on the
+next retry.
+
 Both clients are drop-in gateway endpoints (they expose ``capacity`` /
 ``backend`` / ``timesteps`` from the server's ``info``), and both return
 responses bit-identical to a local run — the wire round trip is lossless.
@@ -26,14 +35,21 @@ from __future__ import annotations
 import contextlib
 import itertools
 import json
+import random
 import socket
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
 
 from repro.serve.schema import (
+    FRAME_HEADER_SIZE,
+    FRAME_MAGIC,
+    PROTOCOL_VERSION,
     InferenceRequest,
     InferenceResponse,
+    decode_frame_payload,
+    encode_frame,
+    parse_frame_header,
     request_envelope,
 )
 
@@ -74,6 +90,10 @@ def _error_from_reply(reply: dict) -> RemoteServerError:
 def parse_endpoint(endpoint: str) -> tuple[str, int]:
     """Parse ``"host:port"`` into ``(host, port)`` with actionable errors.
 
+    IPv6 literals use the bracketed form ``[::1]:7070``; the brackets are
+    the endpoint syntax only and are stripped from the returned host, which
+    is what :func:`socket.create_connection` expects.
+
     Every rejection names the offending endpoint string: a bad port buried
     in a comma-separated ``--endpoint`` list must be identifiable from the
     message alone.
@@ -85,6 +105,13 @@ def parse_endpoint(endpoint: str) -> tuple[str, int]:
             f"endpoint must look like HOST:PORT (for example 127.0.0.1:7070), "
             f"got {endpoint!r}"
         )
+    if host.startswith("["):
+        if not host.endswith("]") or len(host) < 3:
+            raise ValueError(
+                f"bracketed IPv6 endpoint must look like [ADDR]:PORT "
+                f"(for example [::1]:7070), got {endpoint!r}"
+            )
+        host = host[1:-1]
     try:
         port = int(port_text)
     except ValueError:
@@ -123,6 +150,108 @@ def _connect_with_wait(factory, wait: float):
             time.sleep(0.05)
 
 
+# -- wire carrier negotiation -------------------------------------------------------
+
+#: Envelopes from this protocol version up ride the binary frame carrier.
+_BINARY_MIN_VERSION = 3
+
+#: Highest version a ``wire="json"`` client declares (keeps the connection
+#: on the JSON carrier even against a frame-capable server).
+_JSON_MAX_VERSION = 2
+
+#: Base reconnect backoff: retry *n* sleeps about ``base * 2**n`` seconds,
+#: jittered, so clients of a restarting server spread out instead of
+#: hammering the listen queue in lockstep.
+_RETRY_BACKOFF_S = 0.05
+
+
+def _retry_backoff(attempt: int) -> float:
+    """Jittered exponential backoff delay before reconnect ``attempt + 1``."""
+    return _RETRY_BACKOFF_S * (2**attempt) * (0.5 + random.random())
+
+
+def _negotiated_version(peer_version: int, wire: str) -> int:
+    """The envelope version this client declares to a ``peer_version`` server."""
+    cap = PROTOCOL_VERSION if wire == "auto" else _JSON_MAX_VERSION
+    return max(1, min(cap, peer_version))
+
+
+def _handshake(file) -> int:
+    """Discover the peer's protocol version over a fresh connection.
+
+    Sends a version-less JSON ping — the one envelope every server
+    generation accepts (a missing ``"v"`` reads as version 1) — and returns
+    the ``"v"`` stamped on the reply.  Even an error reply carries the
+    peer's version, so negotiation works against servers that reject the
+    ping itself.
+    """
+    file.write(json.dumps({"op": "ping"}).encode("utf-8") + b"\n")
+    file.flush()
+    line = file.readline()
+    if not line:
+        raise ConnectionError(
+            "server closed the connection during version negotiation"
+        )
+    try:
+        reply = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ConnectionError(
+            f"unparseable version-negotiation reply: {exc}"
+        ) from None
+    version = reply.get("v", 1) if isinstance(reply, dict) else 1
+    return version if isinstance(version, int) and version >= 1 else 1
+
+
+def _encode_message(
+    message: dict[str, object], version: int, *, buffer: bytearray | None = None
+):
+    """Serialise one request envelope for the negotiated carrier.
+
+    ``message["request"]`` may hold a live :class:`InferenceRequest`: it is
+    serialised here, per wire attempt, because only the connection knows
+    which carrier (and therefore which array codec) is in force — and a
+    retry may land on a renegotiated connection speaking the other one.
+    """
+    payload = dict(message)
+    payload["v"] = version
+    binary = version >= _BINARY_MIN_VERSION
+    request = payload.get("request")
+    if isinstance(request, InferenceRequest):
+        payload["request"] = (
+            request.to_wire_dict() if binary else request.to_dict()
+        )
+    if binary:
+        return encode_frame(payload, buffer=buffer)
+    return json.dumps(payload).encode("utf-8") + b"\n"
+
+
+def _read_exact(file, count: int) -> bytes:
+    data = file.read(count)
+    if data is None or len(data) < count:
+        raise ConnectionError("server closed the connection mid-frame")
+    return data
+
+
+def _read_frame_reply(file, first: bytes = b"") -> dict[str, object]:
+    """Read one reply frame from a blocking file (``first`` = peeked bytes).
+
+    Frame-level corruption surfaces as :class:`ConnectionError`: the byte
+    stream cannot be resynchronised, so the caller must drop the connection
+    (and, for idempotent ops, retry on a fresh one).
+    """
+    header = first + _read_exact(file, FRAME_HEADER_SIZE - len(first))
+    try:
+        meta_len, payload_len = parse_frame_header(header)
+    except ValueError as exc:
+        raise ConnectionError(f"desynchronised reply stream: {exc}") from None
+    meta = _read_exact(file, meta_len)
+    payload = _read_exact(file, payload_len)
+    try:
+        return decode_frame_payload(meta, payload)
+    except ValueError as exc:
+        raise ConnectionError(f"corrupt reply frame: {exc}") from None
+
+
 class RemoteSession:
     """A chip session served by a remote :class:`ChipServer`.
 
@@ -137,26 +266,45 @@ class RemoteSession:
         Reconnect-and-resend attempts for idempotent ops after a connection
         failure (a server restart leaves the session holding a dead socket;
         one retry rides out a reboot).  ``0`` disables the resilience.
+        Retries back off with jitter so a rebooting server is not hammered.
+    wire:
+        ``"auto"`` (default) negotiates the binary frame carrier with a
+        protocol-3 server and falls back to JSON against older ones;
+        ``"json"`` forces the JSON carrier regardless of what the server
+        speaks.
 
     The session holds one persistent connection; requests are serialised on
-    it (one line out, one line in).  Use one ``RemoteSession`` per thread —
-    or :class:`PipelinedSession` — for concurrent callers.
+    it (one message out, one message in).  Use one ``RemoteSession`` per
+    thread — or :class:`PipelinedSession` — for concurrent callers.
     """
 
     def __init__(
-        self, host: str, port: int, *, timeout: float = 120.0, retries: int = 1
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 120.0,
+        retries: int = 1,
+        wire: str = "auto",
     ):
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
+        if wire not in ("auto", "json"):
+            raise ValueError(f"wire must be 'auto' or 'json', got {wire!r}")
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retries = retries
+        self.wire = wire
         self._socket: socket.socket | None = None
         self._file = None
         self._ids = itertools.count(1)
         self._info: dict[str, object] | None = None
         self._closed = False
+        self._peer_version = 1
+        # Reused across binary encodes: the socket write completes before
+        # the next request is serialised, so one buffer serves the session.
+        self._encode_buffer = bytearray()
         self._connect()
 
     @classmethod
@@ -167,6 +315,7 @@ class RemoteSession:
         timeout: float = 120.0,
         retries: int = 1,
         wait: float = 0.0,
+        wire: str = "auto",
     ) -> "RemoteSession":
         """Connect to ``"host:port"`` (or a ``(host, port)`` tuple).
 
@@ -177,16 +326,29 @@ class RemoteSession:
             parse_endpoint(endpoint) if isinstance(endpoint, str) else endpoint
         )
         return _connect_with_wait(
-            lambda: cls(host, port, timeout=timeout, retries=retries), wait
+            lambda: cls(host, port, timeout=timeout, retries=retries, wire=wire),
+            wait,
         )
 
     # -- connection management ----------------------------------------------------
+
+    @property
+    def wire_version(self) -> int:
+        """Envelope version negotiated on the current connection."""
+        return _negotiated_version(self._peer_version, self.wire)
 
     def _connect(self) -> None:
         self._socket = socket.create_connection(
             (self.host, self.port), timeout=self.timeout
         )
         self._file = self._socket.makefile("rwb")
+        try:
+            # Every (re)connect renegotiates: the server behind the address
+            # may have been upgraded or downgraded since the last attempt.
+            self._peer_version = _handshake(self._file)
+        except (ConnectionError, OSError):
+            self._drop_connection()
+            raise
 
     def _drop_connection(self) -> None:
         file, sock = self._file, self._socket
@@ -216,21 +378,31 @@ class RemoteSession:
             raise RuntimeError("remote session is closed")
         attempts = 1 + (self.retries if idempotent else 0)
         last_error: Exception | None = None
-        for _ in range(attempts):
+        for attempt in range(attempts):
             try:
                 if self._file is None:
                     self._connect()
                 request_id = next(self._ids)
                 payload = dict(message)
                 payload["id"] = request_id
-                self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+                version = self.wire_version
+                binary = version >= _BINARY_MIN_VERSION
+                self._file.write(
+                    _encode_message(payload, version, buffer=self._encode_buffer)
+                )
                 self._file.flush()
-                line = self._file.readline()
-                if not line:
-                    raise ConnectionError(
-                        f"chip server at {self.host}:{self.port} closed the connection"
-                    )
-                reply = json.loads(line.decode("utf-8"))
+                # The reply mirrors the request's carrier, so the read side
+                # is deterministic: frame out means frame back.
+                if binary:
+                    reply = _read_frame_reply(self._file)
+                else:
+                    line = self._file.readline()
+                    if not line:
+                        raise ConnectionError(
+                            f"chip server at {self.host}:{self.port} closed "
+                            f"the connection"
+                        )
+                    reply = json.loads(line.decode("utf-8"))
                 if reply.get("id") not in (None, request_id):
                     raise ConnectionError(
                         f"chip server at {self.host}:{self.port} answered request "
@@ -250,6 +422,11 @@ class RemoteSession:
             except (ConnectionError, OSError) as exc:
                 self._drop_connection()
                 last_error = exc
+                if attempt + 1 < attempts:
+                    # A restarting server needs a beat to come back; an
+                    # immediate resend just hammers the dead port and burns
+                    # the retry budget inside the boot window.
+                    time.sleep(_retry_backoff(attempt))
         assert last_error is not None
         raise ConnectionError(
             f"chip server at {self.host}:{self.port} unreachable after "
@@ -292,7 +469,10 @@ class RemoteSession:
         request with a structured ``deadline_exceeded`` error if that much
         time passes before dispatch (see :class:`RemoteServerError.code`).
         """
-        fields: dict[str, object] = {"request": request.to_dict()}
+        # The live request rides the envelope; _call serialises it with the
+        # codec of whichever carrier the (possibly reconnected) connection
+        # negotiated.
+        fields: dict[str, object] = {"request": request}
         if deadline_s is not None:
             fields["deadline_s"] = float(deadline_s)
         reply = self._call(request_envelope("infer", **fields))
@@ -324,17 +504,28 @@ class RemoteSession:
 class _PipelinedConnection:
     """One socket carrying many tagged requests; a reader thread routes replies."""
 
-    def __init__(self, host: str, port: int, timeout: float):
+    def __init__(self, host: str, port: int, timeout: float, wire: str = "auto"):
         self.host = host
         self.port = port
         self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._socket.makefile("rwb")
+        try:
+            # Negotiate while the establishment timeout still governs the
+            # socket: a wedged server fails the constructor instead of
+            # hanging a pool slot forever.
+            self.peer_version = _handshake(self._file)
+        except (ConnectionError, OSError):
+            with contextlib.suppress(OSError):
+                self._file.close()
+            self._socket.close()
+            raise
+        self.wire_version = _negotiated_version(self.peer_version, wire)
         # The timeout above governs connection establishment only.  The
         # reader must block indefinitely between replies: a pipelined
         # connection is legitimately idle for long stretches, and a read
         # timeout firing then would wrongly kill every in-flight request.
         # Per-request deadlines belong to future.result(timeout=...).
         self._socket.settimeout(None)
-        self._file = self._socket.makefile("rwb")
         self._lock = threading.Lock()
         self._pending: dict[object, Future] = {}
         self._dead = False
@@ -353,8 +544,12 @@ class _PipelinedConnection:
             return len(self._pending)
 
     def send(self, message: dict[str, object], future: Future) -> None:
-        """Register ``future`` under the message id and put the line on the wire."""
+        """Register ``future`` under the message id and put it on the wire."""
         request_id = message["id"]
+        # Serialise outside the lock — encoding a megabyte batch must not
+        # stall other senders.  No shared encode buffer here: several
+        # threads may be in this section at once.
+        data = _encode_message(message, self.wire_version)
         with self._lock:
             if self._dead:
                 raise ConnectionError(
@@ -362,7 +557,7 @@ class _PipelinedConnection:
                 )
             self._pending[request_id] = future
             try:
-                self._file.write(json.dumps(message).encode("utf-8") + b"\n")
+                self._file.write(data)
                 self._file.flush()
             except (OSError, ValueError) as exc:
                 del self._pending[request_id]
@@ -373,10 +568,20 @@ class _PipelinedConnection:
     def _read_loop(self) -> None:
         try:
             while True:
-                line = self._file.readline()
-                if not line:
+                # Peek the carrier byte: replies mirror their request's
+                # carrier, so a negotiated-binary connection reads frames —
+                # but the magic byte is checked per reply rather than
+                # assumed, keeping the reader honest about desyncs.
+                first = self._file.read(1)
+                if not first:
                     break
-                reply = json.loads(line.decode("utf-8"))
+                if first == FRAME_MAGIC[:1]:
+                    reply = _read_frame_reply(self._file, first)
+                else:
+                    line = first + self._file.readline()
+                    if not line.strip():
+                        continue
+                    reply = json.loads(line.decode("utf-8"))
                 with self._lock:
                     future = self._pending.pop(reply.get("id"), None)
                 if future is None:
@@ -477,6 +682,10 @@ class PipelinedSession:
         connections wait indefinitely for replies (they are legitimately
         idle between batches); put per-request deadlines on
         ``future.result(timeout=...)``.
+    wire:
+        ``"auto"`` (default) negotiates the binary frame carrier per
+        connection and falls back to JSON against pre-v3 servers;
+        ``"json"`` forces the JSON carrier.
 
     :meth:`submit` returns a :class:`CancellableFuture` resolving to the
     :class:`InferenceResponse` — cancelling it also sends a ``cancel`` op so
@@ -496,19 +705,23 @@ class PipelinedSession:
         *,
         connections: int = 2,
         timeout: float = 120.0,
+        wire: str = "auto",
     ):
         if connections < 1:
             raise ValueError(f"connections must be >= 1, got {connections}")
+        if wire not in ("auto", "json"):
+            raise ValueError(f"wire must be 'auto' or 'json', got {wire!r}")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.wire = wire
         self._ids = itertools.count(1)
         self._lock = threading.Lock()
         self._info: dict[str, object] | None = None
         self._closed = False
         # Fail fast like RemoteSession: the first connection opens eagerly.
         self._connections: list[_PipelinedConnection | None] = [
-            _PipelinedConnection(host, port, timeout)
+            _PipelinedConnection(host, port, timeout, wire)
         ] + [None] * (connections - 1)
 
     @classmethod
@@ -519,16 +732,31 @@ class PipelinedSession:
         connections: int = 2,
         timeout: float = 120.0,
         wait: float = 0.0,
+        wire: str = "auto",
     ) -> "PipelinedSession":
         """Connect to ``"host:port"`` (or a tuple), waiting out a server boot."""
         host, port = (
             parse_endpoint(endpoint) if isinstance(endpoint, str) else endpoint
         )
         return _connect_with_wait(
-            lambda: cls(host, port, connections=connections, timeout=timeout), wait
+            lambda: cls(
+                host, port, connections=connections, timeout=timeout, wire=wire
+            ),
+            wait,
         )
 
     # -- connection pool ----------------------------------------------------------
+
+    @property
+    def wire_version(self) -> int:
+        """Envelope version negotiated on the live connections (max seen)."""
+        with self._lock:
+            versions = [
+                connection.wire_version
+                for connection in self._connections
+                if connection is not None and not connection.dead
+            ]
+        return max(versions, default=_negotiated_version(1, self.wire))
 
     def _pick_connection(self) -> _PipelinedConnection:
         """The least-loaded live connection, (re)opening slots as needed."""
@@ -557,7 +785,7 @@ class PipelinedSession:
         # but connect OUTSIDE the session lock: establishment can block for
         # the whole timeout and must not stall submits that could ride the
         # healthy connections.
-        fresh = _PipelinedConnection(self.host, self.port, self.timeout)
+        fresh = _PipelinedConnection(self.host, self.port, self.timeout, self.wire)
         with self._lock:
             if self._closed:
                 fresh.close()
@@ -653,7 +881,9 @@ class PipelinedSession:
         the still-queued work rather than computing an orphaned answer.
         """
         outer = CancellableFuture()
-        fields: dict[str, object] = {"request": request.to_dict()}
+        # The live request rides the fields; each connection's send()
+        # serialises it with the codec of its own negotiated carrier.
+        fields: dict[str, object] = {"request": request}
         if deadline_s is not None:
             fields["deadline_s"] = float(deadline_s)
         sent: dict[str, object] = {}
@@ -706,11 +936,22 @@ class PipelinedSession:
         *,
         deadline_s: float | None = None,
     ) -> list[InferenceResponse]:
-        """Submit every request before collecting any reply (full pipelining)."""
+        """Submit every request before collecting any reply (full pipelining).
+
+        The first failure cancels every outstanding future — which also
+        revokes the matching still-queued work on the server — instead of
+        abandoning it in flight.
+        """
         futures = [
             self.submit(request, deadline_s=deadline_s) for request in requests
         ]
-        return [future.result() for future in futures]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                if not future.done():
+                    future.cancel()
+            raise
 
     def _bounded_reply(
         self, op: str, timeout: float | None, **fields: object

@@ -24,20 +24,31 @@ Three executors are provided:
   NumPy kernels).  Vectorized workers share the primary session's chip and
   compiled program; structural workers rebuild their own chip.
 * :class:`ProcessExecutor` — ``multiprocessing`` workers, each holding its
-  own programmed chip in its own interpreter.  Requests and responses cross
-  the process boundary through the lossless JSON schema
+  own programmed chip in its own interpreter.  The batch-sized arrays cross
+  the process boundary through a :mod:`multiprocessing.shared_memory`
+  segment (written once by the pool, read and filled in place by the
+  workers), so inter-process transfer cost is O(1) in the batch size; the
+  scalar-sized remainder of each request/response rides compact JSON.
+* :class:`ProcessJsonExecutor` — the same process workers shipping whole
+  requests and responses through the lossless JSON schema
   (:meth:`~repro.serve.schema.InferenceRequest.to_json` /
   :meth:`~repro.serve.schema.InferenceResponse.from_json`), exactly the
-  bytes a remote chip server would exchange — so this executor doubles as
-  the single-host proof of the multi-host wire format.
+  bytes a JSON-carrier chip server would exchange — kept as the single-host
+  proof of the text wire format (and as the comparison baseline the
+  shared-memory path is benchmarked against).
 """
 
 from __future__ import annotations
 
+import contextlib
+import json
 import multiprocessing
 from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
 
 from repro.core.config import ArchitectureConfig
 from repro.core.resparc import ResparcChip
@@ -53,6 +64,7 @@ __all__ = [
     "InlineExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "ProcessJsonExecutor",
     "EXECUTORS",
     "make_executor",
 ]
@@ -199,30 +211,128 @@ def _process_worker_infer(payload: str) -> str:
     return _WORKER_SESSION.infer(request).to_json()
 
 
+def _pad8(offset: int) -> int:
+    """Round ``offset`` up to the next 8-byte boundary (array slot alignment)."""
+    return (offset + 7) & ~7
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a pool-owned shared-memory segment without adopting it.
+
+    Before Python 3.13, ``SharedMemory`` registers *attaches* with the
+    resource tracker exactly like creations, so a worker exiting would
+    unlink a segment the parent still owns; unregister immediately — only
+    the creating process cleans up.
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    with contextlib.suppress(Exception):
+        resource_tracker.unregister(segment._name, "shared_memory")
+    return segment
+
+
+def _process_worker_infer_shm(task: str) -> str:
+    """Run one shard whose arrays live in a shared-memory segment.
+
+    ``task`` is compact JSON: the segment name, the request's scalar fields,
+    and the offsets of the input/label slots to read and the
+    prediction/spike-count slots to fill.  The return value is the
+    response's scalar remainder (counters, energy, metadata) — the arrays
+    never leave the segment.
+    """
+    if _WORKER_SESSION is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("process worker used before initialisation")
+    info = json.loads(task)
+    segment = _attach_segment(info["segment"])
+    try:
+        return _infer_into_segment(info, segment)
+    finally:
+        # An exception traceback can briefly pin array views of the buffer;
+        # the mapping then frees with the frames instead of failing here.
+        with contextlib.suppress(BufferError):
+            segment.close()
+
+
+def _infer_into_segment(
+    info: dict[str, object], segment: shared_memory.SharedMemory
+) -> str:
+    n = int(info["n"])
+    features = int(info["features"])
+    output_dim = int(info["output_dim"])
+    data = dict(info["request"])
+    data["inputs"] = np.frombuffer(
+        segment.buf, dtype="<f8", count=n * features, offset=int(info["inputs_offset"])
+    ).reshape(n, features)
+    labels_offset = info["labels_offset"]
+    data["labels"] = (
+        None
+        if labels_offset is None
+        else np.frombuffer(
+            segment.buf, dtype="<i8", count=n, offset=int(labels_offset)
+        )
+    )
+    response = _WORKER_SESSION.infer(InferenceRequest.from_dict(data))
+    wire = response.to_wire_dict()
+    predictions = np.asarray(wire.pop("predictions"), dtype="<i8")
+    spike_counts = np.asarray(wire.pop("spike_counts"), dtype="<f8")
+    if predictions.shape != (n,) or spike_counts.shape != (n, output_dim):
+        raise RuntimeError(
+            f"shard produced predictions {predictions.shape} / spike counts "
+            f"{spike_counts.shape}, but the pool reserved slots for "
+            f"({n},) / ({n}, {output_dim})"
+        )
+    np.frombuffer(
+        segment.buf, dtype="<i8", count=n, offset=int(info["predictions_offset"])
+    )[...] = predictions
+    np.frombuffer(
+        segment.buf,
+        dtype="<f8",
+        count=n * output_dim,
+        offset=int(info["spike_counts_offset"]),
+    ).reshape(n, output_dim)[...] = spike_counts
+    return json.dumps(wire)
+
+
 class ProcessExecutor(ShardExecutor):
     """``multiprocessing`` workers, one programmed chip per process.
 
-    Shard requests and responses are shipped through the JSON schema — the
-    same wire format the socket chip server speaks — so results are exact by
-    the schema's lossless round-trip guarantee, and the executor sidesteps
-    the GIL entirely (useful for the structural backend, whose per-sample
-    Python loop threads cannot parallelise).
+    The executor sidesteps the GIL entirely (useful for the structural
+    backend, whose per-sample Python loop threads cannot parallelise), and
+    ships each dispatch wave's arrays through one
+    :mod:`multiprocessing.shared_memory` segment: the pool writes inputs
+    and labels raw and reserves prediction/spike-count slots, workers
+    attach by name and fill their slots in place, and only scalar-sized
+    JSON (request overrides out, counters and energy back) crosses the pipe
+    — inter-process transfer is O(1) in batch size.  Results are exact
+    because float64/int64 arrays transfer bit-identically by construction.
 
     Parameters
     ----------
     start_method:
         ``multiprocessing`` start method (``"fork"``, ``"spawn"``,
         ``"forkserver"`` or ``None`` for the platform default).  All methods
-        work because :class:`SessionSpec` is picklable.
+        work because :class:`SessionSpec` is picklable and segments are
+        attached by name.
+    transport:
+        ``"shm"`` (default) for the shared-memory array path, ``"json"``
+        for whole-request JSON round trips (the
+        :class:`ProcessJsonExecutor` baseline).
     """
 
     name = "process"
 
-    def __init__(self, start_method: str | None = None):
+    def __init__(self, start_method: str | None = None, transport: str = "shm"):
+        if transport not in ("shm", "json"):
+            raise ValueError(f"transport must be 'shm' or 'json', got {transport!r}")
         self._start_method = start_method
+        self._transport = transport
         self._pool: multiprocessing.pool.Pool | None = None
+        self._output_dim = 0
 
     def start(self, spec: SessionSpec, jobs: int, primary: ChipSession) -> None:
+        # The output slots are sized before dispatch, so the executor must
+        # know the chip's output width up front; every worker builds an
+        # identically-programmed chip from the same spec.
+        self._output_dim = int(primary.chip.output_dim)
         context = multiprocessing.get_context(self._start_method)
         self._pool = context.Pool(
             processes=jobs, initializer=_process_worker_init, initargs=(spec,)
@@ -231,10 +341,117 @@ class ProcessExecutor(ShardExecutor):
     def run_shards(self, shards: list[InferenceRequest]) -> list[InferenceResponse]:
         if self._pool is None:
             raise RuntimeError("process executor is not started")
-        payloads = self._pool.map(
-            _process_worker_infer, [shard.to_json() for shard in shards], chunksize=1
-        )
-        return [InferenceResponse.from_json(payload) for payload in payloads]
+        if not shards:
+            return []
+        if self._transport == "json":
+            payloads = self._pool.map(
+                _process_worker_infer,
+                [shard.to_json() for shard in shards],
+                chunksize=1,
+            )
+            return [InferenceResponse.from_json(payload) for payload in payloads]
+        return self._run_shards_shm(shards)
+
+    def _run_shards_shm(
+        self, shards: list[InferenceRequest]
+    ) -> list[InferenceResponse]:
+        # One segment per dispatch wave: lay out every shard's input/label
+        # arrays plus its preallocated output slots, 8-byte aligned.
+        entries = []
+        size = 0
+        for shard in shards:
+            wire = shard.to_wire_dict()
+            inputs = np.ascontiguousarray(wire.pop("inputs"), dtype="<f8")
+            labels = wire.pop("labels")
+            if labels is not None:
+                labels = np.ascontiguousarray(labels, dtype="<i8")
+            n = int(inputs.shape[0])
+            inputs_offset = size
+            size = _pad8(size + inputs.nbytes)
+            labels_offset = None
+            if labels is not None:
+                labels_offset = size
+                size = _pad8(size + labels.nbytes)
+            predictions_offset = size
+            size = _pad8(size + n * 8)
+            spike_counts_offset = size
+            size = _pad8(size + n * self._output_dim * 8)
+            entries.append(
+                (
+                    wire,
+                    inputs,
+                    labels,
+                    n,
+                    inputs_offset,
+                    labels_offset,
+                    predictions_offset,
+                    spike_counts_offset,
+                )
+            )
+        segment = shared_memory.SharedMemory(create=True, size=max(size, 1))
+        try:
+            tasks = []
+            for (
+                wire,
+                inputs,
+                labels,
+                n,
+                inputs_offset,
+                labels_offset,
+                predictions_offset,
+                spike_counts_offset,
+            ) in entries:
+                np.frombuffer(
+                    segment.buf, dtype="<f8", count=inputs.size, offset=inputs_offset
+                ).reshape(inputs.shape)[...] = inputs
+                if labels is not None:
+                    np.frombuffer(
+                        segment.buf, dtype="<i8", count=n, offset=labels_offset
+                    )[...] = labels
+                tasks.append(
+                    json.dumps(
+                        {
+                            "segment": segment.name,
+                            "request": wire,
+                            "n": n,
+                            "features": int(inputs.shape[1]),
+                            "output_dim": self._output_dim,
+                            "inputs_offset": inputs_offset,
+                            "labels_offset": labels_offset,
+                            "predictions_offset": predictions_offset,
+                            "spike_counts_offset": spike_counts_offset,
+                        }
+                    )
+                )
+            replies = self._pool.map(_process_worker_infer_shm, tasks, chunksize=1)
+            responses = []
+            for reply, entry in zip(replies, entries):
+                n = entry[3]
+                predictions_offset, spike_counts_offset = entry[6], entry[7]
+                data = json.loads(reply)
+                # Copy out before the segment dies: the responses outlive it.
+                data["predictions"] = np.frombuffer(
+                    segment.buf, dtype="<i8", count=n, offset=predictions_offset
+                ).copy()
+                data["spike_counts"] = (
+                    np.frombuffer(
+                        segment.buf,
+                        dtype="<f8",
+                        count=n * self._output_dim,
+                        offset=spike_counts_offset,
+                    )
+                    .reshape(n, self._output_dim)
+                    .copy()
+                )
+                responses.append(InferenceResponse.from_dict(data))
+            return responses
+        finally:
+            # Only the creating process unlinks (workers detach without
+            # registering); close() tolerates views briefly pinned by an
+            # in-flight exception's traceback.
+            with contextlib.suppress(BufferError):
+                segment.close()
+            segment.unlink()
 
     def close(self) -> None:
         if self._pool is not None:
@@ -243,11 +460,26 @@ class ProcessExecutor(ShardExecutor):
             self._pool = None
 
 
+class ProcessJsonExecutor(ProcessExecutor):
+    """Process workers shipping whole requests/responses as JSON text.
+
+    The pre-shared-memory transport, kept under its own registry name: it
+    proves the text wire format end to end on a single host and serves as
+    the baseline the shared-memory path is benchmarked against.
+    """
+
+    name = "process-json"
+
+    def __init__(self, start_method: str | None = None):
+        super().__init__(start_method, transport="json")
+
+
 #: Executor registry, keyed by the names ``ChipPool(executor=...)`` accepts.
 EXECUTORS: dict[str, type[ShardExecutor]] = {
     InlineExecutor.name: InlineExecutor,
     ThreadExecutor.name: ThreadExecutor,
     ProcessExecutor.name: ProcessExecutor,
+    ProcessJsonExecutor.name: ProcessJsonExecutor,
 }
 
 

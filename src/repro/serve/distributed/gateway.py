@@ -531,8 +531,18 @@ class InferenceGateway:
         *,
         deadline_s: float | None = None,
     ) -> list[InferenceResponse]:
-        """Pipeline several batches through the endpoints at once."""
+        """Pipeline several batches through the endpoints at once.
+
+        The first failure cancels every outstanding future instead of
+        abandoning the remaining work in flight on the endpoints.
+        """
         futures = [
             self.submit(request, deadline_s=deadline_s) for request in requests
         ]
-        return [future.result() for future in futures]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                if not future.done():
+                    future.cancel()
+            raise

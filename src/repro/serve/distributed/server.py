@@ -1,17 +1,29 @@
-"""Asyncio chip server: pipelined newline-delimited JSON inference over TCP.
+"""Asyncio chip server: pipelined JSON-or-binary inference over TCP.
 
 :class:`ChipServer` wraps any inference target that answers
 ``infer(InferenceRequest) -> InferenceResponse`` — a
 :class:`~repro.serve.ChipSession`, a :class:`~repro.serve.ChipPool`, even a
-gateway — behind a tiny line-oriented protocol that stdlib clients can speak:
+gateway — behind a tiny protocol that stdlib clients can speak:
 
-* client sends one JSON object per line: ``{"op": "infer", "request":
+* client sends one envelope per message: ``{"op": "infer", "request":
   {...}}``, ``{"op": "info"}``, ``{"op": "ping"}`` or ``{"op": "shutdown"}``,
   optionally tagged with a protocol version ``"v"`` and a request ``"id"``;
-* server answers one JSON object per line: ``{"ok": true, ...}`` on success
+* server answers one envelope per message: ``{"ok": true, ...}`` on success
   or ``{"ok": false, "error": "..."}`` on failure — malformed JSON, schema
-  violations and inference errors all surface as error replies rather than
-  dropped connections.  Replies echo the request's ``id``.
+  violations, corrupt binary frames and inference errors all surface as
+  error replies rather than dropped connections.  Replies echo the
+  request's ``id``.
+
+Envelopes travel on either **carrier** of the same TCP connection: a
+newline-delimited JSON line (protocol v1/v2, still fully supported) or a
+protocol-v3 length-prefixed binary frame
+(:data:`~repro.serve.schema.FRAME_MAGIC` header, compact-JSON metadata, raw
+little-endian array payload — see :mod:`repro.serve.schema`).  The reader
+peeks one byte per message to tell them apart, and every reply leaves on
+the carrier its request arrived on, so a connection's effective protocol
+version is negotiated per message and mixed fleets of v1/v2/v3 clients
+share one server unchanged.  Binary frames skip the per-float text codec
+entirely: a v3 ``infer`` round trip serialises the batch as two memcpys.
 
 The server core is an :mod:`asyncio` event loop, so a connection is no
 longer a lock-step request/reply channel: a client may keep several tagged
@@ -63,12 +75,18 @@ from repro.serve.schema import (
     ERROR_CANCELLED,
     ERROR_DEADLINE_EXCEEDED,
     ERROR_OVERLOADED,
+    FRAME_HEADER_SIZE,
+    FRAME_MAGIC,
     PROTOCOL_VERSION,
     SCHEMA_VERSION,
     InferenceRequest,
+    decode_frame_payload,
+    encode_frame,
     error_envelope,
     parse_envelope,
+    parse_frame_header,
     reply_envelope,
+    validate_envelope,
 )
 from repro.snn.conversion import SpikingNetwork, convert_to_snn
 from repro.workloads import get_benchmark
@@ -116,6 +134,20 @@ _OFFLOAD_PARSE_BYTES = 64 * 1024
 def _encode_reply_line(reply: dict[str, object]) -> bytes:
     """Serialise one reply envelope to its wire line (runs off-loop)."""
     return json.dumps(reply).encode("utf-8") + b"\n"
+
+
+def _encode_reply_frame(reply: dict[str, object]) -> bytes:
+    """Serialise one reply envelope to a binary frame (runs off-loop).
+
+    No shared encode buffer here: the asyncio transport may hold the bytes
+    past the write call, so every reply frame owns its storage.
+    """
+    return encode_frame(reply)
+
+
+def _decode_frame_message(meta: bytes, payload: bytes) -> dict[str, object]:
+    """Decode + validate one frame's envelope (runs off-loop when large)."""
+    return validate_envelope(decode_frame_payload(meta, payload))
 
 
 @dataclass
@@ -465,12 +497,16 @@ class ChipServer:
         self,
         message: dict[str, object],
         conn_pending: dict[object, _QueuedInfer],
+        binary: bool = False,
     ) -> dict[str, object]:
         """Turn one parsed envelope into a reply envelope (never raises).
 
         ``conn_pending`` maps this connection's still-pending tagged
         ``infer`` ids to their queue items, which is what the ``cancel`` op
         reaches into (and how it tells queued work from dispatched work).
+        ``binary`` selects the reply payload codec: frame replies keep the
+        response arrays as ndarrays (shipped raw by the frame encoder)
+        instead of paying the per-float ``to_dict`` conversion.
         """
         op = message.get("op")
         request_id = message.get("id")
@@ -516,11 +552,17 @@ class ChipServer:
                 finally:
                     if request_id is not None:
                         conn_pending.pop(request_id, None)
-                result = {
-                    "response": await self._loop.run_in_executor(
-                        None, response.to_dict
-                    )
-                }
+                if binary:
+                    # Frame replies carry the arrays raw; building the wire
+                    # dict is O(1) in the batch (no per-float conversion),
+                    # so it can stay on the loop.
+                    result = {"response": response.to_wire_dict()}
+                else:
+                    result = {
+                        "response": await self._loop.run_in_executor(
+                            None, response.to_dict
+                        )
+                    }
             elif op == "cancel":
                 target = message.get("target")
                 if target is None:
@@ -672,6 +714,51 @@ class ChipServer:
                 if not item.future.done():
                     item.future.set_result(response)
 
+    async def _read_frame(
+        self, reader: asyncio.StreamReader, first: bytes
+    ) -> tuple[
+        dict[str, object] | None, tuple[str, object, object] | None, bool
+    ]:
+        """Read one binary frame after its peeked first byte.
+
+        Returns ``(message, error, fatal)``: a decoded envelope, or an error
+        triple for the structured error reply, with ``fatal`` True when the
+        stream cannot be resynchronised (corrupt header) and the connection
+        must hang up after the reply.  Truncated frames (EOF mid-frame)
+        raise :class:`asyncio.IncompleteReadError` to the caller — there is
+        no peer left to answer.
+        """
+        header = first + await reader.readexactly(FRAME_HEADER_SIZE - 1)
+        try:
+            meta_len, payload_len = parse_frame_header(header)
+        except ValueError as exc:
+            # Bad magic or oversized declaration: the byte stream can no
+            # longer be framed; tell the client why, then hang up.
+            return None, (f"ValueError: {exc}", None, None), True
+        meta = await reader.readexactly(meta_len)
+        payload = await reader.readexactly(payload_len)
+        try:
+            if meta_len + payload_len > _OFFLOAD_PARSE_BYTES:
+                # Decoding megabytes inline would stall every other
+                # connection; push it to the default executor.
+                message = await asyncio.get_running_loop().run_in_executor(
+                    None, _decode_frame_message, meta, payload
+                )
+            else:
+                message = _decode_frame_message(meta, payload)
+        except ValueError as exc:
+            # The frame was well-delimited (lengths were honoured), so the
+            # stream stays in sync: answer with a structured error and keep
+            # serving.  Best effort to tag the reply from the raw metadata.
+            op = request_id = None
+            with contextlib.suppress(ValueError, UnicodeDecodeError):
+                raw = json.loads(meta.decode("utf-8"))
+                if isinstance(raw, dict) and isinstance(raw.get("envelope"), dict):
+                    envelope = raw["envelope"]
+                    op, request_id = envelope.get("op"), envelope.get("id")
+            return None, (f"ValueError: {exc}", op, request_id), False
+        return message, None, False
+
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -687,6 +774,7 @@ class ChipServer:
             message: dict[str, object] | None,
             error: tuple[str, object, object] | None,
             previous: asyncio.Task | None,
+            binary: bool,
         ) -> None:
             if error is not None:
                 text, op, request_id = error
@@ -694,7 +782,7 @@ class ChipServer:
                 is_shutdown = False
             else:
                 assert message is not None
-                reply = await self._execute(message, conn_pending)
+                reply = await self._execute(message, conn_pending, binary)
                 is_shutdown = message.get("op") == "shutdown"
             if previous is not None:
                 # Version-1 requests carry no id, so their replies must
@@ -703,7 +791,10 @@ class ChipServer:
                 with contextlib.suppress(Exception):
                     await asyncio.shield(previous)
             assert self._loop is not None
-            data = await self._loop.run_in_executor(None, _encode_reply_line, reply)
+            # The reply leaves on the carrier its request arrived on, so
+            # every client reads replies in the format it speaks.
+            encode = _encode_reply_frame if binary else _encode_reply_line
+            data = await self._loop.run_in_executor(None, encode, reply)
             try:
                 async with write_lock:
                     writer.write(data)
@@ -717,53 +808,77 @@ class ChipServer:
 
         try:
             while True:
+                # Peek the carrier: a frame starts with the magic byte
+                # (never valid at the start of a JSON line), anything else
+                # is a newline-delimited JSON envelope.
                 try:
-                    line = await reader.readline()
-                except ValueError:
-                    # Line longer than the stream limit: the connection
-                    # cannot be resynchronised, but the client still gets
-                    # told why before the hangup.
-                    reply = error_envelope(
-                        f"ValueError: request line exceeds the server's "
-                        f"{MAX_LINE_BYTES} byte limit"
-                    )
-                    async with write_lock:
-                        writer.write(json.dumps(reply).encode("utf-8") + b"\n")
-                        await writer.drain()
+                    first = await reader.readexactly(1)
+                except asyncio.IncompleteReadError:
                     break
-                if not line:
-                    break
-                text = line.strip()
-                if not text:
-                    continue
                 message: dict[str, object] | None = None
                 error: tuple[str, object, object] | None = None
-                try:
-                    decoded = text.decode("utf-8")
-                    if len(text) > _OFFLOAD_PARSE_BYTES:
-                        # Parsing megabytes of JSON inline would stall every
-                        # other connection; push it to the default executor.
-                        message = await asyncio.get_running_loop().run_in_executor(
-                            None, parse_envelope, decoded
+                binary = first == FRAME_MAGIC[:1]
+                if binary:
+                    message, error, fatal = await self._read_frame(reader, first)
+                    if fatal:
+                        assert error is not None
+                        text, op, request_id = error
+                        reply = error_envelope(text, op=op, request_id=request_id)
+                        async with write_lock:
+                            writer.write(_encode_reply_frame(reply))
+                            await writer.drain()
+                        break
+                else:
+                    try:
+                        line = first + await reader.readline()
+                    except ValueError:
+                        # Line longer than the stream limit: the connection
+                        # cannot be resynchronised, but the client still
+                        # gets told why before the hangup.
+                        reply = error_envelope(
+                            f"ValueError: request line exceeds the server's "
+                            f"{MAX_LINE_BYTES} byte limit"
                         )
-                    else:
-                        message = parse_envelope(decoded)
-                except ValueError as exc:
-                    # Best effort to tag the error reply: a line that is
-                    # valid JSON but a rejected envelope (bad version, ...)
-                    # still carries an id a pipelined client routes by.
-                    op = request_id = None
-                    if len(text) <= _OFFLOAD_PARSE_BYTES:
-                        with contextlib.suppress(ValueError, UnicodeDecodeError):
-                            raw = json.loads(text.decode("utf-8"))
-                            if isinstance(raw, dict):
-                                op, request_id = raw.get("op"), raw.get("id")
-                    error = (f"ValueError: {exc}", op, request_id)
+                        async with write_lock:
+                            writer.write(json.dumps(reply).encode("utf-8") + b"\n")
+                            await writer.drain()
+                        break
+                    text = line.strip()
+                    if not text:
+                        continue
+                    try:
+                        decoded = text.decode("utf-8")
+                        if len(text) > _OFFLOAD_PARSE_BYTES:
+                            # Parsing megabytes of JSON inline would stall
+                            # every other connection; push it to the
+                            # default executor.
+                            message = await asyncio.get_running_loop().run_in_executor(
+                                None, parse_envelope, decoded
+                            )
+                        else:
+                            message = parse_envelope(decoded)
+                    except ValueError as exc:
+                        # Best effort to tag the error reply: a line that is
+                        # valid JSON but a rejected envelope (bad version,
+                        # ...) still carries an id a pipelined client
+                        # routes by.
+                        op = request_id = None
+                        if len(text) <= _OFFLOAD_PARSE_BYTES:
+                            with contextlib.suppress(ValueError, UnicodeDecodeError):
+                                raw = json.loads(text.decode("utf-8"))
+                                if isinstance(raw, dict):
+                                    op, request_id = raw.get("op"), raw.get("id")
+                        error = (f"ValueError: {exc}", op, request_id)
                 if message is not None and message.get("op") == "shutdown":
                     saw_shutdown = True
                 pipelined = message is not None and message.get("id") is not None
                 task = asyncio.create_task(
-                    process(message, error, None if pipelined else ordered_tail)
+                    process(
+                        message,
+                        error,
+                        None if pipelined else ordered_tail,
+                        binary,
+                    )
                 )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)

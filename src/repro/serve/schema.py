@@ -11,12 +11,28 @@ precision), carrying :class:`~repro.core.stats.EventCounters` and
 The schema is versioned (``SCHEMA_VERSION``) so a deserialiser can reject
 payloads written by an incompatible producer instead of mis-reading them.
 
-This module also defines the newline-delimited JSON *wire envelope* the chip
-server and its clients exchange (one JSON object per line in each
-direction).  Protocol version 2 adds explicit ``op``/``reply`` framing and
+This module also defines the *wire envelope* the chip server and its clients
+exchange.  Protocol version 2 adds explicit ``op``/``reply`` framing and
 optional request ``id``\\ s so several requests can be in flight on one
 connection; version-1 peers (no ``v``, no ``id``) remain fully supported —
 the server answers them in arrival order, exactly as before.
+
+Protocol **version 3** adds a *binary frame* carrier for the very same
+envelopes: a fixed little-endian header (:data:`FRAME_MAGIC`, metadata
+length, payload length), a compact-JSON metadata section holding the
+envelope with its large arrays replaced by indexed placeholders, and a raw
+payload of little-endian ``float64`` / ``int64`` array bytes (``inputs``,
+``labels``, ``predictions``, ``spike_counts``).  Both carriers share one TCP
+connection: a JSON line starts with a printable byte and ends in ``\\n``,
+while a frame starts with the magic byte ``0x93`` (a UTF-8 continuation
+byte, never the first byte of a JSON line), so a reader distinguishes them
+by peeking one byte.  Frames are **bit-identical** to the JSON carrier —
+``float64``/``int64`` values cross the wire as their raw bytes, which is
+*easier* to keep exact than JSON's shortest-round-trip text — and version
+negotiation happens at the envelope level: every reply envelope carries the
+sender's ``v``, so a client learns the server's version from its first
+(JSON) reply and only then switches to frames, while v1/v2 peers keep
+speaking JSON lines unchanged.
 
 The version-2 envelope additionally carries the admission-control surface
 (all optional, so v1/v2 peers that ignore it are unchanged):
@@ -35,6 +51,7 @@ The version-2 envelope additionally carries the admission-control surface
 from __future__ import annotations
 
 import json
+import struct
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -46,12 +63,19 @@ __all__ = [
     "ERROR_CANCELLED",
     "ERROR_DEADLINE_EXCEEDED",
     "ERROR_OVERLOADED",
+    "FRAME_HEADER_SIZE",
+    "FRAME_MAGIC",
+    "MAX_FRAME_BYTES",
     "PROTOCOL_VERSION",
     "SCHEMA_VERSION",
     "InferenceRequest",
     "InferenceResponse",
+    "decode_frame",
+    "decode_frame_payload",
+    "encode_frame",
     "error_envelope",
     "parse_envelope",
+    "parse_frame_header",
     "reply_envelope",
     "request_envelope",
 ]
@@ -59,9 +83,11 @@ __all__ = [
 #: Version tag embedded in every serialised response.
 SCHEMA_VERSION = 1
 
-#: Wire-envelope version: 2 adds request ids and ``op``/``reply`` framing.
-#: Version-1 envelopes (no ``v`` field) are still accepted everywhere.
-PROTOCOL_VERSION = 2
+#: Wire-envelope version: 2 adds request ids and ``op``/``reply`` framing,
+#: 3 adds the binary frame carrier (:func:`encode_frame`).  Version-1
+#: envelopes (no ``v`` field) are still accepted everywhere, and every
+#: version may arrive on the JSON line carrier.
+PROTOCOL_VERSION = 3
 
 #: Structured error codes carried in error replies (the ``code`` field).
 #: The request was shed by the server's admission control (queue full).
@@ -76,15 +102,25 @@ ERROR_CANCELLED = "cancelled"
 
 
 def request_envelope(
-    op: str, *, request_id: object = None, **fields: object
+    op: str,
+    *,
+    request_id: object = None,
+    version: int | None = None,
+    **fields: object,
 ) -> dict[str, object]:
-    """Build one request line of the wire protocol.
+    """Build one request envelope of the wire protocol.
 
     ``request_id`` (any JSON scalar) tags the request so its reply can be
     matched out of order; omitting it produces a version-1 style envelope
-    whose reply arrives in order on the connection.
+    whose reply arrives in order on the connection.  ``version`` caps the
+    declared protocol version — a client that negotiated down to an older
+    server declares the *common* version so the peer's envelope check
+    accepts it.
     """
-    envelope: dict[str, object] = {"v": PROTOCOL_VERSION, "op": op}
+    envelope: dict[str, object] = {
+        "v": PROTOCOL_VERSION if version is None else int(version),
+        "op": op,
+    }
     if request_id is not None:
         envelope["id"] = request_id
     envelope.update(fields)
@@ -141,6 +177,16 @@ def parse_envelope(line: str) -> dict[str, object]:
         raise ValueError(f"malformed request line: {exc}") from None
     if not isinstance(message, dict):
         raise ValueError("request line must be a JSON object")
+    return validate_envelope(message)
+
+
+def validate_envelope(message: dict[str, object]) -> dict[str, object]:
+    """Apply the envelope version bounds to an already-decoded mapping.
+
+    Shared by both carriers: :func:`parse_envelope` (JSON lines) and frame
+    readers (:func:`decode_frame_payload` output) funnel through the same
+    check, so a peer newer than this build fails identically either way.
+    """
     version = message.get("v", 1)
     if not isinstance(version, int) or not 1 <= version <= PROTOCOL_VERSION:
         raise ValueError(
@@ -148,6 +194,245 @@ def parse_envelope(line: str) -> dict[str, object]:
             f"(this build speaks 1..{PROTOCOL_VERSION})"
         )
     return message
+
+
+# -- binary frame carrier (protocol v3) ---------------------------------------------
+
+#: First bytes of every binary frame.  ``0x93`` is a UTF-8 continuation
+#: byte, so it can never start a JSON line — one peeked byte tells a reader
+#: which carrier the next message uses.
+FRAME_MAGIC = b"\x93RF3"
+
+#: Fixed frame header: magic, metadata length (u32), payload length (u64),
+#: all little-endian.  The metadata section (compact JSON) and the raw array
+#: payload follow back to back.
+_FRAME_HEADER = struct.Struct("<4sIQ")
+FRAME_HEADER_SIZE = _FRAME_HEADER.size
+
+#: Largest accepted frame (header + metadata + payload).  Mirrors the
+#: server's JSON line limit: big enough for production batches, small
+#: enough to bound a misbehaving peer.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Array dtypes allowed on the wire: everything numeric crosses as either
+#: little-endian float64 or little-endian int64 (bit-identical to the
+#: in-memory arrays; JSON text round trip is the *harder* path to keep
+#: exact).
+_FRAME_DTYPES = {"<f8": np.dtype("<f8"), "<i8": np.dtype("<i8")}
+
+#: Reserved placeholder key marking an extracted array in frame metadata.
+_ARRAY_KEY = "__nd__"
+
+
+def _wire_dtype(array: np.ndarray) -> np.dtype:
+    """The on-wire dtype for an array (floats -> ``<f8``, ints -> ``<i8``)."""
+    if array.dtype.kind == "f":
+        return _FRAME_DTYPES["<f8"]
+    if array.dtype.kind in "iub":
+        return _FRAME_DTYPES["<i8"]
+    raise ValueError(
+        f"cannot carry dtype {array.dtype} in a binary frame (float64/int64 "
+        f"payloads only)"
+    )
+
+
+def _extract_arrays(
+    value: object, arrays: list[np.ndarray], descriptors: list[dict[str, object]]
+) -> object:
+    """Replace every ndarray in a tree with an indexed placeholder.
+
+    The returned tree is pure JSON; extracted arrays are appended (as
+    C-contiguous little-endian float64/int64) with a matching descriptor.
+    """
+    if isinstance(value, np.ndarray):
+        wire = np.ascontiguousarray(value, dtype=_wire_dtype(value))
+        arrays.append(wire)
+        descriptors.append(
+            {
+                "dtype": wire.dtype.str,
+                "shape": list(wire.shape),
+            }
+        )
+        return {_ARRAY_KEY: len(arrays) - 1}
+    if isinstance(value, dict):
+        if _ARRAY_KEY in value:
+            raise ValueError(
+                f"frame metadata may not contain the reserved key {_ARRAY_KEY!r}"
+            )
+        return {
+            key: _extract_arrays(item, arrays, descriptors)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_extract_arrays(item, arrays, descriptors) for item in value]
+    if isinstance(value, np.generic):  # numpy scalar leaked into metadata
+        return value.item()
+    return value
+
+
+def _restore_arrays(value: object, arrays: list[np.ndarray]) -> object:
+    """Inverse of :func:`_extract_arrays`: placeholders become ndarrays."""
+    if isinstance(value, dict):
+        if set(value) == {_ARRAY_KEY}:
+            index = value[_ARRAY_KEY]
+            if not isinstance(index, int) or not 0 <= index < len(arrays):
+                raise ValueError(
+                    f"frame metadata references array {index!r} but the frame "
+                    f"carries {len(arrays)}"
+                )
+            return arrays[index]
+        return {key: _restore_arrays(item, arrays) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_restore_arrays(item, arrays) for item in value]
+    return value
+
+
+def _pad8(n: int) -> int:
+    """Round up to the frame's 8-byte array alignment."""
+    return (n + 7) & ~7
+
+
+def encode_frame(
+    envelope: dict[str, object], *, buffer: bytearray | None = None
+) -> bytes | memoryview:
+    """Serialise one envelope to a binary frame.
+
+    Every :class:`numpy.ndarray` anywhere in the envelope ships as raw
+    little-endian bytes in the payload section (8-byte aligned); the rest of
+    the envelope becomes the compact-JSON metadata section.  ``buffer``
+    (optional) is an encode buffer reused across calls — the frame is built
+    in place and returned as a :class:`memoryview` of it, so steady-state
+    encoding allocates nothing proportional to the batch; pass ``None`` to
+    get an independent :class:`bytes`.  A reused buffer must not be handed
+    to a consumer that keeps the reference past the next encode (write it to
+    a blocking socket, then reuse).
+    """
+    arrays: list[np.ndarray] = []
+    descriptors: list[dict[str, object]] = []
+    stripped = _extract_arrays(envelope, arrays, descriptors)
+    offset = 0
+    for descriptor, array in zip(descriptors, arrays):
+        descriptor["offset"] = offset
+        offset += _pad8(array.nbytes)
+    meta = json.dumps(
+        {"envelope": stripped, "arrays": descriptors}, separators=(",", ":")
+    ).encode("utf-8")
+    total = FRAME_HEADER_SIZE + len(meta) + offset
+    out = bytearray(total) if buffer is None else buffer
+    if len(out) < total:
+        out.extend(bytes(total - len(out)))
+    _FRAME_HEADER.pack_into(out, 0, FRAME_MAGIC, len(meta), offset)
+    start = FRAME_HEADER_SIZE
+    out[start : start + len(meta)] = meta
+    start += len(meta)
+    for descriptor, array in zip(descriptors, arrays):
+        at = start + descriptor["offset"]
+        out[at : at + array.nbytes] = array.tobytes()
+        pad = _pad8(array.nbytes) - array.nbytes
+        if pad:
+            out[at + array.nbytes : at + array.nbytes + pad] = bytes(pad)
+    if buffer is None:
+        return bytes(out)
+    return memoryview(out)[:total]
+
+
+def parse_frame_header(header: bytes) -> tuple[int, int]:
+    """Validate a frame header, returning ``(meta_len, payload_len)``.
+
+    Raises :class:`ValueError` on a bad magic or a frame larger than
+    :data:`MAX_FRAME_BYTES`, so wire readers can turn header corruption into
+    a structured error reply instead of mis-framing the stream.
+    """
+    if len(header) != FRAME_HEADER_SIZE:
+        raise ValueError(
+            f"truncated frame header: got {len(header)} of "
+            f"{FRAME_HEADER_SIZE} bytes"
+        )
+    magic, meta_len, payload_len = _FRAME_HEADER.unpack(header)
+    if magic != FRAME_MAGIC:
+        raise ValueError(
+            f"bad frame magic {magic!r} (expected {FRAME_MAGIC!r}); the "
+            f"connection is desynchronised"
+        )
+    total = FRAME_HEADER_SIZE + meta_len + payload_len
+    if total > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame of {total} bytes exceeds the {MAX_FRAME_BYTES} byte limit"
+        )
+    return int(meta_len), int(payload_len)
+
+
+def decode_frame_payload(meta: bytes, payload: bytes | memoryview) -> dict[str, object]:
+    """Rebuild an envelope from a frame's metadata + payload sections.
+
+    Array views are created zero-copy over ``payload`` (pass a
+    :class:`memoryview` to avoid even the slice copies).  Every structural
+    violation — malformed metadata JSON, unknown dtypes, descriptors
+    pointing outside the payload — raises :class:`ValueError` with a message
+    naming the problem, exactly like :func:`parse_envelope` does for JSON
+    lines.
+    """
+    try:
+        decoded = json.loads(bytes(meta).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"malformed frame metadata: {exc}") from None
+    if (
+        not isinstance(decoded, dict)
+        or not isinstance(decoded.get("envelope"), dict)
+        or not isinstance(decoded.get("arrays"), list)
+    ):
+        raise ValueError(
+            "frame metadata must be a JSON object with 'envelope' and "
+            "'arrays' sections"
+        )
+    view = memoryview(payload)
+    arrays: list[np.ndarray] = []
+    for index, descriptor in enumerate(decoded["arrays"]):
+        if not isinstance(descriptor, dict):
+            raise ValueError(f"frame array descriptor {index} is not an object")
+        dtype = _FRAME_DTYPES.get(descriptor.get("dtype"))
+        shape = descriptor.get("shape")
+        offset = descriptor.get("offset")
+        if dtype is None:
+            raise ValueError(
+                f"frame array {index} has unsupported dtype "
+                f"{descriptor.get('dtype')!r} (expected one of "
+                f"{sorted(_FRAME_DTYPES)})"
+            )
+        if (
+            not isinstance(shape, list)
+            or not all(isinstance(dim, int) and dim >= 0 for dim in shape)
+            or not isinstance(offset, int)
+            or offset < 0
+        ):
+            raise ValueError(f"frame array {index} has a malformed descriptor")
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        nbytes = count * dtype.itemsize
+        if offset + nbytes > len(view):
+            raise ValueError(
+                f"frame array {index} spans [{offset}, {offset + nbytes}) but "
+                f"the payload holds {len(view)} bytes"
+            )
+        arrays.append(
+            np.frombuffer(view[offset : offset + nbytes], dtype=dtype).reshape(shape)
+        )
+    return _restore_arrays(decoded["envelope"], arrays)
+
+
+def decode_frame(frame: bytes | memoryview) -> dict[str, object]:
+    """Rebuild an envelope from one complete frame (header included)."""
+    view = memoryview(frame)
+    meta_len, payload_len = parse_frame_header(bytes(view[:FRAME_HEADER_SIZE]))
+    if len(view) < FRAME_HEADER_SIZE + meta_len + payload_len:
+        raise ValueError(
+            f"truncated frame: header declares "
+            f"{FRAME_HEADER_SIZE + meta_len + payload_len} bytes, got {len(view)}"
+        )
+    meta = bytes(view[FRAME_HEADER_SIZE : FRAME_HEADER_SIZE + meta_len])
+    payload = view[
+        FRAME_HEADER_SIZE + meta_len : FRAME_HEADER_SIZE + meta_len + payload_len
+    ]
+    return decode_frame_payload(meta, payload)
 
 
 def _as_batch(inputs: np.ndarray) -> np.ndarray:
@@ -272,6 +557,32 @@ class InferenceRequest:
             "sample_offset": self.sample_offset,
         }
 
+    def to_wire_dict(self) -> dict[str, object]:
+        """Frame-carrier representation: same fields, arrays stay ndarrays.
+
+        :func:`encode_frame` ships the arrays as raw little-endian bytes, so
+        this codec never pays a per-float text conversion.  The key set is
+        identical to :meth:`to_dict` and :meth:`from_dict` reads both.
+        """
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "inputs": self.batch,
+            "labels": (
+                None if self.labels is None else np.asarray(self.labels, dtype=np.int64)
+            ),
+            "timesteps": self.timesteps,
+            "sample_offset": self.sample_offset,
+        }
+
+    def to_frame(self, *, buffer: bytearray | None = None) -> bytes | memoryview:
+        """Serialise to one standalone binary frame (see :func:`encode_frame`)."""
+        return encode_frame(self.to_wire_dict(), buffer=buffer)
+
+    @classmethod
+    def from_frame(cls, frame: bytes | memoryview) -> "InferenceRequest":
+        """Rebuild a request from a frame produced by :meth:`to_frame`."""
+        return cls.from_dict(decode_frame(frame))
+
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "InferenceRequest":
         """Rebuild a request produced by :meth:`to_dict`.
@@ -342,6 +653,37 @@ class InferenceResponse:
             "jobs": self.jobs,
             "metadata": dict(self.metadata),
         }
+
+    def to_wire_dict(self) -> dict[str, object]:
+        """Frame-carrier representation: the big arrays stay ndarrays.
+
+        ``predictions`` and ``spike_counts`` — the only payloads that scale
+        with the batch — ship as raw bytes through :func:`encode_frame`; the
+        scalar-sized counters/energy breakdowns stay compact JSON, whose
+        shortest-round-trip float printing is already lossless.
+        """
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "predictions": np.asarray(self.predictions, dtype=np.int64),
+            "spike_counts": np.asarray(self.spike_counts, dtype=np.float64),
+            "accuracy": self.accuracy,
+            "counters": self.counters.as_dict(),
+            "energy": self.energy.to_dict(),
+            "timesteps": self.timesteps,
+            "backend": self.backend,
+            "batch_size": self.batch_size,
+            "jobs": self.jobs,
+            "metadata": dict(self.metadata),
+        }
+
+    def to_frame(self, *, buffer: bytearray | None = None) -> bytes | memoryview:
+        """Serialise to one standalone binary frame (see :func:`encode_frame`)."""
+        return encode_frame(self.to_wire_dict(), buffer=buffer)
+
+    @classmethod
+    def from_frame(cls, frame: bytes | memoryview) -> "InferenceResponse":
+        """Rebuild a response from a frame produced by :meth:`to_frame`."""
+        return cls.from_dict(decode_frame(frame))
 
     @classmethod
     def from_dict(cls, data: dict[str, object]) -> "InferenceResponse":

@@ -21,6 +21,13 @@ from hypothesis import given, settings, strategies as st
 from repro.core import EventCounters
 from repro.energy.model import EnergyReport
 from repro.serve import InferenceRequest, InferenceResponse
+from repro.serve.schema import (
+    FRAME_HEADER_SIZE,
+    FRAME_MAGIC,
+    decode_frame,
+    encode_frame,
+    parse_frame_header,
+)
 
 
 def _request_dict() -> dict:
@@ -170,3 +177,135 @@ class TestRoundTripProperties:
             .as_dict()
         )
         assert direct == via_wire
+
+
+# -- binary frame codec (protocol v3) -----------------------------------------------
+
+wire_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+float_arrays = st.lists(wire_floats, max_size=16).map(
+    lambda values: np.asarray(values, dtype="<f8")
+)
+int_arrays = st.lists(
+    st.integers(min_value=-(2**53), max_value=2**53), max_size=16
+).map(lambda values: np.asarray(values, dtype="<i8"))
+wire_arrays = float_arrays | int_arrays
+
+json_scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**6), max_value=10**6)
+    | wire_floats
+    | st.text(max_size=8)
+)
+meta_keys = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=6)
+envelope_values = st.recursive(
+    json_scalars | wire_arrays,
+    lambda children: st.lists(children, max_size=3)
+    | st.dictionaries(meta_keys, children, max_size=3),
+    max_leaves=12,
+)
+envelopes = st.dictionaries(meta_keys, envelope_values, max_size=4)
+
+
+def _trees_equal(left, right) -> bool:
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        return (
+            isinstance(left, np.ndarray)
+            and isinstance(right, np.ndarray)
+            and left.dtype == right.dtype
+            and left.shape == right.shape
+            and np.array_equal(left, right)
+        )
+    if isinstance(left, dict) and isinstance(right, dict):
+        return left.keys() == right.keys() and all(
+            _trees_equal(left[key], right[key]) for key in left
+        )
+    if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        return len(left) == len(right) and all(
+            _trees_equal(a, b) for a, b in zip(left, right)
+        )
+    return type(left) is type(right) and left == right
+
+
+class TestFrameCodecProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(envelope=envelopes)
+    def test_arbitrary_envelopes_round_trip(self, envelope):
+        frame = encode_frame(envelope)
+        assert frame[: len(FRAME_MAGIC)] == FRAME_MAGIC
+        assert _trees_equal(decode_frame(frame), envelope)
+
+    @settings(max_examples=25, deadline=None)
+    @given(first=envelopes, second=envelopes)
+    def test_reused_encode_buffer_is_not_corrupted(self, first, second):
+        # Back-to-back encodes into one buffer: each frame must decode to
+        # its own envelope even when the second is shorter than the first.
+        buffer = bytearray()
+        assert _trees_equal(
+            decode_frame(bytes(encode_frame(first, buffer=buffer))), first
+        )
+        assert _trees_equal(
+            decode_frame(bytes(encode_frame(second, buffer=buffer))), second
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        batch=st.integers(min_value=1, max_value=5),
+        features=st.integers(min_value=1, max_value=6),
+        with_labels=st.booleans(),
+        timesteps=st.none() | st.integers(min_value=1, max_value=9),
+        sample_offset=st.integers(min_value=0, max_value=100),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_request_frame_round_trip_is_lossless(
+        self, batch, features, with_labels, timesteps, sample_offset, seed
+    ):
+        rng = np.random.default_rng(seed)
+        request = InferenceRequest(
+            inputs=rng.random((batch, features)),
+            labels=rng.integers(0, 10, size=batch) if with_labels else None,
+            timesteps=timesteps,
+            sample_offset=sample_offset,
+        )
+        restored = InferenceRequest.from_frame(request.to_frame())
+        assert restored.to_dict() == request.to_dict()
+        np.testing.assert_array_equal(restored.batch, request.batch)
+
+    @settings(max_examples=50, deadline=None)
+    @given(envelope=envelopes, cut=st.integers(min_value=0, max_value=10**6))
+    def test_truncated_frames_raise_value_error(self, envelope, cut):
+        frame = encode_frame(envelope)
+        if cut >= len(frame):
+            cut = len(frame) - 1
+        with pytest.raises(ValueError):
+            decode_frame(frame[:cut])
+
+    @settings(max_examples=50, deadline=None)
+    @given(header=st.binary(min_size=FRAME_HEADER_SIZE, max_size=FRAME_HEADER_SIZE))
+    def test_non_magic_headers_are_rejected(self, header):
+        if header[: len(FRAME_MAGIC)] == FRAME_MAGIC:
+            header = b"\x00" + header[1:]
+        with pytest.raises(ValueError, match="magic"):
+            parse_frame_header(header)
+
+    def test_descriptor_past_payload_end_is_rejected(self):
+        meta = json.dumps(
+            {
+                "envelope": {"x": {"__nd__": 0}},
+                "arrays": [{"dtype": "<f8", "shape": [4], "offset": 0}],
+            },
+            separators=(",", ":"),
+        ).encode()
+        frame = (
+            FRAME_MAGIC
+            + len(meta).to_bytes(4, "little")
+            + (8).to_bytes(8, "little")
+            + meta
+            + bytes(8)
+        )
+        with pytest.raises(ValueError, match="payload holds"):
+            decode_frame(frame)
+
+    def test_reserved_placeholder_key_is_rejected_on_encode(self):
+        with pytest.raises(ValueError, match="reserved"):
+            encode_frame({"request": {"__nd__": 3}})

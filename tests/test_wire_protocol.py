@@ -1,0 +1,531 @@
+"""Protocol version matrix: v1/v2 JSON peers, v3 frames, and the fallbacks.
+
+The serving stack carries two wire carriers on the same TCP port —
+newline-delimited JSON (protocols 1 and 2) and length-prefixed binary
+frames (protocol 3) — with the carrier negotiated per connection and the
+reply always leaving on the carrier its request arrived on.  This suite
+pins the compatibility matrix:
+
+* v1 (untagged, version-less) and v2 (tagged) JSON clients work unmodified
+  against a v3 server;
+* a v3 client negotiates frames against a v3 server, is forced back to
+  JSON by ``wire="json"``, and falls back automatically against a canned
+  pre-v3 server;
+* every path returns responses bit-identical to a local ``ChipSession``;
+* malformed and truncated frames surface as structured error replies
+  (connection kept when the stream stays framed, hung up when it cannot
+  be resynchronised);
+* the satellite bug fixes: IPv6 endpoint parsing, jittered reconnect
+  backoff, and ``infer_many`` cancelling outstanding work on failure.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import socket
+import struct
+import threading
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.core import ArchitectureConfig
+from repro.serve import ChipSession, InferenceRequest, InferenceResponse
+from repro.serve.distributed import (
+    ChipServer,
+    InferenceGateway,
+    PipelinedSession,
+    RemoteServerError,
+    RemoteSession,
+    parse_endpoint,
+)
+from repro.serve.distributed import client as client_module
+from repro.serve.distributed.client import CancellableFuture, _retry_backoff
+from repro.serve.schema import (
+    FRAME_HEADER_SIZE,
+    FRAME_MAGIC,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    decode_frame_payload,
+    encode_frame,
+    parse_frame_header,
+    request_envelope,
+)
+from repro.snn import Dense, Network, convert_to_snn
+
+ENERGY_RTOL = 1e-9
+
+
+def _mlp(seed: int, dims: tuple[int, ...]):
+    rng = np.random.default_rng(seed)
+    layers = []
+    for i, (n_in, n_out) in enumerate(zip(dims[:-1], dims[1:])):
+        last = i == len(dims) - 2
+        layers.append(
+            Dense(
+                n_in,
+                n_out,
+                activation=None if last else "relu",
+                use_bias=False,
+                rng=rng,
+                name=f"fc{i}",
+            )
+        )
+    network = Network((dims[0],), layers, name=f"wire-{'x'.join(map(str, dims))}")
+    return convert_to_snn(network, rng.random((12, dims[0])))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    snn = _mlp(5, (48, 24, 10))
+    config = ArchitectureConfig(crossbar_rows=16, crossbar_columns=16)
+    rng = np.random.default_rng(44)
+    inputs = rng.random((13, 48))
+    labels = rng.integers(0, 10, size=13)
+    return snn, config, inputs, labels
+
+
+@pytest.fixture(scope="module")
+def single_session(workload):
+    snn, config, _, _ = workload
+    return ChipSession(snn, config=config, timesteps=5, encoder="poisson", seed=17)
+
+
+@pytest.fixture(scope="module")
+def server(workload):
+    snn, config, _, _ = workload
+    session = ChipSession(snn, config=config, timesteps=5, encoder="poisson", seed=17)
+    with ChipServer(session, port=0, workload="wire-matrix").start() as served:
+        yield served
+
+
+def _assert_identical(expected, actual):
+    np.testing.assert_array_equal(expected.predictions, actual.predictions)
+    np.testing.assert_array_equal(expected.spike_counts, actual.spike_counts)
+    assert expected.accuracy == actual.accuracy
+    e, a = expected.counters.as_dict(), actual.counters.as_dict()
+    for name, value in e.items():
+        if name == "crossbar_device_energy_j":
+            assert a[name] == pytest.approx(value, rel=ENERGY_RTOL)
+        else:
+            assert a[name] == value, f"counter {name}: {a[name]} != {value}"
+    assert actual.energy.total_j == pytest.approx(
+        expected.energy.total_j, rel=ENERGY_RTOL
+    )
+
+
+def _read_reply_frame(stream) -> dict:
+    header = stream.read(FRAME_HEADER_SIZE)
+    assert len(header) == FRAME_HEADER_SIZE, "truncated reply frame header"
+    meta_len, payload_len = parse_frame_header(header)
+    meta = stream.read(meta_len)
+    payload = stream.read(payload_len)
+    return decode_frame_payload(meta, payload)
+
+
+# -- endpoint parsing (IPv6 regression) ---------------------------------------------
+
+
+class TestParseEndpoint:
+    def test_ipv4(self):
+        assert parse_endpoint("127.0.0.1:7070") == ("127.0.0.1", 7070)
+
+    def test_ipv6_brackets_are_stripped(self):
+        # socket.create_connection wants the bare address, not "[::1]".
+        assert parse_endpoint("[::1]:7070") == ("::1", 7070)
+        assert parse_endpoint("[2001:db8::2]:80") == ("2001:db8::2", 80)
+
+    @pytest.mark.parametrize(
+        "endpoint",
+        ["[::1]", "[]:7070", "[::1:7070", "7070", ":7070", "host:", "host:nan"],
+    )
+    def test_rejects_malformed(self, endpoint):
+        with pytest.raises(ValueError):
+            parse_endpoint(endpoint)
+
+
+# -- old JSON clients against a v3 server -------------------------------------------
+
+
+class TestJsonPeersAgainstV3Server:
+    def test_v1_untagged_versionless_lines(self, server, workload, single_session):
+        _, _, inputs, labels = workload
+        request = InferenceRequest(inputs=inputs, labels=labels)
+        with socket.create_connection(server.address, timeout=30) as raw:
+            stream = raw.makefile("rwb")
+            # A version-less, id-less envelope is the protocol-1 shape.
+            stream.write(
+                json.dumps({"op": "infer", "request": request.to_dict()}).encode()
+                + b"\n"
+            )
+            stream.flush()
+            reply = json.loads(stream.readline())
+        assert reply["ok"] is True
+        assert "id" not in reply
+        _assert_identical(
+            single_session.infer(request),
+            InferenceResponse.from_dict(reply["response"]),
+        )
+
+    def test_v2_tagged_json_lines(self, server, workload, single_session):
+        _, _, inputs, labels = workload
+        request = InferenceRequest(inputs=inputs[:6], labels=labels[:6])
+        envelope = request_envelope(
+            "infer", request_id="v2-req", version=2, request=request.to_dict()
+        )
+        with socket.create_connection(server.address, timeout=30) as raw:
+            stream = raw.makefile("rwb")
+            stream.write(json.dumps(envelope).encode() + b"\n")
+            stream.flush()
+            reply = json.loads(stream.readline())
+        assert reply["ok"] is True
+        assert reply["id"] == "v2-req"
+        _assert_identical(
+            single_session.infer(request),
+            InferenceResponse.from_dict(reply["response"]),
+        )
+
+
+# -- v3 negotiation and parity ------------------------------------------------------
+
+
+class TestV3Negotiation:
+    def test_remote_session_negotiates_frames(self, server, workload, single_session):
+        _, _, inputs, labels = workload
+        request = InferenceRequest(inputs=inputs, labels=labels)
+        with RemoteSession(*server.address) as remote:
+            assert remote.wire_version == PROTOCOL_VERSION == 3
+            assert remote.ping()
+            _assert_identical(single_session.infer(request), remote.infer(request))
+
+    def test_forced_json_matches_binary_bit_for_bit(self, server, workload):
+        _, _, inputs, labels = workload
+        request = InferenceRequest(inputs=inputs, labels=labels)
+        with RemoteSession(*server.address) as binary:
+            assert binary.wire_version == 3
+            via_frames = binary.infer(request)
+        with RemoteSession(*server.address, wire="json") as jsonic:
+            assert jsonic.wire_version == 2
+            via_json = jsonic.infer(request)
+        np.testing.assert_array_equal(via_frames.predictions, via_json.predictions)
+        np.testing.assert_array_equal(via_frames.spike_counts, via_json.spike_counts)
+        assert via_frames.counters == via_json.counters
+        assert via_frames.energy.to_dict() == via_json.energy.to_dict()
+        assert via_frames.accuracy == via_json.accuracy
+
+    def test_pipelined_session_negotiates_frames(
+        self, server, workload, single_session
+    ):
+        _, _, inputs, labels = workload
+        requests = [
+            InferenceRequest(inputs=inputs, labels=labels),
+            InferenceRequest(inputs=inputs[:4], sample_offset=2),
+        ]
+        with PipelinedSession(*server.address, connections=2) as remote:
+            assert remote.wire_version == 3
+            responses = remote.infer_many(requests)
+        for request, response in zip(requests, responses):
+            _assert_identical(single_session.infer(request), response)
+
+    def test_pipelined_forced_json(self, server, workload, single_session):
+        _, _, inputs, _ = workload
+        request = InferenceRequest(inputs=inputs[:5])
+        with PipelinedSession(*server.address, wire="json") as remote:
+            assert remote.wire_version == 2
+            _assert_identical(single_session.infer(request), remote.infer(request))
+
+    def test_raw_v3_frame_round_trip(self, server, workload, single_session):
+        _, _, inputs, labels = workload
+        request = InferenceRequest(inputs=inputs, labels=labels)
+        envelope = request_envelope(
+            "infer", request_id="raw-v3", request=request.to_wire_dict()
+        )
+        with socket.create_connection(server.address, timeout=30) as raw:
+            stream = raw.makefile("rwb")
+            stream.write(encode_frame(envelope))
+            stream.flush()
+            reply = _read_reply_frame(stream)
+        assert reply["ok"] is True
+        assert reply["id"] == "raw-v3"
+        assert isinstance(reply["response"]["predictions"], np.ndarray)
+        _assert_identical(
+            single_session.infer(request),
+            InferenceResponse.from_dict(reply["response"]),
+        )
+
+
+# -- v3 client against a canned pre-v3 server ---------------------------------------
+
+
+class _CannedV2Server:
+    """A minimal pre-frame chip server: JSON lines only, protocol <= 2.
+
+    Mirrors what an un-upgraded deployment answers — including rejecting
+    any envelope that declares a version above 2 — so the client fallback
+    path is tested against the real negotiation contract rather than
+    against another instance of the new server.
+    """
+
+    def __init__(self, session: ChipSession):
+        self.session = session
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self.address = self._sock.getsockname()
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+
+    def _accept_loop(self) -> None:
+        with contextlib.suppress(OSError):
+            while True:
+                conn, _ = self._sock.accept()
+                threading.Thread(
+                    target=self._serve, args=(conn,), daemon=True
+                ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        with contextlib.suppress(Exception), conn:
+            stream = conn.makefile("rwb")
+            for line in iter(stream.readline, b""):
+                message = json.loads(line)
+                request_id = message.get("id")
+                version = message.get("v", 1)
+                if not isinstance(version, int) or not 1 <= version <= 2:
+                    reply = {
+                        "ok": False,
+                        "v": 2,
+                        "error": f"unsupported protocol version {version!r}",
+                    }
+                elif message.get("op") == "ping":
+                    reply = {"ok": True, "v": 2, "reply": "ping", "pong": True}
+                elif message.get("op") == "info":
+                    reply = {
+                        "ok": True,
+                        "v": 2,
+                        "reply": "info",
+                        "info": {
+                            "capacity": 1,
+                            "backend": self.session.backend,
+                            "timesteps": self.session.timesteps,
+                        },
+                    }
+                elif message.get("op") == "infer":
+                    response = self.session.infer(
+                        InferenceRequest.from_dict(message["request"])
+                    )
+                    reply = {
+                        "ok": True,
+                        "v": 2,
+                        "reply": "infer",
+                        "response": response.to_dict(),
+                    }
+                else:
+                    reply = {"ok": False, "v": 2, "error": "unknown op"}
+                if request_id is not None:
+                    reply["id"] = request_id
+                stream.write(json.dumps(reply).encode() + b"\n")
+                stream.flush()
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+@pytest.fixture(scope="module")
+def canned_v2_server(workload):
+    snn, config, _, _ = workload
+    session = ChipSession(snn, config=config, timesteps=5, encoder="poisson", seed=17)
+    served = _CannedV2Server(session)
+    yield served
+    served.close()
+
+
+class TestFallbackAgainstOldServer:
+    def test_remote_session_falls_back_to_json(
+        self, canned_v2_server, workload, single_session
+    ):
+        _, _, inputs, labels = workload
+        request = InferenceRequest(inputs=inputs, labels=labels)
+        with RemoteSession(*canned_v2_server.address) as remote:
+            assert remote.wire_version == 2
+            assert remote.ping()
+            assert remote.capacity == 1
+            _assert_identical(single_session.infer(request), remote.infer(request))
+
+    def test_pipelined_session_falls_back_to_json(
+        self, canned_v2_server, workload, single_session
+    ):
+        _, _, inputs, _ = workload
+        request = InferenceRequest(inputs=inputs[:7])
+        with PipelinedSession(*canned_v2_server.address, connections=1) as remote:
+            assert remote.wire_version == 2
+            _assert_identical(single_session.infer(request), remote.infer(request))
+
+
+# -- malformed and truncated frames -------------------------------------------------
+
+
+class TestFrameErrors:
+    def test_bad_magic_gets_error_reply_then_hangup(self, server):
+        header = struct.pack("<4sIQ", b"\x93XXX", 0, 0)
+        with socket.create_connection(server.address, timeout=30) as raw:
+            stream = raw.makefile("rwb")
+            stream.write(header)
+            stream.flush()
+            reply = _read_reply_frame(stream)
+            assert reply["ok"] is False
+            assert "magic" in reply["error"]
+            # The stream cannot be resynchronised: the server hangs up.
+            assert stream.read(1) == b""
+
+    def test_oversized_frame_gets_error_reply_then_hangup(self, server):
+        header = struct.pack("<4sIQ", FRAME_MAGIC, 16, MAX_FRAME_BYTES)
+        with socket.create_connection(server.address, timeout=30) as raw:
+            stream = raw.makefile("rwb")
+            stream.write(header)
+            stream.flush()
+            reply = _read_reply_frame(stream)
+            assert reply["ok"] is False
+            assert "exceeds" in reply["error"]
+            assert stream.read(1) == b""
+
+    def test_corrupt_metadata_keeps_connection_serving(self, server):
+        meta = b"this is not json"
+        frame = struct.pack("<4sIQ", FRAME_MAGIC, len(meta), 0) + meta
+        with socket.create_connection(server.address, timeout=30) as raw:
+            stream = raw.makefile("rwb")
+            stream.write(frame)
+            stream.flush()
+            reply = _read_reply_frame(stream)
+            assert reply["ok"] is False
+            assert "metadata" in reply["error"]
+            # The frame was well-delimited, so the stream stays in sync: a
+            # valid request on the same connection still gets served.
+            stream.write(encode_frame(request_envelope("ping", request_id="after")))
+            stream.flush()
+            reply = _read_reply_frame(stream)
+            assert reply["ok"] is True
+            assert reply["id"] == "after"
+            assert reply["pong"] is True
+
+    def test_bad_array_descriptor_echoes_request_id(self, server):
+        # Valid framing, structurally broken metadata: the error reply is
+        # structured AND tagged, so a pipelined client can route it.
+        meta = json.dumps(
+            {
+                "envelope": {"v": 3, "op": "ping", "id": "bad-dtype"},
+                "arrays": [{"dtype": "<f4", "shape": [1], "offset": 0}],
+            },
+            separators=(",", ":"),
+        ).encode()
+        frame = struct.pack("<4sIQ", FRAME_MAGIC, len(meta), 8) + meta + bytes(8)
+        with socket.create_connection(server.address, timeout=30) as raw:
+            stream = raw.makefile("rwb")
+            stream.write(frame)
+            stream.flush()
+            reply = _read_reply_frame(stream)
+            assert reply["ok"] is False
+            assert reply["id"] == "bad-dtype"
+            assert "dtype" in reply["error"]
+
+    def test_truncated_frame_then_eof_drops_connection(self, server):
+        header = struct.pack("<4sIQ", FRAME_MAGIC, 64, 128)
+        with socket.create_connection(server.address, timeout=30) as raw:
+            stream = raw.makefile("rwb")
+            stream.write(header + b"only-part-of-the-meta")
+            stream.flush()
+            raw.shutdown(socket.SHUT_WR)
+            # There is nobody to answer: the server just drops the peer.
+            assert stream.read(1) == b""
+
+    def test_server_still_healthy_after_frame_abuse(self, server, workload):
+        _, _, inputs, _ = workload
+        with RemoteSession(*server.address) as remote:
+            assert remote.ping()
+            assert remote.infer(InferenceRequest(inputs=inputs[:2])).batch_size == 2
+
+
+# -- reconnect backoff --------------------------------------------------------------
+
+
+class TestReconnectBackoff:
+    def test_backoff_is_jittered_and_grows(self):
+        first = {_retry_backoff(0) for _ in range(32)}
+        assert all(0.025 <= delay <= 0.1 for delay in first)
+        assert len(first) > 1, "backoff must be jittered, not constant"
+        assert all(0.05 <= _retry_backoff(1) <= 0.2 for _ in range(32))
+
+    def test_call_backs_off_between_reconnect_attempts(self, server, monkeypatch):
+        delays: list[int] = []
+        monkeypatch.setattr(
+            client_module,
+            "_retry_backoff",
+            lambda attempt: (delays.append(attempt), 0.0)[1],
+        )
+        with ChipServer(
+            server.target, port=0, workload="backoff"
+        ).start() as doomed:
+            remote = RemoteSession(*doomed.address, retries=2)
+        # The server is gone: every attempt fails, with a backoff between
+        # consecutive attempts (but not after the last).
+        with pytest.raises(ConnectionError):
+            remote.ping()
+        remote.close()
+        assert delays == [0, 1]
+
+
+# -- infer_many cancels outstanding work on failure ---------------------------------
+
+
+class TestInferManyCancellation:
+    def _wired_futures(self, count: int, failing: int):
+        futures = [CancellableFuture() for _ in range(count)]
+        revoked: list[int] = []
+        for index, future in enumerate(futures):
+            future._canceller = lambda index=index: revoked.append(index)
+        futures[failing].set_exception(RemoteServerError("boom", code="overloaded"))
+        return futures, revoked
+
+    def test_pipelined_infer_many_cancels_outstanding(self, monkeypatch):
+        futures, revoked = self._wired_futures(3, failing=0)
+        session = PipelinedSession.__new__(PipelinedSession)
+        handed = iter(futures)
+        monkeypatch.setattr(
+            PipelinedSession,
+            "submit",
+            lambda self, request, deadline_s=None: next(handed),
+        )
+        with pytest.raises(RemoteServerError):
+            session.infer_many([object(), object(), object()])
+        assert futures[1].cancelled() and futures[2].cancelled()
+        # Cancelling a CancellableFuture also revokes the remote work.
+        assert sorted(revoked) == [1, 2]
+
+    def test_pipelined_infer_many_success_path_untouched(self, monkeypatch):
+        futures = [CancellableFuture(), CancellableFuture()]
+        revoked: list[int] = []
+        for index, future in enumerate(futures):
+            future._canceller = lambda index=index: revoked.append(index)
+        futures[0].set_result("a")
+        futures[1].set_result("b")
+        session = PipelinedSession.__new__(PipelinedSession)
+        handed = iter(futures)
+        monkeypatch.setattr(
+            PipelinedSession,
+            "submit",
+            lambda self, request, deadline_s=None: next(handed),
+        )
+        assert session.infer_many([object(), object()]) == ["a", "b"]
+        assert revoked == []
+
+    def test_gateway_infer_many_cancels_outstanding(self, monkeypatch):
+        futures = [Future() for _ in range(3)]
+        futures[0].set_exception(RemoteServerError("boom"))
+        gateway = InferenceGateway.__new__(InferenceGateway)
+        handed = iter(futures)
+        monkeypatch.setattr(
+            InferenceGateway,
+            "submit",
+            lambda self, request, deadline_s=None: next(handed),
+        )
+        with pytest.raises(RemoteServerError):
+            gateway.infer_many([object(), object(), object()])
+        assert futures[1].cancelled() and futures[2].cancelled()
