@@ -14,12 +14,18 @@ recorded metrics are the client-observed wait (submit -> result) of admitted
 requests (p50/p95) and the shed rate; the exactness assertions always run,
 while the load-dependent thresholds skip on single-core runners like the
 other concurrency benchmarks.
+
+Results land in ``benchmarks/results/load_shedding.json`` (override with
+``LOAD_SHED_BENCH_RESULTS``) so the perf trajectory across PRs is
+inspectable next to the wire-overhead numbers.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -41,6 +47,26 @@ SAMPLES_PER_REQUEST = 6
 #: is bounded by ~(1 + MAX_QUEUE) dispatches; the generous factor absorbs
 #: chip compute and scheduler jitter on busy CI runners.
 P95_WAIT_CEILING_S = 40 * DISPATCH_DELAY_S * (1 + MAX_QUEUE)
+
+RESULTS_PATH = Path(
+    os.environ.get(
+        "LOAD_SHED_BENCH_RESULTS",
+        Path(__file__).parent / "results" / "load_shedding.json",
+    )
+)
+
+
+def _persist(section: str, payload: dict) -> None:
+    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
+    existing = {}
+    if RESULTS_PATH.exists():
+        try:
+            existing = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            existing = {}
+    existing[section] = payload
+    existing["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
 
 
 class _SlowTarget:
@@ -137,6 +163,23 @@ def test_bench_load_shedding_open_loop(shed_workload):
         f"{DISPATCH_DELAY_S * 1e3:.0f}ms/dispatch): {admitted} admitted, "
         f"{sheds} shed (rate {shed_rate:.0%}), queue-wait p50 {p50 * 1e3:.1f}ms, "
         f"p95 {p95 * 1e3:.1f}ms"
+    )
+    # Persist before the load-dependent thresholds: the numbers are worth
+    # keeping even on runners where the assertions skip.
+    _persist(
+        "open_loop",
+        {
+            "requests": total,
+            "max_queue": MAX_QUEUE,
+            "oversubscription": OVERSUBSCRIPTION,
+            "dispatch_delay_s": DISPATCH_DELAY_S,
+            "admitted": admitted,
+            "shed": sheds,
+            "shed_rate": shed_rate,
+            "wait_p50_s": float(p50),
+            "wait_p95_s": float(p95),
+            "p95_wait_ceiling_s": P95_WAIT_CEILING_S,
+        },
     )
 
     if (os.cpu_count() or 1) < 2:

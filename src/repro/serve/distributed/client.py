@@ -478,6 +478,15 @@ class RemoteSession:
         reply = self._call(request_envelope("infer", **fields))
         return InferenceResponse.from_dict(reply["response"])
 
+    def drain_server(self) -> dict[str, object]:
+        """Retire the server gracefully (idempotent ``drain`` op).
+
+        The server stops admitting new ``infer`` requests (they answer a
+        structured ``draining`` error), finishes and delivers everything
+        already admitted, then exits its serving loop.
+        """
+        return self._call(request_envelope("drain"), idempotent=False)
+
     def shutdown_server(self) -> None:
         """Ask the server process to stop serving (clean remote teardown).
 
@@ -998,6 +1007,15 @@ class PipelinedSession:
     def timesteps(self) -> int:
         """Default rate-coding window of the remote session."""
         return int(self.info().get("timesteps", 0))
+
+    def drain_server(self, *, timeout: float | None = None) -> dict[str, object]:
+        """Retire the server gracefully (``drain`` op; never retried).
+
+        Returns the drain acknowledgement (``{"draining": True, ...}``).
+        In-flight requests on this session still complete: the server
+        answers every admitted request before it exits.
+        """
+        return self._bounded_reply("drain", timeout, retry=False)
 
     def shutdown_server(self) -> None:
         """Ask the server process to stop serving (never retried)."""

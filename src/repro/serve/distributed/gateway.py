@@ -12,12 +12,16 @@ Sharding is *capacity-weighted and load-aware*: an endpoint with capacity 3
 (say, a remote pool with ``jobs=3``) receives three times the samples of a
 capacity-1 session, via cumulative rounding so the contiguous shard sizes
 always sum to the batch exactly — but the static weight is discounted by the
-endpoint's observed backlog (gateway shards already in flight there plus the
-server's polled ``queue_depth``/``inflight``), so a congested server
-receives less of each new batch instead of stretching its queue further.  A
-shard that an overloaded server *sheds* (structured ``overloaded`` error) is
-retried once on the least-loaded sibling endpoint, and per-request
-deadlines propagate to every endpoint that understands them.  Because every
+endpoint's observed backlog (gateway shards planned onto it and not yet
+finished, plus the server's last-polled ``queue_depth``/``inflight``), so a
+congested server receives less of each new batch instead of stretching its
+queue further.  Server backlog is polled by a **background refresher
+thread**, never on the submit path: ``submit()`` reads only cached hints, so
+a wedged endpoint's ``info`` can never stall dispatch.  A shard that an
+overloaded or draining server *sheds* (structured ``overloaded`` /
+``draining`` error) is retried once on the least-loaded sibling endpoint,
+and per-request deadlines propagate to every endpoint that understands
+them.  Because every
 shard carries its absolute ``sample_offset`` and every endpoint derives
 spike trains from the same shard-stable
 :class:`~repro.snn.encoding.EncoderState` seeding, the merged response is
@@ -36,6 +40,16 @@ Multiple batches may be in flight at once; a per-endpoint lock keeps each
 endpoint serving one shard at a time (endpoints own their internal
 concurrency), so successive batches pipeline across endpoints instead of
 running lock-step.
+
+Membership is **dynamic**: :meth:`InferenceGateway.add_endpoint`,
+:meth:`~InferenceGateway.drain_endpoint` and
+:meth:`~InferenceGateway.remove_endpoint` change the fleet while batches are
+in flight.  A shard plan holds direct references to its endpoints, so
+in-flight batches always complete against the endpoints they were planned
+on; the next ``submit()`` sees the updated membership.  Draining endpoints
+are skipped by the planner (and by shed-retry) but keep serving the shards
+already placed on them — exactly the handshake a fleet controller needs to
+retire a replica without failing work.
 
 The merge is exact: predictions and spike counts concatenate per-sample,
 event counters sum, and the energy report is the component-wise sum of the
@@ -57,15 +71,23 @@ from typing import Sequence
 import numpy as np
 
 from repro.serve.distributed.client import RemoteServerError
-from repro.serve.schema import ERROR_OVERLOADED, InferenceRequest, InferenceResponse
+from repro.serve.schema import (
+    ERROR_DRAINING,
+    ERROR_OVERLOADED,
+    InferenceRequest,
+    InferenceResponse,
+)
 
 __all__ = ["GatewayEndpoint", "InferenceGateway"]
 
-#: Hard bound on one endpoint load poll.  Polling happens synchronously on
-#: the submit path (TTL-throttled by ``load_poll_s``), so a wedged endpoint
-#: must cost at most this much per TTL window — never hang submit(), which
-#: would defeat the deadline bounds callers put on the *result*.
+#: Hard bound on one endpoint load poll.  Polls run on the background
+#: refresher thread (never the submit path), but one wedged endpoint must
+#: not starve the refresh of its healthy siblings for longer than this.
 LOAD_POLL_TIMEOUT_S = 1.0
+
+#: Structured server errors that make a shard eligible for one retry on a
+#: sibling endpoint (the server refused the work without starting it).
+_SHED_RETRY_CODES = frozenset({ERROR_OVERLOADED, ERROR_DRAINING})
 
 
 @dataclass
@@ -90,12 +112,21 @@ class GatewayEndpoint:
     lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False, compare=False
     )
-    #: Gateway shards currently executing on (or queued at) this endpoint.
+    #: Gateway shards planned onto this endpoint and not yet finished
+    #: (queued behind the endpoint lock, executing, or mid-retry).
     inflight: int = field(default=0, init=False, repr=False, compare=False)
     #: Last polled remote backlog (server queue depth + inflight).
     load_hint: float = field(default=0.0, init=False, repr=False, compare=False)
     #: ``time.monotonic()`` of the last backlog poll.
     load_polled_at: float = field(default=0.0, init=False, repr=False, compare=False)
+    #: Last polled ``info`` envelope (refresher-populated; what a fleet
+    #: controller reads for shed counters and lifecycle state).
+    info_hint: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    #: Draining (graceful retirement): the planner and shed-retry skip this
+    #: endpoint, but shards already placed on it run to completion.
+    draining: bool = field(default=False, init=False, repr=False, compare=False)
     #: Whether ``target.infer`` accepts a ``deadline_s`` keyword (remote
     #: sessions do; local sessions execute immediately, so there is nothing
     #: for a deadline to shed).
@@ -282,14 +313,16 @@ class InferenceGateway:
         shards the static planner did.  Any shard split is result-identical
         (sharding is exact), so adaptivity changes placement, never numbers.
     load_poll_s:
-        Minimum seconds between backlog polls of one endpoint.  Only
-        pipelined remotes (thread-safe ``info``, live ``queue_depth`` /
-        ``inflight`` fields) are polled, each poll bounded by
+        Interval of the background load refresher (seconds).  The refresher
+        thread polls every endpoint's backlog on this cadence and caches
+        the hints; ``submit()`` only ever reads the cache.  Only pipelined
+        remotes (thread-safe ``info``, live ``queue_depth`` / ``inflight``
+        fields) are polled, each poll bounded by
         :data:`LOAD_POLL_TIMEOUT_S`; other targets may export a ``load()``
-        method returning their backlog — ``load()`` runs synchronously on
-        the submit path, so it MUST return immediately from local state
-        (blocking I/O belongs behind the timeout-bounded info path) — and
-        everything else contributes only the gateway's own in-flight count.
+        method returning their backlog from local state, and everything
+        else contributes only the gateway's own planned-shard count.
+        :meth:`refresh_load_hints` forces one synchronous sweep (what the
+        refresher runs; handy in tests and controllers).
     """
 
     def __init__(
@@ -307,27 +340,46 @@ class InferenceGateway:
         self.name = name
         self.adaptive = adaptive
         self.load_poll_s = load_poll_s
-        self.endpoints = [
+        self._endpoints = [
             e if isinstance(e, GatewayEndpoint) else GatewayEndpoint(target=e)
             for e in endpoints
         ]
+        # Guards membership changes (add/remove/drain) against concurrent
+        # planners; planners work on snapshots, so holding it is brief.
+        self._membership_lock = threading.Lock()
         # Guards the per-endpoint inflight counters and load hints (the
         # endpoint `lock` is held for whole inferences — too coarse here).
         self._load_lock = threading.Lock()
         # Sized for several batches in flight: shards of batch k+1 queue up
         # behind the per-endpoint locks while batch k still computes.
         self._threads = ThreadPoolExecutor(
-            max_workers=max(4, 2 * len(self.endpoints)),
+            max_workers=max(4, 2 * len(self._endpoints)),
             thread_name_prefix="gateway",
         )
         self._closed = False
+        # Background load refresher: the ONLY place endpoint `info` is
+        # polled, so submit() can never block on a wedged endpoint.  It
+        # waits a full interval before the first sweep (an idle start plans
+        # exactly like the static planner anyway), and close() joins it.
+        self._refresh_stop = threading.Event()
+        self._refresher: threading.Thread | None = None
+        if self.adaptive:
+            self._refresher = threading.Thread(
+                target=self._refresh_loop,
+                name=f"{self.name}-load-refresh",
+                daemon=True,
+            )
+            self._refresher.start()
 
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self, *, close_endpoints: bool = False) -> None:
-        """Shut down the dispatch threads; optionally close every endpoint."""
+        """Shut down the refresher + dispatch threads; optionally endpoints too."""
         if not self._closed:
             self._closed = True
+            self._refresh_stop.set()
+            if self._refresher is not None:
+                self._refresher.join(timeout=10.0)
             self._threads.shutdown(wait=True)
         if close_endpoints:
             for endpoint in self.endpoints:
@@ -341,30 +393,111 @@ class InferenceGateway:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # -- membership ---------------------------------------------------------------
+
+    @property
+    def endpoints(self) -> list[GatewayEndpoint]:
+        """Snapshot of the current membership (copy; mutation-safe)."""
+        with self._membership_lock:
+            return list(self._endpoints)
+
+    def add_endpoint(
+        self,
+        target: GatewayEndpoint | object,
+        *,
+        capacity: float | None = None,
+        name: str | None = None,
+    ) -> GatewayEndpoint:
+        """Join an endpoint to the fleet; the next ``submit()`` can use it.
+
+        In-flight batches are untouched (their plans hold endpoint
+        references).  Endpoint names must be unique — they are what
+        :meth:`drain_endpoint` / :meth:`remove_endpoint` address.
+        """
+        endpoint = (
+            target
+            if isinstance(target, GatewayEndpoint)
+            else GatewayEndpoint(target=target, capacity=capacity, name=name or "")
+        )
+        with self._membership_lock:
+            if self._closed:
+                raise RuntimeError("gateway is closed")
+            if any(e.name == endpoint.name for e in self._endpoints):
+                raise ValueError(
+                    f"gateway already has an endpoint named {endpoint.name!r}"
+                )
+            self._endpoints.append(endpoint)
+            # Keep ~2 dispatch threads available per endpoint.  stdlib pools
+            # have no public resize; raising the cap is how they grow (the
+            # attribute is stable across supported CPythons).
+            self._threads._max_workers = max(
+                self._threads._max_workers, 4, 2 * len(self._endpoints)
+            )
+        return endpoint
+
+    def drain_endpoint(self, name: str) -> GatewayEndpoint:
+        """Stop planning new shards onto ``name`` (in-flight work finishes).
+
+        The scale-down handshake: drain here first, then drain the server
+        (it answers everything already admitted), then
+        :meth:`remove_endpoint` once it exits.
+        """
+        with self._membership_lock:
+            for endpoint in self._endpoints:
+                if endpoint.name == name:
+                    endpoint.draining = True
+                    return endpoint
+        raise KeyError(f"gateway has no endpoint named {name!r}")
+
+    def remove_endpoint(self, name: str) -> GatewayEndpoint:
+        """Leave the fleet.  In-flight plans still complete against it."""
+        with self._membership_lock:
+            for index, endpoint in enumerate(self._endpoints):
+                if endpoint.name == name:
+                    del self._endpoints[index]
+                    return endpoint
+        raise KeyError(f"gateway has no endpoint named {name!r}")
+
+    def _serving_endpoints(self) -> list[GatewayEndpoint]:
+        """Endpoints new shards may be planned onto (non-draining)."""
+        with self._membership_lock:
+            return [e for e in self._endpoints if not e.draining]
+
     # -- load tracking ------------------------------------------------------------
+
+    def _refresh_loop(self) -> None:
+        # Clamp the busy-loop floor: load_poll_s=0 means "as fresh as
+        # possible", not "spin a core".
+        interval = max(self.load_poll_s, 0.05)
+        while not self._refresh_stop.wait(interval):
+            self.refresh_load_hints()
+
+    def refresh_load_hints(self) -> None:
+        """One synchronous backlog sweep over the current membership.
+
+        This is the refresher thread's body, exposed so tests and fleet
+        controllers can force a fresh sample instead of waiting out the
+        poll interval.  ``submit()`` itself never calls it.
+        """
+        for endpoint in self.endpoints:
+            self._poll_backlog(endpoint)
 
     def _poll_backlog(self, endpoint: GatewayEndpoint) -> float:
         """Refresh and return the endpoint's remote backlog hint.
 
         Two duck-typed sources, both optional: a ``load()`` method on the
-        target (a *non-blocking* local read by contract — it runs inline on
-        the submit path), else a thread-safe ``info`` poll (only
+        target (a local-state read), else a thread-safe ``info`` poll (only
         pipelined remotes expose both ``submit`` and ``info`` — a plain
         :class:`RemoteSession` serialises its one connection, so probing it
         concurrently with an in-flight shard would corrupt the framing).
-        The info poll is bounded by :data:`LOAD_POLL_TIMEOUT_S` — this runs
-        on the submit path, and a wedged endpoint must never turn the
-        non-blocking ``submit()`` into a hang.  Poll failures (including
-        timeouts) keep the previous hint: a dying endpoint's shard will
-        fail loudly on its own.
+        The info poll is bounded by :data:`LOAD_POLL_TIMEOUT_S` so one
+        wedged endpoint cannot starve its siblings' refresh.  Poll failures
+        (including timeouts) keep the previous hint: a dying endpoint's
+        shard will fail loudly on its own.
         """
         target = endpoint.target
-        now = time.monotonic()
-        with self._load_lock:
-            if now - endpoint.load_polled_at < self.load_poll_s:
-                return endpoint.load_hint
-            endpoint.load_polled_at = now
-        hint = None
+        hint: float | None = None
+        info: dict | None = None
         loader = getattr(target, "load", None)
         if callable(loader):
             try:
@@ -379,16 +512,43 @@ class InferenceGateway:
                 )
             except Exception:  # noqa: BLE001 - load probes must never fail a plan
                 hint = None
+                info = None
         with self._load_lock:
+            endpoint.load_polled_at = time.monotonic()
             if hint is not None:
                 endpoint.load_hint = max(0.0, hint)
+            if info is not None:
+                endpoint.info_hint = dict(info)
             return endpoint.load_hint
 
     def _backlog_of(self, endpoint: GatewayEndpoint) -> float:
-        """Observed backlog: gateway shards in flight + polled server queue."""
-        remote = self._poll_backlog(endpoint)
+        """Observed backlog: planned-but-unfinished shards + cached hint.
+
+        A pure cached read — no I/O — so every caller on the submit path
+        (planning, shed-retry fallback selection) stays non-blocking.
+        """
         with self._load_lock:
-            return float(endpoint.inflight) + remote
+            return float(endpoint.inflight) + float(endpoint.load_hint)
+
+    def endpoint_loads(self) -> dict[str, dict[str, object]]:
+        """Per-endpoint load snapshot (cached; safe to call from anywhere).
+
+        What a fleet controller samples: the gateway-side planned-shard
+        count, the refresher's last server hint and ``info`` envelope, and
+        the draining flag.
+        """
+        snapshot = self.endpoints
+        loads: dict[str, dict[str, object]] = {}
+        with self._load_lock:
+            for endpoint in snapshot:
+                loads[endpoint.name] = {
+                    "backlog": float(endpoint.inflight) + float(endpoint.load_hint),
+                    "inflight": int(endpoint.inflight),
+                    "load_hint": float(endpoint.load_hint),
+                    "draining": bool(endpoint.draining),
+                    "info": dict(endpoint.info_hint),
+                }
+        return loads
 
     def _effective_capacity(self, endpoint: GatewayEndpoint) -> float:
         """Static weight discounted by backlog (equal to it when idle)."""
@@ -400,31 +560,37 @@ class InferenceGateway:
 
     @property
     def total_capacity(self) -> float:
-        """Sum of the static endpoint capacities."""
-        return float(sum(e.capacity for e in self.endpoints))
+        """Sum of the static capacities of the serving (non-draining) fleet."""
+        return float(sum(e.capacity for e in self._serving_endpoints()))
 
     def shard_plan(self, batch: int) -> list[_ShardPlan]:
         """Load-aware contiguous shards covering ``[0, batch)`` exactly.
 
         Weights are the endpoints' effective capacities (static capacity
-        discounted by live backlog; see the class docstring) — on idle
+        discounted by cached backlog; see the class docstring) — on idle
         endpoints this is exactly the historical static capacity plan.
         Cumulative rounding keeps the boundaries monotone and the final
         boundary equal to ``batch``; endpoints whose rounded share is empty
         (small batches, heavy backlog) are skipped rather than sent
-        degenerate requests.  A single-endpoint gateway degenerates to one
-        whole-batch shard — no splitting (and no load polling), just the
-        dispatch/merge envelope.
+        degenerate requests.  Draining endpoints never appear in a new
+        plan.  A single-endpoint plan degenerates to one whole-batch shard
+        — no splitting, just the dispatch/merge envelope.
         """
-        if len(self.endpoints) == 1:
+        endpoints = self._serving_endpoints()
+        if not endpoints:
+            raise RuntimeError(
+                f"gateway {self.name!r} has no serving endpoints (every "
+                f"endpoint was removed or is draining)"
+            )
+        if len(endpoints) == 1:
             weights = [1.0]
         else:
-            weights = [self._effective_capacity(e) for e in self.endpoints]
+            weights = [self._effective_capacity(e) for e in endpoints]
         total = sum(weights)
         plan: list[_ShardPlan] = []
         start = 0
         cumulative = 0.0
-        for endpoint, weight in zip(self.endpoints, weights):
+        for endpoint, weight in zip(endpoints, weights):
             cumulative += weight
             stop = round(batch * cumulative / total)
             if stop > start:
@@ -442,21 +608,17 @@ class InferenceGateway:
     ) -> InferenceResponse:
         # One shard at a time per endpoint: endpoints own their internal
         # concurrency (pools shard further, pipelined remotes pipeline),
-        # and most targets' infer() is not reentrant.
-        with self._load_lock:
-            endpoint.inflight += 1
-        try:
-            with endpoint.lock:
-                if deadline_s is not None and endpoint.supports_deadline:
-                    return endpoint.target.infer(sub_request, deadline_s=deadline_s)
-                return endpoint.target.infer(sub_request)
-        finally:
-            with self._load_lock:
-                endpoint.inflight -= 1
+        # and most targets' infer() is not reentrant.  The inflight counter
+        # is maintained by submit()/the shard done-callback (plan-time
+        # accounting), not here, so queued-but-unstarted shards count too.
+        with endpoint.lock:
+            if deadline_s is not None and endpoint.supports_deadline:
+                return endpoint.target.infer(sub_request, deadline_s=deadline_s)
+            return endpoint.target.infer(sub_request)
 
     def _fallback_for(self, shed: GatewayEndpoint) -> GatewayEndpoint | None:
-        """The least-backlogged *other* endpoint, or None when alone."""
-        candidates = [e for e in self.endpoints if e is not shed]
+        """The least-backlogged *other* serving endpoint, or None when alone."""
+        candidates = [e for e in self._serving_endpoints() if e is not shed]
         if not candidates:
             return None
         # Least backlog first; static capacity breaks ties (deterministic:
@@ -472,14 +634,19 @@ class InferenceGateway:
         try:
             return self._infer_on(shard.endpoint, sub_request, deadline_s)
         except RemoteServerError as exc:
-            if exc.code != ERROR_OVERLOADED:
+            if exc.code not in _SHED_RETRY_CODES:
                 raise
-            # The endpoint shed this shard under load; one retry on the
-            # least-loaded sibling (the shard is idempotent and carries its
-            # absolute sample_offset, so re-running elsewhere is exact).
+            # The endpoint refused this shard (overloaded, or draining
+            # under a racing scale-down); one retry on the least-loaded
+            # sibling (the shard is idempotent and carries its absolute
+            # sample_offset, so re-running elsewhere is exact).
             fallback = self._fallback_for(shard.endpoint)
             if fallback is None:
                 raise
+            # Move the planned-shard accounting with the shard.
+            with self._load_lock:
+                shard.endpoint.inflight -= 1
+                fallback.inflight += 1
             shard.retried_from = shard.endpoint.name
             shard.endpoint = fallback
             return self._infer_on(fallback, sub_request, deadline_s)
@@ -505,6 +672,18 @@ class InferenceGateway:
         plan = self.shard_plan(request.batch_size)
         result: Future = Future()
         state = _MergeState(self, request, plan, result)
+        # Plan-time load accounting: the shard counts against its endpoint
+        # from the moment it is planned (queued work is backlog too), and
+        # the done-callback releases it however the shard ends — completed,
+        # failed, or cancelled before it ever ran.
+        with self._load_lock:
+            for shard in plan:
+                shard.endpoint.inflight += 1
+
+        def _release(done: Future, shard: _ShardPlan) -> None:
+            with self._load_lock:
+                shard.endpoint.inflight -= 1
+
         for shard in plan:
             future = self._threads.submit(
                 self._run_shard,
@@ -514,6 +693,9 @@ class InferenceGateway:
             )
             state.shard_futures.append(future)
         for shard, future in zip(plan, state.shard_futures):
+            future.add_done_callback(
+                lambda done, shard=shard: _release(done, shard)
+            )
             future.add_done_callback(
                 lambda done, shard=shard: state.shard_done(shard, done)
             )

@@ -6,8 +6,9 @@
 gateway — behind a tiny protocol that stdlib clients can speak:
 
 * client sends one envelope per message: ``{"op": "infer", "request":
-  {...}}``, ``{"op": "info"}``, ``{"op": "ping"}`` or ``{"op": "shutdown"}``,
-  optionally tagged with a protocol version ``"v"`` and a request ``"id"``;
+  {...}}``, ``{"op": "info"}``, ``{"op": "ping"}``, ``{"op": "drain"}`` or
+  ``{"op": "shutdown"}``, optionally tagged with a protocol version ``"v"``
+  and a request ``"id"``;
 * server answers one envelope per message: ``{"ok": true, ...}`` on success
   or ``{"ok": false, "error": "..."}`` on failure — malformed JSON, schema
   violations, corrupt binary frames and inference errors all surface as
@@ -61,6 +62,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import os
 import socket
 import threading
 import time
@@ -74,6 +76,7 @@ from repro.datasets import make_dataset
 from repro.serve.schema import (
     ERROR_CANCELLED,
     ERROR_DEADLINE_EXCEEDED,
+    ERROR_DRAINING,
     ERROR_OVERLOADED,
     FRAME_HEADER_SIZE,
     FRAME_MAGIC,
@@ -246,10 +249,16 @@ class ChipServer:
         (default) answers it immediately with a structured ``overloaded``
         error reply; ``"block"`` holds admission until space frees (the
         client connection feels backpressure instead of an error).
+    replica_id:
+        Stable identity this server reports in ``info`` (fleet controllers
+        key their bookkeeping on it); defaults to the bound ``host:port``.
 
     Use :meth:`serve_forever` to block, or :meth:`start` to serve on a
     background thread; :meth:`close` (or the context manager) tears down
-    either way.
+    either way.  A ``drain`` op retires the server gracefully: admission
+    stops (new ``infer`` requests answer a structured ``draining`` error),
+    every already-admitted request is computed and its reply delivered, and
+    only then does the serving loop exit.
     """
 
     def __init__(
@@ -263,6 +272,7 @@ class ChipServer:
         batch_window_s: float = 0.0,
         max_queue: int = 0,
         shed_policy: str = "reject",
+        replica_id: str | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -288,6 +298,8 @@ class ChipServer:
         self._sock = socket.create_server((host, port), reuse_port=False)
         bound = self._sock.getsockname()[:2]
         self._address = (str(bound[0]), int(bound[1]))
+        #: Stable replica identity (defaults to the bound endpoint).
+        self.replica_id = replica_id or self.endpoint
         #: Serving counters: total requests served, dispatches made, the
         #: largest coalesced dispatch, and the admission-control outcomes
         #: (shed / deadline_exceeded / cancelled).  Only event-loop code
@@ -299,12 +311,20 @@ class ChipServer:
             "shed": 0,
             "deadline_exceeded": 0,
             "cancelled": 0,
+            "drain_rejected": 0,
         }
         #: Requests admitted but not yet dispatched (the live queue depth the
         #: admission bound applies to; includes items the dispatcher holds).
         self._backlog = 0
         #: Requests currently executing on the work thread.
         self._inflight = 0
+        #: ``infer`` messages whose replies have not been fully written yet
+        #: (admitted, queued, computing or mid-write).  A drain completes —
+        #: and the serving loop exits — only when this reaches zero, so a
+        #: scale-down can never drop an answer a client is still owed.
+        self._active_infers = 0
+        #: True once a ``drain`` op arrived: admission is closed for good.
+        self._draining = False
         #: FIFO of block-policy admissions waiting for a queue slot.
         self._space_waiters: deque[asyncio.Future] = deque()
         self._thread: threading.Thread | None = None
@@ -340,6 +360,11 @@ class ChipServer:
             "schema_version": SCHEMA_VERSION,
             "protocol_version": PROTOCOL_VERSION,
             "workload": self.workload,
+            # Replica identity: what a fleet controller keys on, plus the
+            # lifecycle state a drain flips.
+            "replica_id": self.replica_id,
+            "pid": os.getpid(),
+            "state": "draining" if self._draining else "serving",
             "backend": getattr(session, "backend", "unknown"),
             "timesteps": int(getattr(session, "timesteps", 0)),
             "jobs": jobs,
@@ -408,6 +433,12 @@ class ChipServer:
         self._backlog -= 1
         self._wake_one_waiter()
 
+    def _reject_draining(self) -> ServeRejection:
+        self.stats["drain_rejected"] += 1
+        return ServeRejection(
+            "server is draining; no new work is admitted", code=ERROR_DRAINING
+        )
+
     async def _admit(self, item: _QueuedInfer) -> None:
         """Apply the queue bound, then enqueue (never partially admits).
 
@@ -417,9 +448,13 @@ class ChipServer:
         converts the wait into ``deadline_exceeded``.  A request whose
         future was already resolved (a ``cancel`` op raced admission) is
         never enqueued — the server must not compute an answer nobody will
-        read.
+        read.  A draining server admits nothing: requests answer a
+        structured ``draining`` error instead (including block-policy
+        waiters, which a ``drain`` op unblocks immediately).
         """
         assert self._loop is not None and self._queue is not None
+        if self._draining:
+            raise self._reject_draining()
         if self.max_queue and (
             self._backlog >= self.max_queue or self._space_waiters
         ):
@@ -465,8 +500,14 @@ class ChipServer:
                 if got_slot:
                     self._release_slot()  # cancelled while blocked; pass it on
                 return
-            # got_slot is always True here: only a cancel resolves the
-            # waiter with False, and a cancel resolves the future first.
+            if self._draining:
+                # A drain op resolved this waiter (no slot) — or raced the
+                # handoff; either way the request can no longer be admitted.
+                if got_slot:
+                    self._release_slot()
+                raise self._reject_draining()
+            # got_slot is always True here: only a cancel or a drain
+            # resolves the waiter with False, and both are handled above.
             self._queue.put_nowait(item)
             return
         if item.future.done():
@@ -475,6 +516,42 @@ class ChipServer:
         # atomic on the event loop.
         self._backlog += 1
         self._queue.put_nowait(item)
+
+    # -- graceful drain -----------------------------------------------------------
+
+    def _begin_drain(self) -> dict[str, object]:
+        """Close admission for good (idempotent; event-loop only).
+
+        Block-policy admissions still waiting for a queue slot can never be
+        admitted now, so their waiters resolve immediately (no slot): each
+        blocked request answers a structured ``draining`` error right away
+        instead of waiting out a slot it would be refused anyway.
+        """
+        already = self._draining
+        self._draining = True
+        while self._space_waiters:
+            waiter = self._space_waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(False)
+        return {
+            "draining": True,
+            "was_draining": already,
+            "pending": self._active_infers,
+        }
+
+    def _maybe_finish_drain(self) -> None:
+        """Exit the serving loop once a drain owes no client a reply.
+
+        ``_active_infers`` covers the whole life of an admitted request —
+        queued, dispatched, and the reply write itself — so stopping here
+        can never cut off an answer mid-delivery.
+        """
+        if (
+            self._draining
+            and self._active_infers == 0
+            and self._stop_event is not None
+        ):
+            self._stop_event.set()
 
     # -- protocol -----------------------------------------------------------------
 
@@ -604,12 +681,14 @@ class ChipServer:
                     self.stats["cancelled"] += 1
                     cancelled = True
                 result = {"cancelled": cancelled, "target": target}
+            elif op == "drain":
+                result = self._begin_drain()
             elif op == "shutdown":
                 result = {"stopping": True}
             else:
                 raise ValueError(
-                    f"unknown op {op!r}; expected ping, info, infer, cancel "
-                    f"or shutdown"
+                    f"unknown op {op!r}; expected ping, info, infer, cancel, "
+                    f"drain or shutdown"
                 )
             return reply_envelope(op, result, request_id=request_id)
         except asyncio.CancelledError:
@@ -759,6 +838,11 @@ class ChipServer:
             return None, (f"ValueError: {exc}", op, request_id), False
         return message, None, False
 
+    def _infer_reply_done(self, _task: asyncio.Task) -> None:
+        """Done callback for every ``infer`` message's process task."""
+        self._active_infers -= 1
+        self._maybe_finish_drain()
+
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
@@ -766,6 +850,7 @@ class ChipServer:
         ordered_tail: asyncio.Task | None = None
         tasks: set[asyncio.Task] = set()
         saw_shutdown = False
+        saw_drain = False
         # Tagged infer requests of THIS connection still waiting for their
         # reply; the cancel op may only reach its own connection's work.
         conn_pending: dict[object, _QueuedInfer] = {}
@@ -776,14 +861,13 @@ class ChipServer:
             previous: asyncio.Task | None,
             binary: bool,
         ) -> None:
+            op = None if message is None else message.get("op")
             if error is not None:
-                text, op, request_id = error
-                reply = error_envelope(text, op=op, request_id=request_id)
-                is_shutdown = False
+                text, err_op, request_id = error
+                reply = error_envelope(text, op=err_op, request_id=request_id)
             else:
                 assert message is not None
                 reply = await self._execute(message, conn_pending, binary)
-                is_shutdown = message.get("op") == "shutdown"
             if previous is not None:
                 # Version-1 requests carry no id, so their replies must
                 # leave in arrival order; chain on the previous untagged
@@ -800,11 +884,15 @@ class ChipServer:
                     writer.write(data)
                     await writer.drain()
             finally:
-                if is_shutdown and self._stop_event is not None:
+                if op == "shutdown" and self._stop_event is not None:
                     # The reply goes out first so the asking client sees the
                     # acknowledgement — but the stop must happen even if
                     # that client already hung up (fire-and-forget scripts).
                     self._stop_event.set()
+                if op == "drain":
+                    # Likewise after the drain acknowledgement: if nothing
+                    # is in flight the serving loop may exit right now.
+                    self._maybe_finish_drain()
 
         try:
             while True:
@@ -869,8 +957,11 @@ class ChipServer:
                                 if isinstance(raw, dict):
                                     op, request_id = raw.get("op"), raw.get("id")
                         error = (f"ValueError: {exc}", op, request_id)
-                if message is not None and message.get("op") == "shutdown":
+                msg_op = None if message is None else message.get("op")
+                if msg_op == "shutdown":
                     saw_shutdown = True
+                elif msg_op == "drain":
+                    saw_drain = True
                 pipelined = message is not None and message.get("id") is not None
                 task = asyncio.create_task(
                     process(
@@ -882,6 +973,13 @@ class ChipServer:
                 )
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
+                if msg_op == "infer":
+                    # Counted from the moment the message is read until its
+                    # reply is fully written (the done callback fires even
+                    # for tasks cancelled before their first step, so the
+                    # count can never leak and wedge a drain).
+                    self._active_infers += 1
+                    task.add_done_callback(self._infer_reply_done)
                 if not pipelined:
                     ordered_tail = task
         except (ConnectionError, asyncio.IncompleteReadError):
@@ -896,6 +994,11 @@ class ChipServer:
                 # task ran (and the hangup cancels pending tasks above); the
                 # op must still win.  Setting the event twice is harmless.
                 self._stop_event.set()
+            if saw_drain:
+                # Same for a fire-and-forget drain: the hangup may have
+                # cancelled the drain task before it flipped the flag.
+                self._begin_drain()
+                self._maybe_finish_drain()
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()

@@ -1,0 +1,289 @@
+"""Autoscaling control loop: EWMA load signals + hysteresis policy.
+
+:class:`FleetController` watches a duck-typed *fleet* — anything with
+``replica_count()``, ``load_signals()``, ``scale_up()`` and
+``scale_down()`` — and decides when to grow or shrink it.  The signal is
+**pressure**: the EWMA of mean per-replica backlog plus a weighted EWMA of
+the fleet-wide shed rate (sheds mean the backlog bound is already cutting
+work, so they push the signal up even when queues look short).
+
+Scaling is governed by **hysteresis**, not thresholds alone: pressure must
+stay above ``target_backlog`` for ``scale_up_stable_s`` before a scale-up,
+below ``idle_backlog`` for ``scale_down_stable_s`` before a scale-down, and
+``cooldown_s`` must elapse between any two actions — so a bursty signal
+cannot flap the fleet.  Bounds (``min_replicas`` / ``max_replicas``) are
+enforced by the controller regardless of what the fleet would allow.
+
+The loop is deterministic under injection: :meth:`FleetController.step`
+takes an explicit ``now`` and performs exactly one sample/decide/act
+round, so tests drive the whole policy with a scripted fleet and a fake
+clock.  :meth:`FleetController.start` runs the same ``step`` on a
+background thread against the real clock.  Every decision (and every
+refusal) is recorded as a structured event dict, surfaced through
+:meth:`FleetController.status`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import asdict, dataclass
+
+__all__ = ["FleetController", "FleetPolicy"]
+
+#: Most recent controller events kept for status snapshots.
+EVENT_LOG_LIMIT = 256
+
+
+@dataclass(frozen=True)
+class FleetPolicy:
+    """Hysteresis autoscaling policy (all times in seconds).
+
+    ``target_backlog`` / ``idle_backlog`` are *per-replica* pressure
+    levels: scaling keys on mean backlog per replica, so a fleet twice the
+    size tolerates twice the total queue before growing again.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 4
+    #: Sampling interval of the background loop.
+    interval_s: float = 0.5
+    #: Scale up once EWMA pressure stays above this per-replica level...
+    target_backlog: float = 2.0
+    #: ...for this long.
+    scale_up_stable_s: float = 1.0
+    #: Scale down once EWMA pressure stays below this per-replica level...
+    idle_backlog: float = 0.25
+    #: ...for this long.
+    scale_down_stable_s: float = 5.0
+    #: Minimum time between any two scale actions.
+    cooldown_s: float = 2.0
+    #: EWMA smoothing factor in (0, 1]; 1 = no smoothing.
+    ewma_alpha: float = 0.5
+    #: How many backlog units one shed-per-interval is worth in pressure.
+    shed_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError(f"min_replicas must be >= 1, got {self.min_replicas}")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError(
+                f"max_replicas ({self.max_replicas}) must be >= min_replicas "
+                f"({self.min_replicas})"
+            )
+        if self.interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {self.interval_s}")
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}")
+        if self.idle_backlog > self.target_backlog:
+            raise ValueError(
+                f"idle_backlog ({self.idle_backlog}) must be <= target_backlog "
+                f"({self.target_backlog})"
+            )
+
+
+class FleetController:
+    """Sample a fleet's load and apply the hysteresis scaling policy.
+
+    ``fleet`` is duck-typed:
+
+    * ``replica_count() -> int`` — current fleet size;
+    * ``load_signals() -> list[dict]`` — one ``{"backlog": float, "shed":
+      int}`` per reachable replica (``shed`` cumulative; the controller
+      differences it);
+    * ``scale_up() -> bool`` / ``scale_down() -> bool`` — perform one
+      action, returning whether it happened.
+
+    ``clock`` defaults to :func:`time.monotonic`; tests inject a fake (or
+    pass explicit ``now`` values straight to :meth:`step`).
+    """
+
+    def __init__(self, fleet, policy: FleetPolicy, *, clock=time.monotonic):
+        self.fleet = fleet
+        self.policy = policy
+        self.clock = clock
+        self.events: deque[dict[str, object]] = deque(maxlen=EVENT_LOG_LIMIT)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        # EWMA state (None until the first sample seeds it).
+        self._ewma_backlog: float | None = None
+        self._ewma_shed_rate: float | None = None
+        self._last_shed_total: int | None = None
+        # Hysteresis state: when the signal first crossed each line.
+        self._above_since: float | None = None
+        self._idle_since: float | None = None
+        self._last_action_at: float | None = None
+        self._actions = {"scale_up": 0, "scale_down": 0}
+
+    # -- signals ------------------------------------------------------------------
+
+    def _ewma(self, previous: float | None, sample: float) -> float:
+        if previous is None:
+            return float(sample)
+        alpha = self.policy.ewma_alpha
+        return alpha * float(sample) + (1.0 - alpha) * previous
+
+    def _sample(self) -> dict[str, float]:
+        """One load sample: mean per-replica backlog + fleet shed delta."""
+        signals = list(self.fleet.load_signals())
+        replicas = max(1, self.fleet.replica_count())
+        if signals:
+            backlog = sum(float(s.get("backlog", 0.0)) for s in signals) / len(
+                signals
+            )
+        else:
+            backlog = 0.0
+        shed_total = int(sum(int(s.get("shed", 0)) for s in signals))
+        if self._last_shed_total is None:
+            shed_delta = 0
+        else:
+            # Cumulative counters can step back when a replica retires;
+            # pressure must not go negative because capacity left.
+            shed_delta = max(0, shed_total - self._last_shed_total)
+        self._last_shed_total = shed_total
+        shed_rate = shed_delta / replicas
+        self._ewma_backlog = self._ewma(self._ewma_backlog, backlog)
+        self._ewma_shed_rate = self._ewma(self._ewma_shed_rate, shed_rate)
+        pressure = self._ewma_backlog + self.policy.shed_weight * self._ewma_shed_rate
+        return {
+            "backlog": backlog,
+            "shed_delta": float(shed_delta),
+            "ewma_backlog": self._ewma_backlog,
+            "ewma_shed_rate": self._ewma_shed_rate,
+            "pressure": pressure,
+        }
+
+    def _record(self, event: str, now: float, **details: object) -> None:
+        self.events.append({"event": event, "at": float(now), **details})
+
+    # -- the control step ---------------------------------------------------------
+
+    def step(self, now: float | None = None) -> dict[str, object] | None:
+        """One sample/decide/act round; returns the action event (or None).
+
+        Deterministic: with an injected ``now`` and a scripted fleet the
+        same call sequence always makes the same decisions.
+        """
+        with self._lock:
+            if now is None:
+                now = self.clock()
+            sample = self._sample()
+            pressure = sample["pressure"]
+            policy = self.policy
+            replicas = self.fleet.replica_count()
+
+            # Track how long the signal has been on either side.  Explicit
+            # None checks: a crossing timestamp of 0.0 (injected clocks) is
+            # a real crossing, not an unset one.
+            if pressure > policy.target_backlog:
+                if self._above_since is None:
+                    self._above_since = now
+            else:
+                self._above_since = None
+            if pressure < policy.idle_backlog:
+                if self._idle_since is None:
+                    self._idle_since = now
+            else:
+                self._idle_since = None
+
+            in_cooldown = (
+                self._last_action_at is not None
+                and now - self._last_action_at < policy.cooldown_s
+            )
+
+            action: str | None = None
+            if (
+                self._above_since is not None
+                and now - self._above_since >= policy.scale_up_stable_s
+                and replicas < policy.max_replicas
+                and not in_cooldown
+            ):
+                action = "scale_up"
+            elif (
+                self._idle_since is not None
+                and now - self._idle_since >= policy.scale_down_stable_s
+                and replicas > policy.min_replicas
+                and not in_cooldown
+            ):
+                action = "scale_down"
+            if action is None:
+                return None
+
+            done = bool(
+                self.fleet.scale_up()
+                if action == "scale_up"
+                else self.fleet.scale_down()
+            )
+            if not done:
+                self._record(f"{action}_refused", now, replicas=replicas, **sample)
+                return None
+            # Re-arm the hysteresis: another action needs a fresh sustained
+            # window on the post-action signal.
+            self._above_since = None
+            self._idle_since = None
+            self._last_action_at = now
+            self._actions[action] += 1
+            event = {
+                "event": action,
+                "at": float(now),
+                "replicas_before": replicas,
+                "replicas_after": self.fleet.replica_count(),
+                **sample,
+            }
+            self.events.append(event)
+            return event
+
+    # -- background loop ----------------------------------------------------------
+
+    def start(self) -> "FleetController":
+        """Run :meth:`step` on a background thread every ``interval_s``."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="fleet-controller", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.policy.interval_s):
+            try:
+                self.step()
+            except Exception:  # noqa: BLE001 - one bad sample must not kill the loop
+                # A scaling action that races teardown (or a replica dying
+                # mid-poll) surfaces in fleet health, not by silencing the
+                # controller forever.
+                continue
+
+    def close(self) -> None:
+        """Stop and join the background loop (idempotent)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    # -- introspection ------------------------------------------------------------
+
+    def status(self) -> dict[str, object]:
+        """Structured snapshot: policy, EWMA state, action counts, events.
+
+        Lock-free on purpose: a status read must not block behind a scale
+        action in progress (replica boots take seconds), and every field
+        read here is a single atomic reference.
+        """
+        return {
+            "policy": asdict(self.policy),
+            "replicas": self.fleet.replica_count(),
+            "ewma_backlog": self._ewma_backlog,
+            "ewma_shed_rate": self._ewma_shed_rate,
+            "pressure": (
+                None
+                if self._ewma_backlog is None
+                else self._ewma_backlog
+                + self.policy.shed_weight * (self._ewma_shed_rate or 0.0)
+            ),
+            "actions": dict(self._actions),
+            "events": list(self.events),
+        }

@@ -42,10 +42,15 @@ The version-2 envelope additionally carries the admission-control surface
 * a ``cancel`` request (``{"op": "cancel", "target": <id>}``) removes the
   still-queued ``infer`` tagged ``target`` on the same connection;
 * error replies may carry a machine-readable ``code`` —
-  :data:`ERROR_OVERLOADED`, :data:`ERROR_DEADLINE_EXCEEDED` or
-  :data:`ERROR_CANCELLED` — next to the human-readable ``error`` message, so
-  clients and the gateway can react (retry elsewhere, surface a timeout)
-  without parsing prose.
+  :data:`ERROR_OVERLOADED`, :data:`ERROR_DEADLINE_EXCEEDED`,
+  :data:`ERROR_CANCELLED` or :data:`ERROR_DRAINING` — next to the
+  human-readable ``error`` message, so clients and the gateway can react
+  (retry elsewhere, surface a timeout) without parsing prose;
+* a ``drain`` request (``{"op": "drain"}``) puts the server into graceful
+  retirement: new ``infer`` requests are rejected with
+  ``code == "draining"``, already-admitted work runs to completion with
+  replies delivered, and the server exits once its queue is empty.  The op
+  is idempotent and available to every envelope version.
 """
 
 from __future__ import annotations
@@ -62,6 +67,7 @@ from repro.energy.model import EnergyReport
 __all__ = [
     "ERROR_CANCELLED",
     "ERROR_DEADLINE_EXCEEDED",
+    "ERROR_DRAINING",
     "ERROR_OVERLOADED",
     "FRAME_HEADER_SIZE",
     "FRAME_MAGIC",
@@ -96,6 +102,9 @@ ERROR_OVERLOADED = "overloaded"
 ERROR_DEADLINE_EXCEEDED = "deadline_exceeded"
 #: The request was cancelled (a ``cancel`` op, or the client went away).
 ERROR_CANCELLED = "cancelled"
+#: The server is draining (graceful retirement): it no longer admits new
+#: ``infer`` requests but still finishes and answers already-admitted work.
+ERROR_DRAINING = "draining"
 
 
 # -- wire envelope ------------------------------------------------------------------

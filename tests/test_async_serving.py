@@ -1256,8 +1256,11 @@ class TestAdaptiveGateway:
                 GatewayEndpoint(target=idle, capacity=1, name="idle"),
                 GatewayEndpoint(target=busy, capacity=1, name="busy"),
             ],
-            load_poll_s=0.0,
+            load_poll_s=3600.0,
         ) as gateway:
+            # Hints come from the background refresher, never the submit
+            # path; force one sweep so the plan sees the scripted backlog.
+            gateway.refresh_load_hints()
             plan = gateway.shard_plan(12)
             sizes = {p.endpoint.name: p.stop - p.start for p in plan}
             # Effective capacities 1 vs 1/4: the busy endpoint's share drops
@@ -1295,9 +1298,10 @@ class TestAdaptiveGateway:
             assert [(p.start, p.stop) for p in plan] == [(0, 3), (3, 13)]
 
     def test_load_polls_are_bounded_and_poll_failures_keep_planning(self, workload):
-        # The info poll runs on the submit path: it must carry a hard
-        # timeout (a wedged endpoint may not hang submit()), and a failed
-        # poll must keep the previous hint rather than failing the plan.
+        # The info poll runs on the background refresher: it must carry a
+        # hard timeout (one wedged endpoint may not starve the sweep), a
+        # failed poll must keep the previous hint rather than failing the
+        # plan, and planning itself must never poll.
         from repro.serve.distributed.gateway import LOAD_POLL_TIMEOUT_S
 
         probe = _InfoProbeRecorder(_fresh_session(workload))
@@ -1307,17 +1311,22 @@ class TestAdaptiveGateway:
                 GatewayEndpoint(target=probe, capacity=1, name="probed"),
                 GatewayEndpoint(target=other, capacity=1, name="plain"),
             ],
-            load_poll_s=0.0,
+            load_poll_s=3600.0,  # the manual sweeps below are the only polls
         ) as gateway:
+            gateway.refresh_load_hints()
             plan = gateway.shard_plan(12)
             assert probe.timeouts == [LOAD_POLL_TIMEOUT_S]
             sizes = {p.endpoint.name: p.stop - p.start for p in plan}
             # Polled backlog 3 discounts the probed endpoint: 1/(1+3) vs 1.
             assert sizes["plain"] > sizes["probed"]
             probe.fail_polls = True
-            plan = gateway.shard_plan(12)  # hint survives the failed poll
+            gateway.refresh_load_hints()  # hint survives the failed poll
+            plan = gateway.shard_plan(12)
             sizes = {p.endpoint.name: p.stop - p.start for p in plan}
             assert sizes["plain"] > sizes["probed"]
+            assert len(probe.timeouts) == 2
+            # shard_plan alone never touched the endpoint's info.
+            gateway.shard_plan(12)
             assert len(probe.timeouts) == 2
 
     def test_shed_shard_retries_on_other_endpoint(self, workload, single_session):

@@ -15,6 +15,10 @@ pins the compatibility matrix:
 * malformed and truncated frames surface as structured error replies
   (connection kept when the stream stays framed, hung up when it cannot
   be resynchronised);
+* the graceful ``drain`` op is version-agnostic: an old v2 JSON peer can
+  drive it, a draining server answers everything admitted and refuses new
+  work with the structured ``draining`` error, and typed clients surface
+  it as :class:`RemoteServerError` with ``.code == "draining"``;
 * the satellite bug fixes: IPv6 endpoint parsing, jittered reconnect
   backoff, and ``infer_many`` cancelling outstanding work on failure.
 """
@@ -44,6 +48,7 @@ from repro.serve.distributed import (
 from repro.serve.distributed import client as client_module
 from repro.serve.distributed.client import CancellableFuture, _retry_backoff
 from repro.serve.schema import (
+    ERROR_DRAINING,
     FRAME_HEADER_SIZE,
     FRAME_MAGIC,
     MAX_FRAME_BYTES,
@@ -186,6 +191,110 @@ class TestJsonPeersAgainstV3Server:
             single_session.infer(request),
             InferenceResponse.from_dict(reply["response"]),
         )
+
+
+# -- graceful drain over the wire ---------------------------------------------------
+
+
+class TestDrainOverTheWire:
+    def test_v2_peer_drains_and_new_work_gets_structured_error(
+        self, workload, single_session
+    ):
+        """Drain is version-agnostic; the admitted request still gets its answer."""
+        snn, config, inputs, _ = workload
+
+        class _Gate:
+            def __init__(self, session):
+                self._session = session
+                self.entered = threading.Event()
+                self.release = threading.Event()
+
+            def __getattr__(self, name):
+                return getattr(self._session, name)
+
+            def infer(self, request):
+                self.entered.set()
+                assert self.release.wait(timeout=60), "gate never released"
+                return self._session.infer(request)
+
+        gate = _Gate(
+            ChipSession(snn, config=config, timesteps=5, encoder="poisson", seed=17)
+        )
+        request = InferenceRequest(inputs=inputs[:5])
+        with ChipServer(gate, port=0, workload="drain-wire").start() as served:
+            with contextlib.ExitStack() as stack:
+                # One admitted request occupies the work thread: the drain
+                # below must wait for it, keeping the server in the
+                # ``draining`` state while the refusals are probed.
+                held = stack.enter_context(
+                    socket.create_connection(served.address, timeout=30)
+                )
+                held_stream = held.makefile("rwb")
+                held_stream.write(
+                    json.dumps(
+                        request_envelope(
+                            "infer",
+                            request_id="held",
+                            version=2,
+                            request=request.to_dict(),
+                        )
+                    ).encode()
+                    + b"\n"
+                )
+                held_stream.flush()
+                assert gate.entered.wait(timeout=30)
+                # An old v2 JSON peer can drive the drain op directly.
+                peer = stack.enter_context(
+                    socket.create_connection(served.address, timeout=30)
+                )
+                peer_stream = peer.makefile("rwb")
+                peer_stream.write(
+                    json.dumps(
+                        request_envelope("drain", request_id="d1", version=2)
+                    ).encode()
+                    + b"\n"
+                )
+                peer_stream.flush()
+                ack = json.loads(peer_stream.readline())
+                assert ack["ok"] is True
+                assert ack["id"] == "d1"
+                assert ack["draining"] is True
+                assert ack["pending"] == 1
+                # New v2 work on the same peer: a structured error envelope
+                # with the machine-readable ``draining`` code, not a hangup.
+                peer_stream.write(
+                    json.dumps(
+                        request_envelope(
+                            "infer",
+                            request_id="late",
+                            version=2,
+                            request=request.to_dict(),
+                        )
+                    ).encode()
+                    + b"\n"
+                )
+                peer_stream.flush()
+                refusal = json.loads(peer_stream.readline())
+                assert refusal["ok"] is False
+                assert refusal["id"] == "late"
+                assert refusal["code"] == ERROR_DRAINING
+                assert "draining" in refusal["error"]
+                # A typed client surfaces the same refusal as a
+                # RemoteServerError carrying the code.
+                with RemoteSession.connect(served.address, timeout=30) as remote:
+                    with pytest.raises(RemoteServerError) as excinfo:
+                        remote.infer(request)
+                    assert excinfo.value.code == ERROR_DRAINING
+                # Release the held request: it gets its exact answer even
+                # though the server has been draining the whole time.
+                gate.release.set()
+                reply = json.loads(held_stream.readline())
+                assert reply["ok"] is True
+                assert reply["id"] == "held"
+                _assert_identical(
+                    single_session.infer(request),
+                    InferenceResponse.from_dict(reply["response"]),
+                )
 
 
 # -- v3 negotiation and parity ------------------------------------------------------
