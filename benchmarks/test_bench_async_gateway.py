@@ -106,7 +106,7 @@ def test_bench_pipelined_gateway(benchmark, gateway_workload):
     assert len(responses) == BATCHES
 
 
-def test_pipelined_beats_lock_step_dispatch(gateway_workload):
+def test_pipelined_beats_lock_step_dispatch(gateway_workload, persist_result):
     """Pipelined dispatch overlaps the alternating stragglers; lock-step cannot."""
     snn, config, requests = gateway_workload
 
@@ -121,6 +121,18 @@ def test_pipelined_beats_lock_step_dispatch(gateway_workload):
         pipelined_s = time.perf_counter() - t0
 
     ratio = lock_step_s / pipelined_s
+    persist_result(
+        "async_gateway",
+        "pipelined_vs_lock_step",
+        {
+            "batches": BATCHES,
+            "endpoints": 2,
+            "straggler_delay_s": DELAY_S,
+            "lock_step_s": lock_step_s,
+            "pipelined_s": pipelined_s,
+            "speedup": ratio,
+        },
+    )
     print(
         f"\ngateway dispatch wall-clock ({BATCHES} batches, 2 endpoints, "
         f"{DELAY_S * 1e3:.0f}ms alternating straggler): "

@@ -163,7 +163,7 @@ def test_bench_pool_sharded_inference(benchmark, pool_workload):
     (os.cpu_count() or 1) < 2,
     reason="pool sharding needs >= 2 cores to beat a single session",
 )
-def test_pool_throughput_beats_single_session(pool_workload):
+def test_pool_throughput_beats_single_session(pool_workload, persist_result):
     """``jobs=4`` must beat ``jobs=1`` on a batch >= 64 (vectorized backend)."""
     snn, config, inputs = pool_workload
     request = InferenceRequest(inputs=inputs)
@@ -178,6 +178,18 @@ def test_pool_throughput_beats_single_session(pool_workload):
     print(
         f"\npool wall-clock (batch {POOL_BATCH}): jobs=1 {single_s:.3f}s, "
         f"jobs={POOL_JOBS} {pool_s:.3f}s, speedup {speedup:.2f}x"
+    )
+    persist_result(
+        "backends",
+        "pool_vs_single_session",
+        {
+            "batch": POOL_BATCH,
+            "jobs": POOL_JOBS,
+            "timesteps": TIMESTEPS,
+            "single_s": single_s,
+            "pool_s": pool_s,
+            "speedup": speedup,
+        },
     )
     assert speedup > 1.0, (
         f"jobs={POOL_JOBS} pool slower than a single session "

@@ -94,7 +94,7 @@ def test_bench_process_executor(benchmark, executor_workload):
     (os.cpu_count() or 1) < 2,
     reason="executor throughput comparison needs >= 2 cores",
 )
-def test_process_executor_within_sane_bounds(executor_workload):
+def test_process_executor_within_sane_bounds(executor_workload, persist_result):
     """jobs=4 process sharding must stay within bounds of thread sharding."""
     snn, config, inputs = executor_workload
     request = InferenceRequest(inputs=inputs)
@@ -112,6 +112,18 @@ def test_process_executor_within_sane_bounds(executor_workload):
         f"\nexecutor wall-clock (batch {BATCH}, jobs={JOBS}): "
         f"thread {thread_s:.3f}s, process {process_s:.3f}s, "
         f"process/thread {ratio:.2f}x"
+    )
+    persist_result(
+        "executors",
+        "thread_vs_process",
+        {
+            "batch": BATCH,
+            "jobs": JOBS,
+            "timesteps": TIMESTEPS,
+            "thread_s": thread_s,
+            "process_s": process_s,
+            "process_over_thread": ratio,
+        },
     )
     assert process_s < PROCESS_SANITY_FACTOR * thread_s, (
         f"process executor {ratio:.1f}x slower than thread executor "

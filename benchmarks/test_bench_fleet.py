@@ -25,10 +25,8 @@ Results land in ``benchmarks/results/fleet.json`` (override with
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -48,12 +46,9 @@ REQUESTS = 40
 SAMPLES_PER_REQUEST = 4
 MAX_REPLICAS = 3
 
-RESULTS_PATH = Path(
-    os.environ.get(
-        "FLEET_BENCH_RESULTS",
-        Path(__file__).parent / "results" / "fleet.json",
-    )
-)
+#: Legacy per-module override; unset falls through to the shared
+#: ``persist_result`` results directory (``BENCH_RESULTS_DIR``).
+RESULTS_OVERRIDE = os.environ.get("FLEET_BENCH_RESULTS")
 
 
 @pytest.fixture(scope="module")
@@ -90,19 +85,6 @@ def fleet_workload():
     serial = ChipSession(snn, config=config, timesteps=4, encoder="poisson", seed=13)
     expected = [serial.infer(request) for request in requests]
     return session_spec, requests, expected
-
-
-def _persist(section: str, payload: dict) -> None:
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    existing = {}
-    if RESULTS_PATH.exists():
-        try:
-            existing = json.loads(RESULTS_PATH.read_text())
-        except ValueError:
-            existing = {}
-    existing[section] = payload
-    existing["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
-    RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
 
 
 def _policy(max_replicas: int) -> FleetPolicy:
@@ -166,7 +148,7 @@ def _drive_burst(session_spec, requests, expected, max_replicas: int) -> dict:
     }
 
 
-def test_bench_fleet_autoscaling_beats_static_p95(fleet_workload):
+def test_bench_fleet_autoscaling_beats_static_p95(fleet_workload, persist_result):
     """Autoscaled p95 queue-wait under a 4x burst beats the static replica."""
     session_spec, requests, expected = fleet_workload
     static = _drive_burst(session_spec, requests, expected, max_replicas=1)
@@ -183,8 +165,8 @@ def test_bench_fleet_autoscaling_beats_static_p95(fleet_workload):
         f"{autoscaled['scale_up_actions']} scale-ups, "
         f"peak {autoscaled['replicas_peak']} replicas)"
     )
-    _persist("static", static)
-    _persist("autoscaled", autoscaled)
+    persist_result("fleet", "static", static, path=RESULTS_OVERRIDE)
+    persist_result("fleet", "autoscaled", autoscaled, path=RESULTS_OVERRIDE)
 
     assert static["scale_up_actions"] == 0, "a max=1 fleet must never scale"
     if (os.cpu_count() or 1) < 2:

@@ -22,10 +22,8 @@ inspectable next to the wire-overhead numbers.
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -48,25 +46,9 @@ SAMPLES_PER_REQUEST = 6
 #: chip compute and scheduler jitter on busy CI runners.
 P95_WAIT_CEILING_S = 40 * DISPATCH_DELAY_S * (1 + MAX_QUEUE)
 
-RESULTS_PATH = Path(
-    os.environ.get(
-        "LOAD_SHED_BENCH_RESULTS",
-        Path(__file__).parent / "results" / "load_shedding.json",
-    )
-)
-
-
-def _persist(section: str, payload: dict) -> None:
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    existing = {}
-    if RESULTS_PATH.exists():
-        try:
-            existing = json.loads(RESULTS_PATH.read_text())
-        except ValueError:
-            existing = {}
-    existing[section] = payload
-    existing["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
-    RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
+#: Legacy per-module override; unset falls through to the shared
+#: ``persist_result`` results directory (``BENCH_RESULTS_DIR``).
+RESULTS_OVERRIDE = os.environ.get("LOAD_SHED_BENCH_RESULTS")
 
 
 class _SlowTarget:
@@ -117,7 +99,7 @@ def _session(snn, config) -> ChipSession:
     return ChipSession(snn, config=config, timesteps=4, encoder="poisson", seed=13)
 
 
-def test_bench_load_shedding_open_loop(shed_workload):
+def test_bench_load_shedding_open_loop(shed_workload, persist_result):
     """4x-oversubscribed flood: bounded queue, structured sheds, exact survivors."""
     snn, config, requests = shed_workload
     serial = _session(snn, config)
@@ -166,7 +148,8 @@ def test_bench_load_shedding_open_loop(shed_workload):
     )
     # Persist before the load-dependent thresholds: the numbers are worth
     # keeping even on runners where the assertions skip.
-    _persist(
+    persist_result(
+        "load_shedding",
         "open_loop",
         {
             "requests": total,
@@ -180,6 +163,7 @@ def test_bench_load_shedding_open_loop(shed_workload):
             "wait_p95_s": float(p95),
             "p95_wait_ceiling_s": P95_WAIT_CEILING_S,
         },
+        path=RESULTS_OVERRIDE,
     )
 
     if (os.cpu_count() or 1) < 2:

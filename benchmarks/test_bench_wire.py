@@ -24,10 +24,8 @@ Results land in ``benchmarks/results/wire_overhead.json`` (override with
 
 from __future__ import annotations
 
-import json
 import os
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
@@ -50,12 +48,9 @@ CODEC_SPEEDUP_FLOOR = 5.0
 #: than the JSON wire overhead.
 OVERHEAD_COMPUTE_FRACTION = 0.10
 
-RESULTS_PATH = Path(
-    os.environ.get(
-        "WIRE_BENCH_RESULTS",
-        Path(__file__).parent / "results" / "wire_overhead.json",
-    )
-)
+#: Legacy per-module override; unset falls through to the shared
+#: ``persist_result`` results directory (``BENCH_RESULTS_DIR``).
+RESULTS_OVERRIDE = os.environ.get("WIRE_BENCH_RESULTS")
 
 
 @pytest.fixture(scope="module")
@@ -90,20 +85,7 @@ def _best(fn, rounds: int = ROUNDS) -> float:
     return best
 
 
-def _persist(section: str, payload: dict) -> None:
-    RESULTS_PATH.parent.mkdir(parents=True, exist_ok=True)
-    existing = {}
-    if RESULTS_PATH.exists():
-        try:
-            existing = json.loads(RESULTS_PATH.read_text())
-        except ValueError:
-            existing = {}
-    existing[section] = payload
-    existing["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
-    RESULTS_PATH.write_text(json.dumps(existing, indent=2, sort_keys=True) + "\n")
-
-
-def test_bench_wire_codec_binary_vs_json(wire_workload):
+def test_bench_wire_codec_binary_vs_json(wire_workload, persist_result):
     """Frame codec must be >= 5x cheaper than the JSON codec at batch 256."""
     snn, config, inputs, labels = wire_workload
     request = InferenceRequest(inputs=inputs, labels=labels, timesteps=TIMESTEPS)
@@ -132,7 +114,7 @@ def test_bench_wire_codec_binary_vs_json(wire_workload):
         "frame_bytes": len(bytes(request.to_frame())),
         "json_bytes": len(request.to_json().encode()),
     }
-    _persist("codec", payload)
+    persist_result("wire_overhead", "codec", payload, path=RESULTS_OVERRIDE)
     print(
         f"\nwire codec (batch {BATCH}x{FEATURES}): binary {binary_s * 1e3:.2f}ms, "
         f"JSON {json_s * 1e3:.2f}ms, speedup {speedup:.1f}x "
@@ -148,7 +130,7 @@ def test_bench_wire_codec_binary_vs_json(wire_workload):
     )
 
 
-def test_bench_wire_end_to_end_overhead(wire_workload):
+def test_bench_wire_end_to_end_overhead(wire_workload, persist_result):
     """Binary wire overhead vs chip compute over a real localhost server."""
     snn, config, inputs, labels = wire_workload
     request = InferenceRequest(inputs=inputs, labels=labels)
@@ -180,7 +162,7 @@ def test_bench_wire_end_to_end_overhead(wire_workload):
         "json_overhead_s": json_overhead,
         "binary_overhead_fraction": binary_overhead / compute_s,
     }
-    _persist("end_to_end", payload)
+    persist_result("wire_overhead", "end_to_end", payload, path=RESULTS_OVERRIDE)
     print(
         f"\nwire end-to-end (batch {BATCH}, timesteps {TIMESTEPS}): "
         f"compute {compute_s * 1e3:.1f}ms, v3 round trip {binary_s * 1e3:.1f}ms "

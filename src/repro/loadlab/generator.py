@@ -1,0 +1,207 @@
+"""Open- and closed-loop load generation against any inference target.
+
+Two canonical load shapes:
+
+* **closed loop** — ``concurrency`` workers, each issuing its next request
+  the moment the previous one returns.  Offered load adapts to the
+  target's speed, so the system is never driven past saturation; this is
+  the latency-under-contention shape.
+* **open loop** — requests fire at a target *rate* with seeded
+  exponentially-distributed inter-arrival jitter (a Poisson process),
+  independent of completions.  Offered load is fixed, so queues and shed
+  decisions are exercised honestly — the coordinated-omission-free shape.
+
+Both loops run an unmeasured warmup first (chip programming, connection
+handshakes and batcher state settle outside the measured window), then
+record one :class:`RequestOutcome` per measured request: wall latency, the
+phase spans the serving stack attached to the response metadata, the shed
+/ error classification, and the response's energy accounting.  Everything
+random is driven by one seeded :class:`numpy.random.Generator`, so a load
+profile is reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serve.distributed.client import RemoteServerError
+from repro.serve.metrics import read_phases
+from repro.serve.schema import ERROR_OVERLOADED
+
+__all__ = ["LoadSpec", "RequestOutcome", "run_load"]
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One load profile: loop mode, intensity, duration, reproducibility.
+
+    ``mode="closed"`` uses ``concurrency`` workers; ``mode="open"`` fires
+    at ``rate`` requests/s with seeded exponential inter-arrival jitter.
+    ``requests`` counts the measured window; ``warmup`` requests run before
+    it and are discarded.
+    """
+
+    mode: str = "closed"
+    requests: int = 16
+    warmup: int = 2
+    concurrency: int = 2
+    rate: float | None = None
+    batch_size: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("open", "closed"):
+            raise ValueError(f"mode must be 'open' or 'closed', got {self.mode!r}")
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.mode == "open" and (self.rate is None or self.rate <= 0):
+            raise ValueError("open-loop load needs a positive rate")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+
+    def label(self) -> str:
+        if self.mode == "open":
+            return f"open@{self.rate:g}rps"
+        return f"closed@{self.concurrency}w"
+
+
+@dataclass
+class RequestOutcome:
+    """What one measured request did."""
+
+    index: int
+    ok: bool
+    latency_s: float
+    shed: bool = False
+    error: str | None = None
+    phases: dict[str, float] = field(default_factory=dict)
+    energy_j: float | None = None
+    batch_size: int = 0
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "ok": self.ok,
+            "latency_s": self.latency_s,
+            "shed": self.shed,
+            "error": self.error,
+            "phases": dict(self.phases),
+            "energy_j": self.energy_j,
+            "batch_size": self.batch_size,
+        }
+
+
+def _issue(submit, request, index: int) -> RequestOutcome:
+    """Run one request and classify its outcome (shed vs error vs served)."""
+    started = time.monotonic()
+    try:
+        response = submit(request)
+    except RemoteServerError as exc:
+        latency = time.monotonic() - started
+        shed = exc.code == ERROR_OVERLOADED
+        return RequestOutcome(
+            index=index,
+            ok=False,
+            latency_s=latency,
+            shed=shed,
+            error=exc.code or "remote_error",
+        )
+    except Exception as exc:  # noqa: BLE001 - the lab records, it does not crash
+        return RequestOutcome(
+            index=index,
+            ok=False,
+            latency_s=time.monotonic() - started,
+            error=type(exc).__name__,
+        )
+    latency = time.monotonic() - started
+    energy = getattr(response, "energy", None)
+    return RequestOutcome(
+        index=index,
+        ok=True,
+        latency_s=latency,
+        phases=read_phases(getattr(response, "metadata", None)),
+        energy_j=float(energy.total_j) if energy is not None else None,
+        batch_size=int(getattr(response, "batch_size", 0)),
+    )
+
+
+def run_load(submit, make_request, spec: LoadSpec) -> tuple[list[RequestOutcome], float]:
+    """Drive ``submit`` with the profile; return (outcomes, measured wall).
+
+    ``submit(request)`` must be thread-safe (every topology wrapper in
+    :mod:`repro.loadlab.topologies` is).  ``make_request(index, rng)``
+    builds the request for measured index ``index`` (warmup uses negative
+    indices), drawing any randomness from the shared seeded ``rng``.
+    """
+    rng = np.random.default_rng(spec.seed)
+    for i in range(spec.warmup):
+        _issue(submit, make_request(-1 - i, rng), -1 - i)
+    if spec.mode == "closed":
+        return _closed_loop(submit, make_request, spec, rng)
+    return _open_loop(submit, make_request, spec, rng)
+
+
+def _closed_loop(submit, make_request, spec, rng):
+    outcomes: list[RequestOutcome] = []
+    lock = threading.Lock()
+    counter = iter(range(spec.requests))
+    # Requests are built under the lock so the shared rng stream stays
+    # deterministic; only the submit itself runs concurrently.
+    started = time.monotonic()
+
+    def worker() -> None:
+        while True:
+            with lock:
+                index = next(counter, None)
+                if index is None:
+                    return
+                request = make_request(index, rng)
+            outcome = _issue(submit, request, index)
+            with lock:
+                outcomes.append(outcome)
+
+    threads = [
+        threading.Thread(target=worker, name=f"loadlab-closed-{i}", daemon=True)
+        for i in range(min(spec.concurrency, spec.requests))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - started
+    outcomes.sort(key=lambda o: o.index)
+    return outcomes, wall
+
+
+def _open_loop(submit, make_request, spec, rng):
+    # Pre-draw the whole arrival process and all requests so the measured
+    # window does no RNG work and arrival jitter is seed-stable.
+    inter_arrivals = rng.exponential(1.0 / float(spec.rate), size=spec.requests)
+    arrivals = np.cumsum(inter_arrivals)
+    requests = [make_request(i, rng) for i in range(spec.requests)]
+    outcomes: list[RequestOutcome | None] = [None] * spec.requests
+    # One thread per in-flight request: an open loop must never block an
+    # arrival on a completion, or it degrades into a closed loop.
+    with ThreadPoolExecutor(
+        max_workers=spec.requests, thread_name_prefix="loadlab-open"
+    ) as pool:
+        started = time.monotonic()
+        futures = []
+        for index in range(spec.requests):
+            delay = arrivals[index] - (time.monotonic() - started)
+            if delay > 0:
+                time.sleep(delay)
+            futures.append(pool.submit(_issue, submit, requests[index], index))
+        for index, future in enumerate(futures):
+            outcomes[index] = future.result()
+        wall = time.monotonic() - started
+    return [o for o in outcomes if o is not None], wall

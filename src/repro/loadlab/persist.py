@@ -1,0 +1,92 @@
+"""Versioned JSON persistence shared by the load lab and the benchmarks.
+
+Every artifact under ``benchmarks/results/`` is one JSON document with the
+same envelope::
+
+    {
+      "schema_version": 1,
+      "recorded_at": "2026-08-08T12:34:56Z",
+      "<section>": <payload>,          # replace sections
+      "runs": [<payload>, ...]         # append sections
+    }
+
+:func:`persist_result` is the single write path: the benchmark suite's
+``conftest.py`` wraps it in a fixture and the load-lab CLI calls it
+directly, so a perf trajectory accumulated across CI runs always parses
+with one schema check.  Writes are merge-in-place — a module persisting
+section ``"codec"`` never clobbers a sibling's ``"end_to_end"`` section —
+and a corrupt or pre-versioned existing file is replaced rather than
+crashing the run that would have refreshed it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+__all__ = ["SCHEMA_VERSION", "persist_result", "load_results", "default_results_dir"]
+
+SCHEMA_VERSION = 1
+
+#: Environment override for where result documents land (CI artifact dir).
+RESULTS_DIR_ENV = "BENCH_RESULTS_DIR"
+
+
+def default_results_dir() -> Path:
+    """``benchmarks/results`` at the repo root, or ``$BENCH_RESULTS_DIR``."""
+    override = os.environ.get(RESULTS_DIR_ENV)
+    if override:
+        return Path(override)
+    # src/repro/loadlab/persist.py -> repo root is four parents up.
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def load_results(path: str | Path) -> dict:
+    """Read a result document, tolerating absent/corrupt/legacy files."""
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        document = json.loads(path.read_text())
+    except ValueError:
+        return {}
+    if not isinstance(document, dict):
+        return {}
+    version = document.get("schema_version")
+    if version is not None and version != SCHEMA_VERSION:
+        # A future/foreign schema: start fresh rather than half-merging.
+        return {}
+    return document
+
+
+def persist_result(
+    path: str | Path,
+    section: str,
+    payload: object,
+    *,
+    append: bool = False,
+) -> dict:
+    """Merge one section into the versioned document at ``path``.
+
+    ``append=False`` replaces ``document[section]`` with ``payload``;
+    ``append=True`` appends ``payload`` to the list at ``document[section]``
+    (creating it, or resetting it if a legacy non-list value squats there).
+    Returns the document as written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = load_results(path)
+    document["schema_version"] = SCHEMA_VERSION
+    document["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    if append:
+        existing = document.get(section)
+        if not isinstance(existing, list):
+            existing = []
+        existing.append(payload)
+        document[section] = existing
+    else:
+        document[section] = payload
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document

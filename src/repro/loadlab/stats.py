@@ -1,0 +1,219 @@
+"""Dependency-free rank statistics for the load lab.
+
+Serving latencies are heavy-tailed and the lab's sample counts are small,
+so every contrast here is rank-based: no normality assumption, robust to
+the stragglers that dominate queueing distributions.  Everything is NumPy
+only — the p-values come from the classic normal / chi-squared
+approximations with tie corrections, and the chi-squared survival function
+is computed from a hand-rolled regularized incomplete gamma (series +
+continued fraction), so the module imports nothing beyond :mod:`numpy`.
+
+Provided:
+
+* :func:`rankdata` — average ranks with tie sharing;
+* :func:`mann_whitney_u` — two-sided Mann-Whitney U (normal approximation
+  with tie correction), the lab's pairwise topology contrast;
+* :func:`kruskal_wallis` — the omnibus "do these topologies differ at
+  all?" test across a sweep row;
+* :func:`holm_bonferroni` — step-down multiple-comparison correction for
+  the pairwise p-values;
+* :func:`spearman` — rank correlation (throughput vs energy-per-request
+  across sweep cells).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "rankdata",
+    "mann_whitney_u",
+    "kruskal_wallis",
+    "holm_bonferroni",
+    "spearman",
+    "chi2_sf",
+    "normal_sf",
+]
+
+
+def rankdata(values: np.ndarray | list[float]) -> np.ndarray:
+    """Average ranks (1-based); ties share the mean of their rank block."""
+    a = np.asarray(values, dtype=float)
+    if a.ndim != 1:
+        raise ValueError(f"rankdata expects a 1-d array, got shape {a.shape}")
+    order = np.argsort(a, kind="mergesort")
+    ranks = np.empty(a.size, dtype=float)
+    ranks[order] = np.arange(1, a.size + 1, dtype=float)
+    sorted_a = a[order]
+    i = 0
+    while i < a.size:
+        j = i
+        while j + 1 < a.size and sorted_a[j + 1] == sorted_a[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    return ranks
+
+
+def normal_sf(z: float) -> float:
+    """Standard-normal survival function via the complementary error function."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def _gamma_p_series(s: float, x: float) -> float:
+    """Regularized lower incomplete gamma by series (converges for x < s+1)."""
+    term = 1.0 / s
+    total = term
+    for k in range(1, 500):
+        term *= x / (s + k)
+        total += term
+        if abs(term) < abs(total) * 1e-15:
+            break
+    return total * math.exp(-x + s * math.log(x) - math.lgamma(s))
+
+
+def _gamma_q_contfrac(s: float, x: float) -> float:
+    """Regularized upper incomplete gamma by continued fraction (x >= s+1)."""
+    tiny = 1e-300
+    b = x + 1.0 - s
+    c = 1.0 / tiny
+    d = 1.0 / b
+    h = d
+    for k in range(1, 500):
+        an = -k * (k - s)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < tiny:
+            d = tiny
+        c = b + an / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < 1e-15:
+            break
+    return h * math.exp(-x + s * math.log(x) - math.lgamma(s))
+
+
+def gammaincc(s: float, x: float) -> float:
+    """Regularized upper incomplete gamma Q(s, x), s > 0, x >= 0."""
+    if s <= 0:
+        raise ValueError(f"s must be positive, got {s}")
+    if x < 0:
+        raise ValueError(f"x must be non-negative, got {x}")
+    if x == 0:
+        return 1.0
+    if x < s + 1.0:
+        return max(0.0, min(1.0, 1.0 - _gamma_p_series(s, x)))
+    return max(0.0, min(1.0, _gamma_q_contfrac(s, x)))
+
+
+def chi2_sf(x: float, df: float) -> float:
+    """Chi-squared survival function P(X >= x) with ``df`` degrees of freedom."""
+    if x <= 0:
+        return 1.0
+    return gammaincc(df / 2.0, x / 2.0)
+
+
+def _tie_term(pooled_ranks_source: np.ndarray) -> float:
+    """Sum of t^3 - t over tie groups of the pooled sample."""
+    _, counts = np.unique(np.asarray(pooled_ranks_source, dtype=float), return_counts=True)
+    return float(np.sum(counts.astype(float) ** 3 - counts))
+
+
+def mann_whitney_u(
+    x: np.ndarray | list[float], y: np.ndarray | list[float]
+) -> dict[str, float]:
+    """Two-sided Mann-Whitney U with normal approximation and tie correction.
+
+    Returns ``{"u": U_x, "p": two-sided p, "effect": common-language effect
+    size U_x / (n*m)}`` — ``effect`` > 0.5 means samples from ``x`` tend to
+    exceed samples from ``y``.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    n, m = x.size, y.size
+    if n == 0 or m == 0:
+        raise ValueError("mann_whitney_u needs non-empty samples")
+    pooled = np.concatenate([x, y])
+    ranks = rankdata(pooled)
+    u_x = float(np.sum(ranks[:n])) - n * (n + 1) / 2.0
+    mean_u = n * m / 2.0
+    total = n + m
+    tie = _tie_term(pooled)
+    var_u = (n * m / 12.0) * ((total + 1) - tie / (total * (total - 1))) if total > 1 else 0.0
+    if var_u <= 0:
+        # Every value identical: no evidence of a difference.
+        return {"u": u_x, "p": 1.0, "effect": 0.5}
+    z = (abs(u_x - mean_u) - 0.5) / math.sqrt(var_u)  # continuity correction
+    p = min(1.0, 2.0 * normal_sf(max(0.0, z)))
+    return {"u": u_x, "p": p, "effect": u_x / (n * m)}
+
+
+def kruskal_wallis(groups: list[np.ndarray | list[float]]) -> dict[str, float]:
+    """Kruskal-Wallis H test across ``groups`` (chi-squared approximation)."""
+    arrays = [np.asarray(g, dtype=float) for g in groups]
+    if len(arrays) < 2 or any(a.size == 0 for a in arrays):
+        raise ValueError("kruskal_wallis needs >= 2 non-empty groups")
+    pooled = np.concatenate(arrays)
+    total = pooled.size
+    ranks = rankdata(pooled)
+    h = 0.0
+    start = 0
+    for a in arrays:
+        r = ranks[start : start + a.size]
+        h += float(np.sum(r)) ** 2 / a.size
+        start += a.size
+    h = 12.0 / (total * (total + 1)) * h - 3.0 * (total + 1)
+    correction = 1.0 - _tie_term(pooled) / (total**3 - total) if total > 1 else 1.0
+    if correction <= 0:
+        return {"h": 0.0, "p": 1.0, "df": float(len(arrays) - 1)}
+    h /= correction
+    df = len(arrays) - 1
+    return {"h": h, "p": chi2_sf(h, df), "df": float(df)}
+
+
+def holm_bonferroni(p_values: list[float]) -> list[float]:
+    """Holm step-down correction; returns adjusted p-values in input order."""
+    m = len(p_values)
+    if m == 0:
+        return []
+    order = sorted(range(m), key=lambda i: p_values[i])
+    adjusted = [0.0] * m
+    running_max = 0.0
+    for rank, index in enumerate(order):
+        value = min(1.0, (m - rank) * p_values[index])
+        running_max = max(running_max, value)
+        adjusted[index] = running_max
+    return adjusted
+
+
+def spearman(
+    x: np.ndarray | list[float], y: np.ndarray | list[float]
+) -> dict[str, float]:
+    """Spearman rank correlation with a normal-approximation p-value.
+
+    ``p`` uses the large-sample statistic z = rho * sqrt(n - 1); for the
+    lab's cell counts this is conservative enough to flag a real
+    throughput-energy trend without claiming precision it lacks.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("spearman needs two equal-length samples of size >= 2")
+    rx = rankdata(x)
+    ry = rankdata(y)
+    sx = float(np.std(rx))
+    sy = float(np.std(ry))
+    if sx == 0 or sy == 0:
+        return {"rho": 0.0, "p": 1.0, "n": float(x.size)}
+    rho = float(np.mean((rx - np.mean(rx)) * (ry - np.mean(ry))) / (sx * sy))
+    rho = max(-1.0, min(1.0, rho))
+    if x.size < 3:
+        return {"rho": rho, "p": 1.0, "n": float(x.size)}
+    z = abs(rho) * math.sqrt(x.size - 1)
+    return {"rho": rho, "p": min(1.0, 2.0 * normal_sf(z)), "n": float(x.size)}

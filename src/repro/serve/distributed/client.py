@@ -478,6 +478,15 @@ class RemoteSession:
         reply = self._call(request_envelope("infer", **fields))
         return InferenceResponse.from_dict(reply["response"])
 
+    def metrics(self) -> dict[str, object]:
+        """Scrape the server's metrics registry (``metrics`` op).
+
+        Returns the structured payload: a JSON-safe registry ``snapshot``
+        plus the same data rendered as Prometheus ``text`` — identical to
+        what the server's HTTP exposition endpoint serves.
+        """
+        return dict(self._call(request_envelope("metrics"))["metrics"])
+
     def drain_server(self) -> dict[str, object]:
         """Retire the server gracefully (idempotent ``drain`` op).
 
@@ -1007,6 +1016,14 @@ class PipelinedSession:
     def timesteps(self) -> int:
         """Default rate-coding window of the remote session."""
         return int(self.info().get("timesteps", 0))
+
+    def metrics(self, *, timeout: float | None = None) -> dict[str, object]:
+        """Scrape the server's metrics registry (``metrics`` op).
+
+        Returns the structured payload: a JSON-safe registry ``snapshot``
+        plus the same data rendered as Prometheus ``text``.
+        """
+        return dict(self._bounded_reply("metrics", timeout)["metrics"])
 
     def drain_server(self, *, timeout: float | None = None) -> dict[str, object]:
         """Retire the server gracefully (``drain`` op; never retried).

@@ -71,6 +71,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.serve.distributed.client import RemoteServerError
+from repro.serve.metrics import (
+    PHASE_MERGE,
+    MetricsRegistry,
+    get_default_registry,
+    merge_phases,
+    record_phase,
+)
 from repro.serve.schema import (
     ERROR_DRAINING,
     ERROR_OVERLOADED,
@@ -252,6 +259,7 @@ class _MergeState:
         self._finalise()
 
     def _finalise(self) -> None:
+        merge_started = time.monotonic()
         plan, request = self.plan, self.request
         responses = [shard.response for shard in plan]
         # Deterministic reduction: counters and energy merge in plan order,
@@ -267,6 +275,30 @@ class _MergeState:
                 np.mean(self.predictions == np.asarray(request.labels, dtype=int))
             )
         backends = {r.backend for r in responses}
+        metadata: dict[str, object] = {
+            "gateway": self.gateway.name,
+            "shards": [
+                {
+                    "endpoint": shard.endpoint.name,
+                    "start": shard.start,
+                    "stop": shard.stop,
+                    "jobs": shard.response.jobs,
+                    **(
+                        {"retried_from": shard.retried_from}
+                        if shard.retried_from is not None
+                        else {}
+                    ),
+                }
+                for shard in plan
+            ],
+        }
+        # Shards ran concurrently, so the merged request's phase spans
+        # follow the critical path: per phase, the slowest shard's span.
+        # The gateway's own merge work is then added on top.
+        merge_phases(metadata, [r.metadata for r in responses])
+        merge_s = time.monotonic() - merge_started
+        record_phase(metadata, PHASE_MERGE, merge_s)
+        self.gateway._m_merge.observe(merge_s)
         self.result.set_result(
             InferenceResponse(
                 predictions=self.predictions,
@@ -278,23 +310,7 @@ class _MergeState:
                 backend=backends.pop() if len(backends) == 1 else "mixed",
                 batch_size=request.batch_size,
                 jobs=int(sum(r.jobs for r in responses)),
-                metadata={
-                    "gateway": self.gateway.name,
-                    "shards": [
-                        {
-                            "endpoint": shard.endpoint.name,
-                            "start": shard.start,
-                            "stop": shard.stop,
-                            "jobs": shard.response.jobs,
-                            **(
-                                {"retried_from": shard.retried_from}
-                                if shard.retried_from is not None
-                                else {}
-                            ),
-                        }
-                        for shard in plan
-                    ],
-                },
+                metadata=metadata,
             )
         )
 
@@ -332,6 +348,7 @@ class InferenceGateway:
         name: str = "gateway",
         adaptive: bool = True,
         load_poll_s: float = 0.25,
+        registry: MetricsRegistry | None = None,
     ):
         if not endpoints:
             raise ValueError("gateway needs at least one endpoint")
@@ -340,6 +357,19 @@ class InferenceGateway:
         self.name = name
         self.adaptive = adaptive
         self.load_poll_s = load_poll_s
+        self.metrics = registry if registry is not None else get_default_registry()
+        self._m_requests = self.metrics.counter(
+            "repro_gateway_requests_total", "batches submitted"
+        )
+        self._m_shards = self.metrics.counter(
+            "repro_gateway_shards_total", "shards planned"
+        )
+        self._m_retries = self.metrics.counter(
+            "repro_gateway_retries_total", "shards retried on a sibling"
+        )
+        self._m_merge = self.metrics.histogram(
+            "repro_gateway_merge_seconds", "shard merge wall per request"
+        )
         self._endpoints = [
             e if isinstance(e, GatewayEndpoint) else GatewayEndpoint(target=e)
             for e in endpoints
@@ -649,6 +679,7 @@ class InferenceGateway:
                 fallback.inflight += 1
             shard.retried_from = shard.endpoint.name
             shard.endpoint = fallback
+            self._m_retries.inc()
             return self._infer_on(fallback, sub_request, deadline_s)
 
     def submit(
@@ -670,6 +701,8 @@ class InferenceGateway:
         if self._closed:
             raise RuntimeError("gateway is closed")
         plan = self.shard_plan(request.batch_size)
+        self._m_requests.inc()
+        self._m_shards.inc(len(plan))
         result: Future = Future()
         state = _MergeState(self, request, plan, result)
         # Plan-time load accounting: the shard counts against its endpoint

@@ -6,9 +6,9 @@
 gateway — behind a tiny protocol that stdlib clients can speak:
 
 * client sends one envelope per message: ``{"op": "infer", "request":
-  {...}}``, ``{"op": "info"}``, ``{"op": "ping"}``, ``{"op": "drain"}`` or
-  ``{"op": "shutdown"}``, optionally tagged with a protocol version ``"v"``
-  and a request ``"id"``;
+  {...}}``, ``{"op": "info"}``, ``{"op": "ping"}``, ``{"op": "metrics"}``,
+  ``{"op": "drain"}`` or ``{"op": "shutdown"}``, optionally tagged with a
+  protocol version ``"v"`` and a request ``"id"``;
 * server answers one envelope per message: ``{"ok": true, ...}`` on success
   or ``{"ok": false, "error": "..."}`` on failure — malformed JSON, schema
   violations, corrupt binary frames and inference errors all surface as
@@ -91,6 +91,18 @@ from repro.serve.schema import (
     reply_envelope,
     validate_envelope,
 )
+from repro.serve.metrics import (
+    PHASE_COMPUTE,
+    PHASE_DISPATCH,
+    PHASE_MERGE,
+    PHASE_QUEUE_WAIT,
+    MetricsRegistry,
+    get_default_registry,
+    read_phases,
+    record_phase,
+    render_prometheus,
+)
+from repro.serve.metrics.exposition import CONTENT_TYPE as _PROMETHEUS_CONTENT_TYPE
 from repro.snn.conversion import SpikingNetwork, convert_to_snn
 from repro.workloads import get_benchmark
 
@@ -208,6 +220,10 @@ class _QueuedInfer:
     future: asyncio.Future
     #: Absolute loop-clock deadline (``loop.time()`` based), or None.
     deadline: float | None = None
+    #: Loop-clock instant the request entered the dispatch queue; the
+    #: dispatcher turns the difference to its pop time into the
+    #: ``queue_wait_s`` phase span.
+    admitted_at: float | None = None
     #: True once the dispatcher has handed the request to the work thread;
     #: dispatched work can no longer be cancelled (dispatch wins).
     dispatched: bool = False
@@ -273,6 +289,8 @@ class ChipServer:
         max_queue: int = 0,
         shed_policy: str = "reject",
         replica_id: str | None = None,
+        metrics_port: int | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -300,19 +318,71 @@ class ChipServer:
         self._address = (str(bound[0]), int(bound[1]))
         #: Stable replica identity (defaults to the bound endpoint).
         self.replica_id = replica_id or self.endpoint
-        #: Serving counters: total requests served, dispatches made, the
-        #: largest coalesced dispatch, and the admission-control outcomes
-        #: (shed / deadline_exceeded / cancelled).  Only event-loop code
-        #: writes these.
-        self.stats: dict[str, int] = {
-            "requests": 0,
-            "batches": 0,
-            "max_coalesced": 0,
-            "shed": 0,
-            "deadline_exceeded": 0,
-            "cancelled": 0,
-            "drain_rejected": 0,
-        }
+        #: Per-instance metrics registry: the source of truth for every
+        #: serving counter (the legacy ``stats`` dict is a read-only view
+        #: over it), exposed through the ``metrics`` wire op and the
+        #: Prometheus endpoint.  Per-instance — never the process default —
+        #: so two servers in one test process cannot share counters, and
+        #: always enabled unless the caller injects a disabled registry
+        #: (``info``'s counters are load-bearing for the gateway).
+        self.metrics = registry if registry is not None else MetricsRegistry(enabled=True)
+        self._m_requests = self.metrics.counter(
+            "repro_server_requests_total", "infer requests served"
+        )
+        self._m_batches = self.metrics.counter(
+            "repro_server_batches_total", "coalesced dispatches made"
+        )
+        self._m_shed = self.metrics.counter(
+            "repro_server_shed_total", "requests shed by admission control"
+        )
+        self._m_deadline = self.metrics.counter(
+            "repro_server_deadline_exceeded_total",
+            "requests expired before dispatch",
+        )
+        self._m_cancelled = self.metrics.counter(
+            "repro_server_cancelled_total", "queued requests cancelled"
+        )
+        self._m_drain_rejected = self.metrics.counter(
+            "repro_server_drain_rejected_total",
+            "requests refused while draining",
+        )
+        self._m_max_coalesced = self.metrics.gauge(
+            "repro_server_max_coalesced", "largest coalesced dispatch"
+        )
+        self._m_queue_depth = self.metrics.gauge(
+            "repro_server_queue_depth", "requests admitted, not yet dispatched"
+        )
+        self._m_inflight = self.metrics.gauge(
+            "repro_server_inflight", "requests on the work thread"
+        )
+        self._m_queue_wait = self.metrics.histogram(
+            "repro_request_queue_wait_seconds",
+            "admission to dispatcher pop",
+        )
+        self._m_dispatch = self.metrics.histogram(
+            "repro_request_dispatch_seconds",
+            "dispatcher pop to compute start",
+        )
+        self._m_compute = self.metrics.histogram(
+            "repro_request_compute_seconds", "chip compute wall time"
+        )
+        self._m_merge = self.metrics.histogram(
+            "repro_request_merge_seconds", "shard merge wall time"
+        )
+        self._m_wall = self.metrics.histogram(
+            "repro_request_wall_seconds",
+            "admission to reply-ready wall time",
+        )
+        #: Optional Prometheus scrape listener, bound eagerly like the main
+        #: socket (``metrics_port=0`` picks a free port; None disables it).
+        self._metrics_sock: socket.socket | None = None
+        self._metrics_address: tuple[str, int] | None = None
+        if metrics_port is not None:
+            self._metrics_sock = socket.create_server(
+                (host, metrics_port), reuse_port=False
+            )
+            bound = self._metrics_sock.getsockname()[:2]
+            self._metrics_address = (str(bound[0]), int(bound[1]))
         #: Requests admitted but not yet dispatched (the live queue depth the
         #: admission bound applies to; includes items the dispatcher holds).
         self._backlog = 0
@@ -352,6 +422,58 @@ class ChipServer:
         host, port = self.address
         return f"{host}:{port}"
 
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        """The Prometheus endpoint's ``(host, port)`` (None when disabled)."""
+        return self._metrics_address
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """The legacy serving counters, as a view over the registry.
+
+        Same keys and values as the historical counter dict — ``info``
+        consumers (gateway weights, fleet controller, tests) read exactly
+        what they always did; the registry is simply the storage now.
+        """
+        return {
+            "requests": int(self._m_requests.value),
+            "batches": int(self._m_batches.value),
+            "max_coalesced": int(self._m_max_coalesced.value),
+            "shed": int(self._m_shed.value),
+            "deadline_exceeded": int(self._m_deadline.value),
+            "cancelled": int(self._m_cancelled.value),
+            "drain_rejected": int(self._m_drain_rejected.value),
+        }
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        """Everything this process observed: server registry + layer registry.
+
+        The server's per-instance families are joined with the
+        process-default registry's (session/pool/gateway instrumentation
+        lands there), own families winning on a name collision, so one
+        scrape shows the whole serving stack of this process.
+        """
+        combined = get_default_registry().snapshot()
+        own = self.metrics.snapshot()
+        families = dict(combined["families"])
+        families.update(own["families"])
+        return {"enabled": own["enabled"], "families": families}
+
+    def metrics_payload(self) -> dict[str, object]:
+        """The ``metrics`` op result: one snapshot, rendered once.
+
+        The Prometheus endpoint renders the same snapshot shape, so both
+        surfaces serve identical values by construction.
+        """
+        snapshot = self.metrics_snapshot()
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "replica_id": self.replica_id,
+            "workload": self.workload,
+            "snapshot": snapshot,
+            "text": render_prometheus(snapshot),
+        }
+
     def info(self) -> dict[str, object]:
         """Metadata reported to clients (duck-typed off the target)."""
         session = getattr(self.target, "session", self.target)
@@ -386,6 +508,9 @@ class ChipServer:
         executor = getattr(self.target, "executor", None)
         if executor is not None:
             info["executor"] = executor
+        if self._metrics_address is not None:
+            host, port = self._metrics_address
+            info["metrics_endpoint"] = f"{host}:{port}"
         return info
 
     # -- admission control --------------------------------------------------------
@@ -421,6 +546,7 @@ class ChipServer:
             waiter = self._space_waiters.popleft()
             if not waiter.done():
                 self._backlog += 1  # the freed slot now belongs to this waiter
+                self._m_queue_depth.set(self._backlog)
                 waiter.set_result(True)
                 return
 
@@ -431,10 +557,11 @@ class ChipServer:
         expired, cancelled — or a transferred slot cannot be used.
         """
         self._backlog -= 1
+        self._m_queue_depth.set(self._backlog)
         self._wake_one_waiter()
 
     def _reject_draining(self) -> ServeRejection:
-        self.stats["drain_rejected"] += 1
+        self._m_drain_rejected.inc()
         return ServeRejection(
             "server is draining; no new work is admitted", code=ERROR_DRAINING
         )
@@ -459,7 +586,7 @@ class ChipServer:
             self._backlog >= self.max_queue or self._space_waiters
         ):
             if self.shed_policy == "reject":
-                self.stats["shed"] += 1
+                self._m_shed.inc()
                 raise ServeRejection(
                     f"server queue is full ({self._backlog}/{self.max_queue} "
                     f"requests waiting); request shed",
@@ -469,7 +596,7 @@ class ChipServer:
             if item.deadline is not None:
                 remaining = item.deadline - self._loop.time()
                 if remaining <= 0:
-                    self.stats["deadline_exceeded"] += 1
+                    self._m_deadline.inc()
                     raise ServeRejection(
                         "deadline expired while blocked on a full server queue",
                         code=ERROR_DEADLINE_EXCEEDED,
@@ -485,7 +612,7 @@ class ChipServer:
                     # A racing cancel already resolved this request; the
                     # caller's `await future` reports the cancellation.
                     return
-                self.stats["deadline_exceeded"] += 1
+                self._m_deadline.inc()
                 raise ServeRejection(
                     "deadline expired while blocked on a full server queue",
                     code=ERROR_DEADLINE_EXCEEDED,
@@ -508,6 +635,7 @@ class ChipServer:
                 raise self._reject_draining()
             # got_slot is always True here: only a cancel or a drain
             # resolves the waiter with False, and both are handled above.
+            item.admitted_at = self._loop.time()
             self._queue.put_nowait(item)
             return
         if item.future.done():
@@ -515,6 +643,8 @@ class ChipServer:
         # No awaits between the bound check and the enqueue: admission is
         # atomic on the event loop.
         self._backlog += 1
+        self._m_queue_depth.set(self._backlog)
+        item.admitted_at = self._loop.time()
         self._queue.put_nowait(item)
 
     # -- graceful drain -----------------------------------------------------------
@@ -537,6 +667,12 @@ class ChipServer:
             "draining": True,
             "was_draining": already,
             "pending": self._active_infers,
+            # Final observability snapshot, so a scale-down never discards
+            # this replica's shed/deadline/cancel history: the drain ack is
+            # the last reply the manager is guaranteed to read before the
+            # process exits, and ReplicaManager records both views from it.
+            "stats": dict(self.stats),
+            "metrics": self.metrics.snapshot(),
         }
 
     def _maybe_finish_drain(self) -> None:
@@ -620,6 +756,7 @@ class ChipServer:
                 # future resolves; _admit then declines to enqueue it).
                 if request_id is not None:
                     conn_pending[request_id] = item
+                admit_started = self._loop.time()
                 try:
                     await self._admit(item)
                     # A cancel op resolves this future with a structured
@@ -629,6 +766,7 @@ class ChipServer:
                 finally:
                     if request_id is not None:
                         conn_pending.pop(request_id, None)
+                self._m_wall.observe(self._loop.time() - admit_started)
                 if binary:
                     # Frame replies carry the arrays raw; building the wire
                     # dict is O(1) in the batch (no per-float conversion),
@@ -678,9 +816,14 @@ class ChipServer:
                         pending.waiter.set_result(False)
                         with contextlib.suppress(ValueError):
                             self._space_waiters.remove(pending.waiter)
-                    self.stats["cancelled"] += 1
+                    self._m_cancelled.inc()
                     cancelled = True
                 result = {"cancelled": cancelled, "target": target}
+            elif op == "metrics":
+                # Version-agnostic, like drain: any envelope version may
+                # scrape; the payload matches the Prometheus endpoint
+                # byte for byte (both render one registry snapshot).
+                result = {"metrics": self.metrics_payload()}
             elif op == "drain":
                 result = self._begin_drain()
             elif op == "shutdown":
@@ -688,7 +831,7 @@ class ChipServer:
             else:
                 raise ValueError(
                     f"unknown op {op!r}; expected ping, info, infer, cancel, "
-                    f"drain or shutdown"
+                    f"metrics, drain or shutdown"
                 )
             return reply_envelope(op, result, request_id=request_id)
         except asyncio.CancelledError:
@@ -703,11 +846,19 @@ class ChipServer:
             )
 
     def _run_batch(self, requests: list[InferenceRequest]):
-        """Execute one coalesced dispatch (only ever on the single work thread)."""
+        """Execute one coalesced dispatch (only ever on the single work thread).
+
+        Returns ``(responses, compute_started, compute_finished)`` on the
+        monotonic clock so the dispatcher can split the executor hop
+        (``dispatch_s``) from the chip time (``compute_s``) per request.
+        """
         infer_many = getattr(self.target, "infer_many", None)
+        started = time.monotonic()
         if infer_many is not None and len(requests) > 1:
-            return infer_many(requests)
-        return [self.target.infer(request) for request in requests]
+            responses = infer_many(requests)
+        else:
+            responses = [self.target.infer(request) for request in requests]
+        return responses, started, time.monotonic()
 
     async def _batch_loop(self) -> None:
         """Drain the request queue, coalescing compatible requests.
@@ -749,7 +900,7 @@ class ChipServer:
                     self._release_slot()
                     continue
                 if item.deadline is not None and now > item.deadline:
-                    self.stats["deadline_exceeded"] += 1
+                    self._m_deadline.inc()
                     item.future.set_exception(
                         ServeRejection(
                             "deadline expired before the request was "
@@ -771,16 +922,20 @@ class ChipServer:
             # Marking dispatched and handing off happen in one synchronous
             # block (no awaits until the executor hop), so a concurrent
             # cancel task can never observe a half-dispatched batch.
+            dispatched_at = self._loop.time()
             for item in batch:
                 item.dispatched = True
                 self._release_slot()
-            self.stats["requests"] += len(batch)
-            self.stats["batches"] += 1
-            self.stats["max_coalesced"] = max(self.stats["max_coalesced"], len(batch))
+            self._m_requests.inc(len(batch))
+            self._m_batches.inc()
+            self._m_max_coalesced.set_max(len(batch))
             self._inflight = len(batch)
+            self._m_inflight.set(len(batch))
             try:
-                responses = await self._loop.run_in_executor(
-                    self._work, self._run_batch, [item.request for item in batch]
+                responses, compute_started, compute_finished = (
+                    await self._loop.run_in_executor(
+                        self._work, self._run_batch, [item.request for item in batch]
+                    )
                 )
             except Exception as exc:  # noqa: BLE001 - surfaced per request
                 for item in batch:
@@ -789,7 +944,34 @@ class ChipServer:
                 continue
             finally:
                 self._inflight = 0
+                self._m_inflight.set(0)
+            # asyncio's loop clock IS time.monotonic, so the dispatcher-side
+            # marks and the work-thread marks live on one timeline: the
+            # executor hop is `dispatch_s`, the chip time `compute_s`.
+            dispatch_s = max(0.0, compute_started - dispatched_at)
+            compute_s = max(0.0, compute_finished - compute_started)
             for item, response in zip(batch, responses):
+                metadata = getattr(response, "metadata", None)
+                if isinstance(metadata, dict):
+                    phases = read_phases(metadata)
+                    queue_wait = (
+                        max(0.0, dispatched_at - item.admitted_at)
+                        if item.admitted_at is not None
+                        else 0.0
+                    )
+                    record_phase(metadata, PHASE_QUEUE_WAIT, queue_wait)
+                    record_phase(metadata, PHASE_DISPATCH, dispatch_s)
+                    self._m_queue_wait.observe(queue_wait)
+                    self._m_dispatch.observe(dispatch_s)
+                    # A pool target already split its own compute/merge
+                    # spans per request; only fill compute in for bare
+                    # targets so the phases never double-count.
+                    if PHASE_COMPUTE not in phases:
+                        record_phase(metadata, PHASE_COMPUTE, compute_s)
+                    phases = read_phases(metadata)
+                    self._m_compute.observe(phases.get(PHASE_COMPUTE, compute_s))
+                    if PHASE_MERGE in phases:
+                        self._m_merge.observe(phases[PHASE_MERGE])
                 if not item.future.done():
                     item.future.set_result(response)
 
@@ -837,6 +1019,48 @@ class ChipServer:
                     op, request_id = envelope.get("op"), envelope.get("id")
             return None, (f"ValueError: {exc}", op, request_id), False
         return message, None, False
+
+    async def _handle_metrics_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one Prometheus scrape (minimal HTTP/1.1, close-delimited).
+
+        ``GET /metrics`` (or ``/``) renders the registry snapshot as
+        text-format 0.0.4; anything else is a 404.  One response per
+        connection — scrapers reconnect per scrape, which keeps the
+        handler stateless.
+        """
+        try:
+            request_line = await asyncio.wait_for(reader.readline(), timeout=10.0)
+            while True:
+                header = await asyncio.wait_for(reader.readline(), timeout=10.0)
+                if not header.strip():
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            method = parts[0] if parts else ""
+            path = parts[1].split("?", 1)[0] if len(parts) > 1 else "/"
+            if method == "GET" and path in ("/metrics", "/"):
+                body = render_prometheus(self.metrics_snapshot()).encode("utf-8")
+                status, content_type = "200 OK", _PROMETHEUS_CONTENT_TYPE
+            else:
+                body = b"only GET /metrics is served here\n"
+                status, content_type = "404 Not Found", "text/plain; charset=utf-8"
+            writer.write(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.TimeoutError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
 
     def _infer_reply_done(self, _task: asyncio.Task) -> None:
         """Done callback for every ``infer`` message's process task."""
@@ -1032,9 +1256,18 @@ class ChipServer:
         server = await asyncio.start_server(
             handle, sock=self._sock, limit=MAX_LINE_BYTES
         )
+        metrics_server = None
+        if self._metrics_sock is not None:
+            metrics_server = await asyncio.start_server(
+                self._handle_metrics_http, sock=self._metrics_sock
+            )
         try:
             await self._stop_event.wait()
         finally:
+            if metrics_server is not None:
+                metrics_server.close()
+                with contextlib.suppress(Exception):
+                    await metrics_server.wait_closed()
             dispatcher.cancel()
             with contextlib.suppress(asyncio.CancelledError):
                 await dispatcher
@@ -1083,6 +1316,9 @@ class ChipServer:
         self._work.shutdown(wait=True)
         with contextlib.suppress(OSError):
             self._sock.close()
+        if self._metrics_sock is not None:
+            with contextlib.suppress(OSError):
+                self._metrics_sock.close()
 
     def __enter__(self) -> "ChipServer":
         return self

@@ -196,6 +196,9 @@ class ElasticFleet:
             "uptime_s": max(0.0, time.time() - self.started_at),
             "replicas": replicas,
             "controller": self.controller.status(),
+            # Summed final counters of every replica retired so far (each
+            # drain ack's snapshot): scale-down keeps its history.
+            "retired_stats": dict(self.manager.retired_stats),
         }
 
     # -- lifecycle ----------------------------------------------------------------

@@ -135,6 +135,12 @@ class Replica:
     client: PipelinedSession | None = None
     started_at: float = field(default_factory=time.time)
     draining: bool = False
+    #: The server's final counter view, captured from the drain
+    #: acknowledgement — the last reply the manager is guaranteed to read
+    #: before the process exits.  None until the replica drains.
+    final_stats: dict[str, int] | None = None
+    #: The full registry snapshot riding the same drain ack.
+    final_metrics: dict[str, object] | None = None
 
     @property
     def alive(self) -> bool:
@@ -193,6 +199,10 @@ class ReplicaManager:
         self._lock = threading.RLock()
         self._replicas: list[Replica] = []
         self._ids = itertools.count(1)
+        #: Summed final counters of every drained replica, so scale-down
+        #: does not silently discard a replica's shed/deadline/cancel
+        #: history (the fleet's lifetime totals stay additive).
+        self.retired_stats: dict[str, int] = {}
 
     @property
     def replicas(self) -> list[Replica]:
@@ -291,14 +301,37 @@ class ReplicaManager:
         """Gracefully retire one replica (blocking until its process exits).
 
         Sends the ``drain`` op — the server refuses new work, answers all
-        admitted work, then exits — and joins the process.  Raises
-        ``TimeoutError`` (after force-killing the process) if the drain
-        does not complete in time; an already-dead replica drains cleanly.
+        admitted work, then exits — and joins the process.  The drain
+        acknowledgement carries the server's final ``stats``/``metrics``
+        snapshot, which is recorded on the replica and folded into
+        :attr:`retired_stats` so retiring a replica never discards its
+        shed/deadline/cancel counters.  Raises ``TimeoutError`` (after
+        force-killing the process) if the drain does not complete in time;
+        an already-dead replica drains cleanly.
         """
         replica.draining = True
         try:
             if replica.client is not None:
-                replica.client.drain_server(timeout=timeout_s)
+                ack = replica.client.drain_server(timeout=timeout_s)
+                final_stats = ack.get("stats")
+                if isinstance(final_stats, dict):
+                    replica.final_stats = {
+                        str(key): int(value) for key, value in final_stats.items()
+                    }
+                    with self._lock:
+                        for key, value in replica.final_stats.items():
+                            if key == "max_coalesced":
+                                # A high-water mark, not a count: folds as max.
+                                self.retired_stats[key] = max(
+                                    self.retired_stats.get(key, 0), value
+                                )
+                            else:
+                                self.retired_stats[key] = (
+                                    self.retired_stats.get(key, 0) + value
+                                )
+                final_metrics = ack.get("metrics")
+                if isinstance(final_metrics, dict):
+                    replica.final_metrics = final_metrics
         except Exception:  # noqa: BLE001 - a dead/exiting server is already drained
             pass
         replica.process.join(timeout=timeout_s)

@@ -1,0 +1,84 @@
+"""Prometheus text-format (0.0.4) rendering of a registry snapshot.
+
+Rendering consumes :meth:`MetricsRegistry.snapshot` output rather than the
+live registry, so the ``metrics`` wire op and the HTTP endpoint — which
+both start from the same snapshot — are guaranteed to serve identical
+values, and a snapshot shipped across the wire renders the same text on
+the far side.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.serve.metrics.registry import MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def render_prometheus(source: MetricsRegistry | dict) -> str:
+    """Render a registry (or its :meth:`snapshot`) as Prometheus text."""
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    families = snapshot.get("families", {})
+    lines: list[str] = []
+    for name in sorted(families):
+        family = families[name]
+        kind = family["type"]
+        help_text = family.get("help") or name
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        edges = family.get("edges")
+        for series in family["series"]:
+            labels = series.get("labels", {})
+            if kind == "histogram":
+                cumulative = 0
+                for edge, bucket_count in zip(edges, series["buckets"]):
+                    cumulative += bucket_count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(labels, {'le': _format_value(edge)})}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_labels_text(labels, {'le': '+Inf'})}"
+                    f" {series['count']}"
+                )
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} "
+                    f"{_format_value(series['sum'])}"
+                )
+                lines.append(f"{name}_count{_labels_text(labels)} {series['count']}")
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labels)} "
+                    f"{_format_value(series['value'])}"
+                )
+    return "\n".join(lines) + "\n"

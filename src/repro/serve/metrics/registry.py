@@ -1,0 +1,447 @@
+"""Counters, gauges and fixed-bucket histograms with zero dependencies.
+
+The registry is a flat family store: ``registry.counter(name)`` returns the
+(one) family for that name, and a family fans out into label-keyed children
+(``family.labels(endpoint="r1").inc()``).  A family used without labels has
+a single anonymous child, which keeps the common case — one server, one
+series — free of label bookkeeping.
+
+Histograms use *fixed* bucket edges chosen at creation.  That buys three
+properties the serving stack needs:
+
+* observation is O(log #buckets) (one bisect + two adds) — cheap enough
+  for the batched hot path;
+* two histograms with the same edges merge by elementwise addition, which
+  is associative and commutative — fleet-level aggregation never re-reads
+  raw samples;
+* percentile extraction is a cumulative scan with linear interpolation
+  inside the owning bucket, so p50/p95/p99 are bounded by that bucket's
+  edges (the property tests pin this).
+
+A registry constructed with ``enabled=False`` (or flipped with
+``set_enabled``) turns every write into an early return before any lock is
+taken — the "no-op mode" the overhead guard benchmarks against.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "REGISTRY",
+    "get_default_registry",
+    "set_default_enabled",
+]
+
+# Latency edges in seconds: half-decade steps from 0.5ms to 10s.  The +Inf
+# bucket is implicit (every histogram has one more count slot than edges).
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Child:
+    """Shared plumbing for one labelled series of a family."""
+
+    __slots__ = ("_family", "_labels", "_lock")
+
+    def __init__(self, family: "_Family", labels: dict[str, str]):
+        self._family = family
+        self._labels = dict(labels)
+        self._lock = threading.Lock()
+
+    @property
+    def labels_dict(self) -> dict[str, str]:
+        return dict(self._labels)
+
+    def _enabled(self) -> bool:
+        return self._family._registry._enabled
+
+
+class Counter(_Child):
+    """Monotonically increasing value (float, but usually integral)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, family: "_Family", labels: dict[str, str]):
+        super().__init__(family, labels)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._enabled():
+            return
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge(_Child):
+    """A value that can go up and down (queue depth, inflight, ...)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, family: "_Family", labels: dict[str, str]):
+        super().__init__(family, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._enabled():
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Ratchet upward: keep the running maximum (``max_coalesced``)."""
+        if not self._enabled():
+            return
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._enabled():
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram(_Child):
+    """Fixed-bucket histogram with count/sum and percentile extraction."""
+
+    __slots__ = ("_edges", "_counts", "_count", "_sum")
+
+    def __init__(
+        self,
+        family: "_Family",
+        labels: dict[str, str],
+        edges: tuple[float, ...],
+    ):
+        super().__init__(family, labels)
+        self._edges = edges
+        # counts[i] is the number of observations in (edges[i-1], edges[i]];
+        # the final slot is the +Inf bucket.
+        self._counts = [0] * (len(edges) + 1)
+        self._count = 0
+        self._sum = 0.0
+
+    @property
+    def edges(self) -> tuple[float, ...]:
+        return self._edges
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def bucket_counts(self) -> list[int]:
+        return list(self._counts)
+
+    def observe(self, value: float) -> None:
+        if not self._enabled():
+            return
+        value = float(value)
+        if math.isnan(value):
+            return
+        index = bisect_left(self._edges, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated quantile estimate, ``q`` in [0, 1].
+
+        The estimate always lies within the edges of the bucket holding
+        the target rank; the +Inf bucket clamps to the last finite edge
+        (there is nothing to interpolate against past it).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        with self._lock:
+            total = self._count
+            counts = list(self._counts)
+        if total == 0:
+            return 0.0
+        rank = q * total
+        cumulative = 0
+        for index, bucket_count in enumerate(counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count > 0:
+                if index >= len(self._edges):
+                    # +Inf bucket: clamp to the last finite edge.
+                    return self._edges[-1] if self._edges else 0.0
+                upper = self._edges[index]
+                lower = self._edges[index - 1] if index > 0 else 0.0
+                position = (rank - (cumulative - bucket_count)) / bucket_count
+                return lower + (upper - lower) * min(max(position, 0.0), 1.0)
+        return self._edges[-1] if self._edges else 0.0
+
+    def percentiles(self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)) -> dict[str, float]:
+        return {f"p{int(q * 100)}": self.percentile(q) for q in qs}
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram (same edges)."""
+        if other._edges != self._edges:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self._edges} vs {other._edges}"
+            )
+        with other._lock:
+            counts = list(other._counts)
+            count = other._count
+            total = other._sum
+        with self._lock:
+            for index, bucket_count in enumerate(counts):
+                self._counts[index] += bucket_count
+            self._count += count
+            self._sum += total
+
+
+class _Family:
+    """All series sharing one metric name/type/help."""
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        kind: str,
+        help_text: str,
+        edges: tuple[float, ...] | None = None,
+    ):
+        self._registry = registry
+        self.name = name
+        self.kind = kind
+        self.help_text = help_text
+        self.edges = edges
+        self._children: dict[tuple[tuple[str, str], ...], _Child] = {}
+        self._lock = threading.Lock()
+
+    def labels(self, **labels: str):
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    if self.kind == "counter":
+                        child = Counter(self, labels)
+                    elif self.kind == "gauge":
+                        child = Gauge(self, labels)
+                    else:
+                        assert self.edges is not None
+                        child = Histogram(self, labels, self.edges)
+                    self._children[key] = child
+        return child
+
+    @property
+    def children(self) -> list[_Child]:
+        with self._lock:
+            return list(self._children.values())
+
+    # The anonymous (label-free) child covers the common single-series case:
+    # family.inc() / family.observe() / family.set() delegate to it.
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def set_max(self, value: float) -> None:
+        self.labels().set_max(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def percentile(self, q: float) -> float:
+        return self.labels().percentile(q)
+
+    def percentiles(self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)) -> dict[str, float]:
+        return self.labels().percentiles(qs)
+
+    @property
+    def value(self) -> float:
+        return self.labels().value
+
+    @property
+    def count(self) -> int:
+        return self.labels().count
+
+
+class MetricsRegistry:
+    """A process-local store of metric families.
+
+    ``enabled=None`` inherits the module default (overridable with
+    :func:`set_default_enabled` or the ``REPRO_METRICS_DISABLED`` env var),
+    so a single switch turns the whole plane into no-ops.
+    """
+
+    def __init__(self, *, enabled: bool | None = None):
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+        self._enabled = _DEFAULT_ENABLED if enabled is None else bool(enabled)
+
+    # -- switches -----------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def set_enabled(self, enabled: bool) -> None:
+        self._enabled = bool(enabled)
+
+    # -- family accessors (get-or-create, idempotent) -----------------------------
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help_text: str,
+        edges: tuple[float, ...] | None = None,
+    ) -> _Family:
+        family = self._families.get(name)
+        if family is not None:
+            if family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, "
+                    f"not {kind}"
+                )
+            return family
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(self, name, kind, help_text, edges)
+                self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str = "") -> _Family:
+        return self._family(name, "counter", help_text)
+
+    def gauge(self, name: str, help_text: str = "") -> _Family:
+        return self._family(name, "gauge", help_text)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        *,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+    ) -> _Family:
+        edges = tuple(float(edge) for edge in buckets)
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError(f"bucket edges must be strictly increasing: {edges}")
+        family = self._family(name, "histogram", help_text, edges)
+        if family.edges != edges:
+            raise ValueError(
+                f"metric {name!r} already registered with buckets "
+                f"{family.edges}, not {edges}"
+            )
+        return family
+
+    # -- export -------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe dump of every series — the ``metrics`` wire op payload.
+
+        Deterministically ordered (family name, then label key) so the
+        Prometheus rendering of a snapshot is stable.
+        """
+        families: dict[str, object] = {}
+        with self._lock:
+            items = sorted(self._families.items())
+        for name, family in items:
+            series = []
+            with family._lock:
+                children = sorted(family._children.items())
+            for _key, child in children:
+                entry: dict[str, object] = {"labels": child.labels_dict}
+                if isinstance(child, Histogram):
+                    entry["count"] = child.count
+                    entry["sum"] = child.sum
+                    entry["buckets"] = child.bucket_counts
+                else:
+                    entry["value"] = child.value
+                series.append(entry)
+            record: dict[str, object] = {
+                "type": family.kind,
+                "help": family.help_text,
+                "series": series,
+            }
+            if family.edges is not None:
+                record["edges"] = list(family.edges)
+            families[name] = record
+        return {"enabled": self._enabled, "families": families}
+
+
+_DEFAULT_ENABLED = os.environ.get("REPRO_METRICS_DISABLED", "") not in (
+    "1",
+    "true",
+    "yes",
+)
+
+
+def set_default_enabled(enabled: bool) -> None:
+    """Flip the default for registries created afterwards *and* REGISTRY."""
+    global _DEFAULT_ENABLED
+    _DEFAULT_ENABLED = bool(enabled)
+    REGISTRY.set_enabled(enabled)
+
+
+#: Process-default registry: session/pool/gateway layers record here unless
+#: handed an explicit registry.  Servers own per-instance registries so two
+#: servers in one process never share ``info`` counters.
+REGISTRY = MetricsRegistry()
+
+#: Permanently disabled registry — the baseline for overhead benchmarks.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def get_default_registry() -> MetricsRegistry:
+    return REGISTRY

@@ -25,12 +25,20 @@ session regardless of the executor:
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
 from repro.core.config import ArchitectureConfig
 from repro.energy.components import ComponentLibrary
 from repro.serve.distributed.executors import SessionSpec, ShardExecutor, make_executor
+from repro.serve.metrics import (
+    PHASE_COMPUTE,
+    PHASE_MERGE,
+    MetricsRegistry,
+    get_default_registry,
+    record_phase,
+)
 from repro.serve.schema import InferenceRequest, InferenceResponse
 from repro.serve.session import ChipSession
 from repro.snn.conversion import SpikingNetwork
@@ -68,10 +76,24 @@ class ChipPool:
         seed: int = 0,
         encoder_state: EncoderState | None = None,
         executor: str | ShardExecutor = "thread",
+        registry: MetricsRegistry | None = None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.metrics = registry if registry is not None else get_default_registry()
+        self._m_dispatches = self.metrics.counter(
+            "repro_pool_dispatches_total", "coalesced pool dispatches"
+        )
+        self._m_shards = self.metrics.counter(
+            "repro_pool_shards_total", "shards executed"
+        )
+        self._m_compute = self.metrics.histogram(
+            "repro_pool_compute_seconds", "wave execution wall per dispatch"
+        )
+        self._m_merge = self.metrics.histogram(
+            "repro_pool_merge_seconds", "shard merge wall per request"
+        )
         # Validate the requested executor even when it will not be used; a
         # single-worker pool downgrades to inline rather than provisioning
         # workers that infer()'s single-shard fast path can never reach.
@@ -86,6 +108,7 @@ class ChipPool:
             backend=backend,
             seed=seed,
             encoder_state=encoder_state,
+            registry=registry,
         )
         self._primary = primary
         assert primary.encoder_state is not None  # sessions built here are state-mode
@@ -226,7 +249,14 @@ class ChipPool:
             if len(requests) == 1 and len(plans[0]) <= 1:
                 # Historic fast path: a request too small to shard runs on
                 # the primary session without touching the executor.
-                return [self.session.infer(requests[0])]
+                started = time.monotonic()
+                response = self.session.infer(requests[0])
+                record_phase(
+                    response.metadata, PHASE_COMPUTE, time.monotonic() - started
+                )
+                self._m_dispatches.inc()
+                self._m_shards.inc()
+                return [response]
             shard_requests = [
                 request.shard(start, stop)
                 for request, bounds in zip(requests, plans)
@@ -238,6 +268,7 @@ class ChipPool:
             waves = self._pack_waves(
                 [shard.batch_size for shard in shard_requests], self.jobs
             )
+            compute_started = time.monotonic()
             for wave in waves:
                 for index, response in zip(
                     wave,
@@ -246,12 +277,26 @@ class ChipPool:
                     ),
                 ):
                     responses[index] = response
+            compute_s = time.monotonic() - compute_started
+        self._m_dispatches.inc()
+        self._m_shards.inc(len(shard_requests))
+        self._m_compute.observe(compute_s)
         merged = []
         cursor = 0
         for request, bounds in zip(requests, plans):
-            merged.append(
-                self._merge_request(request, responses[cursor : cursor + len(bounds)])
+            merge_started = time.monotonic()
+            response = self._merge_request(
+                request, responses[cursor : cursor + len(bounds)]
             )
+            merge_s = time.monotonic() - merge_started
+            # Every request in the dispatch waited for every wave (merging
+            # starts only once all shards are back), so the dispatch's
+            # compute wall is each request's compute span; the merge span
+            # is the request's own.
+            record_phase(response.metadata, PHASE_COMPUTE, compute_s)
+            record_phase(response.metadata, PHASE_MERGE, merge_s)
+            self._m_merge.observe(merge_s)
+            merged.append(response)
             cursor += len(bounds)
         return merged
 

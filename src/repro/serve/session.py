@@ -26,6 +26,8 @@ per-sample loop and the vectorized batch dispatch) that
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.config import ArchitectureConfig
@@ -34,6 +36,7 @@ from repro.core.stats import EventCounters, counters_to_energy
 from repro.crossbar.energy import CrossbarEnergyModel
 from repro.energy.components import DEFAULT_LIBRARY, ComponentLibrary
 from repro.energy.model import EnergyReport
+from repro.serve.metrics import MetricsRegistry, get_default_registry
 from repro.serve.schema import InferenceRequest, InferenceResponse
 from repro.snn.conversion import SpikingNetwork
 from repro.snn.encoding import DeterministicRateEncoder, EncoderState, PoissonEncoder
@@ -163,6 +166,7 @@ class ChipSession:
         seed: int = 0,
         rng: np.random.Generator | None = None,
         encoder_state: EncoderState | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         from repro.core.simulator import CHIP_BACKENDS
 
@@ -201,6 +205,19 @@ class ChipSession:
             from repro.fastpath import compile_chip
 
             compile_chip(self.chip)
+        # Session-layer instrumentation lands in the process-default
+        # registry unless told otherwise (a disabled registry turns every
+        # observation into an early return — the hot-path no-op mode).
+        self.metrics = registry if registry is not None else get_default_registry()
+        self._m_infer = self.metrics.histogram(
+            "repro_session_infer_seconds", "one infer() on the chip"
+        )
+        self._m_samples = self.metrics.counter(
+            "repro_session_samples_total", "samples inferred"
+        )
+        self._m_energy = self.metrics.counter(
+            "repro_session_energy_joules_total", "chip energy spent"
+        )
 
     # -- encoding -----------------------------------------------------------------
 
@@ -246,6 +263,7 @@ class ChipSession:
 
     def infer(self, request: InferenceRequest) -> InferenceResponse:
         """Run one request batch through the session's backend."""
+        started = time.monotonic()
         timesteps = request.timesteps if request.timesteps is not None else self.timesteps
         x = request.batch
         spike_train = self._encode(x, timesteps, request.sample_offset)
@@ -259,6 +277,9 @@ class ChipSession:
             accuracy = float(
                 np.mean(predictions == np.asarray(request.labels, dtype=int))
             )
+        self._m_infer.observe(time.monotonic() - started)
+        self._m_samples.inc(x.shape[0])
+        self._m_energy.inc(energy.total_j)
         return InferenceResponse(
             predictions=predictions,
             spike_counts=spike_counts,
