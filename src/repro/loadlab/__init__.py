@@ -13,9 +13,12 @@ Modules: :mod:`~repro.loadlab.generator` (load loops),
 :mod:`~repro.loadlab.stats` (dependency-free rank statistics),
 :mod:`~repro.loadlab.sweep` (the matrix driver),
 :mod:`~repro.loadlab.persist` (the versioned result schema shared with
-the benchmark suite).
+the benchmark suite),
+:mod:`~repro.loadlab.compare` (run-over-run regression comparison;
+``python -m repro.loadlab compare``).
 """
 
+from repro.loadlab.compare import compare_latest_runs, compare_runs
 from repro.loadlab.generator import LoadSpec, RequestOutcome, run_load
 from repro.loadlab.persist import SCHEMA_VERSION, load_results, persist_result
 from repro.loadlab.sweep import persist_sweep, run_cell, run_sweep
@@ -35,6 +38,8 @@ __all__ = [
     "RequestOutcome",
     "Topology",
     "build_topology",
+    "compare_latest_runs",
+    "compare_runs",
     "default_workload",
     "load_results",
     "persist_result",

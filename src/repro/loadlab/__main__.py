@@ -16,6 +16,12 @@ Every sweep appends one run record to the versioned trajectory document
 (default ``benchmarks/results/loadlab.json``; override with ``--output``
 or ``BENCH_RESULTS_DIR``) and prints a per-cell summary table plus the
 rank-based topology contrasts.
+
+``python -m repro.loadlab compare`` then diffs the two newest runs in
+that trajectory on matching topology × load cells (throughput, p95 queue
+wait, energy per request, and a Mann-Whitney test over the stored latency
+samples) — a soft regression gate that prints warnings but always exits
+0, for wiring after the sweep in CI.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import argparse
 import json
 import sys
 
+from repro.loadlab import compare as compare_module
 from repro.loadlab.generator import LoadSpec
 from repro.loadlab.sweep import persist_sweep, run_sweep
 from repro.loadlab.topologies import TOPOLOGIES, default_workload
@@ -73,6 +80,54 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--json", action="store_true", help="print the full result record as JSON"
+    )
+
+    compare = sub.add_parser(
+        "compare",
+        help="diff the two newest sweep runs; warn on regressions, exit 0",
+    )
+    compare.add_argument(
+        "--input",
+        default=None,
+        help="trajectory JSON path (default benchmarks/results/loadlab.json)",
+    )
+    compare.add_argument(
+        "--throughput-drop",
+        type=float,
+        default=compare_module.THROUGHPUT_DROP,
+        metavar="FRACTION",
+        help="served-throughput drop that triggers a warning",
+    )
+    compare.add_argument(
+        "--p95-rise",
+        type=float,
+        default=compare_module.P95_RISE,
+        metavar="FRACTION",
+        help="p95 queue-wait rise that triggers a warning",
+    )
+    compare.add_argument(
+        "--p95-floor",
+        type=float,
+        default=compare_module.P95_FLOOR_S,
+        metavar="SECONDS",
+        help="absolute p95 rise below which a rise is jitter, not regression",
+    )
+    compare.add_argument(
+        "--energy-rise",
+        type=float,
+        default=compare_module.ENERGY_RISE,
+        metavar="FRACTION",
+        help="energy-per-request rise that triggers a warning",
+    )
+    compare.add_argument(
+        "--alpha",
+        type=float,
+        default=compare_module.ALPHA,
+        metavar="P",
+        help="significance level for the latency-distribution test",
+    )
+    compare.add_argument(
+        "--json", action="store_true", help="print the full comparison as JSON"
     )
     return parser
 
@@ -147,8 +202,29 @@ def _print_contrasts(result: dict) -> None:
         )
 
 
+def _cmd_compare(args: argparse.Namespace) -> int:
+    report = compare_module.compare_latest_runs(
+        args.input,
+        throughput_drop=args.throughput_drop,
+        p95_rise=args.p95_rise,
+        p95_floor_s=args.p95_floor,
+        energy_rise=args.energy_rise,
+        alpha=args.alpha,
+    )
+    if report is None:
+        return 0
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(compare_module.render_comparison(report))
+    # Soft gate by design: warnings inform, the trajectory is the record.
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "compare":
+        return _cmd_compare(args)
     loads = _loads(args)
     workload = default_workload(timesteps=args.timesteps)
     result = run_sweep(

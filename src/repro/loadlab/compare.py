@@ -1,0 +1,208 @@
+"""Run-over-run regression comparison for the load-lab trajectory.
+
+``python -m repro.loadlab compare`` diffs the two most recent sweep runs
+in ``benchmarks/results/loadlab.json`` (the document ``persist_sweep``
+appends to), cell by cell on matching ``(topology, load)`` keys:
+
+* **throughput** — served requests/second dropping more than the threshold;
+* **p95 queue wait** — rising more than the threshold *and* more than an
+  absolute floor (sub-millisecond jitter on tiny cells is not a regression);
+* **energy per request** — the serving stack is deterministic, so energy
+  drift signals a real behavioural change, with a tight threshold;
+* **latency distribution** — a Mann-Whitney U test over the stored
+  per-request latency samples; a significant shift toward the latest run
+  being slower is flagged even when the point percentiles pass.
+
+The comparison is a *soft* gate: it always exits 0 and prints warnings,
+because load-lab numbers ride shared CI runners — the trajectory document
+is the evidence trail, and a human decides.  Wire it as a non-blocking CI
+step after the sweep.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.loadlab.persist import default_results_dir, load_results
+from repro.loadlab.stats import mann_whitney_u
+
+__all__ = ["compare_latest_runs", "compare_runs", "render_comparison"]
+
+#: Served-throughput drop that counts as a regression (fraction).
+THROUGHPUT_DROP = 0.10
+#: p95 queue-wait rise that counts as a regression (fraction).
+P95_RISE = 0.25
+#: Absolute p95 queue-wait rise floor — below this, jitter, not regression.
+P95_FLOOR_S = 0.001
+#: Energy-per-request rise that counts as a regression (fraction).
+ENERGY_RISE = 0.05
+#: Two-sided significance level for the latency-distribution test.
+ALPHA = 0.05
+
+
+def _cells_by_key(run: dict) -> dict[tuple[str, str], dict]:
+    cells = run.get("cells") or []
+    return {(cell["topology"], cell["load"]): cell for cell in cells}
+
+
+def _compare_cell(
+    key: tuple[str, str],
+    previous: dict,
+    latest: dict,
+    *,
+    throughput_drop: float,
+    p95_rise: float,
+    p95_floor_s: float,
+    energy_rise: float,
+    alpha: float,
+) -> dict:
+    topology, load = key
+    warnings: list[str] = []
+
+    prev_rps = float(previous.get("throughput_rps") or 0.0)
+    last_rps = float(latest.get("throughput_rps") or 0.0)
+    if prev_rps > 0 and last_rps < prev_rps * (1.0 - throughput_drop):
+        warnings.append(
+            f"throughput dropped {100 * (1 - last_rps / prev_rps):.1f}% "
+            f"({prev_rps:.2f} -> {last_rps:.2f} rps)"
+        )
+
+    prev_p95 = (previous.get("queue_wait_s") or {}).get("p95")
+    last_p95 = (latest.get("queue_wait_s") or {}).get("p95")
+    if prev_p95 is not None and last_p95 is not None:
+        rise = float(last_p95) - float(prev_p95)
+        if rise > p95_floor_s and float(last_p95) > float(prev_p95) * (1.0 + p95_rise):
+            warnings.append(
+                f"p95 queue wait rose {1e3 * rise:.2f}ms "
+                f"({1e3 * float(prev_p95):.2f} -> {1e3 * float(last_p95):.2f}ms)"
+            )
+
+    prev_energy = previous.get("energy_j_per_request")
+    last_energy = latest.get("energy_j_per_request")
+    if prev_energy and last_energy and (
+        float(last_energy) > float(prev_energy) * (1.0 + energy_rise)
+    ):
+        warnings.append(
+            f"energy/request rose "
+            f"{100 * (float(last_energy) / float(prev_energy) - 1):.1f}% "
+            f"({1e6 * float(prev_energy):.3f} -> {1e6 * float(last_energy):.3f} uJ)"
+        )
+
+    shift = None
+    prev_samples = previous.get("latency_samples") or []
+    last_samples = latest.get("latency_samples") or []
+    if len(prev_samples) >= 3 and len(last_samples) >= 3:
+        # effect > 0.5 means the first sample set tends to exceed the
+        # second: the latest run is stochastically slower.
+        shift = mann_whitney_u(last_samples, prev_samples)
+        if shift["p"] < alpha and shift["effect"] > 0.5:
+            warnings.append(
+                f"latency distribution shifted slower "
+                f"(Mann-Whitney U={shift['u']:.1f} effect={shift['effect']:.3f} "
+                f"p={shift['p']:.4f})"
+            )
+
+    return {
+        "topology": topology,
+        "load": load,
+        "throughput_rps": {"previous": prev_rps, "latest": last_rps},
+        "queue_wait_p95_s": {"previous": prev_p95, "latest": last_p95},
+        "energy_j_per_request": {"previous": prev_energy, "latest": last_energy},
+        "latency_shift": shift,
+        "warnings": warnings,
+    }
+
+
+def compare_runs(
+    previous: dict,
+    latest: dict,
+    *,
+    throughput_drop: float = THROUGHPUT_DROP,
+    p95_rise: float = P95_RISE,
+    p95_floor_s: float = P95_FLOOR_S,
+    energy_rise: float = ENERGY_RISE,
+    alpha: float = ALPHA,
+) -> dict:
+    """Diff two sweep run records cell-by-cell on (topology, load) keys."""
+    previous_cells = _cells_by_key(previous)
+    latest_cells = _cells_by_key(latest)
+    matched = sorted(previous_cells.keys() & latest_cells.keys())
+    cells = [
+        _compare_cell(
+            key,
+            previous_cells[key],
+            latest_cells[key],
+            throughput_drop=throughput_drop,
+            p95_rise=p95_rise,
+            p95_floor_s=p95_floor_s,
+            energy_rise=energy_rise,
+            alpha=alpha,
+        )
+        for key in matched
+    ]
+    return {
+        "previous_ran_at": previous.get("ran_at"),
+        "latest_ran_at": latest.get("ran_at"),
+        "matched_cells": len(matched),
+        "unmatched_previous": sorted(
+            map(list, previous_cells.keys() - latest_cells.keys())
+        ),
+        "unmatched_latest": sorted(
+            map(list, latest_cells.keys() - previous_cells.keys())
+        ),
+        "cells": cells,
+        "warnings": [
+            f"{cell['topology']} × {cell['load']}: {warning}"
+            for cell in cells
+            for warning in cell["warnings"]
+        ],
+    }
+
+
+def compare_latest_runs(path: str | Path | None = None, **thresholds) -> dict | None:
+    """Compare the two newest runs in a trajectory document.
+
+    Returns None (after printing a notice) when the document holds fewer
+    than two runs — the first sweep of a fresh checkout has nothing to
+    regress against.
+    """
+    path = Path(path) if path else default_results_dir() / "loadlab.json"
+    runs = load_results(path).get("runs")
+    runs = [run for run in runs or [] if isinstance(run, dict) and run.get("cells")]
+    if len(runs) < 2:
+        print(
+            f"[loadlab] compare: {path} holds {len(runs)} sweep run(s); "
+            f"need 2 — nothing to compare yet"
+        )
+        return None
+    report = compare_runs(runs[-2], runs[-1], **thresholds)
+    report["path"] = str(path)
+    return report
+
+
+def render_comparison(report: dict) -> str:
+    """Human-readable comparison summary (what the CI log shows)."""
+    lines = [
+        f"[loadlab] compare: {report.get('path', '<in-memory>')} — "
+        f"{report['matched_cells']} matched cell(s), "
+        f"latest {report.get('latest_ran_at')} vs "
+        f"previous {report.get('previous_ran_at')}"
+    ]
+    for cells, label in (
+        (report["unmatched_previous"], "dropped since previous"),
+        (report["unmatched_latest"], "new in latest"),
+    ):
+        if cells:
+            lines.append(
+                f"[loadlab] compare: unmatched ({label}): "
+                + ", ".join("×".join(key) for key in cells)
+            )
+    if report["warnings"]:
+        lines.append(
+            f"[loadlab] compare: {len(report['warnings'])} WARNING(s) — "
+            f"soft gate, exit stays 0:"
+        )
+        lines.extend(f"[loadlab]   WARNING {text}" for text in report["warnings"])
+    else:
+        lines.append("[loadlab] compare: no regressions flagged")
+    return "\n".join(lines)

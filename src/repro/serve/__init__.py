@@ -39,6 +39,11 @@ from repro.serve.distributed import (
     RemoteSession,
 )
 from repro.serve.pool import ChipPool
+from repro.serve.retry import (
+    RetryBudget,
+    RetryBudgetExhausted,
+    retry_backoff,
+)
 from repro.serve.schema import (
     FRAME_MAGIC,
     PROTOCOL_VERSION,
@@ -65,4 +70,7 @@ __all__ = [
     "InferenceResponse",
     "PipelinedSession",
     "RemoteSession",
+    "RetryBudget",
+    "RetryBudgetExhausted",
+    "retry_backoff",
 ]

@@ -69,7 +69,9 @@ from repro.serve.distributed.server import (
     load_benchmark_workload,
 )
 from repro.serve.fleet import ElasticFleet, FleetPolicy, ReplicaSpec
+from repro.serve.distributed.gateway import GatewayEndpoint, InferenceGateway
 from repro.serve.pool import ChipPool
+from repro.serve.retry import RetryBudget
 from repro.serve.schema import ERROR_OVERLOADED, InferenceRequest
 from repro.serve.session import ChipSession
 from repro.utils.units import format_energy
@@ -189,6 +191,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "(falling back to JSON against older ones), json forces the JSON "
         "carrier",
     )
+    infer.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attach a retry budget of N total attempts to the request "
+        "(reconnects back off with jitter and stop with a structured "
+        "budget-exhausted error; omit for the legacy single-retry path)",
+    )
 
     smoke = sub.add_parser(
         "smoke", help="boot a server subprocess, run a client inference, tear down"
@@ -221,6 +232,15 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=["auto", "json"],
         help="client wire carrier for the smoke drive: auto negotiates "
         "binary frames, json forces the JSON fallback path",
+    )
+    smoke.add_argument(
+        "--hedge-after",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="straggler threshold for the hedging drive: a gated endpoint "
+        "holds one shard past this long, the gateway must duplicate it to "
+        "the fast sibling and win there (0 skips the hedging drive)",
     )
 
     fleet = sub.add_parser(
@@ -322,6 +342,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "CI dumps these on failure",
     )
     fleet.add_argument(
+        "--hedge-after",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hedge a shard stuck on one replica past this many seconds "
+        "onto the least-loaded sibling (first result wins, the loser is "
+        "cancelled over the wire; omit to disable hedging)",
+    )
+    fleet.add_argument(
         "--status-json",
         default=None,
         metavar="PATH",
@@ -347,6 +376,10 @@ def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None
         parser.error(f"--timeout must be > 0 seconds, got {args.timeout}")
     if getattr(args, "deadline", None) is not None and args.deadline <= 0:
         parser.error(f"--deadline must be > 0 seconds, got {args.deadline}")
+    if getattr(args, "retry_attempts", None) is not None and args.retry_attempts < 1:
+        parser.error(f"--retry-attempts must be >= 1, got {args.retry_attempts}")
+    if args.command == "smoke" and args.hedge_after < 0:
+        parser.error(f"--hedge-after must be >= 0 seconds, got {args.hedge_after}")
     if getattr(args, "endpoint", None) is not None:
         try:
             parse_endpoint(args.endpoint)
@@ -361,6 +394,10 @@ def _validate(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None
             parser.error(f"--dispatch-delay must be >= 0, got {args.dispatch_delay}")
         if args.run_for < 0:
             parser.error(f"--run-for must be >= 0, got {args.run_for}")
+        if args.hedge_after is not None and args.hedge_after <= 0:
+            parser.error(
+                f"--hedge-after must be > 0 seconds, got {args.hedge_after}"
+            )
         try:
             _fleet_policy(args)
         except ValueError as exc:
@@ -423,6 +460,9 @@ def _client_inference(
     request = InferenceRequest(
         inputs=workload.test_inputs[:n], labels=workload.test_labels[:n]
     )
+    retry_attempts = getattr(args, "retry_attempts", None)
+    if retry_attempts is not None:
+        request = request.with_retry_budget(RetryBudget(retry_attempts))
     deadline_s = getattr(args, "deadline", None)
     return request, remote.infer(request, deadline_s=deadline_s)
 
@@ -739,6 +779,73 @@ def _smoke_load_shedding(args: argparse.Namespace) -> None:
     )
 
 
+def _smoke_hedging(args: argparse.Namespace) -> None:
+    """Drive one deliberately-hedged shard and assert the exact, faster win.
+
+    An in-process gateway over two endpoints: a gated straggler (holds its
+    shard until released) and a fast sibling.  The straggler's shard must
+    trip the ``--hedge-after`` threshold, get duplicated onto the sibling
+    and win there — while the merged response stays bit-identical to the
+    serial single-session run.  The gate opens only *after* the merged
+    response landed, so the win can only have come from the hedge.
+    """
+    workload = load_benchmark_workload(args.workload, scale=args.scale, seed=args.seed)
+
+    def session() -> ChipSession:
+        return ChipSession(
+            workload.snn, timesteps=args.timesteps, encoder="poisson", seed=args.seed
+        )
+
+    n = min(args.samples, len(workload.test_inputs))
+    request = InferenceRequest(inputs=workload.test_inputs[:n])
+    expected = session().infer(request)
+    gate = _GatedTarget(session())
+    gateway = InferenceGateway(
+        [
+            GatewayEndpoint(target=gate, name="straggler"),
+            GatewayEndpoint(target=session(), name="sibling"),
+        ],
+        name="smoke-hedge",
+        adaptive=False,
+        load_poll_s=0.0,
+        hedge_after_s=args.hedge_after,
+    )
+    try:
+        response = gateway.submit(request).result(timeout=args.timeout)
+        tail = gateway.tail_stats()
+    finally:
+        # The straggler's worker is still blocked on the gate; open it
+        # before close() so the dispatch pool can drain and shut down.
+        gate.release.set()
+        gateway.close()
+    assert np.array_equal(response.predictions, expected.predictions), (
+        "hedged response predictions diverged from the serial run"
+    )
+    assert np.array_equal(response.spike_counts, expected.spike_counts), (
+        "hedged response spike counts diverged from the serial run"
+    )
+    assert abs(response.energy.total_j - expected.energy.total_j) <= (
+        1e-9 * expected.energy.total_j
+    ), "hedged response energy diverged from the serial run"
+    assert tail["hedges_issued"] >= 1, f"no hedge was issued: {tail}"
+    assert tail["hedge_wins"] >= 1, f"the hedge never won: {tail}"
+    hedged = [
+        shard
+        for shard in response.metadata["shards"]
+        if shard.get("hedged_from") == "straggler"
+    ]
+    assert hedged and all(s["endpoint"] == "sibling" for s in hedged), (
+        f"response metadata records no straggler->sibling hedge: "
+        f"{response.metadata['shards']}"
+    )
+    print(
+        f"smoke: hedging ok (straggler held past {args.hedge_after:.3f}s, "
+        f"{tail['hedges_issued']} hedge(s) issued, "
+        f"{tail['hedge_wins']} won on the sibling, merged response exact)",
+        flush=True,
+    )
+
+
 def _cmd_smoke(args: argparse.Namespace) -> int:
     command = [
         sys.executable,
@@ -831,6 +938,8 @@ def _cmd_smoke(args: argparse.Namespace) -> int:
                 except subprocess.TimeoutExpired:
                     proc.kill()
     _smoke_load_shedding(args)
+    if args.hedge_after > 0:
+        _smoke_hedging(args)
     print("smoke: OK", flush=True)
     return 0
 
@@ -892,7 +1001,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         flush=True,
     )
     with ElasticFleet(
-        spec, policy=policy, boot_timeout_s=args.boot_timeout
+        spec,
+        policy=policy,
+        boot_timeout_s=args.boot_timeout,
+        hedge_after_s=args.hedge_after,
     ) as fleet:
         flood_started = time.monotonic()
         futures = [fleet.submit(request) for request in requests]

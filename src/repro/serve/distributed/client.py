@@ -35,12 +35,12 @@ from __future__ import annotations
 import contextlib
 import itertools
 import json
-import random
 import socket
 import threading
 import time
 from concurrent.futures import Future, InvalidStateError
 
+from repro.serve.retry import RetryBudget, RetryBudgetExhausted, retry_backoff
 from repro.serve.schema import (
     FRAME_HEADER_SIZE,
     FRAME_MAGIC,
@@ -159,15 +159,12 @@ _BINARY_MIN_VERSION = 3
 #: on the JSON carrier even against a frame-capable server).
 _JSON_MAX_VERSION = 2
 
-#: Base reconnect backoff: retry *n* sleeps about ``base * 2**n`` seconds,
+#: Reconnect backoff: retry *n* sleeps about ``base * 2**n`` seconds,
 #: jittered, so clients of a restarting server spread out instead of
-#: hammering the listen queue in lockstep.
-_RETRY_BACKOFF_S = 0.05
-
-
-def _retry_backoff(attempt: int) -> float:
-    """Jittered exponential backoff delay before reconnect ``attempt + 1``."""
-    return _RETRY_BACKOFF_S * (2**attempt) * (0.5 + random.random())
+#: hammering the listen queue in lockstep.  Kept as a module-level name so
+#: tests (and operators) can patch the client's backoff in isolation; the
+#: policy itself is the stack-wide helper in :mod:`repro.serve.retry`.
+_retry_backoff = retry_backoff
 
 
 def _negotiated_version(peer_version: int, wire: str) -> int:
@@ -372,13 +369,21 @@ class RemoteSession:
         Idempotent ops are resent once per configured retry after a
         connection-level failure (server restart, dead socket); a
         :class:`RemoteServerError` is a *successful* round trip and is never
-        retried.
+        retried.  When the message carries an :class:`InferenceRequest` with
+        a :class:`RetryBudget`, that budget overrides the session's
+        ``retries`` knob: reconnect resends consume from the request's
+        shared pool and exhaustion raises :class:`RetryBudgetExhausted`.
         """
         if self._closed:
             raise RuntimeError("remote session is closed")
+        budget: RetryBudget | None = None
+        carried = message.get("request")
+        if idempotent and isinstance(carried, InferenceRequest):
+            budget = carried.retry_budget
         attempts = 1 + (self.retries if idempotent else 0)
         last_error: Exception | None = None
-        for attempt in range(attempts):
+        attempt = 0
+        while True:
             try:
                 if self._file is None:
                     self._connect()
@@ -422,11 +427,19 @@ class RemoteSession:
             except (ConnectionError, OSError) as exc:
                 self._drop_connection()
                 last_error = exc
-                if attempt + 1 < attempts:
+                if budget is not None:
+                    consumed = budget.try_consume()
+                    if consumed is None:
+                        raise budget.exhausted(exc)
+                    time.sleep(budget.backoff_s(consumed))
+                elif attempt + 1 < attempts:
                     # A restarting server needs a beat to come back; an
                     # immediate resend just hammers the dead port and burns
                     # the retry budget inside the boot window.
                     time.sleep(_retry_backoff(attempt))
+                else:
+                    break
+                attempt += 1
         assert last_error is not None
         raise ConnectionError(
             f"chip server at {self.host}:{self.port} unreachable after "
@@ -672,6 +685,10 @@ class CancellableFuture(Future):
     """
 
     _canceller = None
+    #: Optional tag the canceller forwards on the wire (``reason`` field of
+    #: the ``cancel`` op) so the server can attribute the cancellation —
+    #: the gateway stamps ``"hedge"`` on losing hedged attempts.
+    cancel_reason: str | None = None
 
     def cancel(self) -> bool:
         cancelled = super().cancel()
@@ -824,17 +841,53 @@ class PipelinedSession:
         *,
         retry: bool = True,
         sent: dict[str, object] | None = None,
+        budget: RetryBudget | None = None,
         **fields: object,
     ) -> Future:
         """Send one envelope, returning a future for its reply envelope.
 
         ``sent`` (when given) is updated in place with the connection and
         request id of the most recent wire attempt, which is what a later
-        ``cancel`` op must target.
+        ``cancel`` op must target.  With a ``budget``, dead-connection
+        resubmits are bounded by the request's shared retry pool (with
+        jittered backoff) instead of the default single immediate resend.
         """
         outer: Future = Future()
-        self._attempt(op, fields, outer, retries_left=1 if retry else 0, sent=sent)
+        self._attempt(
+            op, fields, outer, retries_left=1 if retry else 0, sent=sent, budget=budget
+        )
         return outer
+
+    def _retry_later(
+        self,
+        op: str,
+        fields: dict[str, object],
+        outer: Future,
+        sent: dict[str, object] | None,
+        budget: RetryBudget,
+        cause: BaseException,
+    ) -> None:
+        """Budgeted resubmit after a dead connection, backed off on a timer.
+
+        The backoff must never run on the reader thread (it is routing every
+        other reply of that connection), so a daemon timer pays the delay.
+        """
+        consumed = budget.try_consume()
+        if consumed is None:
+            with contextlib.suppress(InvalidStateError):
+                outer.set_exception(budget.exhausted(cause))
+            return
+
+        def resend() -> None:
+            try:
+                self._attempt(op, fields, outer, retries_left=0, sent=sent, budget=budget)
+            except Exception as retry_exc:  # noqa: BLE001 - into the future
+                with contextlib.suppress(InvalidStateError):
+                    outer.set_exception(retry_exc)
+
+        timer = threading.Timer(budget.backoff_s(consumed), resend)
+        timer.daemon = True
+        timer.start()
 
     def _attempt(
         self,
@@ -843,6 +896,7 @@ class PipelinedSession:
         outer: Future,
         retries_left: int,
         sent: dict[str, object] | None = None,
+        budget: RetryBudget | None = None,
     ) -> None:
         request_id = next(self._ids)
         message = request_envelope(op, request_id=request_id, **fields)
@@ -852,9 +906,12 @@ class PipelinedSession:
             if outer.done():  # locally cancelled while in flight
                 return
             exc = done.exception()
-            if isinstance(exc, ConnectionError) and retries_left > 0:
+            if isinstance(exc, ConnectionError) and budget is not None:
                 # The connection died with this request in flight; resend on
-                # a fresh one (idempotent ops only reach this path).
+                # a fresh one within the request's retry budget.
+                self._retry_later(op, fields, outer, sent, budget, exc)
+            elif isinstance(exc, ConnectionError) and retries_left > 0:
+                # Legacy single resend (idempotent ops only reach this path).
                 try:
                     self._attempt(op, fields, outer, retries_left - 1, sent=sent)
                 except Exception as retry_exc:  # noqa: BLE001 - into the future
@@ -875,7 +932,9 @@ class PipelinedSession:
                 sent["connection"] = connection
                 sent["id"] = request_id
         except ConnectionError as exc:
-            if retries_left > 0:
+            if budget is not None:
+                self._retry_later(op, fields, outer, sent, budget, exc)
+            elif retries_left > 0:
                 self._attempt(op, fields, outer, retries_left - 1, sent=sent)
             elif not outer.done():
                 with contextlib.suppress(InvalidStateError):
@@ -905,7 +964,9 @@ class PipelinedSession:
         if deadline_s is not None:
             fields["deadline_s"] = float(deadline_s)
         sent: dict[str, object] = {}
-        raw = self._submit_op("infer", sent=sent, **fields)
+        raw = self._submit_op(
+            "infer", sent=sent, budget=request.retry_budget, **fields
+        )
 
         def cancel_remote() -> None:
             connection = sent.get("connection")
@@ -916,11 +977,14 @@ class PipelinedSession:
                 or request_id is None
             ):
                 return
+            cancel_fields: dict[str, object] = {"target": request_id}
+            if outer.cancel_reason is not None:
+                cancel_fields["reason"] = str(outer.cancel_reason)
             # Fire and forget: the reply (routed by its own fresh id) lands
             # on a throwaway future nobody waits for.
             connection.send(
                 request_envelope(
-                    "cancel", request_id=next(self._ids), target=request_id
+                    "cancel", request_id=next(self._ids), **cancel_fields
                 ),
                 Future(),
             )

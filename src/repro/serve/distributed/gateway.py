@@ -19,9 +19,23 @@ queue further.  Server backlog is polled by a **background refresher
 thread**, never on the submit path: ``submit()`` reads only cached hints, so
 a wedged endpoint's ``info`` can never stall dispatch.  A shard that an
 overloaded or draining server *sheds* (structured ``overloaded`` /
-``draining`` error) is retried once on the least-loaded sibling endpoint,
-and per-request deadlines propagate to every endpoint that understands
-them.  Because every
+``draining`` error) is retried on the least-loaded sibling endpoint within
+the request's :class:`~repro.serve.retry.RetryBudget` (jittered backoff
+between hops; exhaustion surfaces as a structured
+:class:`~repro.serve.retry.RetryBudgetExhausted`), and per-request deadlines
+propagate to every endpoint that understands them.
+
+The gateway also mitigates *stragglers*: with hedging enabled
+(``hedge_after_s`` and/or ``hedge_percentile``), a shard whose wait exceeds
+the straggler threshold is **hedged** — duplicated to the least-loaded
+serving sibling.  The first attempt to finish wins the shard; the loser is
+cancelled best-effort (over the wire via the v2 ``cancel`` op, tagged
+``reason="hedge"``, when the endpoint hands out cancellable futures), and a
+losing attempt that still completes is counted as wasted compute.  Hedging
+is exact for the same reason shed-retry is: shards are deterministic,
+idempotent functions of their absolute sample range, so whichever attempt
+wins returns bit-identical numbers.  A hedge never fires past the request
+deadline, and a failed hedge cancel never fails the request.  Because every
 shard carries its absolute ``sample_offset`` and every endpoint derives
 spike trains from the same shard-stable
 :class:`~repro.snn.encoding.EncoderState` seeding, the merged response is
@@ -61,10 +75,17 @@ regardless of completion order, so the merged numbers are deterministic.
 
 from __future__ import annotations
 
+import contextlib
 import inspect
 import threading
 import time
-from concurrent.futures import Future, InvalidStateError, ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    CancelledError,
+    Future,
+    InvalidStateError,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -78,6 +99,7 @@ from repro.serve.metrics import (
     merge_phases,
     record_phase,
 )
+from repro.serve.retry import RetryBudget, RetryBudgetExhausted
 from repro.serve.schema import (
     ERROR_DRAINING,
     ERROR_OVERLOADED,
@@ -92,9 +114,22 @@ __all__ = ["GatewayEndpoint", "InferenceGateway"]
 #: not starve the refresh of its healthy siblings for longer than this.
 LOAD_POLL_TIMEOUT_S = 1.0
 
-#: Structured server errors that make a shard eligible for one retry on a
+#: Structured server errors that make a shard eligible for retry on a
 #: sibling endpoint (the server refused the work without starting it).
 _SHED_RETRY_CODES = frozenset({ERROR_OVERLOADED, ERROR_DRAINING})
+
+#: Rolling window of observed shard latencies feeding the adaptive
+#: (percentile-derived) straggler threshold.
+_HEDGE_LATENCY_WINDOW = 128
+
+#: Minimum observations before the percentile threshold is trusted; until
+#: then a percentile-only gateway does not hedge (and a fixed
+#: ``hedge_after_s`` keeps working on its own).
+_HEDGE_MIN_SAMPLES = 8
+
+#: Floor on any hedge threshold: hedging sub-millisecond "stragglers" would
+#: duplicate nearly every shard.
+_HEDGE_FLOOR_S = 1e-3
 
 
 @dataclass
@@ -140,6 +175,17 @@ class GatewayEndpoint:
     supports_deadline: bool = field(
         default=False, init=False, repr=False, compare=False
     )
+    #: Whether ``target.submit`` exists (pipelined remotes): hedged dispatch
+    #: then gets a cancellable future, so losing attempts can be revoked on
+    #: the server instead of computing an orphaned answer.
+    supports_submit: bool = field(default=False, init=False, repr=False, compare=False)
+    #: Whether that ``submit`` accepts a ``deadline_s`` keyword.
+    submit_supports_deadline: bool = field(
+        default=False, init=False, repr=False, compare=False
+    )
+    #: Hedges issued *against* this endpoint (its shard straggled and was
+    #: duplicated elsewhere) — a fleet controller's slow-replica signal.
+    hedges: int = field(default=0, init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not hasattr(self.target, "infer"):
@@ -164,6 +210,15 @@ class GatewayEndpoint:
             )
         except (TypeError, ValueError):  # builtins / exotic callables
             self.supports_deadline = False
+        submitter = getattr(self.target, "submit", None)
+        if callable(submitter):
+            try:
+                self.submit_supports_deadline = (
+                    "deadline_s" in inspect.signature(submitter).parameters
+                )
+                self.supports_submit = True
+            except (TypeError, ValueError):
+                self.supports_submit = False
 
 
 @dataclass
@@ -175,6 +230,12 @@ class _ShardPlan:
     #: Name of the endpoint originally planned, when the shard was shed
     #: there and re-ran on ``endpoint`` instead.
     retried_from: str | None = None
+    #: Sibling a hedge duplicate was dispatched to (set when it fires).
+    hedged_to: str | None = None
+    #: Straggler endpoint a *winning* hedge rescued this shard from.
+    hedged_from: str | None = None
+    #: Shed retries this shard consumed from the request's budget.
+    retries: int = 0
 
 
 class _MergeState:
@@ -229,6 +290,12 @@ class _MergeState:
             # this very thread, which must not find the lock held.
             for other in siblings:
                 other.cancel()
+            if isinstance(exc, RetryBudgetExhausted):
+                # Already a structured, self-describing error (attempts,
+                # retries, chained cause): surface it unwrapped so callers
+                # can branch on the type.
+                self.result.set_exception(exc)
+                return
             self.result.set_exception(
                 RuntimeError(
                     f"gateway endpoint {shard.endpoint.name!r} failed on "
@@ -288,6 +355,17 @@ class _MergeState:
                         if shard.retried_from is not None
                         else {}
                     ),
+                    **({"retries": shard.retries} if shard.retries else {}),
+                    **(
+                        {"hedged_to": shard.hedged_to}
+                        if shard.hedged_to is not None
+                        else {}
+                    ),
+                    **(
+                        {"hedged_from": shard.hedged_from}
+                        if shard.hedged_from is not None
+                        else {}
+                    ),
                 }
                 for shard in plan
             ],
@@ -315,6 +393,258 @@ class _MergeState:
         )
 
 
+class _ShardAttempt:
+    """One dispatch of a shard onto one endpoint (primary or hedge)."""
+
+    __slots__ = ("endpoint", "hedge", "started", "task", "wire_future", "ended")
+
+    def __init__(self, endpoint: GatewayEndpoint, *, hedge: bool):
+        self.endpoint = endpoint
+        self.hedge = hedge
+        self.started: float | None = None
+        #: The dispatch pool task running this attempt (cancellable only
+        #: while still queued).
+        self.task: Future | None = None
+        #: The endpoint's in-flight cancellable future, while blocked on it.
+        self.wire_future: Future | None = None
+        #: Set exactly once, when the attempt's inflight charge is released.
+        self.ended = False
+
+
+class _ShardRun:
+    """One shard's dispatch lifecycle: primary attempt, hedge, budget retries.
+
+    Every attempt is an independent dispatch-pool task; the run resolves
+    ``result`` (what the merge consumes) with whichever attempt finishes
+    first.  Nothing here ever blocks on another pool task, so hedging adds
+    load to the pool but can never deadlock it.  The straggler timer fires
+    on its own daemon thread and only *schedules* the hedge.
+    """
+
+    def __init__(
+        self,
+        gateway: "InferenceGateway",
+        shard: _ShardPlan,
+        sub_request: InferenceRequest,
+        deadline_s: float | None,
+        budget: RetryBudget,
+        result: Future,
+    ):
+        self.gateway = gateway
+        self.shard = shard
+        self.sub_request = sub_request
+        self.deadline_s = deadline_s
+        self.budget = budget
+        self.result = result
+        self.lock = threading.Lock()
+        self.attempts: list[_ShardAttempt] = []
+        self.winner: _ShardAttempt | None = None
+        self.hedged = False
+        self.timer: threading.Timer | None = None
+
+    # -- launch -------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Dispatch the primary attempt and arm the straggler timer.
+
+        The hedge timer is armed only when a threshold exists *and* it
+        precedes the request deadline: past the deadline the server has
+        already shed the primary, so a duplicate could never win — a hedge
+        never fires past the request deadline.
+        """
+        primary = _ShardAttempt(self.shard.endpoint, hedge=False)
+        with self.lock:
+            self.attempts.append(primary)
+        threshold = self.gateway.hedge_threshold()
+        if threshold is not None and (
+            self.deadline_s is None or threshold < self.deadline_s
+        ):
+            self.timer = threading.Timer(threshold, self._fire_hedge)
+            self.timer.daemon = True
+            self.timer.start()
+        primary.task = self.gateway._threads.submit(self._run_attempt, primary)
+
+    def abandon(self) -> None:
+        """The merged request no longer wants this shard; revoke best-effort."""
+        if self.timer is not None:
+            self.timer.cancel()
+        with self.lock:
+            pending = [a for a in self.attempts if not a.ended]
+        for attempt in pending:
+            if self.gateway._cancel_attempt(attempt):
+                self._end_attempt(attempt)
+
+    # -- hedging ------------------------------------------------------------------
+
+    def _fire_hedge(self) -> None:
+        """Timer body: duplicate the straggling shard onto a sibling."""
+        with self.lock:
+            if self.winner is not None or self.hedged or self.result.done():
+                return
+            primary = self.attempts[0]
+            attempted = [a.endpoint for a in self.attempts]
+        if self.deadline_s is not None:
+            # Re-check at fire time: an early timer must still never hedge
+            # work the deadline has already condemned.
+            if time.monotonic() - (primary.started or 0.0) >= self.deadline_s:
+                return
+        sibling = self.gateway._fallback_for(primary.endpoint, exclude=attempted)
+        if sibling is None:
+            return
+        attempt = _ShardAttempt(sibling, hedge=True)
+        with self.lock:
+            if self.winner is not None or self.result.done():
+                return
+            self.hedged = True
+            self.attempts.append(attempt)
+        self.shard.hedged_to = sibling.name
+        with self.gateway._load_lock:
+            sibling.inflight += 1
+            primary.endpoint.hedges += 1
+        self.gateway._count_tail("hedges_issued", self.gateway._m_hedges)
+        try:
+            attempt.task = self.gateway._threads.submit(self._run_attempt, attempt)
+        except RuntimeError:  # gateway closed under the timer
+            self._end_attempt(attempt)
+
+    # -- attempt execution --------------------------------------------------------
+
+    def _run_attempt(self, attempt: _ShardAttempt) -> None:
+        attempt.started = time.monotonic()
+        with self.lock:
+            already_won = self.winner is not None
+        if already_won:  # lost before ever starting (pool queue)
+            self._attempt_cancelled(attempt)
+            return
+        while True:
+            try:
+                response = self.gateway._infer_on_attempt(
+                    attempt, self.sub_request, self.deadline_s
+                )
+            except CancelledError:
+                self._attempt_cancelled(attempt)
+                return
+            except RemoteServerError as exc:
+                error: BaseException = exc
+                if exc.code in _SHED_RETRY_CODES:
+                    with self.lock:
+                        won = self.winner is not None
+                    if not won:
+                        moved = self._shed_retry(attempt, exc)
+                        if moved is None:
+                            continue
+                        error = moved
+                self._attempt_failed(attempt, error)
+                return
+            except BaseException as exc:  # noqa: BLE001 - routed into the future
+                self._attempt_failed(attempt, exc)
+                return
+            self._attempt_finished(attempt, response)
+            return
+
+    def _shed_retry(
+        self, attempt: _ShardAttempt, exc: RemoteServerError
+    ) -> BaseException | None:
+        """Move a shed attempt to a sibling within the request's budget.
+
+        Returns ``None`` when the attempt moved (caller loops and re-runs),
+        else the error to surface — the original shed error when no sibling
+        is available, or the structured budget-exhaustion error.
+        """
+        with self.lock:
+            attempted = [a.endpoint for a in self.attempts if a is not attempt]
+        fallback = self.gateway._fallback_for(attempt.endpoint, exclude=attempted)
+        if fallback is None:
+            return exc
+        consumed = self.budget.try_consume()
+        if consumed is None:
+            self.gateway._count_tail(
+                "budget_exhausted", self.gateway._m_budget_exhausted
+            )
+            return self.budget.exhausted(exc)
+        # Jittered backoff before the hop: an overloaded fleet being
+        # hammered by synchronized immediate retries stays overloaded.
+        time.sleep(self.budget.backoff_s(consumed))
+        with self.gateway._load_lock:
+            attempt.endpoint.inflight -= 1
+            fallback.inflight += 1
+        with self.lock:
+            if not attempt.hedge and self.shard.retried_from is None:
+                self.shard.retried_from = attempt.endpoint.name
+            self.shard.retries += 1
+            attempt.endpoint = fallback
+        self.gateway._count_tail("retries", self.gateway._m_retries)
+        return None
+
+    # -- attempt outcomes ---------------------------------------------------------
+
+    def _end_attempt(self, attempt: _ShardAttempt) -> None:
+        """Release the attempt's inflight charge (idempotent)."""
+        with self.lock:
+            if attempt.ended:
+                return
+            attempt.ended = True
+        with self.gateway._load_lock:
+            attempt.endpoint.inflight -= 1
+
+    def _attempt_finished(
+        self, attempt: _ShardAttempt, response: InferenceResponse
+    ) -> None:
+        if attempt.started is not None:
+            self.gateway._observe_shard_latency(time.monotonic() - attempt.started)
+        self._end_attempt(attempt)
+        with self.lock:
+            if self.winner is not None:
+                # Lost the race but computed a full answer anyway: the
+                # cancel could not save this work.
+                wasted = True
+                losers: list[_ShardAttempt] = []
+            else:
+                self.winner = attempt
+                wasted = False
+                losers = [a for a in self.attempts if a is not attempt and not a.ended]
+        if wasted:
+            self.gateway._count_tail("hedge_wasted_compute", self.gateway._m_wasted)
+            return
+        if self.timer is not None:
+            self.timer.cancel()
+        for loser in losers:
+            # Best-effort: a failed cancel must never fail the request.
+            if self.gateway._cancel_attempt(loser):
+                self._end_attempt(loser)
+        if attempt.hedge:
+            self.shard.hedged_from = self.attempts[0].endpoint.name
+            self.gateway._count_tail("hedge_wins", self.gateway._m_hedge_wins)
+        self.shard.endpoint = attempt.endpoint
+        with contextlib.suppress(InvalidStateError):
+            self.result.set_result(response)
+
+    def _attempt_failed(self, attempt: _ShardAttempt, exc: BaseException) -> None:
+        self._end_attempt(attempt)
+        with self.lock:
+            if self.winner is not None:
+                # A loser failing after the win (typically: its cancel
+                # landed server-side as a structured ``cancelled`` error)
+                # is the hedge working as intended.
+                return
+            if any(not a.ended for a in self.attempts if a is not attempt):
+                # A sibling attempt is still live; give it the chance to
+                # win before surfacing anything.
+                return
+        with contextlib.suppress(InvalidStateError):
+            self.result.set_exception(exc)
+
+    def _attempt_cancelled(self, attempt: _ShardAttempt) -> None:
+        self._end_attempt(attempt)
+        with self.lock:
+            if self.winner is not None:
+                return
+            if any(not a.ended for a in self.attempts if a is not attempt):
+                return
+        # Every attempt revoked with no winner: the request abandoned us.
+        self.result.cancel()
+
+
 class InferenceGateway:
     """Fan batches out across endpoints and merge the responses exactly.
 
@@ -339,6 +669,27 @@ class InferenceGateway:
         else contributes only the gateway's own planned-shard count.
         :meth:`refresh_load_hints` forces one synchronous sweep (what the
         refresher runs; handy in tests and controllers).
+    hedge_after_s:
+        Fixed straggler threshold: a shard still unfinished after this many
+        seconds is duplicated onto the least-loaded serving sibling; the
+        first attempt to finish wins, the loser is cancelled best-effort.
+        ``None`` (default) disables the fixed threshold.
+    hedge_percentile:
+        Adaptive straggler threshold: hedge once a shard's wait exceeds
+        this percentile of the last :data:`_HEDGE_LATENCY_WINDOW` observed
+        shard latencies (needs :data:`_HEDGE_MIN_SAMPLES` observations;
+        combined with ``hedge_after_s`` the *larger* of the two wins, so a
+        fixed knob acts as a floor under a twitchy percentile).  ``None``
+        (default) disables.  Hedging is off only when both are ``None``.
+    retry_attempts:
+        Shed/``draining`` retries per *planned shard* folded into the
+        default per-request :class:`RetryBudget` (pooled across the whole
+        request) when the request does not carry its own budget.  The
+        default of 1 preserves the historical single-hop allowance — now
+        with jittered backoff between hops.
+    retry_backoff_base_s / retry_backoff_cap_s:
+        Backoff policy of that default budget (first hop sleeps about
+        ``base``, doubling per retry up to ``cap``, jittered ±50%).
     """
 
     def __init__(
@@ -349,14 +700,32 @@ class InferenceGateway:
         adaptive: bool = True,
         load_poll_s: float = 0.25,
         registry: MetricsRegistry | None = None,
+        hedge_after_s: float | None = None,
+        hedge_percentile: float | None = None,
+        retry_attempts: int = 1,
+        retry_backoff_base_s: float = 0.02,
+        retry_backoff_cap_s: float = 0.5,
     ):
         if not endpoints:
             raise ValueError("gateway needs at least one endpoint")
         if load_poll_s < 0:
             raise ValueError(f"load_poll_s must be >= 0, got {load_poll_s}")
+        if hedge_after_s is not None and hedge_after_s <= 0:
+            raise ValueError(f"hedge_after_s must be > 0, got {hedge_after_s}")
+        if hedge_percentile is not None and not 0 < hedge_percentile < 100:
+            raise ValueError(
+                f"hedge_percentile must be in (0, 100), got {hedge_percentile}"
+            )
+        if retry_attempts < 0:
+            raise ValueError(f"retry_attempts must be >= 0, got {retry_attempts}")
         self.name = name
         self.adaptive = adaptive
         self.load_poll_s = load_poll_s
+        self.hedge_after_s = hedge_after_s
+        self.hedge_percentile = hedge_percentile
+        self.retry_attempts = int(retry_attempts)
+        self.retry_backoff_base_s = float(retry_backoff_base_s)
+        self.retry_backoff_cap_s = float(retry_backoff_cap_s)
         self.metrics = registry if registry is not None else get_default_registry()
         self._m_requests = self.metrics.counter(
             "repro_gateway_requests_total", "batches submitted"
@@ -367,9 +736,37 @@ class InferenceGateway:
         self._m_retries = self.metrics.counter(
             "repro_gateway_retries_total", "shards retried on a sibling"
         )
+        self._m_hedges = self.metrics.counter(
+            "repro_gateway_hedges_issued_total",
+            "straggling shards duplicated onto a sibling",
+        )
+        self._m_hedge_wins = self.metrics.counter(
+            "repro_gateway_hedge_wins_total",
+            "shards won by the hedged duplicate",
+        )
+        self._m_wasted = self.metrics.counter(
+            "repro_gateway_hedge_wasted_compute_total",
+            "losing attempts that still computed a full response",
+        )
+        self._m_budget_exhausted = self.metrics.counter(
+            "repro_gateway_budget_exhausted_total",
+            "shards failed by an exhausted retry budget",
+        )
         self._m_merge = self.metrics.histogram(
             "repro_gateway_merge_seconds", "shard merge wall per request"
         )
+        # Plain-int mirrors of the tail counters: load-bearing (controller
+        # signals, tests, benches) even when the metrics registry is the
+        # process-wide disabled default.  Guarded by _load_lock.
+        self._tail = {
+            "hedges_issued": 0,
+            "hedge_wins": 0,
+            "hedge_wasted_compute": 0,
+            "retries": 0,
+            "budget_exhausted": 0,
+        }
+        #: Rolling observed shard latencies feeding hedge_percentile.
+        self._shard_latencies: deque[float] = deque(maxlen=_HEDGE_LATENCY_WINDOW)
         self._endpoints = [
             e if isinstance(e, GatewayEndpoint) else GatewayEndpoint(target=e)
             for e in endpoints
@@ -576,6 +973,7 @@ class InferenceGateway:
                     "inflight": int(endpoint.inflight),
                     "load_hint": float(endpoint.load_hint),
                     "draining": bool(endpoint.draining),
+                    "hedges": int(endpoint.hedges),
                     "info": dict(endpoint.info_hint),
                 }
         return loads
@@ -628,59 +1026,126 @@ class InferenceGateway:
                 start = stop
         return plan
 
+    # -- tail-latency accounting ----------------------------------------------------
+
+    def _count_tail(self, key: str, metric) -> None:
+        """Bump one tail counter in both the registry and the plain mirror."""
+        with self._load_lock:
+            self._tail[key] += 1
+        metric.inc()
+
+    def tail_stats(self) -> dict[str, int]:
+        """Cumulative tail-latency counters (hedges, retries, exhaustions)."""
+        with self._load_lock:
+            return dict(self._tail)
+
+    def _observe_shard_latency(self, seconds: float) -> None:
+        with self._load_lock:
+            self._shard_latencies.append(float(seconds))
+
+    def hedge_threshold(self) -> float | None:
+        """Current straggler threshold in seconds, or None when not hedging.
+
+        The percentile-derived threshold needs :data:`_HEDGE_MIN_SAMPLES`
+        observed shard latencies; before that (or with ``hedge_percentile``
+        unset) the fixed ``hedge_after_s`` stands alone.  When both apply,
+        the larger wins, and every threshold is floored at
+        :data:`_HEDGE_FLOOR_S`.
+        """
+        if self.hedge_after_s is None and self.hedge_percentile is None:
+            return None
+        adaptive: float | None = None
+        if self.hedge_percentile is not None:
+            with self._load_lock:
+                samples = (
+                    list(self._shard_latencies)
+                    if len(self._shard_latencies) >= _HEDGE_MIN_SAMPLES
+                    else None
+                )
+            if samples is not None:
+                adaptive = float(np.percentile(samples, self.hedge_percentile))
+        if adaptive is None:
+            if self.hedge_after_s is None:
+                return None
+            return max(self.hedge_after_s, _HEDGE_FLOOR_S)
+        return max(adaptive, self.hedge_after_s or 0.0, _HEDGE_FLOOR_S)
+
     # -- inference ----------------------------------------------------------------
 
-    def _infer_on(
+    def _infer_on_attempt(
         self,
-        endpoint: GatewayEndpoint,
+        attempt: _ShardAttempt,
         sub_request: InferenceRequest,
         deadline_s: float | None,
     ) -> InferenceResponse:
         # One shard at a time per endpoint: endpoints own their internal
         # concurrency (pools shard further, pipelined remotes pipeline),
         # and most targets' infer() is not reentrant.  The inflight counter
-        # is maintained by submit()/the shard done-callback (plan-time
-        # accounting), not here, so queued-but-unstarted shards count too.
+        # is maintained by plan-time accounting and the attempt lifecycle,
+        # not here, so queued-but-unstarted shards count too.
+        endpoint = attempt.endpoint
         with endpoint.lock:
+            if endpoint.supports_submit:
+                # Dispatch through submit() so the in-flight work has a
+                # cancellable handle: if this attempt loses a hedge race,
+                # cancel() revokes it (frees the server queue slot) and
+                # unblocks this worker with CancelledError.
+                if deadline_s is not None and endpoint.submit_supports_deadline:
+                    future = endpoint.target.submit(
+                        sub_request, deadline_s=deadline_s
+                    )
+                else:
+                    future = endpoint.target.submit(sub_request)
+                attempt.wire_future = future
+                try:
+                    return future.result()
+                finally:
+                    attempt.wire_future = None
             if deadline_s is not None and endpoint.supports_deadline:
                 return endpoint.target.infer(sub_request, deadline_s=deadline_s)
             return endpoint.target.infer(sub_request)
 
-    def _fallback_for(self, shed: GatewayEndpoint) -> GatewayEndpoint | None:
-        """The least-backlogged *other* serving endpoint, or None when alone."""
-        candidates = [e for e in self._serving_endpoints() if e is not shed]
+    def _cancel_attempt(self, attempt: _ShardAttempt) -> bool:
+        """Best-effort revocation of a losing attempt; never raises.
+
+        Still queued in the dispatch pool → the task is cancelled outright;
+        returns True so the caller releases its inflight charge (the task
+        will never run to release it itself).  Blocked on a cancellable
+        endpoint future → that future is cancelled with ``reason="hedge"``,
+        which revokes the server-side work and unblocks the worker.
+        Anything else (a blocking ``infer`` mid-compute) runs to completion
+        and is counted as wasted compute when it lands.
+        """
+        task = attempt.task
+        if task is not None and task.cancel():
+            return True
+        wire_future = attempt.wire_future
+        if wire_future is not None:
+            with contextlib.suppress(Exception):
+                wire_future.cancel_reason = "hedge"
+                wire_future.cancel()
+        return False
+
+    def _fallback_for(
+        self,
+        shed: GatewayEndpoint,
+        exclude: Sequence[GatewayEndpoint] = (),
+    ) -> GatewayEndpoint | None:
+        """The least-backlogged *other* serving endpoint, or None when alone.
+
+        ``exclude`` names further endpoints to avoid — a hedge must not
+        land on an endpoint already attempting this very shard.
+        """
+        excluded = {id(e) for e in exclude}
+        excluded.add(id(shed))
+        candidates = [
+            e for e in self._serving_endpoints() if id(e) not in excluded
+        ]
         if not candidates:
             return None
         # Least backlog first; static capacity breaks ties (deterministic:
         # min() keeps the earliest endpoint on full ties).
         return min(candidates, key=lambda e: (self._backlog_of(e), -e.capacity))
-
-    def _run_shard(
-        self,
-        shard: _ShardPlan,
-        sub_request: InferenceRequest,
-        deadline_s: float | None,
-    ) -> InferenceResponse:
-        try:
-            return self._infer_on(shard.endpoint, sub_request, deadline_s)
-        except RemoteServerError as exc:
-            if exc.code not in _SHED_RETRY_CODES:
-                raise
-            # The endpoint refused this shard (overloaded, or draining
-            # under a racing scale-down); one retry on the least-loaded
-            # sibling (the shard is idempotent and carries its absolute
-            # sample_offset, so re-running elsewhere is exact).
-            fallback = self._fallback_for(shard.endpoint)
-            if fallback is None:
-                raise
-            # Move the planned-shard accounting with the shard.
-            with self._load_lock:
-                shard.endpoint.inflight -= 1
-                fallback.inflight += 1
-            shard.retried_from = shard.endpoint.name
-            shard.endpoint = fallback
-            self._m_retries.inc()
-            return self._infer_on(fallback, sub_request, deadline_s)
 
     def submit(
         self, request: InferenceRequest, *, deadline_s: float | None = None
@@ -691,47 +1156,62 @@ class InferenceGateway:
         :class:`InferenceResponse`.  All endpoint shards go out
         concurrently; completions merge as they stream in, and a shard
         failure resolves the future immediately with an error naming the
-        endpoint.  A shard shed by an overloaded endpoint is retried once
-        on the least-loaded sibling before failing.  ``deadline_s``
-        propagates to every endpoint whose ``infer`` accepts it (remote
-        sessions pass it to the server's admission control).  Safe to call
-        again before earlier batches resolve — batches pipeline across the
-        endpoints.
+        endpoint.  A shard shed by an overloaded endpoint is retried on the
+        least-loaded sibling within the request's retry budget (the
+        request's own :class:`RetryBudget` when it carries one, else a
+        default pooled budget of ``retry_attempts`` hops per planned
+        shard), and a straggling shard is hedged onto a sibling once its
+        wait crosses :meth:`hedge_threshold`.  ``deadline_s`` propagates to
+        every endpoint whose ``infer`` accepts it (remote sessions pass it
+        to the server's admission control).  Safe to call again before
+        earlier batches resolve — batches pipeline across the endpoints.
         """
         if self._closed:
             raise RuntimeError("gateway is closed")
         plan = self.shard_plan(request.batch_size)
         self._m_requests.inc()
         self._m_shards.inc(len(plan))
+        budget = request.retry_budget
+        if budget is None:
+            budget = RetryBudget(
+                1 + self.retry_attempts * len(plan),
+                backoff_base_s=self.retry_backoff_base_s,
+                backoff_cap_s=self.retry_backoff_cap_s,
+            )
+            # Shards carry the shared budget so endpoint-internal retries
+            # (a PipelinedSession resubmitting after a dead connection)
+            # draw from the same per-request pool.
+            request = request.with_retry_budget(budget)
         result: Future = Future()
         state = _MergeState(self, request, plan, result)
-        # Plan-time load accounting: the shard counts against its endpoint
-        # from the moment it is planned (queued work is backlog too), and
-        # the done-callback releases it however the shard ends — completed,
-        # failed, or cancelled before it ever ran.
+        # Plan-time load accounting: the primary attempt counts against its
+        # endpoint from the moment it is planned (queued work is backlog
+        # too); each attempt releases its own charge however it ends —
+        # completed, failed, or cancelled before it ever ran.
         with self._load_lock:
             for shard in plan:
                 shard.endpoint.inflight += 1
-
-        def _release(done: Future, shard: _ShardPlan) -> None:
-            with self._load_lock:
-                shard.endpoint.inflight -= 1
-
-        for shard in plan:
-            future = self._threads.submit(
-                self._run_shard,
+        runs = [
+            _ShardRun(
+                self,
                 shard,
                 request.shard(shard.start, shard.stop),
                 deadline_s,
+                budget,
+                Future(),
             )
-            state.shard_futures.append(future)
-        for shard, future in zip(plan, state.shard_futures):
-            future.add_done_callback(
-                lambda done, shard=shard: _release(done, shard)
+            for shard in plan
+        ]
+        state.shard_futures.extend(run.result for run in runs)
+        for shard, run in zip(plan, runs):
+            run.result.add_done_callback(
+                lambda done, run=run: run.abandon() if done.cancelled() else None
             )
-            future.add_done_callback(
+            run.result.add_done_callback(
                 lambda done, shard=shard: state.shard_done(shard, done)
             )
+        for run in runs:
+            run.start()
         return result
 
     def infer(

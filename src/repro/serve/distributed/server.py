@@ -342,6 +342,10 @@ class ChipServer:
         self._m_cancelled = self.metrics.counter(
             "repro_server_cancelled_total", "queued requests cancelled"
         )
+        self._m_hedge_cancelled = self.metrics.counter(
+            "repro_server_hedge_cancelled_total",
+            "queued requests revoked by a gateway hedge (cancel reason=hedge)",
+        )
         self._m_drain_rejected = self.metrics.counter(
             "repro_server_drain_rejected_total",
             "requests refused while draining",
@@ -442,6 +446,7 @@ class ChipServer:
             "shed": int(self._m_shed.value),
             "deadline_exceeded": int(self._m_deadline.value),
             "cancelled": int(self._m_cancelled.value),
+            "hedge_cancelled": int(self._m_hedge_cancelled.value),
             "drain_rejected": int(self._m_drain_rejected.value),
         }
 
@@ -817,6 +822,11 @@ class ChipServer:
                         with contextlib.suppress(ValueError):
                             self._space_waiters.remove(pending.waiter)
                     self._m_cancelled.inc()
+                    if message.get("reason") == "hedge":
+                        # The gateway revoked a losing hedged duplicate:
+                        # this cancel *freed* a queue slot that would have
+                        # been wasted compute.
+                        self._m_hedge_cancelled.inc()
                     cancelled = True
                 result = {"cancelled": cancelled, "target": target}
             elif op == "metrics":

@@ -3,9 +3,11 @@
 :class:`FleetController` watches a duck-typed *fleet* — anything with
 ``replica_count()``, ``load_signals()``, ``scale_up()`` and
 ``scale_down()`` — and decides when to grow or shrink it.  The signal is
-**pressure**: the EWMA of mean per-replica backlog plus a weighted EWMA of
+**pressure**: the EWMA of mean per-replica backlog plus weighted EWMAs of
 the fleet-wide shed rate (sheds mean the backlog bound is already cutting
-work, so they push the signal up even when queues look short).
+work, so they push the signal up even when queues look short) and of the
+hedge rate (hedges mean some replica is straggling — the gateway is paying
+duplicate compute to hide it, so the fleet is effectively short a replica).
 
 Scaling is governed by **hysteresis**, not thresholds alone: pressure must
 stay above ``target_backlog`` for ``scale_up_stable_s`` before a scale-up,
@@ -63,6 +65,9 @@ class FleetPolicy:
     ewma_alpha: float = 0.5
     #: How many backlog units one shed-per-interval is worth in pressure.
     shed_weight: float = 1.0
+    #: How many backlog units one hedge-per-interval is worth in pressure
+    #: (hedges signal a straggling replica burning duplicate compute).
+    hedge_weight: float = 0.5
 
     def __post_init__(self) -> None:
         if self.min_replicas < 1:
@@ -90,8 +95,9 @@ class FleetController:
 
     * ``replica_count() -> int`` — current fleet size;
     * ``load_signals() -> list[dict]`` — one ``{"backlog": float, "shed":
-      int}`` per reachable replica (``shed`` cumulative; the controller
-      differences it);
+      int, "hedges": int}`` per reachable replica (``shed`` / ``hedges``
+      cumulative; the controller differences them — ``hedges`` optional
+      for older fleets);
     * ``scale_up() -> bool`` / ``scale_down() -> bool`` — perform one
       action, returning whether it happened.
 
@@ -110,7 +116,9 @@ class FleetController:
         # EWMA state (None until the first sample seeds it).
         self._ewma_backlog: float | None = None
         self._ewma_shed_rate: float | None = None
+        self._ewma_hedge_rate: float | None = None
         self._last_shed_total: int | None = None
+        self._last_hedge_total: int | None = None
         # Hysteresis state: when the signal first crossed each line.
         self._above_since: float | None = None
         self._idle_since: float | None = None
@@ -136,6 +144,7 @@ class FleetController:
         else:
             backlog = 0.0
         shed_total = int(sum(int(s.get("shed", 0)) for s in signals))
+        hedge_total = int(sum(int(s.get("hedges", 0)) for s in signals))
         if self._last_shed_total is None:
             shed_delta = 0
         else:
@@ -143,15 +152,28 @@ class FleetController:
             # pressure must not go negative because capacity left.
             shed_delta = max(0, shed_total - self._last_shed_total)
         self._last_shed_total = shed_total
+        if self._last_hedge_total is None:
+            hedge_delta = 0
+        else:
+            hedge_delta = max(0, hedge_total - self._last_hedge_total)
+        self._last_hedge_total = hedge_total
         shed_rate = shed_delta / replicas
+        hedge_rate = hedge_delta / replicas
         self._ewma_backlog = self._ewma(self._ewma_backlog, backlog)
         self._ewma_shed_rate = self._ewma(self._ewma_shed_rate, shed_rate)
-        pressure = self._ewma_backlog + self.policy.shed_weight * self._ewma_shed_rate
+        self._ewma_hedge_rate = self._ewma(self._ewma_hedge_rate, hedge_rate)
+        pressure = (
+            self._ewma_backlog
+            + self.policy.shed_weight * self._ewma_shed_rate
+            + self.policy.hedge_weight * self._ewma_hedge_rate
+        )
         return {
             "backlog": backlog,
             "shed_delta": float(shed_delta),
+            "hedge_delta": float(hedge_delta),
             "ewma_backlog": self._ewma_backlog,
             "ewma_shed_rate": self._ewma_shed_rate,
+            "ewma_hedge_rate": self._ewma_hedge_rate,
             "pressure": pressure,
         }
 
@@ -278,11 +300,13 @@ class FleetController:
             "replicas": self.fleet.replica_count(),
             "ewma_backlog": self._ewma_backlog,
             "ewma_shed_rate": self._ewma_shed_rate,
+            "ewma_hedge_rate": self._ewma_hedge_rate,
             "pressure": (
                 None
                 if self._ewma_backlog is None
                 else self._ewma_backlog
                 + self.policy.shed_weight * (self._ewma_shed_rate or 0.0)
+                + self.policy.hedge_weight * (self._ewma_hedge_rate or 0.0)
             ),
             "actions": dict(self._actions),
             "events": list(self.events),

@@ -54,6 +54,11 @@ class ElasticFleet:
         to drive :attr:`controller` manually (deterministic tests).
     gateway_load_poll_s:
         Interval of the gateway's background load refresher.
+    hedge_after_s / hedge_percentile:
+        Straggler-hedging knobs handed to the gateway (see
+        :class:`InferenceGateway`): a shard stuck on a slow replica past
+        the threshold is duplicated onto a sibling, first result wins, the
+        loser is cancelled over the wire.  Both default to off.
     start_method:
         :mod:`multiprocessing` start method for replica processes.
     """
@@ -66,6 +71,8 @@ class ElasticFleet:
         name: str = "fleet",
         start_controller: bool = True,
         gateway_load_poll_s: float = 0.25,
+        hedge_after_s: float | None = None,
+        hedge_percentile: float | None = None,
         start_method: str | None = None,
         boot_timeout_s: float = 120.0,
     ):
@@ -85,6 +92,8 @@ class ElasticFleet:
             [self._as_endpoint(replica) for replica in replicas],
             name=name,
             load_poll_s=gateway_load_poll_s,
+            hedge_after_s=hedge_after_s,
+            hedge_percentile=hedge_percentile,
         )
         self.controller = FleetController(self, self.policy)
         if start_controller:
@@ -106,7 +115,9 @@ class ElasticFleet:
         Backlog comes from the gateway's cache — its planned-shard count
         per endpoint plus the background refresher's last server hint — so
         sampling is RPC-free; the shed counter rides the same refresher's
-        cached ``info`` envelope.
+        cached ``info`` envelope, and the hedge counter is the gateway's
+        own per-endpoint hedged-against count (a straggling replica draws
+        hedges, which the controller prices into pressure).
         """
         loads = self.gateway.endpoint_loads()
         signals: list[dict[str, object]] = []
@@ -121,6 +132,7 @@ class ElasticFleet:
                     "replica_id": replica.replica_id,
                     "backlog": float(load["backlog"]),
                     "shed": int(stats.get("shed", 0)),
+                    "hedges": int(load.get("hedges", 0)),
                 }
             )
         return signals

@@ -215,7 +215,11 @@ class Histogram(_Child):
                 upper = self._edges[index]
                 lower = self._edges[index - 1] if index > 0 else 0.0
                 position = (rank - (cumulative - bucket_count)) / bucket_count
-                return lower + (upper - lower) * min(max(position, 0.0), 1.0)
+                estimate = lower + (upper - lower) * min(max(position, 0.0), 1.0)
+                # lower + (upper - lower) can round one ULP past upper when
+                # the bucket spans many orders of magnitude; pin the estimate
+                # to the bucket so the documented bound holds exactly.
+                return min(max(estimate, lower), upper)
         return self._edges[-1] if self._edges else 0.0
 
     def percentiles(self, qs: tuple[float, ...] = (0.5, 0.95, 0.99)) -> dict[str, float]:

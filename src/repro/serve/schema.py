@@ -63,6 +63,7 @@ import numpy as np
 
 from repro.core.stats import EventCounters
 from repro.energy.model import EnergyReport
+from repro.serve.retry import RetryBudget
 
 __all__ = [
     "ERROR_CANCELLED",
@@ -514,12 +515,20 @@ class InferenceRequest:
         Absolute index of ``inputs[0]`` within the logical batch.  Used by
         :class:`~repro.serve.ChipPool` so a shard's stochastic encoding is
         identical to the same slice of a single full-batch request.
+    retry_budget:
+        Optional :class:`~repro.serve.retry.RetryBudget` bounding the total
+        retries this request (and every shard of it) may consume across
+        layers — gateway shed retries, hedges gone wrong, client
+        reconnects.  Sender-side policy only: never serialized, and
+        :meth:`shard` hands every shard the *same* budget object so the
+        accounting is per request, not per shard.
     """
 
     inputs: np.ndarray
     labels: np.ndarray | None = None
     timesteps: int | None = None
     sample_offset: int = 0
+    retry_budget: RetryBudget | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.timesteps is not None and self.timesteps <= 0:
@@ -555,6 +564,10 @@ class InferenceRequest:
             labels=labels,
             sample_offset=self.sample_offset + start,
         )
+
+    def with_retry_budget(self, budget: RetryBudget | None) -> "InferenceRequest":
+        """A copy of this request carrying ``budget`` (shared by all its shards)."""
+        return replace(self, retry_budget=budget)
 
     def to_dict(self) -> dict[str, object]:
         """JSON-compatible representation."""

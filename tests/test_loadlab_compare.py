@@ -1,0 +1,142 @@
+"""Run-over-run load-lab comparison: thresholds, statistics, soft exit.
+
+The compare tool is CI's memory: it diffs the two newest sweep runs in
+the persisted trajectory and warns on regressions without ever failing
+the build.  These tests feed it synthetic run records, so every threshold
+(throughput drop, p95 rise with its absolute floor, energy rise, the
+Mann-Whitney latency shift) is exercised deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.loadlab.compare import (
+    compare_latest_runs,
+    compare_runs,
+    render_comparison,
+)
+from repro.loadlab.persist import persist_result
+from repro.loadlab.__main__ import main as loadlab_main
+
+
+def _cell(
+    topology: str = "server",
+    load: str = "closed-c1",
+    *,
+    throughput_rps: float = 10.0,
+    p95_s: float = 0.05,
+    energy_j: float = 2e-6,
+    latency_samples: list[float] | None = None,
+) -> dict:
+    return {
+        "topology": topology,
+        "load": load,
+        "throughput_rps": throughput_rps,
+        "queue_wait_s": {"p95": p95_s},
+        "energy_j_per_request": energy_j,
+        "latency_samples": latency_samples
+        or [0.01, 0.011, 0.012, 0.013, 0.014, 0.015],
+    }
+
+
+def _run(cells: list[dict], ran_at: str = "2026-01-01T00:00:00Z") -> dict:
+    return {"kind": "sweep", "ran_at": ran_at, "cells": cells}
+
+
+class TestCompareRuns:
+    def test_identical_runs_raise_no_warnings(self):
+        run = _run([_cell(), _cell(topology="gateway")])
+        report = compare_runs(run, run)
+        assert report["matched_cells"] == 2
+        assert report["warnings"] == []
+        assert "no regressions flagged" in render_comparison(report)
+
+    def test_all_regression_classes_flagged(self):
+        fast = [0.010 + 0.0001 * i for i in range(12)]
+        slow = [0.030 + 0.0001 * i for i in range(12)]
+        previous = _run([_cell(latency_samples=fast)])
+        latest = _run(
+            [
+                _cell(
+                    throughput_rps=5.0,  # -50%
+                    p95_s=0.5,  # 10x, far past the 1ms floor
+                    energy_j=3e-6,  # +50%
+                    latency_samples=slow,
+                )
+            ],
+            ran_at="2026-01-02T00:00:00Z",
+        )
+        report = compare_runs(previous, latest)
+        text = "\n".join(report["warnings"])
+        assert "throughput dropped" in text
+        assert "p95 queue wait rose" in text
+        assert "energy/request rose" in text
+        assert "latency distribution shifted slower" in text
+
+    def test_p95_floor_suppresses_microscopic_rises(self):
+        # 3x relative rise but only 0.2ms absolute: jitter, not regression.
+        previous = _run([_cell(p95_s=0.0001)])
+        latest = _run([_cell(p95_s=0.0003)])
+        report = compare_runs(previous, latest)
+        assert report["warnings"] == []
+
+    def test_faster_latest_is_never_flagged(self):
+        slow = [0.030 + 0.0001 * i for i in range(12)]
+        fast = [0.010 + 0.0001 * i for i in range(12)]
+        report = compare_runs(
+            _run([_cell(throughput_rps=5.0, p95_s=0.5, latency_samples=slow)]),
+            _run([_cell(throughput_rps=10.0, p95_s=0.05, latency_samples=fast)]),
+        )
+        assert report["warnings"] == []
+
+    def test_unmatched_cells_reported_not_compared(self):
+        report = compare_runs(
+            _run([_cell(), _cell(topology="retired")]),
+            _run([_cell(), _cell(topology="brand-new")]),
+        )
+        assert report["matched_cells"] == 1
+        assert ["retired", "closed-c1"] in report["unmatched_previous"]
+        assert ["brand-new", "closed-c1"] in report["unmatched_latest"]
+        assert "unmatched" in render_comparison(report)
+
+
+class TestCompareCli:
+    def _write_runs(self, path, runs):
+        for run in runs:
+            persist_result(path, "runs", run, append=True)
+
+    def test_fewer_than_two_runs_is_a_clean_noop(self, tmp_path, capsys):
+        path = tmp_path / "loadlab.json"
+        assert compare_latest_runs(path) is None
+        assert "nothing to compare" in capsys.readouterr().out
+        self._write_runs(path, [_run([_cell()])])
+        assert loadlab_main(["compare", "--input", str(path)]) == 0
+        assert "1 sweep run(s)" in capsys.readouterr().out
+
+    def test_compares_newest_two_and_exits_zero_despite_warnings(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "loadlab.json"
+        self._write_runs(
+            path,
+            [
+                _run([_cell(throughput_rps=99.0)], ran_at="old"),
+                _run([_cell(throughput_rps=10.0)], ran_at="mid"),
+                _run([_cell(throughput_rps=5.0)], ran_at="new"),
+            ],
+        )
+        # A regression between the two newest runs still exits 0 (soft gate).
+        assert loadlab_main(["compare", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING" in out
+        assert "throughput dropped 50.0%" in out
+        assert "latest new vs previous mid" in out
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        path = tmp_path / "loadlab.json"
+        self._write_runs(path, [_run([_cell()]), _run([_cell()])])
+        assert loadlab_main(["compare", "--input", str(path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["matched_cells"] == 1
+        assert report["warnings"] == []
