@@ -1,0 +1,121 @@
+"""Wall-clock payoff of the layer-fused kernel over the per-tile loop.
+
+The fused path packs every layer's tiles into one stacked conductance
+tensor and runs each timestep as a single batched matmul per layer, with
+all scratch living in a reusable :class:`~repro.fastpath.plan.KernelPlan`
+arena.  The acceptance bar is a >= 1.5x speedup over the pre-fusion
+``timesteps × layers × tiles`` loop (kept alive as
+:meth:`~repro.fastpath.engine.VectorizedChipEngine.run_batch_reference`)
+on a batch of 64, while staying bit-identical — the property suite in
+``tests/test_kernel_fused.py`` asserts the identity across randomized
+geometries; here we re-check it on the benchmarked runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import ArchitectureConfig, ChipSimulator
+from repro.fastpath import KernelPlan, VectorizedChipEngine
+from repro.snn import Dense, Network, convert_to_snn
+
+BATCH = 64
+TIMESTEPS = 8
+SPEEDUP_FLOOR = 1.5
+ROUNDS = 7
+
+
+@pytest.fixture(scope="module")
+def kernel_workload():
+    """A compiled mid-size MLP engine plus an encoded 64-sample train."""
+    rng = np.random.default_rng(17)
+    network = Network(
+        (196,),
+        [
+            Dense(196, 64, use_bias=False, rng=rng, name="fc1"),
+            Dense(64, 10, activation=None, use_bias=False, rng=rng, name="out"),
+        ],
+        name="kernel-mlp",
+    )
+    snn = convert_to_snn(network, rng.random((24, 196)))
+    config = ArchitectureConfig(crossbar_rows=32, crossbar_columns=32)
+    chip = ChipSimulator(config=config).build_chip(snn)
+    engine = VectorizedChipEngine.from_chip(chip)
+    train = (rng.random((TIMESTEPS, BATCH, 196)) > 0.5).astype(float)
+    return engine, train
+
+
+def _best_of(fn, rounds: int = ROUNDS) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_reference_kernel(benchmark, kernel_workload):
+    """The pre-fusion per-tile loop (the baseline the floor is against)."""
+    engine, train = kernel_workload
+    outcome = benchmark.pedantic(
+        lambda: engine.run_batch_reference(train), iterations=1, rounds=3
+    )
+    assert outcome.predictions.shape == (BATCH,)
+
+
+def test_bench_fused_kernel(benchmark, kernel_workload):
+    """The fused kernel with a warm plan (the steady serving state)."""
+    engine, train = kernel_workload
+    plan = KernelPlan(engine.program, BATCH, TIMESTEPS)
+    outcome = benchmark.pedantic(
+        lambda: engine.run_batch(train, plan=plan), iterations=1, rounds=3
+    )
+    assert outcome.predictions.shape == (BATCH,)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="timing floor is unreliable on a single busy core",
+)
+def test_fused_kernel_speedup_floor(kernel_workload, persist_result):
+    """Fused kernel must be >= 1.5x the per-tile loop at batch 64."""
+    engine, train = kernel_workload
+    plan = KernelPlan(engine.program, BATCH, TIMESTEPS)
+    # Warm both paths before timing.
+    reference = engine.run_batch_reference(train)
+    fused = engine.run_batch(train, plan=plan)
+
+    reference_s = _best_of(lambda: engine.run_batch_reference(train))
+    fused_s = _best_of(lambda: engine.run_batch(train, plan=plan))
+
+    speedup = reference_s / fused_s
+    print(
+        f"\nkernel wall-clock (batch {BATCH}): reference {reference_s * 1e3:.3f}ms, "
+        f"fused {fused_s * 1e3:.3f}ms, speedup {speedup:.2f}x"
+    )
+    persist_result(
+        "kernel",
+        "fused_vs_reference",
+        {
+            "batch": BATCH,
+            "timesteps": TIMESTEPS,
+            "reference_s": reference_s,
+            "fused_s": fused_s,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fused kernel only {speedup:.2f}x faster "
+        f"({reference_s * 1e3:.3f}ms vs {fused_s * 1e3:.3f}ms)"
+    )
+    # Speed must not change the answer — bit-identical, not approximately.
+    np.testing.assert_array_equal(reference.predictions, fused.predictions)
+    np.testing.assert_array_equal(reference.spike_counts, fused.spike_counts)
+    assert (
+        reference.counters.as_dict()["io_bus_words"]
+        == fused.counters.as_dict()["io_bus_words"]
+    )

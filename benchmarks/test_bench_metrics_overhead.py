@@ -17,6 +17,7 @@ bookkeeping against milliseconds of spiking simulation).
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -28,7 +29,7 @@ from repro.serve.metrics import NULL_REGISTRY, MetricsRegistry
 from repro.snn import Dense, Network, convert_to_snn
 
 BATCH = 32
-REQUESTS = 4
+REQUESTS = 8
 FEATURES = 64
 TIMESTEPS = 6
 JOBS = 2
@@ -60,34 +61,46 @@ def overhead_workload():
     return snn, config, requests
 
 
-def _best_dispatch_time(pool, requests) -> float:
-    best = float("inf")
-    for _ in range(ROUNDS):
-        t0 = time.perf_counter()
-        pool.infer_many(requests)
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="sub-5% overhead comparison is unreliable on a single busy core",
+)
 def test_bench_metrics_overhead_on_batched_hot_path(
     overhead_workload, persist_result
 ):
-    """Live registry vs no-op registry on the coalesced dispatch path."""
+    """Live registry vs no-op registry on the coalesced dispatch path.
+
+    The rounds interleave between the two pools, so a machine-load drift
+    during the benchmark biases both sides equally instead of whichever
+    registry happened to run second.
+    """
     snn, config, requests = overhead_workload
 
-    def run(registry: MetricsRegistry) -> float:
-        with ChipPool(
+    def pool_for(registry: MetricsRegistry) -> ChipPool:
+        return ChipPool(
             snn,
             jobs=JOBS,
             config=config,
             timesteps=TIMESTEPS,
             seed=0,
             registry=registry,
-        ) as pool:
-            return _best_dispatch_time(pool, requests)
+        )
 
-    disabled_s = run(NULL_REGISTRY)
-    enabled_s = run(MetricsRegistry(enabled=True))
+    disabled_s = float("inf")
+    enabled_s = float("inf")
+    with pool_for(NULL_REGISTRY) as disabled_pool, pool_for(
+        MetricsRegistry(enabled=True)
+    ) as enabled_pool:
+        # Warm both paths (plan arenas, executor threads) before timing.
+        disabled_pool.infer_many(requests)
+        enabled_pool.infer_many(requests)
+        for _ in range(ROUNDS):
+            t0 = time.perf_counter()
+            disabled_pool.infer_many(requests)
+            disabled_s = min(disabled_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            enabled_pool.infer_many(requests)
+            enabled_s = min(enabled_s, time.perf_counter() - t0)
     overhead = enabled_s / disabled_s - 1.0
     print(
         f"\nmetrics overhead ({REQUESTS}x{BATCH} coalesced, jobs={JOBS}): "

@@ -3,31 +3,43 @@
 The structural model (:mod:`repro.core.resparc`) executes one sample at a
 time through Python objects — maximal fidelity, minimal throughput.  This
 package compiles a programmed chip into dense arrays
-(:func:`~repro.fastpath.compiler.compile_chip`) and replays whole batches
+(:func:`~repro.fastpath.compiler.compile_chip`), packing every layer's
+tiles into stacked tensors for the layer-fused kernel
+(:class:`~repro.fastpath.compiler.FusedLayer`), and replays whole batches
 through NumPy (:class:`~repro.fastpath.engine.VectorizedChipEngine`),
 producing the same predictions, the same :class:`~repro.core.stats.EventCounters`
-and the same energy totals as the structural execution.
+and the same energy totals as the structural execution.  Work buffers live
+in reusable :class:`~repro.fastpath.plan.KernelPlan` scratch arenas, cached
+per execution shape by :class:`~repro.fastpath.plan.PlanCache`.
 
 Select it through ``ChipSimulator(backend="vectorized")`` or the
 :func:`repro.core.simulator.simulate` facade; ``tests/test_backend_parity.py``
-is the contract that keeps the two backends equivalent.
+is the contract that keeps the two backends equivalent, and
+``tests/test_kernel_fused.py`` pins the fused kernel to the per-tile
+reference loop bit for bit.
 """
 
 from repro.fastpath.compiler import (
     CompiledChip,
     CompiledLayer,
     CompiledTile,
+    FusedLayer,
     StaticStepEvents,
     compile_chip,
 )
 from repro.fastpath.engine import BatchRunOutcome, VectorizedChipEngine
+from repro.fastpath.plan import ChunkCountScratch, KernelPlan, PlanCache
 
 __all__ = [
     "CompiledChip",
     "CompiledLayer",
     "CompiledTile",
+    "FusedLayer",
     "StaticStepEvents",
     "compile_chip",
     "BatchRunOutcome",
     "VectorizedChipEngine",
+    "ChunkCountScratch",
+    "KernelPlan",
+    "PlanCache",
 ]

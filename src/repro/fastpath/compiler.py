@@ -24,7 +24,14 @@ import numpy as np
 
 from repro.core.resparc import ResparcChip
 
-__all__ = ["CompiledTile", "CompiledLayer", "StaticStepEvents", "CompiledChip", "compile_chip"]
+__all__ = [
+    "CompiledTile",
+    "CompiledLayer",
+    "FusedLayer",
+    "StaticStepEvents",
+    "CompiledChip",
+    "compile_chip",
+]
 
 
 def _chunks(n_items: int, chunk_bits: int) -> int:
@@ -65,6 +72,78 @@ class CompiledTile:
 
 
 @dataclass(frozen=True)
+class FusedLayer:
+    """A layer's tiles packed for one batched matmul per timestep.
+
+    Every tile of a layer shares the full crossbar geometry, so the tiles
+    stack into one ``(tiles, geom_rows, geom_cols)`` conductance tensor and
+    the per-timestep inner loop collapses to a single
+    ``(tiles, batch, rows) @ (tiles, rows, cols)`` stacked product — the
+    same per-slice ``dgemm`` the per-tile loop issued, so the drive is
+    bit-identical.  The gather/scatter index tables record where each
+    tile's input rows come from and where its output columns accumulate;
+    the engine applies the scatter **in placement order**, preserving the
+    structural accumulation-order contract.
+    """
+
+    #: Stacked ``conductance_diff`` matrices, ``(tiles, geom_rows, geom_cols)``.
+    conductance: np.ndarray
+    #: Per-tile ``scale`` factors shaped for broadcasting, ``(tiles, 1, 1)``.
+    scales: np.ndarray
+    #: Row gather table: input slice ``[row_starts[k]:row_stops[k]]`` fills
+    #: the first ``rows[k]`` rows of tile ``k``'s block (rest stays zero).
+    row_starts: np.ndarray
+    row_stops: np.ndarray
+    rows: np.ndarray
+    #: Column scatter table: the first ``cols[k]`` columns of tile ``k``'s
+    #: partial sum accumulate into ``drive[:, col_starts[k]:col_stops[k]]``.
+    col_starts: np.ndarray
+    col_stops: np.ndarray
+    cols: np.ndarray
+    #: Flattened per-tile read-cost tables plus the per-tile offsets into
+    #: them: the cost of tile ``k`` with ``a`` active rows is
+    #: ``read_cost_flat[cost_offsets[k] + a]`` — one batched ``np.take``
+    #: replaces per-tile fancy-indexing lookups.
+    read_cost_flat: np.ndarray
+    cost_offsets: np.ndarray
+
+    @property
+    def n_tiles(self) -> int:
+        return self.conductance.shape[0]
+
+    @property
+    def geometry(self) -> tuple[int, int]:
+        """Full crossbar geometry ``(rows, columns)`` shared by the tiles."""
+        return self.conductance.shape[1], self.conductance.shape[2]
+
+
+def _fuse_tiles(tiles: tuple[CompiledTile, ...]) -> FusedLayer:
+    """Stack a layer's tiles (placement order) into fused tensors."""
+    geometry = tiles[0].conductance_diff.shape
+    for tile in tiles:
+        if tile.conductance_diff.shape != geometry:
+            raise ValueError(
+                f"cannot fuse tiles with mixed crossbar geometries: "
+                f"{tile.conductance_diff.shape} vs {geometry}"
+            )
+    table_len = len(tiles[0].read_cost_j)
+    return FusedLayer(
+        conductance=np.ascontiguousarray(
+            np.stack([tile.conductance_diff for tile in tiles])
+        ),
+        scales=np.array([tile.scale for tile in tiles]).reshape(-1, 1, 1),
+        row_starts=np.array([tile.row_start for tile in tiles], dtype=np.int64),
+        row_stops=np.array([tile.row_stop for tile in tiles], dtype=np.int64),
+        rows=np.array([tile.rows for tile in tiles], dtype=np.int64),
+        col_starts=np.array([tile.column_start for tile in tiles], dtype=np.int64),
+        col_stops=np.array([tile.column_stop for tile in tiles], dtype=np.int64),
+        cols=np.array([tile.columns for tile in tiles], dtype=np.int64),
+        read_cost_flat=np.concatenate([tile.read_cost_j for tile in tiles]),
+        cost_offsets=(np.arange(len(tiles), dtype=np.int64) * table_len).reshape(-1, 1),
+    )
+
+
+@dataclass(frozen=True)
 class CompiledLayer:
     """One dense layer of the compiled program."""
 
@@ -81,6 +160,8 @@ class CompiledLayer:
     needs_bus_transfer: bool
     #: Words of one output vector on the bus / in the input SRAM.
     output_words: int
+    #: The layer's tiles packed for the fused kernel (same placement order).
+    fused: FusedLayer
 
 
 @dataclass(frozen=True)
@@ -233,6 +314,7 @@ def _compile_chip(chip: ResparcChip) -> CompiledChip:
                 input_packets=_chunks(n_in, config.packet_bits),
                 needs_bus_transfer=needs_bus,
                 output_words=_chunks(n_out, config.word_bits),
+                fused=_fuse_tiles(tuple(tiles)),
             )
         )
 

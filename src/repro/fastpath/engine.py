@@ -1,11 +1,23 @@
 """Vectorized batch execution of a compiled RESPARC chip.
 
 The engine advances the whole batch through the layer pipeline one timestep
-at a time: every tile evaluation is one ``(batch, rows) @ (rows, columns)``
-matrix product, every neuron pool holds the membrane state of all samples at
-once, and the event-driven bookkeeping (zero packets on the switch network,
-zero words on the IO bus, active rows per crossbar read) is reduced with
-array operations instead of per-packet Python objects.
+at a time.  The default path is **layer-fused**: each layer's tiles were
+packed at compile time into one stacked conductance tensor
+(:class:`~repro.fastpath.compiler.FusedLayer`), so a layer evaluates as a
+single ``(tiles, batch, rows) @ (tiles, rows, cols)`` product — the same
+per-slice ``dgemm`` the per-tile loop issued — with partial sums scattered
+into the layer drive **in placement order**.  All work buffers live in a
+:class:`~repro.fastpath.plan.KernelPlan` scratch arena written with
+``out=``/in-place operations, so steady-state timesteps allocate nothing;
+callers that repeat an execution shape pass a cached plan
+(:class:`~repro.fastpath.plan.PlanCache`) and skip even the first-run
+allocation cost.
+
+Data-independent event bookkeeping is hoisted out of the timestep loop:
+the input train's IO-bus words are counted in one vectorized pass over the
+whole ``(timesteps, batch, n_in)`` array, per-layer packet/destination
+constants are pretabulated, and the per-tile ``read_cost_j`` lookups run
+as one batched gather per layer.
 
 Arithmetic parity with the structural chip is deliberate, not approximate:
 
@@ -14,11 +26,15 @@ Arithmetic parity with the structural chip is deliberate, not approximate:
 * each tile's input block is zero-padded to the full crossbar geometry and
   multiplied against the full differential-conductance matrix, mirroring
   :meth:`repro.crossbar.mca.CrossbarArray.evaluate` operation for operation,
-* the IF neuron update is the same elementwise code path
-  (:class:`repro.snn.neuron.IFNeuronPool`), batched over samples.
+* the IF neuron update replays :class:`repro.snn.neuron.IFNeuronPool`'s
+  elementwise code path (subtract reset, no leak/refractory — the only
+  regime compiled programs use), batched over samples.
 
 Predictions and spike counts therefore match the structural backend exactly;
 energy totals agree to floating-point accumulation order (<< 1e-9 relative).
+:meth:`VectorizedChipEngine.run_batch_reference` keeps the original
+``timesteps × layers × tiles`` triple loop alive as the parity oracle the
+property suite checks the fused kernel against.
 """
 
 from __future__ import annotations
@@ -30,6 +46,7 @@ import numpy as np
 
 from repro.core.stats import EventCounters
 from repro.fastpath.compiler import CompiledChip, CompiledLayer, compile_chip
+from repro.fastpath.plan import KernelPlan
 from repro.snn.neuron import IFNeuronParameters, IFNeuronPool
 
 __all__ = ["BatchRunOutcome", "VectorizedChipEngine"]
@@ -71,12 +88,151 @@ class VectorizedChipEngine:
         """Compile a structural chip and wrap it in an engine."""
         return cls(compile_chip(chip))
 
-    # -- drive computation --------------------------------------------------------
+    def _validate_train(self, spike_train: np.ndarray) -> np.ndarray:
+        program = self.program
+        train = np.asarray(spike_train, dtype=float)
+        if train.ndim != 3:
+            raise ValueError(
+                f"spike_train must have shape (timesteps, batch, n_in), got {train.shape}"
+            )
+        if train.shape[2] != program.input_dim:
+            raise ValueError(
+                f"layer {program.layers[0].layer_index} expects {program.input_dim} "
+                f"inputs, got {train.shape[2]}"
+            )
+        return train
+
+    # -- fused execution ----------------------------------------------------------
+
+    def run_batch(
+        self, spike_train: np.ndarray, plan: KernelPlan | None = None
+    ) -> BatchRunOutcome:
+        """Run an encoded spike train of shape ``(timesteps, batch, n_in)``.
+
+        ``plan`` supplies the preallocated scratch arena for this execution
+        shape; omitted, a fresh one is built (and discarded).  Returns
+        per-sample output spike counts and predictions plus the aggregate
+        :class:`EventCounters` of the run (the same totals the structural
+        chip's components would have accumulated).
+        """
+        program = self.program
+        train = self._validate_train(spike_train)
+        timesteps, batch, n_in = train.shape
+
+        if plan is None:
+            plan = KernelPlan(program, batch, timesteps)
+        else:
+            plan.check(program, batch, timesteps)
+        plan.reset()
+
+        voltage = program.read_voltage_v
+        lsb = program.current_lsb_a
+        event_driven = program.event_driven
+        layers = program.layers
+        arenas = plan.layers
+        last_index = len(layers) - 1
+
+        crossbar_energy = 0.0
+        switch_hops = 0
+        suppressed_packets = 0
+        io_bus_words = 0
+
+        # Input-train bookkeeping, hoisted: IO-bus words over the whole
+        # train in one pass, and the first layer's live packet counts per
+        # timestep (later layers derive theirs from the spikes they just
+        # produced).
+        input_live = None
+        if event_driven:
+            flat = train.reshape(timesteps * batch, n_in)
+            io_bus_words += plan.input_word_scratch.count_total(flat)
+            input_live = plan.input_packet_scratch.count_per_group(flat, timesteps)
+        # Pretabulated per-layer constants of the event-driven suppression
+        # arithmetic (data-independent, formerly recomputed every timestep).
+        full_packets = [batch * layer.input_packets * layer.destinations for layer in layers]
+
+        live = 0
+        for t in range(timesteps):
+            for index, layer in enumerate(layers):
+                arena = arenas[index]
+                fused = layer.fused
+                if event_driven:
+                    if index == 0:
+                        live = int(input_live[t])
+                    delivered = live * layer.destinations
+                    switch_hops += delivered
+                    suppressed_packets += full_packets[index] - delivered
+                if index == 0:
+                    # Mirrors CrossbarArray.evaluate: x*V through the
+                    # differential conductances (pre-scaling the layer input
+                    # once instead of every padded tile block).
+                    np.multiply(train[t], voltage, out=arena.scaled_in)
+                # Gather into the stacked blocks through the arena's fixed
+                # view pairs — one plain copy per tile, no per-step slicing.
+                for dst, src in arena.gather:
+                    np.copyto(dst, src)
+                # One stacked matmul evaluates every tile of the layer.
+                np.matmul(arena.blocks, fused.conductance, out=arena.partial)
+                # Batched active-row energy: count nonzero rows per (tile,
+                # sample), then gather every read cost in one take().
+                np.not_equal(arena.blocks, 0.0, out=arena.nonzero)
+                arena.nonzero.sum(axis=2, out=arena.active)
+                np.add(arena.active, fused.cost_offsets, out=arena.cost_index)
+                fused.read_cost_flat.take(arena.cost_index, out=arena.cost)
+                crossbar_energy += float(arena.cost.sum())
+                # Currents back to weighted sums: * scale / lsb, in place.
+                np.multiply(arena.partial, fused.scales, out=arena.partial)
+                np.divide(arena.partial, lsb, out=arena.partial)
+                # Placement-order accumulation — the parity contract.
+                arena.drive.fill(0.0)
+                for dst, src in arena.scatter:
+                    np.add(dst, src, out=dst)
+                # IF update, replaying IFNeuronPool.step's elementwise path
+                # for the compiled regime (subtract reset, no leak, no
+                # refractory) on the arena's membrane state.
+                np.add(arena.membrane, arena.drive, out=arena.membrane)
+                np.greater_equal(arena.membrane, layer.threshold, out=arena.spike_bool)
+                np.subtract(
+                    arena.membrane,
+                    layer.threshold,
+                    out=arena.membrane,
+                    where=arena.spike_bool,
+                )
+                np.copyto(arena.spikes, arena.spike_bool, casting="safe")
+                if event_driven and layer.needs_bus_transfer:
+                    io_bus_words += arena.word_scratch.count_total(arena.spikes)
+                if index < last_index:
+                    if event_driven:
+                        live = arena.packet_scratch.count_total(arena.spikes)
+                    np.multiply(
+                        arena.spikes, voltage, out=arenas[index + 1].scaled_in
+                    )
+            np.add(plan.spike_counts, arenas[last_index].spikes, out=plan.spike_counts)
+
+        scores = plan.spike_counts + 1e-3 * arenas[last_index].membrane
+        predictions = np.argmax(scores, axis=1).astype(int)
+
+        counters = self._gather_counters(
+            batch * timesteps,
+            crossbar_energy,
+            switch_hops,
+            suppressed_packets,
+            io_bus_words,
+        )
+        return BatchRunOutcome(
+            # The arena is reused by the next run on this shape; the
+            # outcome must own its spike counts.
+            spike_counts=plan.spike_counts.copy(),
+            predictions=predictions,
+            counters=counters,
+            timesteps=timesteps,
+        )
+
+    # -- reference execution (parity oracle) --------------------------------------
 
     def _layer_drive(
         self, layer: CompiledLayer, current: np.ndarray, active_row_energy: list[float]
     ) -> np.ndarray:
-        """Weighted sums of one layer for the whole batch.
+        """Weighted sums of one layer for the whole batch (per-tile loop).
 
         Accumulates per-tile partial sums in placement order and records the
         crossbar read energy of every (sample, tile) evaluation via the
@@ -97,34 +253,25 @@ class VectorizedChipEngine:
             drive[:, tile.column_start : tile.column_stop] += weighted[:, : tile.columns]
         return drive
 
-    # -- execution ----------------------------------------------------------------
+    def run_batch_reference(self, spike_train: np.ndarray) -> BatchRunOutcome:
+        """The pre-fusion ``timesteps × layers × tiles`` loop, kept verbatim.
 
-    def run_batch(self, spike_train: np.ndarray) -> BatchRunOutcome:
-        """Run an encoded spike train of shape ``(timesteps, batch, n_in)``.
-
-        Returns per-sample output spike counts and predictions plus the
-        aggregate :class:`EventCounters` of the run (the same totals the
-        structural chip's components would have accumulated).
+        This is the parity oracle: the fused kernel must be bit-identical
+        to it (the hypothesis suite in ``tests/test_kernel_fused.py``
+        asserts exactly that across randomized geometries), and the kernel
+        benchmark measures the fused speedup against it.
         """
         program = self.program
-        train = np.asarray(spike_train, dtype=float)
-        if train.ndim != 3:
-            raise ValueError(
-                f"spike_train must have shape (timesteps, batch, n_in), got {train.shape}"
-            )
-        timesteps, batch, n_in = train.shape
-        if n_in != program.input_dim:
-            raise ValueError(
-                f"layer {program.layers[0].layer_index} expects {program.input_dim} "
-                f"inputs, got {n_in}"
-            )
+        train = self._validate_train(spike_train)
+        timesteps, batch, _n_in = train.shape
 
-        pools = {
-            layer.layer_index: IFNeuronPool(
+        # One neuron pool per layer, positionally aligned with the program.
+        pools = [
+            IFNeuronPool(
                 (batch, layer.n_out), IFNeuronParameters(threshold=layer.threshold)
             )
             for layer in program.layers
-        }
+        ]
         spike_counts = np.zeros((batch, program.output_dim))
         crossbar_energy = [0.0]
         switch_hops = 0
@@ -137,7 +284,7 @@ class VectorizedChipEngine:
                 io_bus_words += int(
                     _nonzero_chunk_counts(current, program.word_bits).sum()
                 )
-            for layer in program.layers:
+            for index, layer in enumerate(program.layers):
                 if program.event_driven:
                     live = _nonzero_chunk_counts(current, program.packet_bits)
                     delivered = int(live.sum()) * layer.destinations
@@ -146,7 +293,7 @@ class VectorizedChipEngine:
                         batch * layer.input_packets * layer.destinations - delivered
                     )
                 drive = self._layer_drive(layer, current, crossbar_energy)
-                spikes = pools[layer.layer_index].step(drive)
+                spikes = pools[index].step(drive)
                 if program.event_driven and layer.needs_bus_transfer:
                     io_bus_words += int(
                         _nonzero_chunk_counts(spikes, program.word_bits).sum()
@@ -154,7 +301,7 @@ class VectorizedChipEngine:
                 current = spikes
             spike_counts += current
 
-        final_pool = pools[program.layers[-1].layer_index]
+        final_pool = pools[-1]
         scores = spike_counts + 1e-3 * final_pool.membrane
         predictions = np.argmax(scores, axis=1).astype(int)
 

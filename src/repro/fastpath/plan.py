@@ -1,0 +1,229 @@
+"""Scratch arenas and the per-session plan cache for the fused kernel.
+
+A :class:`KernelPlan` owns every work buffer one ``(program, batch,
+timesteps)`` execution shape needs — the per-layer gather blocks, stacked
+partial sums, drive accumulators, membrane state, spike buffers, active-row
+scratch and the event-driven chunk-count scratch.  The engine writes them
+with ``out=``/in-place operations, so steady-state timesteps perform no
+O(batch × width) heap allocations: the first run on a shape pays the
+allocation cost once and every later run reuses the arena.
+
+:class:`PlanCache` is a small keyed LRU over plans — ``(program, batch,
+timesteps)`` — that :class:`~repro.serve.ChipSession` consults per request.
+Under the server's dynamic batcher most requests repeat a handful of
+shapes, so the common case is a cache hit that skips compile-and-allocate
+entirely; hit/miss counts are exported so the reuse rate is observable.
+
+A plan's buffers are mutable run state: one plan must not execute two
+batches concurrently.  Sessions are driven serially (the pool gives every
+worker its own session), so the per-session cache never shares a plan
+across threads.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.fastpath.compiler import CompiledChip, CompiledLayer
+
+__all__ = ["ChunkCountScratch", "KernelPlan", "PlanCache"]
+
+
+class ChunkCountScratch:
+    """Preallocated buffers for nonzero-chunk counting (integer-exact).
+
+    Mirrors :func:`repro.fastpath.engine._nonzero_chunk_counts`: values are
+    thresholded (``> 0``) into a zero-padded bool buffer whose width is a
+    multiple of ``chunk_bits``, then reduced chunk-wise.  Only the leading
+    ``n`` columns are ever rewritten, so the padding stays zero for the
+    buffer's lifetime.
+    """
+
+    def __init__(self, rows: int, n: int, chunk_bits: int):
+        self.rows = rows
+        self.n = n
+        self.chunk_bits = chunk_bits
+        self.n_chunks = int(math.ceil(n / chunk_bits)) if n else 0
+        self._padded = np.zeros((rows, self.n_chunks * chunk_bits), dtype=bool)
+        self._any = np.zeros((rows, self.n_chunks), dtype=bool)
+
+        # Fixed views/reshapes, so counting is a handful of C calls.
+        self._target = self._padded[:, :n]
+        self._chunked = self._padded.reshape(rows, self.n_chunks, chunk_bits)
+
+    def _reduce(self, values: np.ndarray) -> np.ndarray:
+        np.greater(values, 0, out=self._target)
+        np.logical_or.reduce(self._chunked, axis=2, out=self._any)
+        return self._any
+
+    def count_total(self, values: np.ndarray) -> int:
+        """Total nonzero-chunk count over all rows of ``values``."""
+        if self.n_chunks == 0:
+            return 0
+        return int(self._reduce(values).sum())
+
+    def count_per_group(self, values: np.ndarray, groups: int) -> np.ndarray:
+        """Totals per leading group when rows factor as ``groups × per``."""
+        if self.n_chunks == 0:
+            return np.zeros(groups, dtype=np.int64)
+        reduced = self._reduce(values)
+        return reduced.reshape(groups, -1, self.n_chunks).sum(axis=(1, 2))
+
+
+class _LayerArena:
+    """All per-layer work buffers of one plan (sized by the batch).
+
+    Every gather source, gather destination and scatter target is captured
+    as a *fixed view pair* at construction: the hot loop performs plain
+    ``np.copyto``/``np.add`` calls on preexisting views and never computes
+    an index or creates a slice per timestep.
+    """
+
+    def __init__(self, program: CompiledChip, layer: CompiledLayer, batch: int, last: bool):
+        fused = layer.fused
+        n_tiles = fused.n_tiles
+        geom_rows, geom_cols = fused.geometry
+        self.threshold = layer.threshold
+        self.scaled_in = np.zeros((batch, layer.n_in))
+        # Gather blocks: tile k's rows [rows[k]:] are zero-padding that the
+        # engine never rewrites, exactly like the old per-tile np.zeros.
+        self.blocks = np.zeros((n_tiles, batch, geom_rows))
+        self.partial = np.zeros((n_tiles, batch, geom_cols))
+        self.nonzero = np.zeros((n_tiles, batch, geom_rows), dtype=bool)
+        self.active = np.zeros((n_tiles, batch), dtype=np.int64)
+        self.cost_index = np.zeros((n_tiles, batch), dtype=np.int64)
+        self.cost = np.zeros((n_tiles, batch))
+        self.drive = np.zeros((batch, layer.n_out))
+        self.membrane = np.zeros((batch, layer.n_out))
+        self.spike_bool = np.zeros((batch, layer.n_out), dtype=bool)
+        self.spikes = np.zeros((batch, layer.n_out))
+        #: ``(block_rows_view, scaled_input_view)`` per tile, placement order.
+        self.gather: list[tuple[np.ndarray, np.ndarray]] = [
+            (
+                self.blocks[k, :, : int(fused.rows[k])],
+                self.scaled_in[:, int(fused.row_starts[k]) : int(fused.row_stops[k])],
+            )
+            for k in range(n_tiles)
+        ]
+        #: ``(drive_columns_view, partial_columns_view)`` per tile, placement
+        #: order — the accumulation order the parity contract fixes.
+        self.scatter: list[tuple[np.ndarray, np.ndarray]] = [
+            (
+                self.drive[:, int(fused.col_starts[k]) : int(fused.col_stops[k])],
+                self.partial[k, :, : int(fused.cols[k])],
+            )
+            for k in range(n_tiles)
+        ]
+        # Event-driven chunk counting on the layer's *output* spikes: word
+        # chunks when the output crosses the bus, packet chunks when a next
+        # layer consumes it as routed input.
+        self.word_scratch: ChunkCountScratch | None = None
+        self.packet_scratch: ChunkCountScratch | None = None
+        if program.event_driven:
+            if layer.needs_bus_transfer:
+                self.word_scratch = ChunkCountScratch(
+                    batch, layer.n_out, program.word_bits
+                )
+            if not last:
+                self.packet_scratch = ChunkCountScratch(
+                    batch, layer.n_out, program.packet_bits
+                )
+
+    def reset(self) -> None:
+        self.membrane.fill(0.0)
+
+
+class KernelPlan:
+    """Every work buffer of one ``(program, batch, timesteps)`` execution."""
+
+    def __init__(self, program: CompiledChip, batch: int, timesteps: int):
+        if batch <= 0:
+            raise ValueError(f"batch must be positive, got {batch}")
+        if timesteps <= 0:
+            raise ValueError(f"timesteps must be positive, got {timesteps}")
+        self.program = program
+        self.batch = batch
+        self.timesteps = timesteps
+        #: Arenas aligned positionally with ``program.layers`` (no keyed
+        #: lookups on the hot path).
+        self.layers = [
+            _LayerArena(program, layer, batch, last=index == len(program.layers) - 1)
+            for index, layer in enumerate(program.layers)
+        ]
+        self.spike_counts = np.zeros((batch, program.output_dim))
+        # Whole-train input bookkeeping: one vectorized pass over the full
+        # ``(timesteps, batch, n_in)`` array instead of a per-timestep call.
+        self.input_word_scratch: ChunkCountScratch | None = None
+        self.input_packet_scratch: ChunkCountScratch | None = None
+        if program.event_driven:
+            n_in = program.input_dim
+            self.input_word_scratch = ChunkCountScratch(
+                timesteps * batch, n_in, program.word_bits
+            )
+            self.input_packet_scratch = ChunkCountScratch(
+                timesteps * batch, n_in, program.packet_bits
+            )
+
+    def check(self, program: CompiledChip, batch: int, timesteps: int) -> None:
+        """Raise when the plan was built for a different execution shape."""
+        if program is not self.program:
+            raise ValueError("plan was compiled for a different program")
+        if batch != self.batch or timesteps != self.timesteps:
+            raise ValueError(
+                f"plan was allocated for batch={self.batch} "
+                f"timesteps={self.timesteps}, got batch={batch} "
+                f"timesteps={timesteps}"
+            )
+
+    def reset(self) -> None:
+        """Zero the run state carried across timesteps (cheap: the gather
+        padding and one-shot scratch buffers hold their invariants)."""
+        for arena in self.layers:
+            arena.reset()
+        self.spike_counts.fill(0.0)
+
+
+class PlanCache:
+    """A small LRU of :class:`KernelPlan`\\ s keyed by execution shape.
+
+    The cache retains each plan's program, so an entry's identity key can
+    never be recycled while the entry lives.  ``get`` is thread-safe; the
+    plans it returns are not (see the module docstring).
+    """
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._plans: OrderedDict[tuple[int, int, int], KernelPlan] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(
+        self, program: CompiledChip, batch: int, timesteps: int
+    ) -> tuple[KernelPlan, bool]:
+        """The cached plan for the shape (hit) or a fresh one (miss)."""
+        key = (id(program), batch, timesteps)
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+                self.hits += 1
+                return plan, True
+            plan = KernelPlan(program, batch, timesteps)
+            self._plans[key] = plan
+            self.misses += 1
+            while len(self._plans) > self.capacity:
+                self._plans.popitem(last=False)
+            return plan, False
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._plans)}

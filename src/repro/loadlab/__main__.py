@@ -92,6 +92,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="trajectory JSON path (default benchmarks/results/loadlab.json)",
     )
     compare.add_argument(
+        "--baseline-runs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="compare against the median of the previous N runs (1 = just "
+        "the previous run); robust to one noisy historical run",
+    )
+    compare.add_argument(
         "--throughput-drop",
         type=float,
         default=compare_module.THROUGHPUT_DROP,
@@ -205,6 +213,7 @@ def _print_contrasts(result: dict) -> None:
 def _cmd_compare(args: argparse.Namespace) -> int:
     report = compare_module.compare_latest_runs(
         args.input,
+        baseline_runs=args.baseline_runs,
         throughput_drop=args.throughput_drop,
         p95_rise=args.p95_rise,
         p95_floor_s=args.p95_floor,

@@ -21,12 +21,18 @@ step after the sweep.
 
 from __future__ import annotations
 
+import statistics
 from pathlib import Path
 
 from repro.loadlab.persist import default_results_dir, load_results
 from repro.loadlab.stats import mann_whitney_u
 
-__all__ = ["compare_latest_runs", "compare_runs", "render_comparison"]
+__all__ = [
+    "compare_latest_runs",
+    "compare_runs",
+    "median_baseline",
+    "render_comparison",
+]
 
 #: Served-throughput drop that counts as a regression (fraction).
 THROUGHPUT_DROP = 0.10
@@ -159,13 +165,73 @@ def compare_runs(
     }
 
 
-def compare_latest_runs(path: str | Path | None = None, **thresholds) -> dict | None:
-    """Compare the two newest runs in a trajectory document.
+def _median_or_none(values: list) -> float | None:
+    cleaned = [float(v) for v in values if v is not None]
+    return statistics.median(cleaned) if cleaned else None
 
-    Returns None (after printing a notice) when the document holds fewer
-    than two runs — the first sweep of a fresh checkout has nothing to
-    regress against.
+
+def median_baseline(runs: list[dict]) -> dict:
+    """A synthetic baseline run: the per-cell median over ``runs``.
+
+    Scalar metrics (throughput, queue-wait percentiles, energy/request)
+    take the cell-wise :func:`statistics.median`; latency samples are
+    pooled across runs so the distribution test sees every baseline
+    request.  Only cells present in *every* run survive — a cell that
+    appeared or vanished mid-window has no stable baseline.  A single run
+    passes through unchanged, so ``baseline_runs=1`` reproduces the
+    classic previous-vs-latest comparison exactly.
     """
+    if not runs:
+        raise ValueError("median_baseline needs at least one run")
+    if len(runs) == 1:
+        return runs[0]
+    keyed = [_cells_by_key(run) for run in runs]
+    shared = sorted(set.intersection(*(set(k) for k in keyed)))
+    cells = []
+    for key in shared:
+        members = [k[key] for k in keyed]
+        waits = [m.get("queue_wait_s") or {} for m in members]
+        samples: list[float] = []
+        for member in members:
+            samples.extend(member.get("latency_samples") or [])
+        cells.append(
+            {
+                "topology": key[0],
+                "load": key[1],
+                "throughput_rps": _median_or_none(
+                    [m.get("throughput_rps") for m in members]
+                ),
+                "queue_wait_s": {
+                    "p95": _median_or_none([w.get("p95") for w in waits])
+                },
+                "energy_j_per_request": _median_or_none(
+                    [m.get("energy_j_per_request") for m in members]
+                ),
+                "latency_samples": samples,
+            }
+        )
+    return {
+        "ran_at": f"median of {len(runs)} runs "
+        f"({runs[0].get('ran_at')} .. {runs[-1].get('ran_at')})",
+        "cells": cells,
+    }
+
+
+def compare_latest_runs(
+    path: str | Path | None = None, *, baseline_runs: int = 1, **thresholds
+) -> dict | None:
+    """Compare the newest run against a baseline of the previous runs.
+
+    ``baseline_runs=1`` (the default) diffs the two newest runs;
+    ``baseline_runs=N`` compares the newest run against the
+    :func:`median_baseline` of the up-to-N runs before it, so one noisy
+    historical run on a shared CI runner cannot single-handedly flag (or
+    mask) a regression.  Returns None (after printing a notice) when the
+    document holds fewer than two runs — the first sweep of a fresh
+    checkout has nothing to regress against.
+    """
+    if baseline_runs < 1:
+        raise ValueError(f"baseline_runs must be >= 1, got {baseline_runs}")
     path = Path(path) if path else default_results_dir() / "loadlab.json"
     runs = load_results(path).get("runs")
     runs = [run for run in runs or [] if isinstance(run, dict) and run.get("cells")]
@@ -175,8 +241,10 @@ def compare_latest_runs(path: str | Path | None = None, **thresholds) -> dict | 
             f"need 2 — nothing to compare yet"
         )
         return None
-    report = compare_runs(runs[-2], runs[-1], **thresholds)
+    baseline = median_baseline(runs[-1 - baseline_runs : -1])
+    report = compare_runs(baseline, runs[-1], **thresholds)
     report["path"] = str(path)
+    report["baseline_runs"] = min(baseline_runs, len(runs) - 1)
     return report
 
 

@@ -649,11 +649,14 @@ class _GatedTarget:
 
 #: Metric families the smoke requires after one served inference: the
 #: request counter and the queue-wait phase histogram prove the whole
-#: observability plane (registry -> op -> exposition) is live.
+#: observability plane (registry -> op -> exposition) is live, and the
+#: plan-cache counters prove the sessions' fused-kernel plan reuse is.
 _SMOKE_REQUIRED_SERIES = (
     "repro_server_requests_total",
     "repro_server_batches_total",
     "repro_request_queue_wait_seconds_bucket",
+    "repro_session_plan_cache_hits_total",
+    "repro_session_plan_cache_misses_total",
 )
 
 
@@ -677,6 +680,16 @@ def _smoke_metrics(remote: RemoteSession) -> None:
     families = payload["snapshot"]["families"]
     served = families["repro_server_requests_total"]["series"][0]["value"]
     assert served > 0, f"request counter never moved: {served}"
+    # The smoke served the same request shape repeatedly, so every session
+    # must have built at least one kernel plan and reused at least one.
+    plan_misses = families["repro_session_plan_cache_misses_total"]["series"][0][
+        "value"
+    ]
+    plan_hits = families["repro_session_plan_cache_hits_total"]["series"][0]["value"]
+    assert plan_misses >= 1, f"no kernel plan was ever built: {plan_misses}"
+    assert plan_hits >= 1, (
+        f"repeated request shapes never reused a kernel plan: {plan_hits}"
+    )
     scraped = (
         urllib.request.urlopen(f"http://{endpoint}/metrics", timeout=30)
         .read()

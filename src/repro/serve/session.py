@@ -27,6 +27,7 @@ per-sample loop and the vectorized batch dispatch) that
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -42,6 +43,9 @@ from repro.snn.conversion import SpikingNetwork
 from repro.snn.encoding import DeterministicRateEncoder, EncoderState, PoissonEncoder
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive
+
+if TYPE_CHECKING:
+    from repro.fastpath.plan import PlanCache
 
 __all__ = ["ChipSession", "CONFIG_MISMATCH_ERROR"]
 
@@ -199,12 +203,17 @@ class ChipSession:
         self.chip = chip or ResparcChip.from_spiking_network(
             snn, config=self.config, rng=build_rng
         )
-        # Eager, cached compilation: the first request should not pay the
-        # lowering cost, and every vectorized run reuses the same program.
+        # Eager, cached compilation plus the session's plan cache: the first
+        # request should not pay the lowering cost, every vectorized run
+        # reuses the same program, and repeated request shapes — the common
+        # case under the dynamic batcher — reuse a ready scratch arena.
+        self._engine = None
+        self.plan_cache: PlanCache | None = None
         if backend == "vectorized":
-            from repro.fastpath import compile_chip
+            from repro.fastpath import PlanCache, VectorizedChipEngine, compile_chip
 
-            compile_chip(self.chip)
+            self._engine = VectorizedChipEngine(compile_chip(self.chip))
+            self.plan_cache = PlanCache()
         # Session-layer instrumentation lands in the process-default
         # registry unless told otherwise (a disabled registry turns every
         # observation into an early return — the hot-path no-op mode).
@@ -217,6 +226,12 @@ class ChipSession:
         )
         self._m_energy = self.metrics.counter(
             "repro_session_energy_joules_total", "chip energy spent"
+        )
+        self._m_plan_hits = self.metrics.counter(
+            "repro_session_plan_cache_hits_total", "kernel plans reused from cache"
+        )
+        self._m_plan_misses = self.metrics.counter(
+            "repro_session_plan_cache_misses_total", "kernel plans built on miss"
         )
 
     # -- encoding -----------------------------------------------------------------
@@ -267,9 +282,27 @@ class ChipSession:
         timesteps = request.timesteps if request.timesteps is not None else self.timesteps
         x = request.batch
         spike_train = self._encode(x, timesteps, request.sample_offset)
-        predictions, spike_counts, counters = _BACKEND_RUNNERS[self.backend](
-            self.chip, spike_train
-        )
+        metadata: dict[str, object] = {}
+        if self._engine is not None:
+            # Vectorized fast path through the session's plan cache: a hit
+            # reuses the shape's scratch arena, a miss builds (and keeps) it.
+            plan_started = time.monotonic()
+            plan, hit = self.plan_cache.get(
+                self._engine.program, spike_train.shape[1], spike_train.shape[0]
+            )
+            (self._m_plan_hits if hit else self._m_plan_misses).inc()
+            outcome = self._engine.run_batch(spike_train, plan=plan)
+            predictions = outcome.predictions
+            spike_counts = outcome.spike_counts
+            counters = outcome.counters
+            metadata["plan"] = {
+                "cache": "hit" if hit else "miss",
+                "build_s": 0.0 if hit else time.monotonic() - plan_started,
+            }
+        else:
+            predictions, spike_counts, counters = _BACKEND_RUNNERS[self.backend](
+                self.chip, spike_train
+            )
         counters.neuron_spikes += float(spike_counts.sum())
         energy = self.energy_for(counters, batch=x.shape[0], timesteps=timesteps)
         accuracy = None
@@ -290,4 +323,5 @@ class ChipSession:
             backend=self.backend,
             batch_size=x.shape[0],
             jobs=1,
+            metadata=metadata,
         )

@@ -1,0 +1,251 @@
+"""The fused kernel against the per-tile reference loop — bit for bit.
+
+:meth:`VectorizedChipEngine.run_batch` packs each layer's tiles into one
+stacked tensor and evaluates it as a single batched matmul per timestep;
+:meth:`VectorizedChipEngine.run_batch_reference` keeps the original
+``timesteps × layers × tiles`` loop alive as the parity oracle.  The
+contract is *bit identity*, not approximation: the fused kernel reorders
+no accumulation the reference performs (partial sums land in placement
+order, scale/LSB stay separate elementwise passes), so predictions, spike
+counts, every integer event counter and the crossbar energy must match
+exactly across arbitrary geometries.  The hypothesis suite drives that
+across ragged tile splits, single-tile layers, batch 1 and both
+event-driven settings; the deterministic tests pin the plan/arena and
+plan-cache mechanics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ArchitectureConfig, ChipSimulator
+from repro.fastpath import KernelPlan, PlanCache, VectorizedChipEngine
+from repro.snn import Dense, Network, convert_to_snn
+
+
+def _engine(dims, *, crossbar, event_driven, seed=0, mcas_per_mpe=2):
+    """A compiled engine for an MLP with the given layer widths."""
+    rng = np.random.default_rng(seed)
+    layers = []
+    for i, (n_in, n_out) in enumerate(zip(dims[:-1], dims[1:])):
+        last = i == len(dims) - 2
+        layers.append(
+            Dense(
+                n_in,
+                n_out,
+                activation=None if last else "relu",
+                use_bias=False,
+                rng=rng,
+                name=f"fc{i}",
+            )
+        )
+    network = Network((dims[0],), layers, name=f"fused-{'x'.join(map(str, dims))}")
+    snn = convert_to_snn(network, rng.random((8, dims[0])))
+    config = ArchitectureConfig(
+        crossbar_rows=crossbar,
+        crossbar_columns=crossbar,
+        event_driven=event_driven,
+        mcas_per_mpe=mcas_per_mpe,
+    )
+    chip = ChipSimulator(config=config).build_chip(snn)
+    return VectorizedChipEngine.from_chip(chip)
+
+
+def _assert_bit_identical(reference, fused):
+    np.testing.assert_array_equal(reference.predictions, fused.predictions)
+    np.testing.assert_array_equal(reference.spike_counts, fused.spike_counts)
+    ref_counts = reference.counters.as_dict()
+    fused_counts = fused.counters.as_dict()
+    for name, ref_value in ref_counts.items():
+        if name == "crossbar_device_energy_j":
+            assert fused_counts[name] == pytest.approx(ref_value, rel=1e-9)
+        else:
+            assert fused_counts[name] == ref_value, (
+                f"counter {name}: reference={ref_value} fused={fused_counts[name]}"
+            )
+
+
+class TestFusedKernelProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        dims=st.lists(st.integers(min_value=3, max_value=40), min_size=2, max_size=4),
+        crossbar=st.sampled_from([8, 16]),
+        event_driven=st.booleans(),
+        batch=st.sampled_from([1, 3]),
+        timesteps=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_fused_matches_reference(
+        self, dims, crossbar, event_driven, batch, timesteps, seed
+    ):
+        """Randomized geometries: ragged splits, tiny layers, batch 1."""
+        engine = _engine(
+            tuple(dims), crossbar=crossbar, event_driven=event_driven, seed=seed
+        )
+        rng = np.random.default_rng(seed + 1)
+        train = (rng.random((timesteps, batch, dims[0])) > 0.5).astype(float)
+        _assert_bit_identical(
+            engine.run_batch_reference(train), engine.run_batch(train)
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        event_driven=st.booleans(),
+    )
+    def test_fractional_intensity_parity(self, seed, event_driven):
+        """Non-binary spike trains (rate-coded intensities) stay identical."""
+        engine = _engine((20, 9, 5), crossbar=8, event_driven=event_driven, seed=seed)
+        rng = np.random.default_rng(seed)
+        train = rng.random((3, 4, 20))
+        train[train < 0.4] = 0.0
+        _assert_bit_identical(
+            engine.run_batch_reference(train), engine.run_batch(train)
+        )
+
+
+class TestFusedKernelDeterministic:
+    def test_single_tile_layer(self):
+        """A network that fits one crossbar per layer (n_tiles == 1)."""
+        engine = _engine((6, 4), crossbar=8, event_driven=True)
+        train = np.ones((2, 1, 6))
+        _assert_bit_identical(
+            engine.run_batch_reference(train), engine.run_batch(train)
+        )
+
+    def test_plan_reuse_resets_state(self):
+        """The same plan must give identical outcomes run after run."""
+        engine = _engine((24, 12, 6), crossbar=8, event_driven=True)
+        rng = np.random.default_rng(3)
+        train = (rng.random((4, 5, 24)) > 0.5).astype(float)
+        plan = KernelPlan(engine.program, 5, 4)
+        first = engine.run_batch(train, plan=plan)
+        second = engine.run_batch(train, plan=plan)
+        np.testing.assert_array_equal(first.predictions, second.predictions)
+        np.testing.assert_array_equal(first.spike_counts, second.spike_counts)
+        assert first.counters.as_dict() == second.counters.as_dict()
+
+    def test_outcome_does_not_alias_arena(self):
+        """Spike counts returned by one run survive the next run's reuse."""
+        engine = _engine((24, 12, 6), crossbar=8, event_driven=True)
+        rng = np.random.default_rng(4)
+        plan = KernelPlan(engine.program, 5, 4)
+        train_a = (rng.random((4, 5, 24)) > 0.7).astype(float)
+        train_b = (rng.random((4, 5, 24)) > 0.2).astype(float)
+        outcome_a = engine.run_batch(train_a, plan=plan)
+        saved = outcome_a.spike_counts.copy()
+        engine.run_batch(train_b, plan=plan)
+        np.testing.assert_array_equal(outcome_a.spike_counts, saved)
+
+    def test_plan_shape_mismatch_raises(self):
+        engine = _engine((12, 6), crossbar=8, event_driven=True)
+        plan = KernelPlan(engine.program, 2, 3)
+        with pytest.raises(ValueError, match="batch=2"):
+            engine.run_batch(np.ones((3, 4, 12)), plan=plan)
+        with pytest.raises(ValueError, match="timesteps=3"):
+            engine.run_batch(np.ones((5, 2, 12)), plan=plan)
+
+    def test_plan_program_mismatch_raises(self):
+        engine_a = _engine((12, 6), crossbar=8, event_driven=True, seed=0)
+        engine_b = _engine((12, 6), crossbar=8, event_driven=True, seed=1)
+        plan = KernelPlan(engine_a.program, 2, 3)
+        with pytest.raises(ValueError, match="different program"):
+            engine_b.run_batch(np.ones((3, 2, 12)), plan=plan)
+
+    def test_invalid_plan_shapes_rejected(self):
+        engine = _engine((12, 6), crossbar=8, event_driven=True)
+        with pytest.raises(ValueError, match="batch"):
+            KernelPlan(engine.program, 0, 3)
+        with pytest.raises(ValueError, match="timesteps"):
+            KernelPlan(engine.program, 2, 0)
+
+
+class TestPlanCache:
+    def test_hit_miss_and_reuse(self):
+        engine = _engine((12, 6), crossbar=8, event_driven=True)
+        cache = PlanCache()
+        plan_a, hit_a = cache.get(engine.program, 4, 3)
+        plan_b, hit_b = cache.get(engine.program, 4, 3)
+        plan_c, hit_c = cache.get(engine.program, 8, 3)
+        assert (hit_a, hit_b, hit_c) == (False, True, False)
+        assert plan_a is plan_b and plan_a is not plan_c
+        assert cache.stats() == {"hits": 1, "misses": 2, "size": 2}
+
+    def test_lru_eviction(self):
+        engine = _engine((12, 6), crossbar=8, event_driven=True)
+        cache = PlanCache(capacity=2)
+        cache.get(engine.program, 1, 1)
+        cache.get(engine.program, 2, 1)
+        cache.get(engine.program, 1, 1)  # refresh batch=1
+        cache.get(engine.program, 3, 1)  # evicts batch=2
+        assert len(cache) == 2
+        _, hit = cache.get(engine.program, 1, 1)
+        assert hit
+        _, hit = cache.get(engine.program, 2, 1)
+        assert not hit
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PlanCache(capacity=0)
+
+
+class TestSessionPlanCache:
+    def test_session_reuses_plans_and_reports_metadata(self):
+        from repro.serve import ChipSession, InferenceRequest
+        from repro.serve.metrics import MetricsRegistry
+
+        rng = np.random.default_rng(11)
+        network = Network(
+            (16,),
+            [Dense(16, 5, activation=None, use_bias=False, rng=rng, name="out")],
+            name="cache-mlp",
+        )
+        snn = convert_to_snn(network, rng.random((6, 16)))
+        registry = MetricsRegistry()
+        session = ChipSession(
+            snn,
+            config=ArchitectureConfig(crossbar_rows=8, crossbar_columns=8),
+            timesteps=4,
+            seed=0,
+            registry=registry,
+        )
+        request = InferenceRequest(inputs=rng.random((3, 16)))
+        first = session.infer(request)
+        second = session.infer(request)
+        assert first.metadata["plan"]["cache"] == "miss"
+        assert first.metadata["plan"]["build_s"] >= 0.0
+        assert second.metadata["plan"]["cache"] == "hit"
+        assert session.plan_cache.stats() == {"hits": 1, "misses": 1, "size": 1}
+        families = registry.snapshot()["families"]
+        assert (
+            families["repro_session_plan_cache_hits_total"]["series"][0]["value"] == 1
+        )
+        assert (
+            families["repro_session_plan_cache_misses_total"]["series"][0]["value"] == 1
+        )
+        # Caching must not change the served result.
+        np.testing.assert_array_equal(first.predictions, second.predictions)
+        np.testing.assert_array_equal(first.spike_counts, second.spike_counts)
+
+    def test_structural_session_has_no_plan_cache(self):
+        rng = np.random.default_rng(12)
+        network = Network(
+            (8,),
+            [Dense(8, 4, activation=None, use_bias=False, rng=rng, name="out")],
+            name="structural-mlp",
+        )
+        snn = convert_to_snn(network, rng.random((4, 8)))
+        from repro.serve import ChipSession, InferenceRequest
+
+        session = ChipSession(
+            snn,
+            config=ArchitectureConfig(crossbar_rows=8, crossbar_columns=8),
+            timesteps=2,
+            backend="structural",
+            seed=0,
+        )
+        assert session.plan_cache is None
+        response = session.infer(InferenceRequest(inputs=rng.random((2, 8))))
+        assert "plan" not in response.metadata

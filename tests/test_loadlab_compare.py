@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.loadlab.compare import (
     compare_latest_runs,
     compare_runs,
+    median_baseline,
     render_comparison,
 )
 from repro.loadlab.persist import persist_result
@@ -101,6 +104,67 @@ class TestCompareRuns:
         assert "unmatched" in render_comparison(report)
 
 
+class TestMedianBaseline:
+    def test_single_run_passes_through_unchanged(self):
+        run = _run([_cell()])
+        assert median_baseline([run]) is run
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            median_baseline([])
+
+    def test_medians_scalars_and_pools_samples(self):
+        runs = [
+            _run([_cell(throughput_rps=8.0, p95_s=0.04, latency_samples=[0.01])]),
+            _run([_cell(throughput_rps=10.0, p95_s=0.06, latency_samples=[0.02])]),
+            _run([_cell(throughput_rps=50.0, p95_s=0.05, latency_samples=[0.03])]),
+        ]
+        baseline = median_baseline(runs)
+        cell = baseline["cells"][0]
+        assert cell["throughput_rps"] == 10.0  # median, not mean: 50 is ignored
+        assert cell["queue_wait_s"]["p95"] == 0.05
+        assert cell["latency_samples"] == [0.01, 0.02, 0.03]
+        assert "median of 3 runs" in baseline["ran_at"]
+
+    def test_only_cells_present_in_every_run_survive(self):
+        runs = [
+            _run([_cell(), _cell(topology="gateway")]),
+            _run([_cell()]),
+        ]
+        baseline = median_baseline(runs)
+        assert [c["topology"] for c in baseline["cells"]] == ["server"]
+
+    def test_median_window_absorbs_one_noisy_run(self, tmp_path):
+        """throughputs [10, 10, 100, 10]: vs-previous compares against the
+        100-rps outlier and cries wolf; a 3-run median baseline stays quiet."""
+        path = tmp_path / "loadlab.json"
+        for i, rps in enumerate([10.0, 10.0, 100.0, 10.0]):
+            persist_result(
+                path, "runs", _run([_cell(throughput_rps=rps)], ran_at=f"t{i}"),
+                append=True,
+            )
+        noisy = compare_latest_runs(path, baseline_runs=1)
+        assert any("throughput dropped" in w for w in noisy["warnings"])
+        robust = compare_latest_runs(path, baseline_runs=3)
+        assert robust["warnings"] == []
+        assert robust["baseline_runs"] == 3
+        assert "median of 3 runs" in robust["previous_ran_at"]
+
+    def test_window_larger_than_history_uses_what_exists(self, tmp_path):
+        path = tmp_path / "loadlab.json"
+        for i in range(3):
+            persist_result(
+                path, "runs", _run([_cell()], ran_at=f"t{i}"), append=True
+            )
+        report = compare_latest_runs(path, baseline_runs=10)
+        assert report["baseline_runs"] == 2
+        assert report["warnings"] == []
+
+    def test_invalid_baseline_runs_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="baseline_runs"):
+            compare_latest_runs(tmp_path / "loadlab.json", baseline_runs=0)
+
+
 class TestCompareCli:
     def _write_runs(self, path, runs):
         for run in runs:
@@ -132,6 +196,25 @@ class TestCompareCli:
         assert "WARNING" in out
         assert "throughput dropped 50.0%" in out
         assert "latest new vs previous mid" in out
+
+    def test_baseline_runs_flag(self, tmp_path, capsys):
+        path = tmp_path / "loadlab.json"
+        self._write_runs(
+            path,
+            [
+                _run([_cell(throughput_rps=10.0)], ran_at="a"),
+                _run([_cell(throughput_rps=100.0)], ran_at="noisy"),
+                _run([_cell(throughput_rps=10.0)], ran_at="new"),
+            ],
+        )
+        assert loadlab_main(
+            ["compare", "--input", str(path), "--baseline-runs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "median of 2 runs" in out
+        # Median of [10, 100] is 55 rps, so the drop is still flagged — but
+        # the rendered baseline makes the window explicit.
+        assert "WARNING" in out
 
     def test_json_output_parses(self, tmp_path, capsys):
         path = tmp_path / "loadlab.json"
